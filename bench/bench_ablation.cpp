@@ -1,0 +1,96 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//   1. work stealing on/off         -> communication count + wall time
+//   2. locality-aware vs saturated placement (saturation factor sweep)
+//   3. DXT buffer budget sweep      -> recorded vs dropped I/O ops
+//   4. spill threshold sweep        -> extra I/O operations
+// Each ablation runs the scaled ImageProcessing/XGBOOST workloads with one
+// knob changed, holding the seed fixed.
+#include "analysis/views.hpp"
+#include "bench_util.hpp"
+#include "workloads/image_processing.hpp"
+#include "workloads/xgboost.hpp"
+
+using namespace recup;
+
+namespace {
+
+dtr::RunData run_with(workloads::Workload workload, std::uint32_t run_index) {
+  return workloads::execute(workload, run_index);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  std::string csv = "ablation,variant,wall_time,comms,io_ops,steals\n";
+
+  const auto report = [&](const std::string& ablation,
+                          const std::string& variant,
+                          const dtr::RunData& run) {
+    const analysis::PhaseBreakdown p = analysis::phase_breakdown(run);
+    std::printf("%-24s %-18s wall %8.1fs  comms %6llu  io %6llu  steals %4zu\n",
+                ablation.c_str(), variant.c_str(), p.wall_time,
+                static_cast<unsigned long long>(p.comm_count),
+                static_cast<unsigned long long>(p.io_ops),
+                run.steals.size());
+    csv += ablation + "," + variant + "," + std::to_string(p.wall_time) +
+           "," + std::to_string(p.comm_count) + "," +
+           std::to_string(p.io_ops) + "," + std::to_string(run.steals.size()) +
+           "\n";
+  };
+
+  std::fprintf(stderr, "ablation 1: work stealing on/off (ImageProcessing)\n");
+  {
+    workloads::Workload on = workloads::make_image_processing(opt.seed);
+    report("work-stealing", "on", run_with(on, 0));
+    workloads::Workload off = workloads::make_image_processing(opt.seed);
+    off.cluster.wms.work_stealing = false;
+    report("work-stealing", "off", run_with(off, 0));
+  }
+
+  std::fprintf(stderr, "ablation 2: saturation factor (ImageProcessing)\n");
+  for (const double factor : {1.0, 2.0, 4.0}) {
+    workloads::Workload w = workloads::make_image_processing(opt.seed);
+    w.cluster.scheduler.saturation_factor = factor;
+    report("saturation-factor", std::to_string(factor).substr(0, 3),
+           run_with(w, 0));
+  }
+
+  std::fprintf(stderr, "ablation 3: DXT budget (ResNet-like truncation on "
+                       "ImageProcessing)\n");
+  for (const std::size_t budget : {std::size_t{600}, std::size_t{2000},
+                                   std::size_t{65536}}) {
+    workloads::Workload w = workloads::make_image_processing(opt.seed);
+    w.cluster.darshan.dxt.memory_budget_units = budget;
+    report("dxt-budget", std::to_string(budget), run_with(w, 0));
+  }
+
+  std::fprintf(stderr, "ablation 4: spill threshold (scaled XGBOOST)\n");
+  for (const std::uint64_t mib :
+       {std::uint64_t{256}, std::uint64_t{512}, std::uint64_t{65536}}) {
+    workloads::XgboostParams params;
+    params.partitions = 16;
+    params.boosting_rounds = 8;
+    params.reducers = 4;
+    params.read_parquet_compute = 10.0;
+    params.spill_threshold_bytes = mib << 20;
+    workloads::Workload w = workloads::make_xgboost(opt.seed, params);
+    report("spill-threshold", std::to_string(mib) + "MiB", run_with(w, 0));
+  }
+
+  std::fprintf(stderr, "ablation 5: locality bias (scaled XGBOOST)\n");
+  for (const double bias : {2.0, 14.0, 50.0}) {
+    workloads::XgboostParams params;
+    params.partitions = 16;
+    params.boosting_rounds = 8;
+    params.reducers = 4;
+    params.read_parquet_compute = 10.0;
+    workloads::Workload w = workloads::make_xgboost(opt.seed, params);
+    w.cluster.scheduler.locality_bias = bias;
+    report("locality-bias", std::to_string(bias).substr(0, 4),
+           run_with(w, 0));
+  }
+
+  bench::write_csv(opt, "ablation.csv", csv);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Regenerates Figure 3: relative time spent per workflow in I/O,
+// communication, and computation, plus total wall time, with error bars
+// (std dev) across repeated runs. The paper's qualitative observations to
+// match: computation dominates; ImageProcessing/ResNet152 totals are
+// disproportionately long because ~100 s runs cannot amortize coordination
+// overhead, while XGBOOST's total is dominated by the phases themselves.
+#include "analysis/figures.hpp"
+#include "bench_util.hpp"
+
+using namespace recup;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  std::vector<analysis::PhaseStats> stats;
+  struct Spec {
+    const char* name;
+    std::uint32_t runs;
+  };
+  const Spec specs[] = {{"ImageProcessing", opt.image_runs},
+                        {"ResNet152", opt.resnet_runs},
+                        {"XGBOOST", opt.xgboost_runs}};
+  std::vector<std::vector<dtr::RunData>> all_runs;
+  for (const auto& spec : specs) {
+    all_runs.push_back(bench::run_workflow(spec.name, spec.runs, opt.seed));
+    stats.push_back(analysis::figure3_stats(spec.name, all_runs.back()));
+  }
+
+  std::cout << analysis::render_figure3(stats) << "\n";
+
+  // Coordination share: the paper's explanation for the short workflows'
+  // disproportionate totals.
+  std::cout << "Coordination overhead share of wall time:\n";
+  for (const auto& runs : all_runs) {
+    double coordination = 0.0;
+    double wall = 0.0;
+    for (const auto& run : runs) {
+      coordination += run.coordination_time;
+      wall += run.meta.wall_time();
+    }
+    std::printf("  %-16s %.1f%%\n", runs.front().meta.workflow.c_str(),
+                100.0 * coordination / wall);
+  }
+
+  bench::write_csv(opt, "fig3.csv", analysis::figure3_frame(stats).to_csv());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Regenerates Figure 5: time spent in interworker communication vs message
+// size for ResNet152, split by intra- vs inter-node. Expected shape (paper
+// §IV-D2): several long communications near the beginning of the workflow,
+// small in size, "almost evenly split between inter- and intranode" — our
+// model attributes these to connection establishment.
+#include "analysis/figures.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+
+using namespace recup;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const auto runs = bench::run_workflow("ResNet152", 1, opt.seed);
+  const dtr::RunData& run = runs.front();
+
+  std::cout << analysis::render_figure5(run) << "\n";
+
+  // The "early slow small communications" observation.
+  std::vector<double> early_durations;
+  std::size_t early_inter = 0;
+  std::size_t early_intra = 0;
+  std::vector<double> late_durations;
+  std::vector<const dtr::CommRecord*> slowest;
+  for (const auto& c : run.comms) {
+    if (c.start < 20.0) {
+      early_durations.push_back(c.duration());
+      (c.cross_node ? early_inter : early_intra) += 1;
+    } else {
+      late_durations.push_back(c.duration());
+    }
+  }
+  if (!early_durations.empty() && !late_durations.empty()) {
+    const SampleSummary early = summarize(early_durations);
+    const SampleSummary late = summarize(late_durations);
+    std::printf(
+        "early (<20s) comms: n=%llu median %.4fs p95 %.4fs | later comms: "
+        "n=%llu median %.4fs p95 %.4fs\n",
+        static_cast<unsigned long long>(early.count), early.median, early.p95,
+        static_cast<unsigned long long>(late.count), late.median, late.p95);
+    std::printf(
+        "early comm node split: %zu inter-node vs %zu intra-node (paper: "
+        "\"almost evenly split\")\n",
+        early_inter, early_intra);
+  }
+
+  std::size_t cold = 0;
+  for (const auto& c : run.comms) {
+    if (c.cold_connection) ++cold;
+  }
+  std::printf("%zu of %zu transfers paid connection setup\n", cold,
+              run.comms.size());
+
+  bench::write_csv(opt, "fig5.csv", analysis::figure5_frame(run).to_csv());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Regenerates Figure 6: the parallel-coordinates view of XGBOOST tasks
+// (elapsed time, task category, thread, output size MB, duration). Expected
+// shape (paper §IV-D3): the longest tasks belong to the
+// read_parquet-fused-assign category, whose output sizes far exceed the
+// recommended 128 MB chunk size.
+#include "analysis/figures.hpp"
+#include "bench_util.hpp"
+
+using namespace recup;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const auto runs = bench::run_workflow("XGBOOST", 1, opt.seed);
+  const dtr::RunData& run = runs.front();
+
+  std::cout << analysis::render_figure6(run, 12) << "\n";
+
+  const analysis::DataFrame summary = analysis::figure6_category_summary(run);
+  const std::string longest = summary.col("category").str(0);
+  std::cout << "longest category: " << longest
+            << (longest == "read_parquet-fused-assign"
+                    ? "  (matches the paper)"
+                    : "  (MISMATCH: paper reports read_parquet-fused-assign)")
+            << "\n";
+
+  // How many tasks exceed the 128 MB recommendation.
+  std::size_t over = 0;
+  for (const auto& t : run.tasks) {
+    if (t.output_bytes > 128ULL << 20) ++over;
+  }
+  std::printf("%zu tasks produce outputs above the recommended 128 MB\n",
+              over);
+
+  bench::write_csv(opt, "fig6.csv", analysis::figure6_frame(run).to_csv());
+  bench::write_csv(opt, "fig6_categories.csv", summary.to_csv());
+  return 0;
+}

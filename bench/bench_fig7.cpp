@@ -1,0 +1,47 @@
+// Regenerates Figure 7: distribution of Dask scheduler/worker warnings over
+// time for XGBOOST. Expected shape (paper §IV-D3): ~297 "unresponsive event
+// loop" warnings in the first 500 seconds, correlating with the long
+// read_parquet-fused-assign tasks; GC warnings spread later.
+#include "analysis/figures.hpp"
+#include "bench_util.hpp"
+
+using namespace recup;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const auto runs = bench::run_workflow("XGBOOST", 1, opt.seed);
+  const dtr::RunData& run = runs.front();
+
+  const analysis::WarningHistogram hist = analysis::figure7_histogram(run);
+  std::cout << analysis::render_figure7(hist) << "\n";
+  std::printf(
+      "unresponsive warnings in first 500 s: %llu (paper reports 297)\n",
+      static_cast<unsigned long long>(hist.unresponsive_first_500s));
+
+  // Correlation check: do warnings overlap the read_parquet window?
+  TimePoint read_begin = kTimeInfinity;
+  TimePoint read_end = 0.0;
+  for (const auto& t : run.tasks) {
+    if (t.prefix == "read_parquet-fused-assign") {
+      read_begin = std::min(read_begin, t.start_time);
+      read_end = std::max(read_end, t.end_time);
+    }
+  }
+  std::size_t inside = 0;
+  std::size_t total = 0;
+  for (const auto& w : run.warnings) {
+    if (w.kind != "event_loop_unresponsive") continue;
+    ++total;
+    if (w.time >= read_begin && w.time <= read_end + 5.0) ++inside;
+  }
+  if (total > 0) {
+    std::printf(
+        "%.0f%% of unresponsive warnings fall within the "
+        "read_parquet-fused-assign window [%.0fs, %.0fs]\n",
+        100.0 * static_cast<double>(inside) / static_cast<double>(total),
+        read_begin, read_end);
+  }
+
+  bench::write_csv(opt, "fig7.csv", analysis::figure7_frame(hist).to_csv());
+  return 0;
+}

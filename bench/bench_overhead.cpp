@@ -1,0 +1,178 @@
+// Microbenchmarks (google-benchmark) for the instrumentation overheads the
+// paper defers to future work (§VI): Mofka producer throughput, Darshan
+// hook cost, plugin on/off scheduler throughput, and analysis-engine
+// operation costs.
+#include <benchmark/benchmark.h>
+
+#include "analysis/dataframe.hpp"
+#include "analysis/readers.hpp"
+#include "darshan/runtime.hpp"
+#include "dtr/cluster.hpp"
+#include "mochi/warabi.hpp"
+#include "mochi/yokan.hpp"
+#include "mofka/producer.hpp"
+#include "sim/engine.hpp"
+
+using namespace recup;
+
+namespace {
+
+// --- Mofka producer: events/second through batching ------------------------
+void BM_MofkaProducerPush(benchmark::State& state) {
+  mochi::KeyValueStore kv;
+  mochi::BlobStore blobs;
+  mofka::Broker broker(kv, blobs);
+  broker.create_topic("t");
+  mofka::Producer producer(
+      broker, "t",
+      mofka::ProducerConfig{static_cast<std::size_t>(state.range(0)),
+                            std::chrono::milliseconds(50), false});
+  json::Object metadata;
+  metadata["key"] = "('task-abc123', 7)";
+  metadata["time"] = 1.25;
+  const json::Value meta(std::move(metadata));
+  for (auto _ : state) {
+    producer.push(meta);
+  }
+  producer.flush();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MofkaProducerPush)->Arg(1)->Arg(16)->Arg(128)->Arg(1024);
+
+// --- Darshan hooks: cost per instrumented POSIX call ------------------------
+void BM_DarshanHookRead(benchmark::State& state) {
+  darshan::Runtime rt(0, "bench-host");
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    rt.on_read("/data/file", 0x7f0001, offset, 4096, 0.0, 0.001);
+    offset += 4096;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DarshanHookRead);
+
+void BM_DarshanHookReadDxtDisabled(benchmark::State& state) {
+  darshan::RuntimeConfig config;
+  config.enable_dxt = false;
+  darshan::Runtime rt(0, "bench-host", config);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    rt.on_read("/data/file", 0x7f0001, offset, 4096, 0.0, 0.001);
+    offset += 4096;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DarshanHookReadDxtDisabled);
+
+// --- Whole-workflow instrumentation overhead: Mofka plugins on vs off -------
+dtr::RunData run_small_workflow(bool mofka_enabled) {
+  dtr::ClusterConfig config;
+  config.job.nodes = 2;
+  config.job.workers_per_node = 2;
+  config.job.threads_per_worker = 2;
+  config.seed = 99;
+  config.enable_mofka = mofka_enabled;
+  dtr::Cluster cluster(config);
+  dtr::TaskGraph g("bench");
+  for (int i = 0; i < 200; ++i) {
+    dtr::TaskSpec t;
+    t.key = {"bench-aa00", i};
+    t.work.compute = 0.001;
+    t.work.output_bytes = 1024;
+    g.add_task(t);
+  }
+  std::vector<dtr::TaskGraph> graphs;
+  graphs.push_back(std::move(g));
+  return cluster.run(std::move(graphs), "bench", 0);
+}
+
+void BM_WorkflowWithMofkaPlugins(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_small_workflow(true));
+  }
+}
+BENCHMARK(BM_WorkflowWithMofkaPlugins)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+void BM_WorkflowWithoutMofkaPlugins(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_small_workflow(false));
+  }
+}
+BENCHMARK(BM_WorkflowWithoutMofkaPlugins)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+// --- Yokan / Warabi primitive ops --------------------------------------------
+void BM_YokanPutGet(benchmark::State& state) {
+  mochi::KeyValueStore kv;
+  int i = 0;
+  for (auto _ : state) {
+    const std::string key = "t/topic/" + std::to_string(i % 4096);
+    kv.put(key, "metadata-value");
+    benchmark::DoNotOptimize(kv.get(key));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_YokanPutGet);
+
+void BM_WarabiCreateSealed(benchmark::State& state) {
+  mochi::BlobStore blobs;
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blobs.create_sealed(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WarabiCreateSealed)->Arg(128)->Arg(4096)->Arg(65536);
+
+// --- Discrete-event engine throughput ----------------------------------------
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 10000; ++i) {
+      engine.schedule_after(i * 1e-6, [] {});
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineEventThroughput)->Unit(benchmark::kMillisecond);
+
+// --- Analysis engine: fusion join cost ----------------------------------------
+void BM_DataFrameGroupBy(benchmark::State& state) {
+  analysis::DataFrame df({{"g", analysis::ColumnType::kString},
+                          {"v", analysis::ColumnType::kDouble}});
+  RngStream rng(1);
+  for (int i = 0; i < state.range(0); ++i) {
+    df.add_row({std::string(1, static_cast<char>('a' + i % 26)),
+                rng.uniform(0, 1)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(df.group_by(
+        {"g"}, {{"v", analysis::Agg::kMean, "m"},
+                {"v", analysis::Agg::kStd, "s"}}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DataFrameGroupBy)->Arg(1000)->Arg(10000);
+
+void BM_DataFrameJoin(benchmark::State& state) {
+  analysis::DataFrame left({{"k", analysis::ColumnType::kInt64},
+                            {"l", analysis::ColumnType::kDouble}});
+  analysis::DataFrame right({{"k", analysis::ColumnType::kInt64},
+                             {"r", analysis::ColumnType::kDouble}});
+  for (int i = 0; i < state.range(0); ++i) {
+    left.add_row({std::int64_t{i}, 1.0});
+    right.add_row({std::int64_t{i}, 2.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(left.inner_join(right, {"k"}, {"k"}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DataFrameJoin)->Arg(1000)->Arg(10000);
+
+}  // namespace

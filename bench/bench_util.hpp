@@ -1,0 +1,76 @@
+// Shared helpers for the per-figure bench binaries: CLI parsing (run counts,
+// CSV output directory) and run execution with progress reporting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dtr/recorder.hpp"
+#include "workloads/registry.hpp"
+
+namespace recup::bench {
+
+struct Options {
+  /// Repetitions per workflow. The paper used 10 (ImageProcessing,
+  /// ResNet152) and 50 (XGBOOST); defaults here are smaller so the full
+  /// suite runs quickly — pass --paper-runs for the paper's counts.
+  std::uint32_t image_runs = 3;
+  std::uint32_t resnet_runs = 3;
+  std::uint32_t xgboost_runs = 5;
+  std::string out_dir = "bench_out";
+  std::uint64_t seed = 42;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper-runs") == 0) {
+      opt.image_runs = 10;
+      opt.resnet_runs = 10;
+      opt.xgboost_runs = 50;
+    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      const auto n = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      opt.image_runs = opt.resnet_runs = opt.xgboost_runs = n;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opt.out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [--runs N] [--paper-runs] [--out DIR] [--seed S]\n",
+          argv[0]);
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+inline std::vector<dtr::RunData> run_workflow(const std::string& name,
+                                              std::uint32_t runs,
+                                              std::uint64_t seed) {
+  const workloads::Workload workload = workloads::make_workload(name, seed);
+  std::vector<dtr::RunData> data;
+  data.reserve(runs);
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    std::fprintf(stderr, "  %s run %u/%u ...\n", name.c_str(), i + 1, runs);
+    data.push_back(workloads::execute(workload, i));
+  }
+  return data;
+}
+
+inline void write_csv(const Options& opt, const std::string& file,
+                      const std::string& content) {
+  std::filesystem::create_directories(opt.out_dir);
+  const std::string path = opt.out_dir + "/" + file;
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  std::fprintf(stderr, "  wrote %s\n", path.c_str());
+}
+
+}  // namespace recup::bench

@@ -1,0 +1,55 @@
+// Multi-run variability / reproducibility analyses from §IV-D's preamble:
+// run-level metric variability, per-category duration CV across runs, and
+// the scheduling-order comparison ("whether tasks were scheduled in the
+// same order or not") between repeated identical submissions.
+#include "analysis/variability.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+
+using namespace recup;
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  struct Spec {
+    const char* name;
+    std::uint32_t runs;
+  };
+  const Spec specs[] = {{"ImageProcessing", opt.image_runs},
+                        {"ResNet152", opt.resnet_runs},
+                        {"XGBOOST", opt.xgboost_runs}};
+
+  std::string csv = "workflow,metric,mean,stddev,cv,min,max\n";
+  for (const auto& spec : specs) {
+    const auto runs = bench::run_workflow(spec.name, spec.runs, opt.seed);
+    std::cout << "\n### " << spec.name << " (" << runs.size() << " runs)\n";
+    const auto metrics = analysis::run_level_variability(runs);
+    std::cout << analysis::render_variability(metrics);
+    for (const auto& m : metrics) {
+      csv += std::string(spec.name) + "," + m.metric + "," +
+             format_double(m.mean, 4) + "," + format_double(m.stddev, 4) +
+             "," + format_double(m.cv, 5) + "," + format_double(m.min, 4) +
+             "," + format_double(m.max, 4) + "\n";
+    }
+
+    std::cout << "\ntask categories with the least reproducible durations "
+                 "(top 5 by CV of per-run means):\n"
+              << analysis::category_variability(runs).head(5).describe(5);
+
+    if (runs.size() >= 2) {
+      std::cout << "\nscheduling reproducibility between runs:\n";
+      for (std::size_t i = 1; i < runs.size(); ++i) {
+        const auto sim = analysis::schedule_similarity(runs[0], runs[i]);
+        std::printf(
+            "  run 0 vs run %zu: start-order correlation %.4f, "
+            "same-worker placement %.1f%% (%zu common tasks)\n",
+            i, sim.order_correlation, 100.0 * sim.same_worker_fraction,
+            sim.common_tasks);
+      }
+      std::cout << "(identical code + config, different allocation lottery: "
+                   "order stays correlated but placement diverges — the "
+                   "paper's core irreproducibility finding)\n";
+    }
+  }
+  bench::write_csv(opt, "variability.csv", csv);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// XGBOOST variability study: the workload the paper ran 50 times "because
+// it showed more variability". Runs it repeatedly (scaled down by default;
+// pass --full for paper-scale graphs) and reports which task categories and
+// metrics vary the most — the paper's central reproducibility question.
+//
+//   $ ./xgboost_variability [runs] [--full]
+#include <cstring>
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/figures.hpp"
+#include "analysis/variability.hpp"
+#include "workloads/xgboost.hpp"
+#include "workloads/registry.hpp"
+
+using namespace recup;
+
+int main(int argc, char** argv) {
+  std::uint32_t runs = 3;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else {
+      runs = static_cast<std::uint32_t>(std::atoi(argv[i]));
+    }
+  }
+
+  workloads::XgboostParams params;
+  if (!full) {
+    params.partitions = 12;
+    params.boosting_rounds = 10;
+    params.reducers = 4;
+    params.read_parquet_compute = 12.0;
+  }
+  const workloads::Workload workload = workloads::make_xgboost(42, params);
+  std::cout << "running " << workload.name << " x" << runs
+            << (full ? " (paper-scale)" : " (scaled down)") << " ...\n";
+  const std::vector<dtr::RunData> data =
+      workloads::execute_runs(workload, runs);
+
+  std::cout << "\n" << analysis::render_variability(
+      analysis::run_level_variability(data));
+
+  std::cout << "\nTask categories ranked by cross-run duration variability "
+               "(CV of per-run means):\n";
+  const analysis::DataFrame cv = analysis::category_variability(data);
+  std::cout << cv.head(8).describe(8);
+
+  std::cout << "\nLongest categories in run 0 (Figure 6 view):\n"
+            << analysis::render_figure6(data.front(), 6);
+
+  const analysis::WarningHistogram hist =
+      analysis::figure7_histogram(data.front());
+  std::cout << "\n" << analysis::render_figure7(hist);
+  return 0;
+}

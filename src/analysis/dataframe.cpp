@@ -1,0 +1,521 @@
+#include "analysis/dataframe.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace recup::analysis {
+
+Column::Column(std::string name, ColumnType type)
+    : name_(std::move(name)), type_(type) {}
+
+std::size_t Column::size() const {
+  switch (type_) {
+    case ColumnType::kInt64:
+      return ints_.size();
+    case ColumnType::kDouble:
+      return doubles_.size();
+    case ColumnType::kString:
+      return strings_.size();
+  }
+  return 0;
+}
+
+void Column::push(Cell cell) {
+  switch (type_) {
+    case ColumnType::kInt64:
+      if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+        ints_.push_back(*i);
+        return;
+      }
+      throw DataFrameError("column '" + name_ + "' expects int64");
+    case ColumnType::kDouble:
+      if (const auto* d = std::get_if<double>(&cell)) {
+        doubles_.push_back(*d);
+        return;
+      }
+      if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+        doubles_.push_back(static_cast<double>(*i));
+        return;
+      }
+      throw DataFrameError("column '" + name_ + "' expects double");
+    case ColumnType::kString:
+      if (auto* s = std::get_if<std::string>(&cell)) {
+        strings_.push_back(std::move(*s));
+        return;
+      }
+      throw DataFrameError("column '" + name_ + "' expects string");
+  }
+}
+
+std::int64_t Column::i64(std::size_t row) const {
+  if (type_ != ColumnType::kInt64) {
+    throw DataFrameError("column '" + name_ + "' is not int64");
+  }
+  return ints_.at(row);
+}
+
+double Column::f64(std::size_t row) const {
+  switch (type_) {
+    case ColumnType::kInt64:
+      return static_cast<double>(ints_.at(row));
+    case ColumnType::kDouble:
+      return doubles_.at(row);
+    case ColumnType::kString:
+      throw DataFrameError("column '" + name_ + "' is not numeric");
+  }
+  return 0.0;
+}
+
+const std::string& Column::str(std::size_t row) const {
+  if (type_ != ColumnType::kString) {
+    throw DataFrameError("column '" + name_ + "' is not string");
+  }
+  return strings_.at(row);
+}
+
+std::string Column::display(std::size_t row) const {
+  switch (type_) {
+    case ColumnType::kInt64:
+      return std::to_string(ints_.at(row));
+    case ColumnType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", doubles_.at(row));
+      return buf;
+    }
+    case ColumnType::kString:
+      return strings_.at(row);
+  }
+  return {};
+}
+
+Cell Column::cell(std::size_t row) const {
+  switch (type_) {
+    case ColumnType::kInt64:
+      return ints_.at(row);
+    case ColumnType::kDouble:
+      return doubles_.at(row);
+    case ColumnType::kString:
+      return strings_.at(row);
+  }
+  return std::int64_t{0};
+}
+
+std::vector<double> Column::numeric() const {
+  std::vector<double> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(f64(i));
+  return out;
+}
+
+DataFrame::DataFrame(
+    std::vector<std::pair<std::string, ColumnType>> schema) {
+  for (auto& [name, type] : schema) {
+    if (by_name_.count(name) != 0) {
+      throw DataFrameError("duplicate column '" + name + "'");
+    }
+    by_name_[name] = columns_.size();
+    columns_.emplace_back(name, type);
+  }
+}
+
+bool DataFrame::has_column(const std::string& name) const {
+  return by_name_.count(name) != 0;
+}
+
+std::size_t DataFrame::index_of(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw DataFrameError("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+const Column& DataFrame::col(const std::string& name) const {
+  return columns_[index_of(name)];
+}
+
+const Column& DataFrame::col(std::size_t index) const {
+  if (index >= columns_.size()) throw DataFrameError("column index range");
+  return columns_[index];
+}
+
+std::vector<std::string> DataFrame::column_names() const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c.name());
+  return out;
+}
+
+void DataFrame::add_row(std::vector<Cell> cells) {
+  if (cells.size() != columns_.size()) {
+    throw DataFrameError("row width mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    columns_[i].push(std::move(cells[i]));
+  }
+  ++rows_;
+}
+
+DataFrame DataFrame::take(const std::vector<std::size_t>& rows) const {
+  std::vector<std::pair<std::string, ColumnType>> schema;
+  schema.reserve(columns_.size());
+  for (const auto& c : columns_) schema.emplace_back(c.name(), c.type());
+  DataFrame out(std::move(schema));
+  for (const std::size_t row : rows) {
+    std::vector<Cell> cells;
+    cells.reserve(columns_.size());
+    for (const auto& c : columns_) cells.push_back(c.cell(row));
+    out.add_row(std::move(cells));
+  }
+  return out;
+}
+
+DataFrame DataFrame::filter(
+    const std::function<bool(const DataFrame&, std::size_t)>& pred) const {
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (pred(*this, r)) rows.push_back(r);
+  }
+  return take(rows);
+}
+
+DataFrame DataFrame::sort_by(const std::string& column, bool ascending) const {
+  const Column& key = col(column);
+  std::vector<std::size_t> rows(rows_);
+  std::iota(rows.begin(), rows.end(), 0);
+  const auto less = [&](std::size_t a, std::size_t b) {
+    if (key.type() == ColumnType::kString) return key.str(a) < key.str(b);
+    return key.f64(a) < key.f64(b);
+  };
+  std::stable_sort(rows.begin(), rows.end(), [&](std::size_t a, std::size_t b) {
+    return ascending ? less(a, b) : less(b, a);
+  });
+  return take(rows);
+}
+
+DataFrame DataFrame::select(const std::vector<std::string>& names) const {
+  std::vector<std::pair<std::string, ColumnType>> schema;
+  std::vector<std::size_t> idx;
+  for (const auto& name : names) {
+    idx.push_back(index_of(name));
+    schema.emplace_back(name, columns_[idx.back()].type());
+  }
+  DataFrame out(std::move(schema));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::vector<Cell> cells;
+    for (const std::size_t i : idx) cells.push_back(columns_[i].cell(r));
+    out.add_row(std::move(cells));
+  }
+  return out;
+}
+
+DataFrame DataFrame::head(std::size_t n) const {
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < std::min(n, rows_); ++r) rows.push_back(r);
+  return take(rows);
+}
+
+DataFrame DataFrame::group_by(const std::vector<std::string>& keys,
+                              const std::vector<AggSpec>& aggs) const {
+  std::vector<std::size_t> key_idx;
+  for (const auto& key : keys) key_idx.push_back(index_of(key));
+
+  // Group rows by stringified composite key (stable, deterministic).
+  std::map<std::vector<std::string>, std::vector<std::size_t>> groups;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::vector<std::string> composite;
+    composite.reserve(key_idx.size());
+    for (const std::size_t i : key_idx) {
+      composite.push_back(columns_[i].display(r));
+    }
+    groups[std::move(composite)].push_back(r);
+  }
+
+  std::vector<std::pair<std::string, ColumnType>> schema;
+  for (const std::size_t i : key_idx) {
+    schema.emplace_back(columns_[i].name(), columns_[i].type());
+  }
+  for (const auto& agg : aggs) {
+    const ColumnType type =
+        agg.op == Agg::kCount
+            ? ColumnType::kInt64
+            : (agg.op == Agg::kFirst ? col(agg.column).type()
+                                     : ColumnType::kDouble);
+    schema.emplace_back(agg.as, type);
+  }
+  DataFrame out(std::move(schema));
+
+  for (const auto& [composite, rows] : groups) {
+    std::vector<Cell> cells;
+    for (const std::size_t i : key_idx) {
+      cells.push_back(columns_[i].cell(rows.front()));
+    }
+    for (const auto& agg : aggs) {
+      if (agg.op == Agg::kCount) {
+        cells.push_back(static_cast<std::int64_t>(rows.size()));
+        continue;
+      }
+      const Column& src = col(agg.column);
+      if (agg.op == Agg::kFirst) {
+        cells.push_back(src.cell(rows.front()));
+        continue;
+      }
+      RunningStats stats;
+      for (const std::size_t r : rows) stats.add(src.f64(r));
+      switch (agg.op) {
+        case Agg::kSum:
+          cells.push_back(stats.sum());
+          break;
+        case Agg::kMean:
+          cells.push_back(stats.mean());
+          break;
+        case Agg::kMin:
+          cells.push_back(stats.min());
+          break;
+        case Agg::kMax:
+          cells.push_back(stats.max());
+          break;
+        case Agg::kStd:
+          cells.push_back(stats.stddev());
+          break;
+        case Agg::kCount:
+        case Agg::kFirst:
+          break;  // handled above
+      }
+    }
+    out.add_row(std::move(cells));
+  }
+  return out;
+}
+
+DataFrame DataFrame::inner_join(const DataFrame& right,
+                                const std::vector<std::string>& left_keys,
+                                const std::vector<std::string>& right_keys)
+    const {
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    throw DataFrameError("join requires matching, non-empty key lists");
+  }
+  std::vector<std::size_t> l_idx;
+  std::vector<std::size_t> r_idx;
+  for (const auto& key : left_keys) l_idx.push_back(index_of(key));
+  for (const auto& key : right_keys) r_idx.push_back(right.index_of(key));
+
+  // Hash side: right.
+  std::map<std::vector<std::string>, std::vector<std::size_t>> lookup;
+  for (std::size_t r = 0; r < right.rows_; ++r) {
+    std::vector<std::string> composite;
+    for (const std::size_t i : r_idx) {
+      composite.push_back(right.columns_[i].display(r));
+    }
+    lookup[std::move(composite)].push_back(r);
+  }
+
+  // Output schema: all left columns, then right columns not used as keys
+  // (suffixed when names collide).
+  std::vector<std::pair<std::string, ColumnType>> schema;
+  for (const auto& c : columns_) schema.emplace_back(c.name(), c.type());
+  std::vector<std::size_t> right_cols;
+  for (std::size_t i = 0; i < right.columns_.size(); ++i) {
+    if (std::find(r_idx.begin(), r_idx.end(), i) != r_idx.end()) continue;
+    right_cols.push_back(i);
+    std::string name = right.columns_[i].name();
+    if (by_name_.count(name) != 0) name += "_right";
+    schema.emplace_back(name, right.columns_[i].type());
+  }
+  DataFrame out(std::move(schema));
+
+  for (std::size_t l = 0; l < rows_; ++l) {
+    std::vector<std::string> composite;
+    for (const std::size_t i : l_idx) {
+      composite.push_back(columns_[i].display(l));
+    }
+    const auto it = lookup.find(composite);
+    if (it == lookup.end()) continue;
+    for (const std::size_t r : it->second) {
+      std::vector<Cell> cells;
+      for (const auto& c : columns_) cells.push_back(c.cell(l));
+      for (const std::size_t i : right_cols) {
+        cells.push_back(right.columns_[i].cell(r));
+      }
+      out.add_row(std::move(cells));
+    }
+  }
+  return out;
+}
+
+DataFrame DataFrame::concat(const DataFrame& other) const {
+  if (other.width() != width()) throw DataFrameError("concat schema mismatch");
+  std::vector<std::pair<std::string, ColumnType>> schema;
+  for (const auto& c : columns_) schema.emplace_back(c.name(), c.type());
+  DataFrame out(std::move(schema));
+  const auto copy_rows = [&](const DataFrame& src) {
+    for (std::size_t r = 0; r < src.rows_; ++r) {
+      std::vector<Cell> cells;
+      for (const auto& c : src.columns_) cells.push_back(c.cell(r));
+      out.add_row(std::move(cells));
+    }
+  };
+  copy_rows(*this);
+  copy_rows(other);
+  return out;
+}
+
+double DataFrame::sum(const std::string& column) const {
+  const auto values = col(column).numeric();
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+double DataFrame::mean(const std::string& column) const {
+  if (rows_ == 0) return 0.0;
+  return sum(column) / static_cast<double>(rows_);
+}
+
+double DataFrame::min(const std::string& column) const {
+  const auto values = col(column).numeric();
+  if (values.empty()) throw DataFrameError("min of empty column");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double DataFrame::max(const std::string& column) const {
+  const auto values = col(column).numeric();
+  if (values.empty()) throw DataFrameError("max of empty column");
+  return *std::max_element(values.begin(), values.end());
+}
+
+std::vector<std::string> DataFrame::distinct(const std::string& column) const {
+  const Column& c = col(column);
+  std::vector<std::string> out;
+  std::map<std::string, bool> seen;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::string v = c.display(r);
+    if (!seen[v]) {
+      seen[v] = true;
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+std::string DataFrame::to_csv() const {
+  std::ostringstream out;
+  out << csv_row(column_names()) << "\n";
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(columns_.size());
+    for (const auto& c : columns_) cells.push_back(c.display(r));
+    out << csv_row(cells) << "\n";
+  }
+  return out.str();
+}
+
+void DataFrame::to_csv_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw DataFrameError("cannot write " + path);
+  out << to_csv();
+}
+
+namespace {
+
+bool parse_i64(const std::string& s, std::int64_t& out) {
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool parse_f64(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+DataFrame DataFrame::from_csv(const std::string& text) {
+  const auto rows = csv_parse(text);
+  if (rows.empty()) throw DataFrameError("empty csv");
+  const auto& header = rows.front();
+
+  // Infer each column's type from the data rows.
+  std::vector<ColumnType> types(header.size(), ColumnType::kInt64);
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    bool all_int = true;
+    bool all_num = true;
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+      if (c >= rows[r].size()) continue;
+      std::int64_t i;
+      double d;
+      if (!parse_i64(rows[r][c], i)) all_int = false;
+      if (!parse_f64(rows[r][c], d)) all_num = false;
+      if (!all_num) break;
+    }
+    types[c] = all_int ? ColumnType::kInt64
+               : all_num ? ColumnType::kDouble
+                         : ColumnType::kString;
+    if (rows.size() == 1) types[c] = ColumnType::kString;
+  }
+
+  std::vector<std::pair<std::string, ColumnType>> schema;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    schema.emplace_back(header[c], types[c]);
+  }
+  DataFrame out(std::move(schema));
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != header.size()) {
+      throw DataFrameError("csv row width mismatch at row " +
+                           std::to_string(r));
+    }
+    std::vector<Cell> cells;
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      switch (types[c]) {
+        case ColumnType::kInt64: {
+          std::int64_t v = 0;
+          parse_i64(rows[r][c], v);
+          cells.emplace_back(v);
+          break;
+        }
+        case ColumnType::kDouble: {
+          double v = 0.0;
+          parse_f64(rows[r][c], v);
+          cells.emplace_back(v);
+          break;
+        }
+        case ColumnType::kString:
+          cells.emplace_back(rows[r][c]);
+          break;
+      }
+    }
+    out.add_row(std::move(cells));
+  }
+  return out;
+}
+
+DataFrame DataFrame::from_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DataFrameError("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_csv(buf.str());
+}
+
+std::string DataFrame::describe(std::size_t n) const {
+  std::ostringstream out;
+  out << rows_ << " rows x " << columns_.size() << " cols\n";
+  out << csv_row(column_names()) << "\n";
+  for (std::size_t r = 0; r < std::min(n, rows_); ++r) {
+    std::vector<std::string> cells;
+    for (const auto& c : columns_) cells.push_back(c.display(r));
+    out << csv_row(cells) << "\n";
+  }
+  if (rows_ > n) out << "... (" << rows_ - n << " more)\n";
+  return out.str();
+}
+
+}  // namespace recup::analysis

@@ -1,0 +1,130 @@
+// PERFRECUP's uniform tabular data structure (paper §III-D: "provides
+// uniform data structures built atop the pandas library"). A DataFrame is a
+// set of typed columns (int64 / double / string) of equal length, with the
+// relational operations the analyses need: filter, sort, group-by with
+// aggregation, inner join, and CSV round-trip. Data from every collection
+// layer lands in this one shape, giving the shared-identifier
+// interoperability the paper's FAIR discussion calls for.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace recup::analysis {
+
+enum class ColumnType { kInt64, kDouble, kString };
+
+using Cell = std::variant<std::int64_t, double, std::string>;
+
+class DataFrameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Column {
+ public:
+  Column(std::string name, ColumnType type);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ColumnType type() const { return type_; }
+  [[nodiscard]] std::size_t size() const;
+
+  void push(Cell cell);  ///< type-checked append (int widens to double)
+
+  [[nodiscard]] std::int64_t i64(std::size_t row) const;
+  /// Numeric read; int columns widen to double.
+  [[nodiscard]] double f64(std::size_t row) const;
+  [[nodiscard]] const std::string& str(std::size_t row) const;
+  /// Stringified value (for CSV and display).
+  [[nodiscard]] std::string display(std::size_t row) const;
+  [[nodiscard]] Cell cell(std::size_t row) const;
+
+  /// Whole-column numeric view (int widens); throws for string columns.
+  [[nodiscard]] std::vector<double> numeric() const;
+
+ private:
+  std::string name_;
+  ColumnType type_;
+  std::vector<std::int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+/// Aggregation operators for group_by.
+enum class Agg { kSum, kMean, kCount, kMin, kMax, kStd, kFirst };
+
+struct AggSpec {
+  std::string column;   ///< source column (ignored for kCount)
+  Agg op = Agg::kSum;
+  std::string as;       ///< output column name
+};
+
+class DataFrame {
+ public:
+  DataFrame() = default;
+  /// Creates an empty frame with the given schema.
+  explicit DataFrame(std::vector<std::pair<std::string, ColumnType>> schema);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t width() const { return columns_.size(); }
+  [[nodiscard]] bool has_column(const std::string& name) const;
+  [[nodiscard]] const Column& col(const std::string& name) const;
+  [[nodiscard]] const Column& col(std::size_t index) const;
+  [[nodiscard]] std::vector<std::string> column_names() const;
+
+  /// Appends one row; cells must match the schema order.
+  void add_row(std::vector<Cell> cells);
+
+  // --- Relational operations (all return new frames) -----------------------
+  [[nodiscard]] DataFrame filter(
+      const std::function<bool(const DataFrame&, std::size_t)>& pred) const;
+  [[nodiscard]] DataFrame sort_by(const std::string& column,
+                                  bool ascending = true) const;
+  [[nodiscard]] DataFrame select(const std::vector<std::string>& names) const;
+  [[nodiscard]] DataFrame head(std::size_t n) const;
+  /// Group by key columns, computing the given aggregates per group.
+  [[nodiscard]] DataFrame group_by(const std::vector<std::string>& keys,
+                                   const std::vector<AggSpec>& aggs) const;
+  /// Inner join on equality of the named key columns.
+  [[nodiscard]] DataFrame inner_join(const DataFrame& right,
+                                     const std::vector<std::string>& left_keys,
+                                     const std::vector<std::string>& right_keys)
+      const;
+  /// Rows of `this` concatenated with `other` (schemas must match).
+  [[nodiscard]] DataFrame concat(const DataFrame& other) const;
+
+  // --- Column-level helpers --------------------------------------------------
+  [[nodiscard]] double sum(const std::string& column) const;
+  [[nodiscard]] double mean(const std::string& column) const;
+  [[nodiscard]] double min(const std::string& column) const;
+  [[nodiscard]] double max(const std::string& column) const;
+  [[nodiscard]] std::vector<std::string> distinct(
+      const std::string& column) const;
+
+  // --- I/O ---------------------------------------------------------------------
+  [[nodiscard]] std::string to_csv() const;
+  void to_csv_file(const std::string& path) const;
+  /// Parses a CSV with a header row; column types are inferred per column
+  /// (int64 if all values parse as integers, else double, else string).
+  static DataFrame from_csv(const std::string& text);
+  static DataFrame from_csv_file(const std::string& path);
+
+  /// Short textual preview (first `n` rows) for terminals.
+  [[nodiscard]] std::string describe(std::size_t n = 10) const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+  [[nodiscard]] DataFrame take(const std::vector<std::size_t>& rows) const;
+
+  std::vector<Column> columns_;
+  std::map<std::string, std::size_t> by_name_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace recup::analysis

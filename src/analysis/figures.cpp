@@ -1,0 +1,374 @@
+#include "analysis/figures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace recup::analysis {
+
+WorkflowCharacteristics characterize(const std::vector<dtr::RunData>& runs) {
+  WorkflowCharacteristics out;
+  if (runs.empty()) return out;
+  out.workflow = runs.front().meta.workflow;
+  out.runs = runs.size();
+  out.task_graphs = runs.front().graph_count;
+  out.distinct_tasks = runs.front().tasks.size();
+
+  // Table I counts the workflow's *dataset* files (paper: 151 images, 3929
+  // JPEGs, 61 parquet partitions). Scratch/spill/shuffle files under
+  // /local or /scratch are runtime artifacts and excluded here.
+  std::set<std::string> files;
+  for (const auto& log : runs.front().darshan_logs) {
+    for (const auto& rec : log.posix) {
+      if (rec.file_path.rfind("/data/", 0) == 0) {
+        files.insert(rec.file_path);
+      }
+    }
+  }
+  out.distinct_files = files.size();
+
+  out.io_ops_min = UINT64_MAX;
+  out.comms_min = UINT64_MAX;
+  for (const auto& run : runs) {
+    const PhaseBreakdown phases = phase_breakdown(run);
+    out.io_ops_min = std::min(out.io_ops_min, phases.io_ops);
+    out.io_ops_max = std::max(out.io_ops_max, phases.io_ops);
+    out.comms_min = std::min(out.comms_min, phases.comm_count);
+    out.comms_max = std::max(out.comms_max, phases.comm_count);
+  }
+  return out;
+}
+
+std::string render_table1(
+    const std::vector<WorkflowCharacteristics>& workflows) {
+  TextTable table({"Workflows", "Task graphs", "Distinct tasks",
+                   "Distinct files", "I/O operation", "Communications"});
+  for (const auto& w : workflows) {
+    const auto range = [](std::uint64_t lo, std::uint64_t hi) {
+      if (lo == hi) return std::to_string(lo);
+      return std::to_string(lo) + "-" + std::to_string(hi);
+    };
+    table.add_row({w.workflow, std::to_string(w.task_graphs),
+                   std::to_string(w.distinct_tasks),
+                   std::to_string(w.distinct_files),
+                   range(w.io_ops_min, w.io_ops_max),
+                   range(w.comms_min, w.comms_max)});
+  }
+  return table.render("TABLE I: Workflow Characteristics");
+}
+
+PhaseStats figure3_stats(const std::string& workflow,
+                         const std::vector<dtr::RunData>& runs) {
+  PhaseStats out;
+  out.workflow = workflow;
+  RunningStats io, comm, compute, total;
+  double slots = 1.0;
+  for (const auto& run : runs) {
+    const PhaseBreakdown p = phase_breakdown(run);
+    io.add(p.io_time);
+    comm.add(p.comm_time);
+    compute.add(p.compute_time);
+    total.add(p.wall_time);
+    slots = static_cast<double>(run.job.total_workers() *
+                                run.job.threads_per_worker);
+  }
+  // Phase sums aggregate over every executor thread; normalize them by the
+  // run's capacity (wall x slots) so they read as utilization fractions
+  // comparable to the wall-time bar at 1.0.
+  const double wall = total.mean() > 0.0 ? total.mean() : 1.0;
+  const double capacity = wall * slots;
+  out.io_mean = io.mean() / capacity;
+  out.io_std = io.stddev() / capacity;
+  out.comm_mean = comm.mean() / capacity;
+  out.comm_std = comm.stddev() / capacity;
+  out.compute_mean = compute.mean() / capacity;
+  out.compute_std = compute.stddev() / capacity;
+  out.total_mean = 1.0;
+  out.total_std = total.stddev() / wall;
+  out.wall_mean_s = total.mean();
+  return out;
+}
+
+std::string render_figure3(const std::vector<PhaseStats>& stats) {
+  std::ostringstream out;
+  out << "Fig. 3: Relative time per workflow in I/O, communication, and "
+         "computation, and total wall time\n";
+  for (const auto& s : stats) {
+    out << "\n" << s.workflow << " (mean wall "
+        << format_double(s.wall_mean_s, 1) << " s):\n";
+    out << ascii_bar_chart(
+        {{"I/O", s.io_mean},
+         {"Communication", s.comm_mean},
+         {"Computation", s.compute_mean},
+         {"Total", s.total_mean}},
+        {s.io_std, s.comm_std, s.compute_std, s.total_std});
+  }
+  return out.str();
+}
+
+DataFrame figure3_frame(const std::vector<PhaseStats>& stats) {
+  DataFrame df({{"workflow", ColumnType::kString},
+                {"phase", ColumnType::kString},
+                {"normalized_mean", ColumnType::kDouble},
+                {"normalized_std", ColumnType::kDouble}});
+  for (const auto& s : stats) {
+    df.add_row({s.workflow, "io", s.io_mean, s.io_std});
+    df.add_row({s.workflow, "communication", s.comm_mean, s.comm_std});
+    df.add_row({s.workflow, "computation", s.compute_mean, s.compute_std});
+    df.add_row({s.workflow, "total", s.total_mean, s.total_std});
+  }
+  return df;
+}
+
+std::vector<IoTimelineRow> figure4_rows(const dtr::RunData& run) {
+  std::vector<IoTimelineRow> rows;
+  for (const auto& log : run.darshan_logs) {
+    for (const auto& rec : log.dxt) {
+      for (const auto& seg : rec.segments) {
+        IoTimelineRow row;
+        row.thread_label = std::to_string(rec.process_id) + "/" +
+                           std::to_string(seg.thread_id & 0xFFF);
+        row.op = seg.op == darshan::IoOp::kRead ? "read" : "write";
+        row.start = seg.start;
+        row.end = seg.end;
+        row.bytes = seg.length;
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const IoTimelineRow& a, const IoTimelineRow& b) {
+              if (a.thread_label != b.thread_label) {
+                return a.thread_label < b.thread_label;
+              }
+              return a.start < b.start;
+            });
+  return rows;
+}
+
+DataFrame figure4_frame(const dtr::RunData& run) {
+  DataFrame df({{"thread", ColumnType::kString},
+                {"op", ColumnType::kString},
+                {"start", ColumnType::kDouble},
+                {"end", ColumnType::kDouble},
+                {"bytes", ColumnType::kInt64}});
+  for (const auto& row : figure4_rows(run)) {
+    df.add_row({row.thread_label, row.op, row.start, row.end,
+                static_cast<std::int64_t>(row.bytes)});
+  }
+  return df;
+}
+
+std::string render_figure4(const dtr::RunData& run, std::size_t width) {
+  const auto rows = figure4_rows(run);
+  if (rows.empty()) return "(no I/O recorded)\n";
+  TimePoint t_max = 0.0;
+  std::map<std::string, std::vector<const IoTimelineRow*>> by_thread;
+  std::uint64_t max_bytes = 1;
+  for (const auto& row : rows) {
+    t_max = std::max(t_max, row.end);
+    by_thread[row.thread_label].push_back(&row);
+    max_bytes = std::max(max_bytes, row.bytes);
+  }
+  std::ostringstream out;
+  out << "Fig. 4: Per-thread I/O over time (R/r = read, W/w = write; capital "
+         "= larger op), 0.."
+      << format_double(t_max, 1) << " s\n";
+  for (const auto& [thread, segs] : by_thread) {
+    std::string line(width, '.');
+    for (const auto* seg : segs) {
+      const auto begin = static_cast<std::size_t>(
+          seg->start / t_max * static_cast<double>(width - 1));
+      const auto end = static_cast<std::size_t>(
+          seg->end / t_max * static_cast<double>(width - 1));
+      const bool large = seg->bytes * 4 >= max_bytes;
+      const char mark = seg->op == "read" ? (large ? 'R' : 'r')
+                                          : (large ? 'W' : 'w');
+      for (std::size_t i = begin; i <= end && i < width; ++i) line[i] = mark;
+    }
+    out << thread << " |" << line << "|\n";
+  }
+  return out.str();
+}
+
+std::vector<TimeInterval> detect_read_phases(const dtr::RunData& run,
+                                             Duration min_gap) {
+  // Collect read segments sorted by start; merge into bursts whose gaps are
+  // below min_gap.
+  std::vector<TimeInterval> reads;
+  for (const auto& log : run.darshan_logs) {
+    for (const auto& rec : log.dxt) {
+      for (const auto& seg : rec.segments) {
+        if (seg.op == darshan::IoOp::kRead) {
+          reads.push_back(TimeInterval{seg.start, seg.end});
+        }
+      }
+    }
+  }
+  std::sort(reads.begin(), reads.end());
+  std::vector<TimeInterval> phases;
+  for (const auto& interval : reads) {
+    if (!phases.empty() && interval.begin - phases.back().end < min_gap) {
+      phases.back().end = std::max(phases.back().end, interval.end);
+    } else {
+      phases.push_back(interval);
+    }
+  }
+  return phases;
+}
+
+DataFrame figure5_frame(const dtr::RunData& run) {
+  DataFrame df({{"bytes", ColumnType::kInt64},
+                {"duration", ColumnType::kDouble},
+                {"start", ColumnType::kDouble},
+                {"cross_node", ColumnType::kInt64},
+                {"cold_connection", ColumnType::kInt64}});
+  for (const auto& comm : run.comms) {
+    df.add_row({static_cast<std::int64_t>(comm.bytes), comm.duration(),
+                comm.start, static_cast<std::int64_t>(comm.cross_node ? 1 : 0),
+                static_cast<std::int64_t>(comm.cold_connection ? 1 : 0)});
+  }
+  return df;
+}
+
+std::string render_figure5(const dtr::RunData& run) {
+  // Scatter summarized as a size-bucketed table split by intra/inter node.
+  SizeHistogram buckets;
+  std::map<std::size_t, RunningStats> intra, inter;
+  std::map<std::size_t, std::uint64_t> intra_n, inter_n;
+  for (const auto& comm : run.comms) {
+    const std::size_t bucket = SizeHistogram::bucket_index(comm.bytes);
+    if (comm.cross_node) {
+      inter[bucket].add(comm.duration());
+      ++inter_n[bucket];
+    } else {
+      intra[bucket].add(comm.duration());
+      ++intra_n[bucket];
+    }
+  }
+  TextTable table({"Message size", "intra n", "intra mean s", "intra max s",
+                   "inter n", "inter mean s", "inter max s"});
+  for (std::size_t b = 0; b < SizeHistogram::kBucketCount; ++b) {
+    if (intra_n[b] == 0 && inter_n[b] == 0) continue;
+    table.add_row(
+        {SizeHistogram::bucket_label(b), std::to_string(intra_n[b]),
+         format_double(intra[b].mean(), 4), format_double(intra[b].max(), 4),
+         std::to_string(inter_n[b]), format_double(inter[b].mean(), 4),
+         format_double(inter[b].max(), 4)});
+  }
+  return table.render(
+      "Fig. 5: Interworker communication time vs message size "
+      "(intra- vs inter-node)");
+}
+
+DataFrame figure6_frame(const dtr::RunData& run) {
+  DataFrame df({{"elapsed", ColumnType::kDouble},
+                {"category", ColumnType::kString},
+                {"thread", ColumnType::kInt64},
+                {"size_mb", ColumnType::kDouble},
+                {"duration", ColumnType::kDouble}});
+  for (const auto& task : run.tasks) {
+    df.add_row({task.start_time, task.prefix,
+                static_cast<std::int64_t>(task.thread_id),
+                static_cast<double>(task.output_bytes) / (1024.0 * 1024.0),
+                task.end_time - task.start_time});
+  }
+  return df;
+}
+
+DataFrame figure6_category_summary(const dtr::RunData& run) {
+  return figure6_frame(run)
+      .group_by({"category"}, {{"duration", Agg::kMean, "mean_duration"},
+                               {"duration", Agg::kMax, "max_duration"},
+                               {"size_mb", Agg::kMean, "mean_size_mb"},
+                               {"size_mb", Agg::kMax, "max_size_mb"},
+                               {"duration", Agg::kCount, "count"}})
+      .sort_by("mean_duration", /*ascending=*/false);
+}
+
+std::string render_figure6(const dtr::RunData& run, std::size_t top) {
+  const DataFrame summary = figure6_category_summary(run).head(top);
+  TextTable table({"Task category", "count", "mean dur s", "max dur s",
+                   "mean size MB", "max size MB"});
+  for (std::size_t r = 0; r < summary.rows(); ++r) {
+    table.add_row({summary.col("category").str(r),
+                   std::to_string(summary.col("count").i64(r)),
+                   format_double(summary.col("mean_duration").f64(r), 3),
+                   format_double(summary.col("max_duration").f64(r), 3),
+                   format_double(summary.col("mean_size_mb").f64(r), 1),
+                   format_double(summary.col("max_size_mb").f64(r), 1)});
+  }
+  return table.render(
+      "Fig. 6: Task categories by duration (parallel-coordinates data)");
+}
+
+WarningHistogram figure7_histogram(const dtr::RunData& run,
+                                   double bin_seconds) {
+  WarningHistogram out;
+  out.bin_seconds = bin_seconds;
+  const double wall = std::max(run.meta.wall_time(), bin_seconds);
+  const auto bins =
+      static_cast<std::size_t>(std::ceil(wall / bin_seconds));
+  out.bin_starts.resize(bins);
+  out.unresponsive.assign(bins, 0);
+  out.gc.assign(bins, 0);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out.bin_starts[b] = static_cast<double>(b) * bin_seconds;
+  }
+  for (const auto& warn : run.warnings) {
+    const auto bin = std::min(
+        bins - 1, static_cast<std::size_t>(warn.time / bin_seconds));
+    if (warn.kind == "event_loop_unresponsive") {
+      ++out.unresponsive[bin];
+      ++out.total_unresponsive;
+      if (warn.time < 500.0) ++out.unresponsive_first_500s;
+    } else {
+      ++out.gc[bin];
+      ++out.total_gc;
+    }
+  }
+  return out;
+}
+
+std::string render_figure7(const WarningHistogram& hist) {
+  std::vector<std::string> labels;
+  std::vector<std::uint64_t> counts;
+  for (std::size_t b = 0; b < hist.bin_starts.size(); ++b) {
+    if (hist.unresponsive[b] == 0 && hist.gc[b] == 0) continue;
+    labels.push_back("[" + format_double(hist.bin_starts[b], 0) + "s," +
+                     format_double(hist.bin_starts[b] + hist.bin_seconds, 0) +
+                     "s) loop");
+    counts.push_back(hist.unresponsive[b]);
+    labels.push_back("[" + format_double(hist.bin_starts[b], 0) + "s," +
+                     format_double(hist.bin_starts[b] + hist.bin_seconds, 0) +
+                     "s) gc");
+    counts.push_back(hist.gc[b]);
+  }
+  std::ostringstream out;
+  out << "Fig. 7: Warning distribution over time ("
+      << hist.total_unresponsive << " unresponsive-event-loop, "
+      << hist.total_gc << " gc; " << hist.unresponsive_first_500s
+      << " unresponsive in first 500 s)\n";
+  out << ascii_histogram(labels, counts);
+  return out.str();
+}
+
+DataFrame figure7_frame(const WarningHistogram& hist) {
+  DataFrame df({{"bin_start", ColumnType::kDouble},
+                {"bin_end", ColumnType::kDouble},
+                {"unresponsive", ColumnType::kInt64},
+                {"gc", ColumnType::kInt64}});
+  for (std::size_t b = 0; b < hist.bin_starts.size(); ++b) {
+    df.add_row({hist.bin_starts[b], hist.bin_starts[b] + hist.bin_seconds,
+                static_cast<std::int64_t>(hist.unresponsive[b]),
+                static_cast<std::int64_t>(hist.gc[b])});
+  }
+  return df;
+}
+
+}  // namespace recup::analysis

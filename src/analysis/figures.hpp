@@ -1,0 +1,103 @@
+// Per-figure / per-table analyses of the paper's evaluation (Section IV).
+// Each function computes the figure's underlying data from collected runs
+// and offers CSV + ASCII renderings; the bench binaries print both.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/dataframe.hpp"
+#include "analysis/views.hpp"
+#include "dtr/recorder.hpp"
+
+namespace recup::analysis {
+
+// --- Table I: workflow characteristics --------------------------------------
+struct WorkflowCharacteristics {
+  std::string workflow;
+  std::size_t runs = 0;
+  std::size_t task_graphs = 0;
+  std::size_t distinct_tasks = 0;
+  std::size_t distinct_files = 0;
+  std::uint64_t io_ops_min = 0;
+  std::uint64_t io_ops_max = 0;
+  std::uint64_t comms_min = 0;
+  std::uint64_t comms_max = 0;
+};
+
+WorkflowCharacteristics characterize(const std::vector<dtr::RunData>& runs);
+std::string render_table1(
+    const std::vector<WorkflowCharacteristics>& workflows);
+
+// --- Figure 3: relative phase times with variability ------------------------
+struct PhaseStats {
+  std::string workflow;
+  // Means and standard deviations across runs. Phase sums are normalized by
+  // the workflow's execution capacity (wall time x executor threads), i.e.
+  // they read as utilization fractions; total wall time is normalized to
+  // 1.0 (the paper normalizes the y-axis per workflow for readability, and
+  // its phase sums aggregate over all worker threads the same way).
+  double io_mean = 0.0, io_std = 0.0;
+  double comm_mean = 0.0, comm_std = 0.0;
+  double compute_mean = 0.0, compute_std = 0.0;
+  double total_mean = 0.0, total_std = 0.0;
+  // Raw (unnormalized) seconds for EXPERIMENTS.md reporting.
+  double wall_mean_s = 0.0;
+};
+
+PhaseStats figure3_stats(const std::string& workflow,
+                         const std::vector<dtr::RunData>& runs);
+std::string render_figure3(const std::vector<PhaseStats>& stats);
+DataFrame figure3_frame(const std::vector<PhaseStats>& stats);
+
+// --- Figure 4: per-thread I/O over time -------------------------------------
+struct IoTimelineRow {
+  std::string thread_label;  ///< "<worker>/<thread>"
+  std::string op;            ///< "read" | "write"
+  TimePoint start = 0.0;
+  TimePoint end = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+std::vector<IoTimelineRow> figure4_rows(const dtr::RunData& run);
+DataFrame figure4_frame(const dtr::RunData& run);
+/// ASCII Gantt: one line per thread, time binned into `width` cells,
+/// 'R'/'W' marks (capital = large op), '.' idle.
+std::string render_figure4(const dtr::RunData& run, std::size_t width = 100);
+/// Detected read phases (bursts of read activity separated by quiet gaps) —
+/// the paper observes three, one per task graph.
+std::vector<TimeInterval> detect_read_phases(const dtr::RunData& run,
+                                             Duration min_gap = 2.0);
+
+// --- Figure 5: communication time vs size -----------------------------------
+DataFrame figure5_frame(const dtr::RunData& run);
+std::string render_figure5(const dtr::RunData& run);
+
+// --- Figure 6: parallel coordinates of tasks --------------------------------
+/// Columns: elapsed (start time), category (prefix), thread, size_mb,
+/// duration — the paper's five coordinates.
+DataFrame figure6_frame(const dtr::RunData& run);
+/// Summary per category, sorted by mean duration descending.
+DataFrame figure6_category_summary(const dtr::RunData& run);
+std::string render_figure6(const dtr::RunData& run, std::size_t top = 10);
+
+// --- Figure 7: warning distribution over time --------------------------------
+struct WarningHistogram {
+  double bin_seconds = 0.0;
+  std::vector<TimePoint> bin_starts;
+  std::vector<std::uint64_t> unresponsive;  ///< event-loop warnings per bin
+  std::vector<std::uint64_t> gc;            ///< GC warnings per bin
+  std::uint64_t total_unresponsive = 0;
+  std::uint64_t total_gc = 0;
+  /// Warnings in the first 500 s (the paper's headline number is 297).
+  std::uint64_t unresponsive_first_500s = 0;
+};
+
+WarningHistogram figure7_histogram(const dtr::RunData& run,
+                                   double bin_seconds = 50.0);
+std::string render_figure7(const WarningHistogram& hist);
+DataFrame figure7_frame(const WarningHistogram& hist);
+
+}  // namespace recup::analysis

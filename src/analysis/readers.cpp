@@ -1,0 +1,239 @@
+#include "analysis/readers.hpp"
+
+#include "dtr/mofka_plugins.hpp"
+#include "mofka/consumer.hpp"
+
+namespace recup::analysis {
+
+DataFrame tasks_frame(const dtr::RunData& run) {
+  DataFrame df({{"key", ColumnType::kString},
+                {"graph", ColumnType::kString},
+                {"prefix", ColumnType::kString},
+                {"worker", ColumnType::kInt64},
+                {"worker_address", ColumnType::kString},
+                {"thread_id", ColumnType::kInt64},
+                {"lane", ColumnType::kInt64},
+                {"received_time", ColumnType::kDouble},
+                {"ready_time", ColumnType::kDouble},
+                {"start_time", ColumnType::kDouble},
+                {"end_time", ColumnType::kDouble},
+                {"duration", ColumnType::kDouble},
+                {"compute_time", ColumnType::kDouble},
+                {"io_time", ColumnType::kDouble},
+                {"output_bytes", ColumnType::kInt64},
+                {"output_mb", ColumnType::kDouble},
+                {"bytes_read", ColumnType::kInt64},
+                {"bytes_written", ColumnType::kInt64},
+                {"retries", ColumnType::kInt64},
+                {"stolen", ColumnType::kInt64},
+                {"n_dependencies", ColumnType::kInt64}});
+  for (const auto& t : run.tasks) {
+    df.add_row({t.key.to_string(), t.graph, t.prefix,
+                static_cast<std::int64_t>(t.worker), t.worker_address,
+                static_cast<std::int64_t>(t.thread_id),
+                static_cast<std::int64_t>(t.lane), t.received_time,
+                t.ready_time, t.start_time, t.end_time,
+                t.end_time - t.start_time, t.compute_time, t.io_time,
+                static_cast<std::int64_t>(t.output_bytes),
+                static_cast<double>(t.output_bytes) / (1024.0 * 1024.0),
+                static_cast<std::int64_t>(t.bytes_read),
+                static_cast<std::int64_t>(t.bytes_written),
+                static_cast<std::int64_t>(t.retries),
+                static_cast<std::int64_t>(t.stolen ? 1 : 0),
+                static_cast<std::int64_t>(t.dependencies.size())});
+  }
+  return df;
+}
+
+DataFrame transitions_frame(const dtr::RunData& run) {
+  DataFrame df({{"key", ColumnType::kString},
+                {"graph", ColumnType::kString},
+                {"from", ColumnType::kString},
+                {"to", ColumnType::kString},
+                {"stimulus", ColumnType::kString},
+                {"location", ColumnType::kString},
+                {"time", ColumnType::kDouble}});
+  for (const auto& t : run.transitions) {
+    df.add_row({t.key.to_string(), t.graph, t.from_state, t.to_state,
+                t.stimulus, t.location, t.time});
+  }
+  return df;
+}
+
+DataFrame comms_frame(const dtr::RunData& run) {
+  DataFrame df({{"key", ColumnType::kString},
+                {"source", ColumnType::kInt64},
+                {"destination", ColumnType::kInt64},
+                {"bytes", ColumnType::kInt64},
+                {"start", ColumnType::kDouble},
+                {"end", ColumnType::kDouble},
+                {"duration", ColumnType::kDouble},
+                {"cross_node", ColumnType::kInt64},
+                {"cold_connection", ColumnType::kInt64}});
+  for (const auto& c : run.comms) {
+    df.add_row({c.key.to_string(), static_cast<std::int64_t>(c.source),
+                static_cast<std::int64_t>(c.destination),
+                static_cast<std::int64_t>(c.bytes), c.start, c.end,
+                c.duration(), static_cast<std::int64_t>(c.cross_node ? 1 : 0),
+                static_cast<std::int64_t>(c.cold_connection ? 1 : 0)});
+  }
+  return df;
+}
+
+DataFrame warnings_frame(const dtr::RunData& run) {
+  DataFrame df({{"kind", ColumnType::kString},
+                {"location", ColumnType::kString},
+                {"time", ColumnType::kDouble},
+                {"blocked_for", ColumnType::kDouble}});
+  for (const auto& w : run.warnings) {
+    df.add_row({w.kind, w.location, w.time, w.blocked_for});
+  }
+  return df;
+}
+
+DataFrame steals_frame(const dtr::RunData& run) {
+  DataFrame df({{"key", ColumnType::kString},
+                {"victim", ColumnType::kInt64},
+                {"thief", ColumnType::kInt64},
+                {"time", ColumnType::kDouble},
+                {"est_transfer", ColumnType::kDouble},
+                {"est_compute", ColumnType::kDouble}});
+  for (const auto& s : run.steals) {
+    df.add_row({s.key.to_string(), static_cast<std::int64_t>(s.victim),
+                static_cast<std::int64_t>(s.thief), s.time,
+                s.estimated_transfer_cost, s.estimated_compute_cost});
+  }
+  return df;
+}
+
+DataFrame dxt_frame(const std::vector<darshan::LogFile>& logs) {
+  DataFrame df({{"hostname", ColumnType::kString},
+                {"process", ColumnType::kInt64},
+                {"thread_id", ColumnType::kInt64},
+                {"file", ColumnType::kString},
+                {"op", ColumnType::kString},
+                {"offset", ColumnType::kInt64},
+                {"length", ColumnType::kInt64},
+                {"start", ColumnType::kDouble},
+                {"end", ColumnType::kDouble},
+                {"duration", ColumnType::kDouble}});
+  for (const auto& log : logs) {
+    for (const auto& rec : log.dxt) {
+      for (const auto& seg : rec.segments) {
+        df.add_row({rec.hostname, static_cast<std::int64_t>(rec.process_id),
+                    static_cast<std::int64_t>(seg.thread_id), rec.file_path,
+                    seg.op == darshan::IoOp::kRead ? "read" : "write",
+                    static_cast<std::int64_t>(seg.offset),
+                    static_cast<std::int64_t>(seg.length), seg.start, seg.end,
+                    seg.end - seg.start});
+      }
+    }
+  }
+  return df;
+}
+
+DataFrame posix_frame(const std::vector<darshan::LogFile>& logs) {
+  DataFrame df({{"hostname", ColumnType::kString},
+                {"process", ColumnType::kInt64},
+                {"file", ColumnType::kString},
+                {"opens", ColumnType::kInt64},
+                {"reads", ColumnType::kInt64},
+                {"writes", ColumnType::kInt64},
+                {"bytes_read", ColumnType::kInt64},
+                {"bytes_written", ColumnType::kInt64},
+                {"read_time", ColumnType::kDouble},
+                {"write_time", ColumnType::kDouble},
+                {"meta_time", ColumnType::kDouble}});
+  for (const auto& log : logs) {
+    for (const auto& rec : log.posix) {
+      df.add_row({rec.hostname, static_cast<std::int64_t>(rec.process_id),
+                  rec.file_path, static_cast<std::int64_t>(rec.opens),
+                  static_cast<std::int64_t>(rec.reads),
+                  static_cast<std::int64_t>(rec.writes),
+                  static_cast<std::int64_t>(rec.bytes_read),
+                  static_cast<std::int64_t>(rec.bytes_written), rec.read_time,
+                  rec.write_time, rec.meta_time});
+    }
+  }
+  return df;
+}
+
+DataFrame kernels_frame(const dtr::RunData& run) {
+  DataFrame df({{"node", ColumnType::kInt64},
+                {"device", ColumnType::kInt64},
+                {"kernel", ColumnType::kString},
+                {"thread_id", ColumnType::kInt64},
+                {"queued", ColumnType::kDouble},
+                {"start", ColumnType::kDouble},
+                {"end", ColumnType::kDouble},
+                {"duration", ColumnType::kDouble},
+                {"queue_delay", ColumnType::kDouble}});
+  for (const auto& k : run.kernels) {
+    df.add_row({static_cast<std::int64_t>(k.node),
+                static_cast<std::int64_t>(k.device), k.kernel_name,
+                static_cast<std::int64_t>(k.thread_id), k.queued, k.start,
+                k.end, k.duration(), k.queue_delay()});
+  }
+  return df;
+}
+
+DataFrame system_metrics_frame(const dtr::RunData& run) {
+  DataFrame df({{"node", ColumnType::kInt64},
+                {"time", ColumnType::kDouble},
+                {"cpu", ColumnType::kDouble},
+                {"memory", ColumnType::kInt64},
+                {"network_transfers", ColumnType::kInt64},
+                {"pfs_ops", ColumnType::kInt64}});
+  for (const auto& s : run.system_metrics) {
+    df.add_row({static_cast<std::int64_t>(s.node), s.time,
+                s.cpu_utilization, static_cast<std::int64_t>(s.memory_bytes),
+                static_cast<std::int64_t>(s.network_transfers),
+                static_cast<std::int64_t>(s.pfs_ops)});
+  }
+  return df;
+}
+
+MofkaRunRecords read_wms_topics(mofka::Broker& broker,
+                                const std::string& consumer_group) {
+  MofkaRunRecords out;
+  {
+    mofka::Consumer c(broker, "wms_transitions", consumer_group);
+    while (auto event = c.pull()) {
+      out.transitions.push_back(dtr::transition_from_json(event->metadata));
+    }
+    c.commit();
+  }
+  {
+    mofka::Consumer c(broker, "wms_tasks", consumer_group);
+    while (auto event = c.pull()) {
+      out.tasks.push_back(dtr::task_from_json(event->metadata));
+    }
+    c.commit();
+  }
+  {
+    mofka::Consumer c(broker, "wms_comms", consumer_group);
+    while (auto event = c.pull()) {
+      out.comms.push_back(dtr::comm_from_json(event->metadata));
+    }
+    c.commit();
+  }
+  {
+    mofka::Consumer c(broker, "wms_warnings", consumer_group);
+    while (auto event = c.pull()) {
+      out.warnings.push_back(dtr::warning_from_json(event->metadata));
+    }
+    c.commit();
+  }
+  {
+    mofka::Consumer c(broker, "wms_cluster", consumer_group);
+    while (auto event = c.pull()) {
+      if (event->metadata.get_string("kind", "") == "steal") {
+        out.steals.push_back(dtr::steal_from_json(event->metadata));
+      }
+    }
+    c.commit();
+  }
+  return out;
+}
+
+}  // namespace recup::analysis

@@ -1,0 +1,119 @@
+#include "analysis/variability.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "analysis/views.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace recup::analysis {
+
+std::vector<MetricVariability> run_level_variability(
+    const std::vector<dtr::RunData>& runs) {
+  RunningStats wall, io, comm, compute, io_ops, comms, warnings;
+  for (const auto& run : runs) {
+    const PhaseBreakdown p = phase_breakdown(run);
+    wall.add(p.wall_time);
+    io.add(p.io_time);
+    comm.add(p.comm_time);
+    compute.add(p.compute_time);
+    io_ops.add(static_cast<double>(p.io_ops));
+    comms.add(static_cast<double>(p.comm_count));
+    warnings.add(static_cast<double>(run.warnings.size()));
+  }
+  const auto metric = [](const std::string& name, const RunningStats& s) {
+    return MetricVariability{name, s.mean(), s.stddev(), s.cv(), s.min(),
+                             s.max()};
+  };
+  return {metric("wall_time_s", wall),
+          metric("io_time_s", io),
+          metric("comm_time_s", comm),
+          metric("compute_time_s", compute),
+          metric("io_operations", io_ops),
+          metric("communications", comms),
+          metric("warnings", warnings)};
+}
+
+DataFrame category_variability(const std::vector<dtr::RunData>& runs) {
+  // Mean duration per (category, run), then CV of those means per category.
+  std::map<std::string, std::vector<double>> per_category;
+  for (const auto& run : runs) {
+    std::map<std::string, RunningStats> means;
+    for (const auto& task : run.tasks) {
+      means[task.prefix].add(task.end_time - task.start_time);
+    }
+    for (const auto& [prefix, stats] : means) {
+      per_category[prefix].push_back(stats.mean());
+    }
+  }
+  DataFrame df({{"category", ColumnType::kString},
+                {"runs", ColumnType::kInt64},
+                {"mean_duration", ColumnType::kDouble},
+                {"stddev", ColumnType::kDouble},
+                {"cv", ColumnType::kDouble}});
+  for (const auto& [prefix, values] : per_category) {
+    RunningStats stats;
+    for (const double v : values) stats.add(v);
+    df.add_row({prefix, static_cast<std::int64_t>(values.size()),
+                stats.mean(), stats.stddev(), stats.cv()});
+  }
+  return df.sort_by("cv", /*ascending=*/false);
+}
+
+ScheduleSimilarity schedule_similarity(const dtr::RunData& a,
+                                       const dtr::RunData& b) {
+  ScheduleSimilarity out;
+  std::map<std::string, std::pair<double, std::uint32_t>> a_index;
+  for (const auto& task : a.tasks) {
+    a_index[task.key.to_string()] = {task.start_time, task.worker};
+  }
+  std::vector<double> a_times, b_times;
+  std::size_t same_worker = 0;
+  for (const auto& task : b.tasks) {
+    const auto it = a_index.find(task.key.to_string());
+    if (it == a_index.end()) continue;
+    a_times.push_back(it->second.first);
+    b_times.push_back(task.start_time);
+    if (it->second.second == task.worker) ++same_worker;
+  }
+  out.common_tasks = a_times.size();
+  if (out.common_tasks > 0) {
+    out.same_worker_fraction =
+        static_cast<double>(same_worker) /
+        static_cast<double>(out.common_tasks);
+  }
+  if (a_times.size() >= 2) {
+    // Spearman: Pearson correlation of ranks.
+    const auto ranks = [](const std::vector<double>& values) {
+      std::vector<std::size_t> order(values.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return values[x] < values[y];
+      });
+      std::vector<double> rank(values.size());
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        rank[order[i]] = static_cast<double>(i);
+      }
+      return rank;
+    };
+    const auto rho = pearson(ranks(a_times), ranks(b_times));
+    out.order_correlation = rho.value_or(0.0);
+  }
+  return out;
+}
+
+std::string render_variability(
+    const std::vector<MetricVariability>& metrics) {
+  TextTable table({"Metric", "mean", "stddev", "CV", "min", "max"});
+  for (const auto& m : metrics) {
+    table.add_row({m.metric, format_double(m.mean, 3),
+                   format_double(m.stddev, 3), format_double(m.cv, 4),
+                   format_double(m.min, 3), format_double(m.max, 3)});
+  }
+  return table.render("Run-level variability across repeated runs");
+}
+
+}  // namespace recup::analysis

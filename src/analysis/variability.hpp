@@ -1,0 +1,49 @@
+// Multi-run variability and reproducibility analyses — the paper's framing
+// question: which tasks, task behaviours, and system characteristics are
+// responsible for the largest variations across repeated identical runs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/dataframe.hpp"
+#include "dtr/recorder.hpp"
+
+namespace recup::analysis {
+
+/// Per-metric variation across runs.
+struct MetricVariability {
+  std::string metric;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double cv = 0.0;  ///< coefficient of variation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Wall time, phase times, I/O op count, comm count across runs.
+std::vector<MetricVariability> run_level_variability(
+    const std::vector<dtr::RunData>& runs);
+
+/// Per-task-category duration variability across runs: which categories are
+/// the least reproducible (highest CV of their mean duration per run).
+DataFrame category_variability(const std::vector<dtr::RunData>& runs);
+
+/// Scheduling reproducibility between two runs: Spearman rank correlation of
+/// the start-time ordering of tasks common to both (1.0 = identical order),
+/// plus the fraction of tasks placed on the same worker. The paper's
+/// "comparison of scheduling strategies over runs such as whether tasks
+/// were scheduled in the same order or not".
+struct ScheduleSimilarity {
+  double order_correlation = 0.0;
+  double same_worker_fraction = 0.0;
+  std::size_t common_tasks = 0;
+};
+
+ScheduleSimilarity schedule_similarity(const dtr::RunData& a,
+                                       const dtr::RunData& b);
+
+std::string render_variability(const std::vector<MetricVariability>& metrics);
+
+}  // namespace recup::analysis

@@ -1,0 +1,204 @@
+#include "analysis/views.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace recup::analysis {
+
+std::vector<AttributedIo> attribute_io(const dtr::RunData& run) {
+  // Index task execution windows per (worker process, thread id), sorted by
+  // start time for binary search.
+  struct Window {
+    TimePoint start;
+    TimePoint end;
+    const dtr::TaskRecord* task;
+  };
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::vector<Window>>
+      windows;
+  for (const auto& task : run.tasks) {
+    windows[{task.worker, task.thread_id}].push_back(
+        Window{task.start_time, task.end_time, &task});
+  }
+  for (auto& [key, vec] : windows) {
+    std::sort(vec.begin(), vec.end(),
+              [](const Window& a, const Window& b) {
+                return a.start < b.start;
+              });
+  }
+
+  std::vector<AttributedIo> out;
+  for (const auto& log : run.darshan_logs) {
+    for (const auto& rec : log.dxt) {
+      for (const auto& seg : rec.segments) {
+        AttributedIo io;
+        io.file = rec.file_path;
+        io.op = seg.op == darshan::IoOp::kRead ? "read" : "write";
+        io.length = seg.length;
+        io.start = seg.start;
+        io.end = seg.end;
+        io.worker = rec.process_id;
+        io.thread_id = seg.thread_id;
+
+        const auto it = windows.find({rec.process_id, seg.thread_id});
+        if (it != windows.end()) {
+          // Last window starting at or before the segment start.
+          const auto& vec = it->second;
+          auto pos = std::upper_bound(
+              vec.begin(), vec.end(), seg.start,
+              [](TimePoint t, const Window& w) { return t < w.start; });
+          if (pos != vec.begin()) {
+            --pos;
+            if (seg.start <= pos->end + 1e-9) {
+              io.task_key = pos->task->key.to_string();
+              io.prefix = pos->task->prefix;
+            }
+          }
+        }
+        out.push_back(std::move(io));
+      }
+    }
+  }
+  return out;
+}
+
+DataFrame task_io_frame(const dtr::RunData& run) {
+  DataFrame df({{"task_key", ColumnType::kString},
+                {"prefix", ColumnType::kString},
+                {"file", ColumnType::kString},
+                {"op", ColumnType::kString},
+                {"length", ColumnType::kInt64},
+                {"start", ColumnType::kDouble},
+                {"end", ColumnType::kDouble},
+                {"duration", ColumnType::kDouble},
+                {"worker", ColumnType::kInt64},
+                {"thread_id", ColumnType::kInt64}});
+  for (const auto& io : attribute_io(run)) {
+    df.add_row({io.task_key, io.prefix, io.file, io.op,
+                static_cast<std::int64_t>(io.length), io.start, io.end,
+                io.end - io.start, static_cast<std::int64_t>(io.worker),
+                static_cast<std::int64_t>(io.thread_id)});
+  }
+  return df;
+}
+
+PhaseBreakdown phase_breakdown(const dtr::RunData& run) {
+  PhaseBreakdown out;
+  out.wall_time = run.meta.wall_time();
+  out.coordination_time = run.coordination_time;
+  for (const auto& task : run.tasks) {
+    out.compute_time += task.compute_time;
+  }
+  for (const auto& comm : run.comms) {
+    out.comm_time += comm.duration();
+    ++out.comm_count;
+  }
+  for (const auto& log : run.darshan_logs) {
+    for (const auto& rec : log.dxt) {
+      for (const auto& seg : rec.segments) {
+        out.io_time += seg.end - seg.start;
+        ++out.io_ops;
+      }
+    }
+  }
+  return out;
+}
+
+DataFrame worker_view(const dtr::RunData& run, const std::string& address) {
+  DataFrame df({{"key", ColumnType::kString},
+                {"prefix", ColumnType::kString},
+                {"thread_id", ColumnType::kInt64},
+                {"start_time", ColumnType::kDouble},
+                {"end_time", ColumnType::kDouble},
+                {"duration", ColumnType::kDouble},
+                {"io_time", ColumnType::kDouble},
+                {"compute_time", ColumnType::kDouble},
+                {"output_bytes", ColumnType::kInt64}});
+  for (const auto& task : run.tasks) {
+    if (task.worker_address != address) continue;
+    df.add_row({task.key.to_string(), task.prefix,
+                static_cast<std::int64_t>(task.thread_id), task.start_time,
+                task.end_time, task.end_time - task.start_time, task.io_time,
+                task.compute_time,
+                static_cast<std::int64_t>(task.output_bytes)});
+  }
+  return df;
+}
+
+DataFrame category_io_summary(const dtr::RunData& run) {
+  struct Acc {
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+    double io_time = 0.0;
+  };
+  std::map<std::string, Acc> by_category;
+  for (const auto& io : attribute_io(run)) {
+    Acc& acc = by_category[io.prefix.empty() ? "(unattributed)" : io.prefix];
+    ++acc.ops;
+    acc.bytes += io.length;
+    acc.io_time += io.end - io.start;
+  }
+  std::map<std::string, std::uint64_t> task_counts;
+  for (const auto& task : run.tasks) ++task_counts[task.prefix];
+
+  DataFrame df({{"category", ColumnType::kString},
+                {"tasks", ColumnType::kInt64},
+                {"io_ops", ColumnType::kInt64},
+                {"io_bytes", ColumnType::kInt64},
+                {"io_time", ColumnType::kDouble},
+                {"ops_per_task", ColumnType::kDouble},
+                {"bytes_per_task", ColumnType::kDouble}});
+  for (const auto& [category, acc] : by_category) {
+    const auto it = task_counts.find(category);
+    const double tasks =
+        it == task_counts.end() ? 0.0 : static_cast<double>(it->second);
+    df.add_row({category,
+                static_cast<std::int64_t>(it == task_counts.end()
+                                              ? 0
+                                              : it->second),
+                static_cast<std::int64_t>(acc.ops),
+                static_cast<std::int64_t>(acc.bytes), acc.io_time,
+                tasks > 0 ? static_cast<double>(acc.ops) / tasks : 0.0,
+                tasks > 0 ? static_cast<double>(acc.bytes) / tasks : 0.0});
+  }
+  return df.sort_by("io_time", /*ascending=*/false);
+}
+
+DataFrame window_view(const dtr::RunData& run, TimePoint begin,
+                      TimePoint end) {
+  DataFrame df({{"time", ColumnType::kDouble},
+                {"source", ColumnType::kString},
+                {"what", ColumnType::kString},
+                {"detail", ColumnType::kString}});
+  for (const auto& task : run.tasks) {
+    if (task.start_time >= begin && task.start_time < end) {
+      df.add_row({task.start_time, "wms", "task-start", task.key.to_string()});
+    }
+    if (task.end_time >= begin && task.end_time < end) {
+      df.add_row({task.end_time, "wms", "task-end", task.key.to_string()});
+    }
+  }
+  for (const auto& comm : run.comms) {
+    if (comm.start >= begin && comm.start < end) {
+      df.add_row({comm.start, "network", "transfer", comm.key.to_string()});
+    }
+  }
+  for (const auto& warn : run.warnings) {
+    if (warn.time >= begin && warn.time < end) {
+      df.add_row({warn.time, "logs", warn.kind, warn.location});
+    }
+  }
+  for (const auto& log : run.darshan_logs) {
+    for (const auto& rec : log.dxt) {
+      for (const auto& seg : rec.segments) {
+        if (seg.start >= begin && seg.start < end) {
+          df.add_row({seg.start, "darshan",
+                      seg.op == darshan::IoOp::kRead ? "read" : "write",
+                      rec.file_path});
+        }
+      }
+    }
+  }
+  return df.sort_by("time");
+}
+
+}  // namespace recup::analysis

@@ -1,0 +1,66 @@
+// Multi-source fused views (paper §III-D): PERFRECUP combines Darshan DXT
+// data with WMS task records using the shared identifiers both sides carry —
+// worker process id, pthread id, and timestamps — to attribute every I/O
+// operation to the task that issued it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/dataframe.hpp"
+#include "dtr/recorder.hpp"
+
+namespace recup::analysis {
+
+/// One I/O operation attributed to a task: the Darshan<->Dask fusion.
+struct AttributedIo {
+  std::string task_key;
+  std::string prefix;
+  std::string file;
+  std::string op;  ///< "read" | "write"
+  std::uint64_t length = 0;
+  TimePoint start = 0.0;
+  TimePoint end = 0.0;
+  std::uint32_t worker = 0;
+  std::uint64_t thread_id = 0;
+};
+
+/// Joins DXT segments to task records on (worker process, thread id) with
+/// the segment's start time falling inside the task's execution window.
+/// Segments that match no task (e.g. spill writeback) report an empty key.
+std::vector<AttributedIo> attribute_io(const dtr::RunData& run);
+
+/// The fused view as a DataFrame (one row per attributed segment).
+DataFrame task_io_frame(const dtr::RunData& run);
+
+/// Aggregate per-run phase totals behind Figure 3. Phases are non-exclusive
+/// and may overlap, exactly as the paper notes.
+struct PhaseBreakdown {
+  double io_time = 0.0;           ///< sum of Darshan op durations
+  double comm_time = 0.0;         ///< sum of incoming transfer durations
+  double compute_time = 0.0;      ///< sum of task compute sections
+  double wall_time = 0.0;         ///< whole-workflow wall time
+  double coordination_time = 0.0; ///< startup + graph build overhead
+  std::uint64_t io_ops = 0;       ///< DXT-visible operation count (Table I)
+  std::uint64_t comm_count = 0;   ///< incoming communications (Table I)
+};
+
+PhaseBreakdown phase_breakdown(const dtr::RunData& run);
+
+/// Restrict a run's view to one worker address ("a view from a specific
+/// worker" in the paper's words). Returns tasks executed there.
+DataFrame worker_view(const dtr::RunData& run, const std::string& address);
+
+/// Events within a time window across all sources, as a chronological frame
+/// with a `source` column (the paper's "zooming through a specific time
+/// period" analysis).
+DataFrame window_view(const dtr::RunData& run, TimePoint begin, TimePoint end);
+
+/// Per-task-category I/O summary (the paper's "task category (type)
+/// analysis ... I/O per task"): attributed operations, bytes, and I/O time
+/// per category, with per-task averages. Rows sorted by io_time descending;
+/// unattributed I/O (e.g. spill writeback) appears under "(unattributed)".
+DataFrame category_io_summary(const dtr::RunData& run);
+
+}  // namespace recup::analysis

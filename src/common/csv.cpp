@@ -1,0 +1,98 @@
+#include "common/csv.hpp"
+
+#include <stdexcept>
+
+namespace recup {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_row(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += ',';
+    out += csv_escape(fields[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> csv_parse_row(const std::string& line) {
+  const auto rows = csv_parse(line);
+  if (rows.empty()) return {};
+  if (rows.size() != 1) {
+    throw std::invalid_argument("csv_parse_row: multiple rows");
+  }
+  return rows.front();
+}
+
+std::vector<std::vector<std::string>> csv_parse(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_started) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          throw std::invalid_argument("csv: quote inside unquoted field");
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += c;
+        field_started = true;
+    }
+  }
+  if (in_quotes) throw std::invalid_argument("csv: unterminated quote");
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace recup

@@ -1,0 +1,23 @@
+// RFC-4180-ish CSV reading/writing shared by the run recorder and the
+// analysis engine's DataFrame I/O.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace recup {
+
+/// Quotes a field when it contains a comma, quote, or newline.
+std::string csv_escape(const std::string& field);
+
+/// Serializes one row (no trailing newline).
+std::string csv_row(const std::vector<std::string>& fields);
+
+/// Parses one CSV line into fields, honoring quotes. Throws on malformed
+/// quoting.
+std::vector<std::string> csv_parse_row(const std::string& line);
+
+/// Splits text into logical CSV rows (quoted fields may contain newlines).
+std::vector<std::vector<std::string>> csv_parse(const std::string& text);
+
+}  // namespace recup

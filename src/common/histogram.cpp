@@ -1,0 +1,85 @@
+#include "common/histogram.hpp"
+
+#include <array>
+#include <numeric>
+#include <stdexcept>
+
+namespace recup {
+namespace {
+
+constexpr std::array<std::uint64_t, 9> kBoundaries = {
+    100ULL,           1024ULL,           10ULL * 1024,
+    100ULL * 1024,    1024ULL * 1024,    4ULL * 1024 * 1024,
+    10ULL * 1024 * 1024, 100ULL * 1024 * 1024, 1024ULL * 1024 * 1024};
+
+constexpr std::array<const char*, SizeHistogram::kBucketCount> kLabels = {
+    "0_100",   "100_1K",  "1K_10K",   "10K_100K", "100K_1M",
+    "1M_4M",   "4M_10M",  "10M_100M", "100M_1G",  "1G_PLUS"};
+
+}  // namespace
+
+std::size_t SizeHistogram::bucket_index(std::uint64_t size) {
+  for (std::size_t i = 0; i < kBoundaries.size(); ++i) {
+    if (size < kBoundaries[i]) return i;
+  }
+  return kBucketCount - 1;
+}
+
+std::string SizeHistogram::bucket_label(std::size_t index) {
+  if (index >= kBucketCount) throw std::out_of_range("bucket index");
+  return kLabels[index];
+}
+
+void SizeHistogram::add(std::uint64_t size, std::uint64_t count) {
+  buckets_[bucket_index(size)] += count;
+}
+
+std::uint64_t SizeHistogram::bucket(std::size_t index) const {
+  if (index >= kBucketCount) throw std::out_of_range("bucket index");
+  return buckets_[index];
+}
+
+std::uint64_t SizeHistogram::total() const {
+  return std::accumulate(std::begin(buckets_), std::end(buckets_),
+                         std::uint64_t{0});
+}
+
+void SizeHistogram::merge(const SizeHistogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+BinnedHistogram::BinnedHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("BinnedHistogram requires hi>lo and bins>0");
+  }
+}
+
+void BinnedHistogram::add(double value, std::uint64_t count) {
+  const double offset = (value - lo_) / width_;
+  if (offset < 0.0 || offset >= static_cast<double>(counts_.size())) {
+    overflow_ += count;
+    return;
+  }
+  counts_[static_cast<std::size_t>(offset)] += count;
+}
+
+std::uint64_t BinnedHistogram::bin(std::size_t index) const {
+  return counts_.at(index);
+}
+
+double BinnedHistogram::bin_lo(std::size_t index) const {
+  return lo_ + width_ * static_cast<double>(index);
+}
+
+double BinnedHistogram::bin_hi(std::size_t index) const {
+  return lo_ + width_ * static_cast<double>(index + 1);
+}
+
+std::uint64_t BinnedHistogram::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+}  // namespace recup

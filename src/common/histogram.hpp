@@ -1,0 +1,51 @@
+// Power-of-two bucket histogram, modeled after Darshan's access-size
+// histograms (POSIX_SIZE_READ_0_100, _100_1K, ... style buckets).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recup {
+
+/// Histogram over byte sizes with Darshan's bucket boundaries:
+/// [0,100), [100,1K), [1K,10K), [10K,100K), [100K,1M), [1M,4M),
+/// [4M,10M), [10M,100M), [100M,1G), [1G,inf).
+class SizeHistogram {
+ public:
+  static constexpr std::size_t kBucketCount = 10;
+
+  void add(std::uint64_t size, std::uint64_t count = 1);
+  [[nodiscard]] std::uint64_t bucket(std::size_t index) const;
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t size);
+  [[nodiscard]] static std::string bucket_label(std::size_t index);
+  void merge(const SizeHistogram& other);
+
+ private:
+  std::uint64_t buckets_[kBucketCount] = {};
+};
+
+/// Uniform-width histogram over a [lo, hi) range of doubles; used for
+/// time-binned distributions such as the warning histogram of Figure 7.
+class BinnedHistogram {
+ public:
+  BinnedHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, std::uint64_t count = 1);
+  [[nodiscard]] std::uint64_t bin(std::size_t index) const;
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t index) const;
+  [[nodiscard]] double bin_hi(std::size_t index) const;
+  [[nodiscard]] std::uint64_t total() const;
+  /// Number of samples that fell outside [lo, hi).
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace recup

@@ -1,0 +1,74 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace recup {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+LogCollector::LogCollector(ClockFn clock) : clock_(std::move(clock)) {}
+
+void LogCollector::set_clock(ClockFn clock) {
+  std::lock_guard lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+void LogCollector::log(LogLevel level, std::string component,
+                       std::string message) {
+  LogRecord record;
+  record.level = level;
+  record.component = std::move(component);
+  record.message = std::move(message);
+  std::lock_guard lock(mutex_);
+  record.time = clock_ ? clock_() : 0.0;
+  if (echo_ && level >= echo_level_) {
+    std::fprintf(stderr, "[%s] %.6f %s: %s\n", log_level_name(level),
+                 record.time, record.component.c_str(),
+                 record.message.c_str());
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<LogRecord> LogCollector::records() const {
+  std::lock_guard lock(mutex_);
+  return records_;
+}
+
+std::vector<LogRecord> LogCollector::records_at_least(LogLevel level) const {
+  std::lock_guard lock(mutex_);
+  std::vector<LogRecord> out;
+  for (const auto& r : records_) {
+    if (r.level >= level) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t LogCollector::count() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+void LogCollector::clear() {
+  std::lock_guard lock(mutex_);
+  records_.clear();
+}
+
+void LogCollector::set_echo(bool echo, LogLevel echo_level) {
+  std::lock_guard lock(mutex_);
+  echo_ = echo;
+  echo_level_ = echo_level;
+}
+
+}  // namespace recup

@@ -1,0 +1,54 @@
+// Minimal leveled logger. Components log through a named Logger; records are
+// both printed (optionally) and retained for the analysis layer, mirroring
+// how the paper harvests Dask scheduler/worker logs for warnings.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace recup {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+const char* log_level_name(LogLevel level);
+
+struct LogRecord {
+  TimePoint time = 0.0;
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+};
+
+/// A log sink collecting records from many components. Thread-safe.
+class LogCollector {
+ public:
+  using ClockFn = std::function<TimePoint()>;
+
+  /// `clock` supplies virtual timestamps (defaults to constant 0).
+  explicit LogCollector(ClockFn clock = nullptr);
+
+  /// Replaces the timestamp source (e.g. after the owning engine exists).
+  void set_clock(ClockFn clock);
+
+  void log(LogLevel level, std::string component, std::string message);
+  [[nodiscard]] std::vector<LogRecord> records() const;
+  [[nodiscard]] std::vector<LogRecord> records_at_least(LogLevel level) const;
+  [[nodiscard]] std::size_t count() const;
+  void clear();
+
+  /// When true, records at or above `echo_level` are printed to stderr.
+  void set_echo(bool echo, LogLevel echo_level = LogLevel::kWarning);
+
+ private:
+  ClockFn clock_;
+  mutable std::mutex mutex_;
+  std::vector<LogRecord> records_;
+  bool echo_ = false;
+  LogLevel echo_level_ = LogLevel::kWarning;
+};
+
+}  // namespace recup

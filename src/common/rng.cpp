@@ -1,0 +1,79 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace recup {
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+RngStream RngStream::substream(std::string_view name) const {
+  std::uint64_t state = seed_ ^ fnv1a64(name);
+  // Two splitmix rounds decorrelate adjacent seeds/names.
+  splitmix64(state);
+  return RngStream(splitmix64(state));
+}
+
+double RngStream::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double RngStream::normal(double mean, double stddev, double floor) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return std::max(floor, dist(engine_));
+}
+
+double RngStream::lognormal(double median, double sigma) {
+  if (median <= 0.0) {
+    throw std::invalid_argument("lognormal median must be positive");
+  }
+  std::lognormal_distribution<double> dist(std::log(median), sigma);
+  return dist(engine_);
+}
+
+double RngStream::exponential(double mean) {
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+bool RngStream::chance(double probability) {
+  return uniform(0.0, 1.0) < probability;
+}
+
+std::size_t RngStream::weighted_index(const std::vector<double>& weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) {
+    throw std::invalid_argument("weighted_index requires positive weights");
+  }
+  double pick = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace recup

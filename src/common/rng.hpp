@@ -1,0 +1,68 @@
+// Seeded random-number streams with named substream derivation.
+//
+// Every stochastic component of the platform model (network jitter, PFS
+// latency, task-duration noise, GC pauses, ...) draws from its own substream
+// derived from (root seed, component name). This keeps runs reproducible for
+// a given seed while letting run-to-run variability be injected by varying
+// the seed — the property the paper's variability study depends on.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recup {
+
+/// Stable 64-bit FNV-1a hash, used to derive substream seeds from names.
+std::uint64_t fnv1a64(std::string_view data);
+
+/// SplitMix64 step; used to decorrelate derived seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// A deterministic random stream. Thin wrapper over std::mt19937_64 with the
+/// distribution helpers the platform models need.
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Derives an independent child stream from this stream's seed and a name.
+  [[nodiscard]] RngStream substream(std::string_view name) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Normal draw; never returns a value below `floor`.
+  double normal(double mean, double stddev, double floor = 0.0);
+  /// Log-normal draw parameterized by the *target* median and sigma of the
+  /// underlying normal. Heavy-tailed; models I/O latency outliers.
+  double lognormal(double median, double sigma);
+  /// Exponential draw with the given mean.
+  double exponential(double mean);
+  /// Bernoulli trial.
+  bool chance(double probability);
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace recup

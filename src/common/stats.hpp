@@ -1,0 +1,64 @@
+// Summary statistics used by the variability analyses (Figure 3 error bars,
+// Table I ranges, multi-run coefficient-of-variation reports).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace recup {
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double value);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Coefficient of variation (stddev/mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Summary of a full sample vector, including order statistics.
+struct SampleSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double cv = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes the full summary. Copies and sorts internally.
+SampleSummary summarize(std::vector<double> samples);
+
+/// Linear-interpolated percentile of a *sorted* sample (q in [0,1]).
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Pearson correlation coefficient; nullopt when either side is constant or
+/// sizes differ / are < 2.
+std::optional<double> pearson(const std::vector<double>& xs,
+                              const std::vector<double>& ys);
+
+}  // namespace recup

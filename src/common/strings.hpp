@@ -1,0 +1,28 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recup {
+
+std::vector<std::string> split(std::string_view text, char delim);
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+std::string trim(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+std::string to_lower(std::string_view text);
+
+/// Short hex token (like the hash suffix Dask appends to task keys).
+std::string hex_token(std::uint64_t value, int digits = 8);
+
+/// Human-readable byte count, e.g. "4.0 MiB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats a double with fixed precision.
+std::string format_double(double value, int precision);
+
+}  // namespace recup

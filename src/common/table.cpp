@@ -1,0 +1,111 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+#include "common/time.hpp"
+
+namespace recup {
+
+std::string format_seconds(double seconds, int precision) {
+  return format_double(seconds, precision);
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("table needs headers");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("row width does not match headers");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  if (!title.empty()) out << title << "\n";
+  auto emit_rule = [&] {
+    for (const std::size_t w : widths) out << "+" << std::string(w + 2, '-');
+    out << "+\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << "| " << cells[c] << std::string(widths[c] - cells[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+std::string ascii_bar_chart(
+    const std::vector<std::pair<std::string, double>>& entries,
+    const std::vector<double>& errors, std::size_t width) {
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const double hi =
+        entries[i].second + (i < errors.size() ? errors[i] : 0.0);
+    max_value = std::max(max_value, hi);
+    label_width = std::max(label_width, entries[i].first.size());
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+  std::ostringstream out;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& [label, value] = entries[i];
+    const double err = i < errors.size() ? errors[i] : 0.0;
+    const auto bar = static_cast<std::size_t>(
+        value / max_value * static_cast<double>(width));
+    const auto whisker = static_cast<std::size_t>(
+        err / max_value * static_cast<double>(width));
+    out << label << std::string(label_width - label.size(), ' ') << " |"
+        << std::string(bar, '#');
+    if (whisker > 0) out << std::string(whisker, '~');
+    out << "  " << format_double(value, 4);
+    if (err > 0.0) out << " +/- " << format_double(err, 4);
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string ascii_histogram(const std::vector<std::string>& bin_labels,
+                            const std::vector<std::uint64_t>& counts,
+                            std::size_t width) {
+  if (bin_labels.size() != counts.size()) {
+    throw std::invalid_argument("labels/counts size mismatch");
+  }
+  std::uint64_t max_count = 1;
+  std::size_t label_width = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    max_count = std::max(max_count, counts[i]);
+    label_width = std::max(label_width, bin_labels[i].size());
+  }
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts[i]) / static_cast<double>(max_count) *
+        static_cast<double>(width));
+    out << bin_labels[i] << std::string(label_width - bin_labels[i].size(), ' ')
+        << " |" << std::string(bar, '#') << " " << counts[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace recup

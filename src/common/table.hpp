@@ -1,0 +1,38 @@
+// Plain-text table rendering for benchmark output (paper-style tables) and
+// simple ASCII charts (timelines, scatter summaries, histograms) used by the
+// analysis engine's terminal renderer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recup {
+
+/// A fixed-column text table with an optional title, rendered with aligned
+/// column separators (the style used for Table I in the bench output).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string render(const std::string& title = "") const;
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal ASCII bar chart: one labeled bar per entry, scaled to
+/// `width` characters, with an optional "error bar" whisker (+/- err).
+std::string ascii_bar_chart(
+    const std::vector<std::pair<std::string, double>>& entries,
+    const std::vector<double>& errors, std::size_t width = 50);
+
+/// Renders an ASCII histogram from bin counts.
+std::string ascii_histogram(const std::vector<std::string>& bin_labels,
+                            const std::vector<std::uint64_t>& counts,
+                            std::size_t width = 50);
+
+}  // namespace recup

@@ -1,0 +1,47 @@
+// Virtual time primitives shared by the discrete-event engine and every
+// instrumentation layer. All provenance/performance records carry TimePoint
+// values expressed in seconds on the simulation's virtual clock.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace recup {
+
+/// A point on the virtual clock, in seconds since workflow epoch.
+using TimePoint = double;
+
+/// A span of virtual time, in seconds.
+using Duration = double;
+
+inline constexpr TimePoint kTimeInfinity =
+    std::numeric_limits<double>::infinity();
+
+/// Formats a time value as fixed-precision seconds, e.g. "12.345678".
+std::string format_seconds(double seconds, int precision = 6);
+
+/// Half-open time interval [begin, end).
+struct TimeInterval {
+  TimePoint begin = 0.0;
+  TimePoint end = 0.0;
+
+  [[nodiscard]] Duration length() const { return end - begin; }
+  [[nodiscard]] bool contains(TimePoint t) const {
+    return t >= begin && t < end;
+  }
+  [[nodiscard]] bool overlaps(const TimeInterval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  /// Length of the overlap between two intervals (0 when disjoint).
+  [[nodiscard]] Duration overlap_length(const TimeInterval& other) const {
+    const TimePoint lo = begin > other.begin ? begin : other.begin;
+    const TimePoint hi = end < other.end ? end : other.end;
+    return hi > lo ? hi - lo : 0.0;
+  }
+  auto operator<=>(const TimeInterval&) const = default;
+};
+
+}  // namespace recup

@@ -1,0 +1,60 @@
+#include "darshan/dxt.hpp"
+
+namespace recup::darshan {
+
+void DxtModule::record(ProcessId process, const std::string& hostname,
+                       const std::string& path, const DxtSegment& segment) {
+  auto& units = per_process_units_[process];
+  const auto record_it = records_.find({process, path});
+  const bool new_record = record_it == records_.end();
+
+  // A brand-new record pays its bookkeeping overhead out of the same memory
+  // budget that holds segments.
+  const std::size_t needed =
+      1 + (new_record ? config_.record_overhead_units : 0);
+  const bool over_process_budget =
+      config_.memory_budget_units != 0 &&
+      units + needed > config_.memory_budget_units;
+
+  if (new_record && over_process_budget) {
+    // No memory left for this file's trace: keep an empty, truncated record
+    // so downstream reports can tell that this file's I/O went unrecorded.
+    auto& rec = records_[{process, path}];
+    rec.file_path = path;
+    rec.process_id = process;
+    rec.hostname = hostname;
+    rec.truncated = true;
+    ++rec.dropped_segments;
+    ++dropped_;
+    return;
+  }
+
+  auto& rec = new_record ? records_[{process, path}] : record_it->second;
+  if (new_record) {
+    rec.file_path = path;
+    rec.process_id = process;
+    rec.hostname = hostname;
+    units += config_.record_overhead_units;
+  }
+
+  const bool over_record_budget =
+      rec.segments.size() >= config_.max_segments_per_record;
+  if (over_record_budget || over_process_budget) {
+    rec.truncated = true;
+    ++rec.dropped_segments;
+    ++dropped_;
+    return;
+  }
+  rec.segments.push_back(segment);
+  units += 1;
+  ++total_;
+}
+
+std::vector<DxtRecord> DxtModule::records() const {
+  std::vector<DxtRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [key, rec] : records_) out.push_back(rec);
+  return out;
+}
+
+}  // namespace recup::darshan

@@ -1,0 +1,129 @@
+#include "darshan/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace recup::darshan {
+
+Heatmap::Heatmap(HeatmapConfig config) : config_(config) {
+  if (config_.bin_seconds <= 0.0 || config_.max_bins == 0) {
+    throw std::invalid_argument("heatmap needs positive bins");
+  }
+}
+
+void Heatmap::add(ProcessId process, IoOp op, std::uint64_t bytes,
+                  TimePoint start, TimePoint end) {
+  if (end < start) throw std::invalid_argument("heatmap: end before start");
+  Series& series = by_process_[process];
+  auto& data = series_for(series, op);
+
+  const auto bin_of = [this](TimePoint t) {
+    return std::min(config_.max_bins - 1,
+                    static_cast<std::size_t>(t / config_.bin_seconds));
+  };
+  const std::size_t first = bin_of(start);
+  const std::size_t last = bin_of(end);
+  if (data.size() <= last) data.resize(last + 1, 0.0);
+  bins_used_ = std::max(bins_used_, last + 1);
+
+  if (first == last || end == start) {
+    data[first] += static_cast<double>(bytes);
+    return;
+  }
+  // Spread proportionally over covered bins.
+  const double span = end - start;
+  for (std::size_t b = first; b <= last; ++b) {
+    const double bin_lo = static_cast<double>(b) * config_.bin_seconds;
+    const double bin_hi = bin_lo + config_.bin_seconds;
+    const double overlap =
+        std::min(end, bin_hi) - std::max(start, bin_lo);
+    if (overlap > 0.0) {
+      data[b] += static_cast<double>(bytes) * overlap / span;
+    }
+  }
+}
+
+Heatmap Heatmap::from_dxt(const std::vector<DxtRecord>& records,
+                          HeatmapConfig config) {
+  Heatmap heatmap(config);
+  for (const auto& rec : records) {
+    for (const auto& seg : rec.segments) {
+      heatmap.add(rec.process_id, seg.op, seg.length, seg.start, seg.end);
+    }
+  }
+  return heatmap;
+}
+
+std::size_t Heatmap::bin_count() const { return bins_used_; }
+
+std::vector<ProcessId> Heatmap::processes() const {
+  std::vector<ProcessId> out;
+  out.reserve(by_process_.size());
+  for (const auto& [process, series] : by_process_) out.push_back(process);
+  return out;
+}
+
+double Heatmap::bytes(ProcessId process, IoOp op, std::size_t bin) const {
+  const auto it = by_process_.find(process);
+  if (it == by_process_.end()) return 0.0;
+  const auto& data =
+      op == IoOp::kRead ? it->second.read_bytes : it->second.write_bytes;
+  return bin < data.size() ? data[bin] : 0.0;
+}
+
+double Heatmap::total_bytes(IoOp op, std::size_t bin) const {
+  double total = 0.0;
+  for (const auto& [process, series] : by_process_) {
+    const auto& data =
+        op == IoOp::kRead ? series.read_bytes : series.write_bytes;
+    if (bin < data.size()) total += data[bin];
+  }
+  return total;
+}
+
+double Heatmap::grand_total(IoOp op) const {
+  double total = 0.0;
+  for (std::size_t b = 0; b < bins_used_; ++b) total += total_bytes(op, b);
+  return total;
+}
+
+std::string Heatmap::render(std::size_t width) const {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  const std::size_t bins = std::max<std::size_t>(bins_used_, 1);
+  const std::size_t bins_per_col = (bins + width - 1) / width;
+  const std::size_t cols = (bins + bins_per_col - 1) / bins_per_col;
+
+  // Column value: read+write bytes folded per process.
+  double max_cell = 0.0;
+  std::map<ProcessId, std::vector<double>> cells;
+  for (const auto& [process, series] : by_process_) {
+    auto& row = cells[process];
+    row.assign(cols, 0.0);
+    for (std::size_t b = 0; b < bins; ++b) {
+      double v = 0.0;
+      if (b < series.read_bytes.size()) v += series.read_bytes[b];
+      if (b < series.write_bytes.size()) v += series.write_bytes[b];
+      row[b / bins_per_col] += v;
+    }
+    for (const double v : row) max_cell = std::max(max_cell, v);
+  }
+  std::ostringstream out;
+  out << "I/O heatmap (" << config_.bin_seconds << " s bins, intensity = "
+      << "bytes moved)\n";
+  for (const auto& [process, row] : cells) {
+    out << "rank " << process << " |";
+    for (const double v : row) {
+      const auto level =
+          max_cell > 0.0
+              ? static_cast<std::size_t>(v / max_cell * 9.0)
+              : 0;
+      out << kRamp[level];
+    }
+    out << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace recup::darshan

@@ -1,0 +1,66 @@
+// Darshan HEATMAP-analog: time-binned I/O intensity per process, the data
+// behind PyDarshan's I/O heatmap plots. Unlike DXT (exact segments) the
+// heatmap is a fixed-memory histogram: bytes read/written per (process,
+// time bin), robust at any trace volume.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "darshan/records.hpp"
+
+namespace recup::darshan {
+
+struct HeatmapConfig {
+  double bin_seconds = 1.0;
+  /// Bins beyond this are folded into the last bin (bounded memory, like
+  /// Darshan's fixed bin count with rebinning).
+  std::size_t max_bins = 4096;
+};
+
+class Heatmap {
+ public:
+  explicit Heatmap(HeatmapConfig config = {});
+
+  /// Accumulates one operation spanning [start, end) of `bytes` bytes; the
+  /// bytes are spread proportionally over the bins the span covers.
+  void add(ProcessId process, IoOp op, std::uint64_t bytes, TimePoint start,
+           TimePoint end);
+
+  /// Builds a heatmap from existing DXT records.
+  static Heatmap from_dxt(const std::vector<DxtRecord>& records,
+                          HeatmapConfig config = {});
+
+  [[nodiscard]] double bin_seconds() const { return config_.bin_seconds; }
+  [[nodiscard]] std::size_t bin_count() const;
+  [[nodiscard]] std::vector<ProcessId> processes() const;
+  /// Bytes read (op=kRead) or written (op=kWrite) by `process` in bin `b`.
+  [[nodiscard]] double bytes(ProcessId process, IoOp op,
+                             std::size_t bin) const;
+  /// Sum across processes for one bin.
+  [[nodiscard]] double total_bytes(IoOp op, std::size_t bin) const;
+  /// Grand total (should equal the sum of added bytes).
+  [[nodiscard]] double grand_total(IoOp op) const;
+
+  /// ASCII rendering: one row per process, intensity ramp " .:-=+*#%@".
+  [[nodiscard]] std::string render(std::size_t width = 80) const;
+
+ private:
+  struct Series {
+    std::vector<double> read_bytes;
+    std::vector<double> write_bytes;
+  };
+
+  std::vector<double>& series_for(Series& s, IoOp op) {
+    return op == IoOp::kRead ? s.read_bytes : s.write_bytes;
+  }
+
+  HeatmapConfig config_;
+  std::map<ProcessId, Series> by_process_;
+  std::size_t bins_used_ = 0;
+};
+
+}  // namespace recup::darshan

@@ -1,0 +1,110 @@
+#include "darshan/report.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace recup::darshan {
+
+Report::Report(std::vector<LogFile> logs) : logs_(std::move(logs)) {}
+
+IoTotals Report::totals() const {
+  IoTotals t;
+  for (const auto& log : logs_) {
+    for (const auto& rec : log.posix) {
+      t.reads += rec.reads;
+      t.writes += rec.writes;
+      t.bytes_read += rec.bytes_read;
+      t.bytes_written += rec.bytes_written;
+      t.read_time += rec.read_time;
+      t.write_time += rec.write_time;
+      t.meta_time += rec.meta_time;
+    }
+  }
+  return t;
+}
+
+std::vector<std::string> Report::distinct_files() const {
+  std::set<std::string> files;
+  for (const auto& log : logs_) {
+    for (const auto& rec : log.posix) files.insert(rec.file_path);
+  }
+  return {files.begin(), files.end()};
+}
+
+std::vector<ThreadIoSummary> Report::thread_summaries() const {
+  std::map<std::pair<ProcessId, ThreadId>, ThreadIoSummary> by_thread;
+  for (const auto& log : logs_) {
+    for (const auto& rec : log.dxt) {
+      for (const auto& seg : rec.segments) {
+        auto& summary = by_thread[{rec.process_id, seg.thread_id}];
+        summary.process_id = rec.process_id;
+        summary.thread_id = seg.thread_id;
+        if (seg.op == IoOp::kRead) {
+          ++summary.reads;
+          summary.bytes_read += seg.length;
+        } else {
+          ++summary.writes;
+          summary.bytes_written += seg.length;
+        }
+        summary.busy_time += seg.end - seg.start;
+        summary.first_op = std::min(summary.first_op, seg.start);
+        summary.last_op = std::max(summary.last_op, seg.end);
+      }
+    }
+  }
+  std::vector<ThreadIoSummary> out;
+  out.reserve(by_thread.size());
+  for (const auto& [key, summary] : by_thread) out.push_back(summary);
+  return out;
+}
+
+std::vector<std::pair<std::string, DxtSegment>> Report::all_segments_sorted()
+    const {
+  std::vector<std::pair<std::string, DxtSegment>> out;
+  for (const auto& log : logs_) {
+    for (const auto& rec : log.dxt) {
+      for (const auto& seg : rec.segments) {
+        out.emplace_back(rec.file_path, seg);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.start < b.second.start;
+  });
+  return out;
+}
+
+bool Report::any_truncated() const {
+  for (const auto& log : logs_) {
+    for (const auto& rec : log.dxt) {
+      if (rec.truncated) return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t Report::dropped_segments() const {
+  std::uint64_t dropped = 0;
+  for (const auto& log : logs_) {
+    for (const auto& rec : log.dxt) dropped += rec.dropped_segments;
+  }
+  return dropped;
+}
+
+SizeHistogram Report::read_size_histogram() const {
+  SizeHistogram h;
+  for (const auto& log : logs_) {
+    for (const auto& rec : log.posix) h.merge(rec.read_sizes);
+  }
+  return h;
+}
+
+SizeHistogram Report::write_size_histogram() const {
+  SizeHistogram h;
+  for (const auto& log : logs_) {
+    for (const auto& rec : log.posix) h.merge(rec.write_sizes);
+  }
+  return h;
+}
+
+}  // namespace recup::darshan

@@ -1,0 +1,70 @@
+// Report API over one or more Darshan-analog logs — the PyDarshan-style
+// accessors PERFRECUP consumes: per-file and per-thread summaries, totals,
+// phase detection over DXT segments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "darshan/log_format.hpp"
+
+namespace recup::darshan {
+
+struct IoTotals {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  double read_time = 0.0;
+  double write_time = 0.0;
+  double meta_time = 0.0;
+
+  [[nodiscard]] std::uint64_t operations() const { return reads + writes; }
+  [[nodiscard]] double io_time() const {
+    return read_time + write_time + meta_time;
+  }
+};
+
+struct ThreadIoSummary {
+  ProcessId process_id = 0;
+  ThreadId thread_id = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  double busy_time = 0.0;  ///< sum of segment durations
+  TimePoint first_op = kTimeInfinity;
+  TimePoint last_op = 0.0;
+};
+
+class Report {
+ public:
+  explicit Report(std::vector<LogFile> logs);
+
+  [[nodiscard]] const std::vector<LogFile>& logs() const { return logs_; }
+
+  /// Counter totals across all processes/files.
+  [[nodiscard]] IoTotals totals() const;
+  /// Distinct file paths touched anywhere in the job.
+  [[nodiscard]] std::vector<std::string> distinct_files() const;
+  /// Per-(process, thread) I/O summaries from DXT (needs DXT enabled).
+  [[nodiscard]] std::vector<ThreadIoSummary> thread_summaries() const;
+  /// All DXT segments flattened, sorted by start time.
+  [[nodiscard]] std::vector<std::pair<std::string, DxtSegment>>
+  all_segments_sorted() const;
+  /// True when any DXT record was truncated by the buffer limit.
+  [[nodiscard]] bool any_truncated() const;
+  [[nodiscard]] std::uint64_t dropped_segments() const;
+
+  /// Access-size distribution across all files.
+  [[nodiscard]] SizeHistogram read_size_histogram() const;
+  [[nodiscard]] SizeHistogram write_size_histogram() const;
+
+ private:
+  std::vector<LogFile> logs_;
+};
+
+}  // namespace recup::darshan

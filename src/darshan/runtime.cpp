@@ -1,0 +1,113 @@
+#include "darshan/runtime.hpp"
+
+#include <algorithm>
+
+namespace recup::darshan {
+
+Runtime::Runtime(ProcessId process_id, std::string hostname,
+                 RuntimeConfig config)
+    : process_id_(process_id),
+      hostname_(std::move(hostname)),
+      config_(config),
+      dxt_(config.dxt) {}
+
+PosixRecord& Runtime::record_for(const std::string& path) {
+  auto& rec = posix_[path];
+  if (rec.file_path.empty()) {
+    rec.file_path = path;
+    rec.process_id = process_id_;
+    rec.hostname = hostname_;
+  }
+  return rec;
+}
+
+void Runtime::on_open(const std::string& path, ThreadId tid, TimePoint start,
+                      TimePoint end) {
+  (void)tid;
+  if (!config_.enable_posix) return;
+  PosixRecord& rec = record_for(path);
+  ++rec.opens;
+  rec.meta_time += end - start;
+  rec.first_open = std::min(rec.first_open, start);
+}
+
+void Runtime::on_read(const std::string& path, ThreadId tid,
+                      std::uint64_t offset, std::uint64_t length,
+                      TimePoint start, TimePoint end) {
+  if (config_.enable_posix) {
+    PosixRecord& rec = record_for(path);
+    ++rec.reads;
+    rec.bytes_read += length;
+    rec.read_time += end - start;
+    rec.max_byte_read = std::max(rec.max_byte_read, offset + length);
+    rec.first_read = std::min(rec.first_read, start);
+    rec.last_read = std::max(rec.last_read, end);
+    rec.read_sizes.add(length);
+  }
+  if (config_.enable_dxt) {
+    dxt_.record(process_id_, hostname_, path,
+                DxtSegment{IoOp::kRead, offset, length, start, end, tid});
+  }
+}
+
+void Runtime::on_write(const std::string& path, ThreadId tid,
+                       std::uint64_t offset, std::uint64_t length,
+                       TimePoint start, TimePoint end) {
+  if (config_.enable_posix) {
+    PosixRecord& rec = record_for(path);
+    ++rec.writes;
+    rec.bytes_written += length;
+    rec.write_time += end - start;
+    rec.max_byte_written = std::max(rec.max_byte_written, offset + length);
+    rec.first_write = std::min(rec.first_write, start);
+    rec.last_write = std::max(rec.last_write, end);
+    rec.write_sizes.add(length);
+  }
+  if (config_.enable_dxt) {
+    dxt_.record(process_id_, hostname_, path,
+                DxtSegment{IoOp::kWrite, offset, length, start, end, tid});
+  }
+}
+
+void Runtime::on_close(const std::string& path, ThreadId tid, TimePoint start,
+                       TimePoint end) {
+  (void)tid;
+  if (!config_.enable_posix) return;
+  PosixRecord& rec = record_for(path);
+  rec.meta_time += end - start;
+}
+
+std::vector<PosixRecord> Runtime::posix_records() const {
+  std::vector<PosixRecord> out;
+  out.reserve(posix_.size());
+  for (const auto& [path, rec] : posix_) out.push_back(rec);
+  return out;
+}
+
+std::vector<DxtRecord> Runtime::dxt_records() const { return dxt_.records(); }
+
+std::uint64_t Runtime::total_reads() const {
+  std::uint64_t total = 0;
+  for (const auto& [path, rec] : posix_) total += rec.reads;
+  return total;
+}
+
+std::uint64_t Runtime::total_writes() const {
+  std::uint64_t total = 0;
+  for (const auto& [path, rec] : posix_) total += rec.writes;
+  return total;
+}
+
+std::uint64_t Runtime::total_bytes_read() const {
+  std::uint64_t total = 0;
+  for (const auto& [path, rec] : posix_) total += rec.bytes_read;
+  return total;
+}
+
+std::uint64_t Runtime::total_bytes_written() const {
+  std::uint64_t total = 0;
+  for (const auto& [path, rec] : posix_) total += rec.bytes_written;
+  return total;
+}
+
+}  // namespace recup::darshan

@@ -1,0 +1,63 @@
+// Darshan runtime-analog: one instance instruments one worker process. The
+// task runtime's VFS calls the hook methods for every POSIX-level operation;
+// the runtime maintains POSIX counter records and forwards traced calls to
+// the DXT module. At shutdown the records are written to a log file (see
+// log_format.hpp) for analysis-time fusion — the paper deliberately collects
+// Dask and Darshan data separately and fuses at analysis time.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "darshan/dxt.hpp"
+#include "darshan/records.hpp"
+
+namespace recup::darshan {
+
+struct RuntimeConfig {
+  bool enable_posix = true;
+  bool enable_dxt = true;
+  DxtConfig dxt;
+};
+
+class Runtime {
+ public:
+  Runtime(ProcessId process_id, std::string hostname,
+          RuntimeConfig config = {});
+
+  // --- Hooks, called by the instrumented VFS ------------------------------
+  void on_open(const std::string& path, ThreadId tid, TimePoint start,
+               TimePoint end);
+  void on_read(const std::string& path, ThreadId tid, std::uint64_t offset,
+               std::uint64_t length, TimePoint start, TimePoint end);
+  void on_write(const std::string& path, ThreadId tid, std::uint64_t offset,
+                std::uint64_t length, TimePoint start, TimePoint end);
+  void on_close(const std::string& path, ThreadId tid, TimePoint start,
+                TimePoint end);
+
+  // --- Record access -------------------------------------------------------
+  [[nodiscard]] std::vector<PosixRecord> posix_records() const;
+  [[nodiscard]] std::vector<DxtRecord> dxt_records() const;
+  [[nodiscard]] const DxtModule& dxt() const { return dxt_; }
+  [[nodiscard]] ProcessId process_id() const { return process_id_; }
+  [[nodiscard]] const std::string& hostname() const { return hostname_; }
+
+  /// Totals across all files (used by tests asserting counter consistency).
+  [[nodiscard]] std::uint64_t total_reads() const;
+  [[nodiscard]] std::uint64_t total_writes() const;
+  [[nodiscard]] std::uint64_t total_bytes_read() const;
+  [[nodiscard]] std::uint64_t total_bytes_written() const;
+
+ private:
+  PosixRecord& record_for(const std::string& path);
+
+  ProcessId process_id_;
+  std::string hostname_;
+  RuntimeConfig config_;
+  std::map<std::string, PosixRecord> posix_;
+  DxtModule dxt_;
+};
+
+}  // namespace recup::darshan

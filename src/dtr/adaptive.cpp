@@ -1,0 +1,51 @@
+#include "dtr/adaptive.hpp"
+
+namespace recup::dtr {
+
+AdaptiveCapturePlugin::AdaptiveCapturePlugin(WorkerPlugin& inner,
+                                             AdaptiveCaptureConfig config)
+    : inner_(inner), config_(config) {}
+
+void AdaptiveCapturePlugin::roll_window(TimePoint now) {
+  if (now - window_start_ >= config_.window) {
+    window_start_ = now;
+    window_count_ = 0;
+    throttling_ = false;
+  }
+}
+
+void AdaptiveCapturePlugin::on_transition(const TransitionRecord& record) {
+  roll_window(record.time);
+  ++window_count_;
+  const bool forced_full = record.time < full_fidelity_until_;
+  if (!forced_full && window_count_ > config_.transitions_per_window) {
+    throttling_ = true;
+    if (++stride_counter_ % config_.sample_stride != 0) {
+      ++sampled_out_;
+      return;
+    }
+  }
+  ++forwarded_;
+  inner_.on_transition(record);
+}
+
+void AdaptiveCapturePlugin::on_task_done(const TaskRecord& record) {
+  // Completions are never sampled: they carry the identifiers every other
+  // layer joins against.
+  ++forwarded_;
+  inner_.on_task_done(record);
+}
+
+void AdaptiveCapturePlugin::on_incoming_transfer(const CommRecord& record) {
+  ++forwarded_;
+  inner_.on_incoming_transfer(record);
+}
+
+void AdaptiveCapturePlugin::on_warning(const WarningRecord& record) {
+  // Anomaly: restore full fidelity so the interesting window is complete.
+  full_fidelity_until_ = record.time + config_.full_fidelity_after_warning;
+  ++forwarded_;
+  inner_.on_warning(record);
+}
+
+}  // namespace recup::dtr

@@ -1,0 +1,57 @@
+// Adaptive provenance capture — the paper's future work: "we also will
+// explore options for dynamically adjusting our data capture in response to
+// changes in workflow behavior."
+//
+// AdaptiveCapturePlugin wraps another WorkerPlugin (typically the Mofka
+// plugin) and throttles the highest-volume record class — task state
+// transitions — when their rate exceeds a budget, while always forwarding
+// the low-volume, high-value records (task completions, transfers,
+// warnings). When a warning arrives, capture returns to full fidelity for a
+// cool-down window, so anomalous phases are always fully recorded.
+#pragma once
+
+#include <cstdint>
+
+#include "dtr/plugins.hpp"
+
+namespace recup::dtr {
+
+struct AdaptiveCaptureConfig {
+  /// Transition events allowed per window before sampling kicks in.
+  std::uint64_t transitions_per_window = 500;
+  Duration window = 1.0;
+  /// Keep 1 of every `sample_stride` transitions while over budget.
+  std::uint32_t sample_stride = 10;
+  /// After any warning, forward everything for this long.
+  Duration full_fidelity_after_warning = 5.0;
+};
+
+class AdaptiveCapturePlugin final : public WorkerPlugin {
+ public:
+  AdaptiveCapturePlugin(WorkerPlugin& inner, AdaptiveCaptureConfig config = {});
+
+  void on_transition(const TransitionRecord& record) override;
+  void on_task_done(const TaskRecord& record) override;
+  void on_incoming_transfer(const CommRecord& record) override;
+  void on_warning(const WarningRecord& record) override;
+
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t sampled_out() const { return sampled_out_; }
+  /// True while the plugin is currently downsampling transitions.
+  [[nodiscard]] bool throttling() const { return throttling_; }
+
+ private:
+  void roll_window(TimePoint now);
+
+  WorkerPlugin& inner_;
+  AdaptiveCaptureConfig config_;
+  TimePoint window_start_ = 0.0;
+  std::uint64_t window_count_ = 0;
+  std::uint32_t stride_counter_ = 0;
+  bool throttling_ = false;
+  TimePoint full_fidelity_until_ = 0.0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t sampled_out_ = 0;
+};
+
+}  // namespace recup::dtr

@@ -1,0 +1,57 @@
+#include "dtr/client.hpp"
+
+#include <algorithm>
+
+namespace recup::dtr {
+
+Client::Client(sim::Engine& engine, Scheduler& scheduler, ClientConfig config,
+               RngStream rng, LogCollector& logs)
+    : engine_(engine),
+      scheduler_(scheduler),
+      config_(config),
+      rng_(rng),
+      logs_(logs) {}
+
+void Client::run(std::vector<TaskGraph> graphs, std::size_t worker_count,
+                 std::function<void()> on_all_done) {
+  graphs_ = std::move(graphs);
+  on_all_done_ = std::move(on_all_done);
+
+  // Startup: client connect and worker connects proceed in parallel; the
+  // run starts when the slowest participant is up.
+  Duration ready_after =
+      rng_.lognormal(config_.connect_median, config_.connect_sigma);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    ready_after = std::max(
+        ready_after, rng_.lognormal(config_.worker_connect_median,
+                                    config_.worker_connect_sigma));
+  }
+  coordination_time_ = ready_after;
+  logs_.log(LogLevel::kInfo, "client",
+            "waiting for " + std::to_string(worker_count) + " workers");
+  engine_.schedule_after(ready_after, [this] { submit_next(0); });
+}
+
+void Client::submit_next(std::size_t index) {
+  if (index >= graphs_.size()) {
+    logs_.log(LogLevel::kInfo, "client", "all graphs complete");
+    if (on_all_done_) on_all_done_();
+    return;
+  }
+  const TaskGraph& graph = graphs_[index];
+  const Duration build =
+      rng_.lognormal(config_.graph_build_per_task *
+                         static_cast<double>(std::max<std::size_t>(
+                             graph.size(), 1)),
+                     config_.graph_build_sigma) +
+      config_.submit_latency;
+  coordination_time_ += build;
+  engine_.schedule_after(build, [this, index] {
+    const TaskGraph& g = graphs_[index];
+    logs_.log(LogLevel::kInfo, "client", "submitting graph " + g.name());
+    scheduler_.submit_graph(
+        g, [this, index](const std::string&) { submit_next(index + 1); });
+  });
+}
+
+}  // namespace recup::dtr

@@ -1,0 +1,274 @@
+#include "dtr/mofka_plugins.hpp"
+
+namespace recup::dtr {
+namespace {
+
+constexpr const char* kTransitions = "wms_transitions";
+constexpr const char* kTasks = "wms_tasks";
+constexpr const char* kComms = "wms_comms";
+constexpr const char* kWarnings = "wms_warnings";
+constexpr const char* kCluster = "wms_cluster";
+
+json::Value key_to_json(const TaskKey& key) {
+  json::Object o;
+  o["group"] = key.group;
+  o["index"] = key.index;
+  return json::Value(std::move(o));
+}
+
+TaskKey key_from_json(const json::Value& v) {
+  TaskKey key;
+  key.group = v.at("group").as_string();
+  key.index = v.at("index").as_int();
+  return key;
+}
+
+}  // namespace
+
+void create_wms_topics(mofka::Broker& broker,
+                       mofka::PartitionIndex partitions) {
+  for (const char* name :
+       {kTransitions, kTasks, kComms, kWarnings, kCluster}) {
+    if (!broker.topic_exists(name)) {
+      broker.create_topic(name, mofka::TopicConfig{partitions, nullptr,
+                                                   nullptr});
+    }
+  }
+}
+
+json::Value to_json(const TransitionRecord& r) {
+  json::Object o;
+  o["key"] = key_to_json(r.key);
+  o["graph"] = r.graph;
+  o["from"] = r.from_state;
+  o["to"] = r.to_state;
+  o["stimulus"] = r.stimulus;
+  o["location"] = r.location;
+  o["time"] = r.time;
+  return json::Value(std::move(o));
+}
+
+TransitionRecord transition_from_json(const json::Value& v) {
+  TransitionRecord r;
+  r.key = key_from_json(v.at("key"));
+  r.graph = v.at("graph").as_string();
+  r.from_state = v.at("from").as_string();
+  r.to_state = v.at("to").as_string();
+  r.stimulus = v.at("stimulus").as_string();
+  r.location = v.at("location").as_string();
+  r.time = v.at("time").as_double();
+  return r;
+}
+
+json::Value to_json(const TaskRecord& r) {
+  json::Object o;
+  o["key"] = key_to_json(r.key);
+  o["graph"] = r.graph;
+  o["prefix"] = r.prefix;
+  o["worker"] = static_cast<std::int64_t>(r.worker);
+  o["worker_address"] = r.worker_address;
+  o["thread_id"] = r.thread_id;
+  o["lane"] = static_cast<std::int64_t>(r.lane);
+  o["received_time"] = r.received_time;
+  o["ready_time"] = r.ready_time;
+  o["start_time"] = r.start_time;
+  o["end_time"] = r.end_time;
+  o["compute_time"] = r.compute_time;
+  o["io_time"] = r.io_time;
+  o["gpu_time"] = r.gpu_time;
+  o["output_bytes"] = r.output_bytes;
+  o["bytes_read"] = r.bytes_read;
+  o["bytes_written"] = r.bytes_written;
+  o["retries"] = static_cast<std::int64_t>(r.retries);
+  o["stolen"] = r.stolen;
+  json::Array deps;
+  for (const auto& dep : r.dependencies) deps.push_back(key_to_json(dep));
+  o["dependencies"] = std::move(deps);
+  return json::Value(std::move(o));
+}
+
+TaskRecord task_from_json(const json::Value& v) {
+  TaskRecord r;
+  r.key = key_from_json(v.at("key"));
+  r.graph = v.at("graph").as_string();
+  r.prefix = v.at("prefix").as_string();
+  r.worker = static_cast<WorkerId>(v.at("worker").as_int());
+  r.worker_address = v.at("worker_address").as_string();
+  r.thread_id = static_cast<std::uint64_t>(v.at("thread_id").as_int());
+  r.lane = static_cast<std::uint32_t>(v.at("lane").as_int());
+  r.received_time = v.at("received_time").as_double();
+  r.ready_time = v.at("ready_time").as_double();
+  r.start_time = v.at("start_time").as_double();
+  r.end_time = v.at("end_time").as_double();
+  r.compute_time = v.at("compute_time").as_double();
+  r.io_time = v.at("io_time").as_double();
+  r.gpu_time = v.get_double("gpu_time", 0.0);
+  r.output_bytes = static_cast<std::uint64_t>(v.at("output_bytes").as_int());
+  r.bytes_read = static_cast<std::uint64_t>(v.at("bytes_read").as_int());
+  r.bytes_written =
+      static_cast<std::uint64_t>(v.at("bytes_written").as_int());
+  r.retries = static_cast<std::uint32_t>(v.at("retries").as_int());
+  r.stolen = v.at("stolen").as_bool();
+  if (v.contains("dependencies")) {
+    for (const auto& dep : v.at("dependencies").as_array()) {
+      r.dependencies.push_back(key_from_json(dep));
+    }
+  }
+  return r;
+}
+
+json::Value to_json(const CommRecord& r) {
+  json::Object o;
+  o["key"] = key_to_json(r.key);
+  o["source"] = static_cast<std::int64_t>(r.source);
+  o["destination"] = static_cast<std::int64_t>(r.destination);
+  o["source_address"] = r.source_address;
+  o["destination_address"] = r.destination_address;
+  o["bytes"] = r.bytes;
+  o["start"] = r.start;
+  o["end"] = r.end;
+  o["cross_node"] = r.cross_node;
+  o["cold_connection"] = r.cold_connection;
+  return json::Value(std::move(o));
+}
+
+CommRecord comm_from_json(const json::Value& v) {
+  CommRecord r;
+  r.key = key_from_json(v.at("key"));
+  r.source = static_cast<WorkerId>(v.at("source").as_int());
+  r.destination = static_cast<WorkerId>(v.at("destination").as_int());
+  r.source_address = v.at("source_address").as_string();
+  r.destination_address = v.at("destination_address").as_string();
+  r.bytes = static_cast<std::uint64_t>(v.at("bytes").as_int());
+  r.start = v.at("start").as_double();
+  r.end = v.at("end").as_double();
+  r.cross_node = v.at("cross_node").as_bool();
+  r.cold_connection = v.at("cold_connection").as_bool();
+  return r;
+}
+
+json::Value to_json(const WarningRecord& r) {
+  json::Object o;
+  o["kind"] = r.kind;
+  o["location"] = r.location;
+  o["time"] = r.time;
+  o["blocked_for"] = r.blocked_for;
+  o["message"] = r.message;
+  return json::Value(std::move(o));
+}
+
+WarningRecord warning_from_json(const json::Value& v) {
+  WarningRecord r;
+  r.kind = v.at("kind").as_string();
+  r.location = v.at("location").as_string();
+  r.time = v.at("time").as_double();
+  r.blocked_for = v.at("blocked_for").as_double();
+  r.message = v.at("message").as_string();
+  return r;
+}
+
+json::Value to_json(const StealRecord& r) {
+  json::Object o;
+  o["kind"] = "steal";
+  o["key"] = key_to_json(r.key);
+  o["victim"] = static_cast<std::int64_t>(r.victim);
+  o["thief"] = static_cast<std::int64_t>(r.thief);
+  o["time"] = r.time;
+  o["estimated_transfer_cost"] = r.estimated_transfer_cost;
+  o["estimated_compute_cost"] = r.estimated_compute_cost;
+  return json::Value(std::move(o));
+}
+
+StealRecord steal_from_json(const json::Value& v) {
+  StealRecord r;
+  r.key = key_from_json(v.at("key"));
+  r.victim = static_cast<WorkerId>(v.at("victim").as_int());
+  r.thief = static_cast<WorkerId>(v.at("thief").as_int());
+  r.time = v.at("time").as_double();
+  r.estimated_transfer_cost = v.at("estimated_transfer_cost").as_double();
+  r.estimated_compute_cost = v.at("estimated_compute_cost").as_double();
+  return r;
+}
+
+MofkaSchedulerPlugin::MofkaSchedulerPlugin(mofka::Broker& broker,
+                                           mofka::ProducerConfig config)
+    : transitions_(broker, kTransitions, config),
+      cluster_(broker, kCluster, config) {}
+
+void MofkaSchedulerPlugin::on_graph_received(const std::string& graph_name,
+                                             std::size_t task_count,
+                                             TimePoint time) {
+  json::Object o;
+  o["kind"] = "graph-received";
+  o["graph"] = graph_name;
+  o["tasks"] = task_count;
+  o["time"] = time;
+  cluster_.push(json::Value(std::move(o)));
+}
+
+void MofkaSchedulerPlugin::on_transition(const TransitionRecord& record) {
+  transitions_.push(to_json(record));
+}
+
+void MofkaSchedulerPlugin::on_worker_added(WorkerId worker,
+                                           const std::string& address,
+                                           TimePoint time) {
+  json::Object o;
+  o["kind"] = "worker-added";
+  o["worker"] = static_cast<std::int64_t>(worker);
+  o["address"] = address;
+  o["time"] = time;
+  cluster_.push(json::Value(std::move(o)));
+}
+
+void MofkaSchedulerPlugin::on_worker_removed(WorkerId worker,
+                                             const std::string& address,
+                                             TimePoint time) {
+  json::Object o;
+  o["kind"] = "worker-removed";
+  o["worker"] = static_cast<std::int64_t>(worker);
+  o["address"] = address;
+  o["time"] = time;
+  cluster_.push(json::Value(std::move(o)));
+}
+
+void MofkaSchedulerPlugin::on_steal(const StealRecord& record) {
+  cluster_.push(to_json(record));
+}
+
+void MofkaSchedulerPlugin::flush() {
+  transitions_.flush();
+  cluster_.flush();
+}
+
+MofkaWorkerPlugin::MofkaWorkerPlugin(mofka::Broker& broker,
+                                     mofka::ProducerConfig config)
+    : transitions_(broker, kTransitions, config),
+      tasks_(broker, kTasks, config),
+      comms_(broker, kComms, config),
+      warnings_(broker, kWarnings, config) {}
+
+void MofkaWorkerPlugin::on_transition(const TransitionRecord& record) {
+  transitions_.push(to_json(record));
+}
+
+void MofkaWorkerPlugin::on_task_done(const TaskRecord& record) {
+  tasks_.push(to_json(record));
+}
+
+void MofkaWorkerPlugin::on_incoming_transfer(const CommRecord& record) {
+  comms_.push(to_json(record));
+}
+
+void MofkaWorkerPlugin::on_warning(const WarningRecord& record) {
+  warnings_.push(to_json(record));
+}
+
+void MofkaWorkerPlugin::flush() {
+  transitions_.flush();
+  tasks_.flush();
+  comms_.flush();
+  warnings_.flush();
+}
+
+}  // namespace recup::dtr

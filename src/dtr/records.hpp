@@ -1,0 +1,105 @@
+// Measurement/provenance record types produced while a workflow runs. These
+// are what the Mofka plugins stream and what PERFRECUP fuses with Darshan
+// logs (shared identifiers: task key, worker address, pthread id,
+// timestamps — paper §V on FAIR identifiers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "dtr/task.hpp"
+
+namespace recup::dtr {
+
+using WorkerId = std::uint32_t;
+
+/// Scheduler- or worker-side task state transition with its stimulus
+/// (paper §III-E2: "task key, group, prefix, initial state, final state,
+/// timestamp, and the stimuli that triggered this transition").
+struct TransitionRecord {
+  TaskKey key;
+  std::string graph;       ///< which submitted task graph the task belongs to
+  std::string from_state;
+  std::string to_state;
+  std::string stimulus;    ///< e.g. "update-graph", "task-finished", "steal"
+  std::string location;    ///< "scheduler" or the worker address
+  TimePoint time = 0.0;
+};
+
+/// Completed-task summary (paper §III-E2: "the IP address of the worker
+/// where the task was executed, the thread ID, start and end times, and the
+/// size of the task result").
+struct TaskRecord {
+  TaskKey key;
+  std::string graph;
+  std::string prefix;
+  WorkerId worker = 0;
+  std::string worker_address;
+  std::uint64_t thread_id = 0;  ///< synthetic pthread id of the executor lane
+  std::uint32_t lane = 0;
+  TimePoint received_time = 0.0;   ///< arrived at worker
+  TimePoint ready_time = 0.0;      ///< deps present, queued for a thread
+  TimePoint start_time = 0.0;      ///< execution start
+  TimePoint end_time = 0.0;        ///< execution end
+  Duration compute_time = 0.0;     ///< time in the compute section
+  Duration io_time = 0.0;          ///< time in simulated POSIX I/O
+  Duration gpu_time = 0.0;         ///< time in GPU kernels (incl. queueing)
+  std::uint64_t output_bytes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint32_t retries = 0;
+  bool stolen = false;  ///< executed on a worker other than first assignment
+  std::vector<TaskKey> dependencies;  ///< full lineage input (Figure 8)
+};
+
+/// One inter-worker data transfer (gather_dep), i.e. an *incoming
+/// communication* of the destination worker — what Table I counts.
+struct CommRecord {
+  TaskKey key;             ///< the data's producing task
+  WorkerId source = 0;
+  WorkerId destination = 0;
+  std::string source_address;
+  std::string destination_address;
+  std::uint64_t bytes = 0;
+  TimePoint start = 0.0;
+  TimePoint end = 0.0;
+  bool cross_node = false;
+  bool cold_connection = false;
+
+  [[nodiscard]] Duration duration() const { return end - start; }
+};
+
+/// A work-stealing decision (paper §V: "work stealing is a runtime decision
+/// that may negatively impact overall performance").
+struct StealRecord {
+  TaskKey key;
+  WorkerId victim = 0;
+  WorkerId thief = 0;
+  TimePoint time = 0.0;
+  Duration estimated_transfer_cost = 0.0;
+  Duration estimated_compute_cost = 0.0;
+};
+
+/// Runtime warning, harvested from worker/scheduler logs (Figure 7).
+struct WarningRecord {
+  std::string kind;     ///< "event_loop_unresponsive" | "gc_collection"
+  std::string location; ///< worker address or "scheduler"
+  TimePoint time = 0.0;
+  Duration blocked_for = 0.0;
+  std::string message;
+};
+
+/// Identity of a run, stamped on every export for multi-run studies.
+struct RunMetadata {
+  std::string workflow;
+  std::uint64_t seed = 0;
+  std::uint32_t run_index = 0;
+  TimePoint wall_start = 0.0;
+  TimePoint wall_end = 0.0;
+
+  [[nodiscard]] Duration wall_time() const { return wall_end - wall_start; }
+};
+
+}  // namespace recup::dtr

@@ -1,0 +1,509 @@
+#include "dtr/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace recup::dtr {
+
+Scheduler::Scheduler(sim::Engine& engine, platform::Network& network,
+                     SchedulerConfig config, RngStream rng,
+                     LogCollector& logs)
+    : engine_(engine),
+      network_(network),
+      config_(config),
+      rng_(rng),
+      logs_(logs) {}
+
+void Scheduler::add_worker(Worker* worker) {
+  workers_.push_back(worker);
+  worker_alive_.push_back(true);
+  in_flight_.push_back(0);
+  worker->set_completion_callback(
+      [this](const TaskKey& key, const TaskRecord& record, bool failed) {
+        on_task_finished(key, record, failed);
+      });
+  worker->set_heartbeat_callback([this](WorkerId id) { heartbeat(id); });
+  worker->set_replica_callback([this](const TaskKey& key, WorkerId id) {
+    const auto it = tasks_.find(key);
+    if (it != tasks_.end()) it->second.who_has.insert(id);
+  });
+  logs_.log(LogLevel::kInfo, "scheduler",
+            "Register worker " + worker->address());
+  for (auto* plugin : plugins_) {
+    plugin->on_worker_added(worker->id(), worker->address(), engine_.now());
+  }
+}
+
+void Scheduler::transition(TaskInfo& info, SchedulerTaskState to,
+                           const std::string& stimulus) {
+  TransitionRecord record;
+  record.key = info.spec.key;
+  record.graph = info.graph;
+  record.from_state = to_string(info.state);
+  record.to_state = to_string(to);
+  record.stimulus = stimulus;
+  record.location = "scheduler";
+  record.time = engine_.now();
+  info.state = to;
+  transitions_.push_back(record);
+  for (auto* plugin : plugins_) plugin->on_transition(record);
+}
+
+void Scheduler::submit_graph(const TaskGraph& graph, GraphDoneFn on_done) {
+  if (graphs_.count(graph.name()) != 0) {
+    throw std::invalid_argument("graph name already submitted: " +
+                                graph.name());
+  }
+  GraphInfo& graph_info = graphs_[graph.name()];
+  graph_info.name = graph.name();
+  graph_info.remaining = graph.size();
+  graph_info.on_done = std::move(on_done);
+
+  logs_.log(LogLevel::kInfo, "scheduler",
+            "Receive graph " + graph.name() + " with " +
+                std::to_string(graph.size()) + " tasks");
+  for (auto* plugin : plugins_) {
+    plugin->on_graph_received(graph.name(), graph.size(), engine_.now());
+  }
+
+  // Materialize TaskInfo for every task, wiring dependency counts against
+  // both in-graph tasks and results of earlier graphs already in memory.
+  std::vector<TaskKey> runnable;
+  for (const auto& [key, spec] : graph.tasks()) {
+    auto [it, inserted] = tasks_.emplace(key, TaskInfo{});
+    if (!inserted) {
+      throw std::invalid_argument("task key resubmitted: " + key.to_string());
+    }
+    TaskInfo& info = it->second;
+    info.spec = spec;
+    info.graph = graph.name();
+  }
+  for (const auto& [key, spec] : graph.tasks()) {
+    TaskInfo& info = tasks_.at(key);
+    for (const auto& dep : spec.dependencies) {
+      const auto dep_it = tasks_.find(dep);
+      if (dep_it == tasks_.end()) {
+        throw std::invalid_argument("dependency never submitted: " +
+                                    dep.to_string());
+      }
+      TaskInfo& dep_info = dep_it->second;
+      if (dep_info.state == SchedulerTaskState::kForgotten) {
+        throw std::invalid_argument(
+            "dependency was already released (mark it non-releasable): " +
+            dep.to_string());
+      }
+      dep_info.dependents.push_back(key);
+      ++dep_info.remaining_dependents;
+      if (dep_info.state == SchedulerTaskState::kMemory) continue;
+      ++info.waiting_on;
+    }
+    transition(info, SchedulerTaskState::kWaiting, "update-graph");
+    if (info.waiting_on == 0) runnable.push_back(key);
+  }
+  // Dispatch runnable tasks in priority order (dask.order analog): lower
+  // priority value first, key order as tie-break.
+  std::stable_sort(runnable.begin(), runnable.end(),
+                   [this](const TaskKey& a, const TaskKey& b) {
+                     return tasks_.at(a).spec.priority <
+                            tasks_.at(b).spec.priority;
+                   });
+  for (const auto& key : runnable) {
+    dispatch(tasks_.at(key), "update-graph");
+  }
+}
+
+Duration Scheduler::transfer_cost_estimate(const TaskInfo& info,
+                                           const Worker& worker) const {
+  Duration cost = 0.0;
+  for (const auto& dep : info.spec.dependencies) {
+    const auto it = tasks_.find(dep);
+    if (it == tasks_.end()) continue;
+    const TaskInfo& dep_info = it->second;
+    if (dep_info.who_has.count(worker.id()) != 0) continue;
+    if (dep_info.who_has.empty()) continue;
+    // Nearest replica.
+    Duration best = std::numeric_limits<double>::infinity();
+    for (const WorkerId holder : dep_info.who_has) {
+      const Worker* held = workers_.at(holder);
+      best = std::min(best, network_.estimate(held->node(), worker.node(),
+                                              dep_info.spec.work.output_bytes));
+    }
+    cost += best;
+  }
+  return cost;
+}
+
+Duration Scheduler::compute_estimate(const TaskInfo& info) const {
+  const auto it = prefix_durations_.find(info.spec.key.prefix());
+  if (it == prefix_durations_.end() || it->second.second == 0) {
+    return config_.default_task_duration;
+  }
+  return it->second.first / static_cast<double>(it->second.second);
+}
+
+Worker* Scheduler::decide_worker(const TaskInfo& info) {
+  // Score = expected dep-transfer cost + occupancy penalty. The occupancy
+  // penalty uses the observed mean duration of each worker's queue depth,
+  // matching Dask's occupancy-based tie-breaking.
+  Worker* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  const std::size_t offset = rr_counter_++;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const std::size_t index = (i + offset) % workers_.size();
+    if (!worker_alive_[index]) continue;
+    Worker* worker = workers_[index];
+    const double occupancy = static_cast<double>(in_flight_[index]) /
+                             static_cast<double>(worker->nthreads());
+    const double score =
+        transfer_cost_estimate(info, *worker) * config_.locality_bias +
+        occupancy * compute_estimate(info);
+    if (score < best_score) {
+      best_score = score;
+      best = worker;
+    }
+  }
+  return best;
+}
+
+void Scheduler::dispatch(TaskInfo& info, const std::string& stimulus) {
+  Worker* worker = workers_.empty() ? nullptr : decide_worker(info);
+  if (worker == nullptr) {
+    transition(info, SchedulerTaskState::kNoWorker, stimulus);
+    return;
+  }
+  const double saturation_limit =
+      static_cast<double>(worker->nthreads()) * config_.saturation_factor;
+  if (static_cast<double>(in_flight_[worker->id()]) >= saturation_limit) {
+    transition(info, SchedulerTaskState::kQueued, stimulus);
+    queued_.push_back(info.spec.key);
+    return;
+  }
+  send_to_worker(info, worker, stimulus, /*stolen=*/false);
+}
+
+void Scheduler::send_to_worker(TaskInfo& info, Worker* worker,
+                               const std::string& stimulus, bool stolen) {
+  transition(info, SchedulerTaskState::kProcessing, stimulus);
+  // A steal re-sends a task already counted in flight on the victim; it is
+  // removed there and re-assigned here.
+  if (stolen && info.assigned != nullptr) {
+    --in_flight_[info.assigned->id()];
+  }
+  ++in_flight_[worker->id()];
+  info.assigned = worker;
+  info.stolen = stolen;
+
+  // Locations of dependencies the worker must gather from peers.
+  std::vector<DepLocation> deps;
+  for (const auto& dep : info.spec.dependencies) {
+    const auto it = tasks_.find(dep);
+    if (it == tasks_.end()) continue;
+    const TaskInfo& dep_info = it->second;
+    if (dep_info.who_has.count(worker->id()) != 0) continue;
+    if (dep_info.who_has.empty()) {
+      throw std::logic_error("dispatching task with unmet dependency " +
+                             dep.to_string());
+    }
+    // Nearest replica serves the transfer.
+    WorkerId holder = *dep_info.who_has.begin();
+    Duration best = std::numeric_limits<double>::infinity();
+    for (const WorkerId candidate : dep_info.who_has) {
+      const Duration est =
+          network_.estimate(workers_.at(candidate)->node(), worker->node(),
+                            dep_info.spec.work.output_bytes);
+      if (est < best) {
+        best = est;
+        holder = candidate;
+      }
+    }
+    deps.push_back(DepLocation{dep, holder, workers_.at(holder)->node(),
+                               dep_info.spec.work.output_bytes});
+  }
+
+  const TaskSpec spec = info.spec;
+  const std::string graph = info.graph;
+  engine_.schedule_after(config_.control_latency,
+                         [worker, spec, graph, deps, stolen] {
+                           worker->assign_task(spec, graph, deps, stolen);
+                         });
+}
+
+void Scheduler::on_task_finished(const TaskKey& key, const TaskRecord& record,
+                                 bool failed) {
+  auto it = tasks_.find(key);
+  if (it == tasks_.end()) return;
+  TaskInfo& info = it->second;
+  // Stale completion from a worker that lost the assignment (failure
+  // recovery re-dispatched the task elsewhere).
+  if (info.assigned != nullptr && info.assigned->id() != record.worker) {
+    return;
+  }
+  if (info.state != SchedulerTaskState::kProcessing) return;
+  if (info.assigned != nullptr) {
+    --in_flight_[info.assigned->id()];
+    info.assigned = nullptr;
+  }
+
+  if (failed) {
+    transition(info, SchedulerTaskState::kErred, "task-erred");
+    if (info.retries < config_.max_retries) {
+      ++info.retries;
+      transition(info, SchedulerTaskState::kWaiting, "retry");
+      dispatch(info, "retry");
+    } else {
+      ++erred_;
+      logs_.log(LogLevel::kError, "scheduler",
+                "task " + key.to_string() + " erred after retries");
+      // Terminal failure still counts towards graph completion so runs
+      // finish; dependents remain blocked forever by design.
+      auto& graph = graphs_.at(info.graph);
+      if (--graph.remaining == 0 && graph.on_done) {
+        GraphDoneFn on_done = std::move(graph.on_done);
+        graph.on_done = nullptr;
+        on_done(graph.name);
+      }
+    }
+    return;
+  }
+
+  TaskRecord completed = record;
+  completed.retries = info.retries;
+  info.who_has.insert(record.worker);
+  task_records_.push_back(completed);
+  transition(info, SchedulerTaskState::kMemory, "task-finished");
+
+  // Update per-prefix duration statistics.
+  auto& [sum, count] = prefix_durations_[key.prefix()];
+  sum += record.end_time - record.start_time;
+  ++count;
+
+  // Unblock dependents.
+  for (const auto& dependent_key : info.dependents) {
+    TaskInfo& dependent = tasks_.at(dependent_key);
+    if (dependent.waiting_on == 0) continue;  // already released (retry path)
+    if (--dependent.waiting_on == 0) {
+      dispatch(dependent, "task-finished");
+    }
+  }
+
+  // Reference-counted release of this task's own dependencies.
+  for (const auto& dep_key : info.spec.dependencies) {
+    const auto dep_it = tasks_.find(dep_key);
+    if (dep_it == tasks_.end()) continue;
+    TaskInfo& dep_info = dep_it->second;
+    if (dep_info.remaining_dependents > 0) {
+      --dep_info.remaining_dependents;
+    }
+    maybe_release(dep_info);
+  }
+
+  // Workers freed capacity: reconsider the scheduler queue.
+  drain_queue();
+
+  auto& graph = graphs_.at(info.graph);
+  if (--graph.remaining == 0 && graph.on_done) {
+    logs_.log(LogLevel::kInfo, "scheduler", "Graph " + graph.name + " done");
+    // Fire once: recovery recomputation may re-count completions later.
+    GraphDoneFn on_done = std::move(graph.on_done);
+    graph.on_done = nullptr;
+    on_done(graph.name);
+  }
+}
+
+void Scheduler::maybe_release(TaskInfo& info) {
+  if (!info.spec.work.releasable) return;
+  if (info.state != SchedulerTaskState::kMemory) return;
+  if (info.dependents.empty() || info.remaining_dependents > 0) return;
+  // memory -> released -> forgotten, then drop every replica.
+  transition(info, SchedulerTaskState::kReleased, "release-key");
+  transition(info, SchedulerTaskState::kForgotten, "forget-key");
+  const TaskKey key = info.spec.key;
+  for (const WorkerId holder : info.who_has) {
+    Worker* worker = workers_.at(holder);
+    engine_.schedule_after(config_.control_latency,
+                           [worker, key] { worker->drop_data(key); });
+  }
+  info.who_has.clear();
+}
+
+void Scheduler::drain_queue() {
+  std::size_t remaining = queued_.size();
+  while (remaining-- > 0 && !queued_.empty()) {
+    const TaskKey key = queued_.front();
+    queued_.pop_front();
+    TaskInfo& info = tasks_.at(key);
+    Worker* worker = decide_worker(info);
+    if (worker == nullptr) {
+      queued_.push_back(key);
+      continue;
+    }
+    const double saturation_limit =
+        static_cast<double>(worker->nthreads()) * config_.saturation_factor;
+    if (static_cast<double>(in_flight_[worker->id()]) < saturation_limit) {
+      send_to_worker(info, worker, "queue-pop", /*stolen=*/false);
+    } else {
+      queued_.push_back(key);
+    }
+  }
+}
+
+void Scheduler::start_stealing_loop() {
+  if (!config_.work_stealing || stopped_) return;
+  engine_.schedule_after(config_.work_stealing_interval, [this] {
+    if (stopped_) return;
+    stealing_round();
+    start_stealing_loop();
+  });
+}
+
+void Scheduler::stealing_round() {
+  // Idle thieves pull ready tasks from saturated victims when the task's
+  // estimated compute dominates the data movement it would cause.
+  for (Worker* thief : workers_) {
+    if (!worker_alive_[thief->id()]) continue;
+    if (in_flight_[thief->id()] >= thief->nthreads()) continue;
+    Worker* victim = nullptr;
+    std::size_t victim_backlog = 0;
+    for (Worker* candidate : workers_) {
+      if (candidate == thief) continue;
+      if (!worker_alive_[candidate->id()]) continue;
+      const std::size_t backlog = candidate->ready_count();
+      if (backlog > candidate->nthreads() && backlog > victim_backlog) {
+        victim = candidate;
+        victim_backlog = backlog;
+      }
+    }
+    if (victim == nullptr) continue;
+    const auto stealable = victim->stealable_tasks();
+    if (stealable.empty()) continue;
+    // Steal from the back: newest, least likely to start next.
+    const TaskKey key = stealable.back();
+    TaskInfo& info = tasks_.at(key);
+    const Duration transfer = transfer_cost_estimate(info, *thief);
+    const Duration compute = compute_estimate(info);
+    if (compute < config_.steal_cost_ratio * transfer) continue;
+    if (!victim->try_release_ready_task(key)) continue;
+
+    StealRecord steal;
+    steal.key = key;
+    steal.victim = victim->id();
+    steal.thief = thief->id();
+    steal.time = engine_.now();
+    steal.estimated_transfer_cost = transfer;
+    steal.estimated_compute_cost = compute;
+    steals_.push_back(steal);
+    for (auto* plugin : plugins_) plugin->on_steal(steal);
+    logs_.log(LogLevel::kInfo, "scheduler",
+              "steal " + key.to_string() + " from " + victim->address() +
+                  " to " + thief->address());
+
+    // Re-send through the normal path (records the processing->processing
+    // transition with the "steal" stimulus and the new assignment).
+    send_to_worker(info, thief, "steal", /*stolen=*/true);
+  }
+}
+
+void Scheduler::heartbeat(WorkerId worker) {
+  (void)worker;  // membership health handled by the SSG group in Cluster
+}
+
+void Scheduler::recompute_lost(TaskInfo& info) {
+  if (info.state != SchedulerTaskState::kMemory) return;
+  transition(info, SchedulerTaskState::kReleased, "lost-data");
+  transition(info, SchedulerTaskState::kWaiting, "recompute");
+  graphs_.at(info.graph).remaining += 1;
+  info.waiting_on = 0;
+  for (const auto& dep : info.spec.dependencies) {
+    const auto dep_it = tasks_.find(dep);
+    if (dep_it == tasks_.end()) continue;
+    TaskInfo& dep_info = dep_it->second;
+    if (dep_info.state == SchedulerTaskState::kMemory) {
+      if (!dep_info.who_has.empty()) continue;
+      recompute_lost(dep_info);  // transitively lost
+    }
+    if (dep_info.state == SchedulerTaskState::kForgotten) {
+      // A released dependency cannot be rebuilt: terminal error.
+      transition(info, SchedulerTaskState::kErred, "unrecoverable");
+      ++erred_;
+      logs_.log(LogLevel::kError, "scheduler",
+                "cannot recompute " + info.spec.key.to_string() +
+                    ": dependency " + dep.to_string() + " was released");
+      return;
+    }
+    ++info.waiting_on;
+  }
+  if (info.waiting_on == 0) {
+    dispatch(info, "recompute");
+  }
+}
+
+void Scheduler::requeue_after_failure(TaskInfo& info) {
+  transition(info, SchedulerTaskState::kWaiting, "worker-failed");
+  info.waiting_on = 0;
+  for (const auto& dep : info.spec.dependencies) {
+    const auto dep_it = tasks_.find(dep);
+    if (dep_it == tasks_.end()) continue;
+    TaskInfo& dep_info = dep_it->second;
+    if (dep_info.state == SchedulerTaskState::kMemory) {
+      if (!dep_info.who_has.empty()) continue;
+      recompute_lost(dep_info);
+    }
+    if (dep_info.state == SchedulerTaskState::kMemory &&
+        !dep_info.who_has.empty()) {
+      continue;
+    }
+    ++info.waiting_on;
+  }
+  if (info.waiting_on == 0) {
+    dispatch(info, "worker-failed");
+  }
+}
+
+void Scheduler::on_worker_failed(WorkerId worker) {
+  if (worker >= workers_.size() || !worker_alive_[worker]) return;
+  worker_alive_[worker] = false;
+  Worker* dead = workers_[worker];
+  in_flight_[worker] = 0;
+  logs_.log(LogLevel::kError, "scheduler",
+            "Remove worker " + dead->address() + " (failed)");
+  for (auto* plugin : plugins_) {
+    plugin->on_worker_removed(worker, dead->address(), engine_.now());
+  }
+
+  // Purge the dead worker's replicas everywhere.
+  for (auto& [key, info] : tasks_) {
+    info.who_has.erase(worker);
+  }
+  // Re-dispatch its in-flight tasks, then recompute results whose only
+  // copies died with it (only those some dependent still needs).
+  for (auto& [key, info] : tasks_) {
+    if (info.state == SchedulerTaskState::kProcessing &&
+        info.assigned == dead) {
+      info.assigned = nullptr;
+      requeue_after_failure(info);
+    }
+  }
+  for (auto& [key, info] : tasks_) {
+    if (info.state == SchedulerTaskState::kMemory && info.who_has.empty() &&
+        info.remaining_dependents > 0) {
+      recompute_lost(info);
+    }
+  }
+  drain_queue();
+}
+
+bool Scheduler::in_memory(const TaskKey& key) const {
+  const auto it = tasks_.find(key);
+  return it != tasks_.end() && it->second.state == SchedulerTaskState::kMemory;
+}
+
+std::size_t Scheduler::tasks_in_memory() const {
+  std::size_t count = 0;
+  for (const auto& [key, info] : tasks_) {
+    if (info.state == SchedulerTaskState::kMemory) ++count;
+  }
+  return count;
+}
+
+}  // namespace recup::dtr

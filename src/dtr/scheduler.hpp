@@ -1,0 +1,174 @@
+// Scheduler: orchestrates tasks within the cluster, dispatching to available
+// workers and managing execution (paper §III-A). Implements the Dask
+// scheduler's task state machine with recorded transitions + stimuli, a
+// locality-aware decide_worker, queueing under saturation, retries on task
+// failure, and periodic work stealing — each a distinct source of the
+// run-to-run variability the paper characterizes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "dtr/plugins.hpp"
+#include "dtr/records.hpp"
+#include "dtr/task.hpp"
+#include "dtr/worker.hpp"
+#include "platform/network.hpp"
+#include "sim/engine.hpp"
+
+namespace recup::dtr {
+
+struct SchedulerConfig {
+  Duration control_latency = 1e-4;
+  bool work_stealing = true;
+  Duration work_stealing_interval = 0.1;
+  /// A worker is saturated when ready tasks exceed nthreads * this factor;
+  /// further assignments queue at the scheduler.
+  double saturation_factor = 2.0;
+  /// Steal only when estimated compute beats transfer cost by this ratio
+  /// (Dask's steal cost heuristic).
+  double steal_cost_ratio = 2.0;
+  std::uint32_t max_retries = 3;
+  /// Typical task duration estimate used for occupancy weighting before any
+  /// task of a prefix has completed.
+  Duration default_task_duration = 0.05;
+  /// Weight of the estimated dependency-transfer cost against the occupancy
+  /// penalty in decide_worker. Higher values bias placement toward data
+  /// locality (fewer transfers, possibly worse balance) — one of the design
+  /// knobs the ablation bench sweeps.
+  double locality_bias = 20.0;
+};
+
+class Scheduler {
+ public:
+  using GraphDoneFn = std::function<void(const std::string& graph)>;
+
+  Scheduler(sim::Engine& engine, platform::Network& network,
+            SchedulerConfig config, RngStream rng, LogCollector& logs);
+
+  // --- Cluster membership ----------------------------------------------------
+  void add_worker(Worker* worker);
+  [[nodiscard]] const std::vector<Worker*>& workers() const {
+    return workers_;
+  }
+
+  // --- Graph lifecycle ---------------------------------------------------------
+  /// Receives a validated task graph; tasks enter the state machine and
+  /// runnable ones are dispatched. `on_done` fires when every task of the
+  /// graph reaches memory (or is terminally erred).
+  void submit_graph(const TaskGraph& graph, GraphDoneFn on_done);
+
+  /// Results already in distributed memory from previous graphs, usable as
+  /// external dependencies of later graphs.
+  [[nodiscard]] bool in_memory(const TaskKey& key) const;
+  [[nodiscard]] std::size_t tasks_in_memory() const;
+  [[nodiscard]] std::size_t tasks_total() const { return tasks_.size(); }
+
+  // --- Introspection -----------------------------------------------------------
+  [[nodiscard]] const std::vector<TransitionRecord>& transitions() const {
+    return transitions_;
+  }
+  [[nodiscard]] const std::vector<TaskRecord>& task_records() const {
+    return task_records_;
+  }
+  [[nodiscard]] const std::vector<StealRecord>& steals() const {
+    return steals_;
+  }
+  [[nodiscard]] std::uint64_t erred_tasks() const { return erred_; }
+
+  void add_plugin(SchedulerPlugin* plugin) { plugins_.push_back(plugin); }
+  void start_stealing_loop();
+  void heartbeat(WorkerId worker);
+  void stop() { stopped_ = true; }
+
+  /// Fault handling (driven by SSG fault detection): removes the worker
+  /// from scheduling, purges its replicas, re-dispatches its in-flight
+  /// tasks, and recomputes results whose only copy died with it — Dask's
+  /// lost-key recovery.
+  void on_worker_failed(WorkerId worker);
+  [[nodiscard]] bool worker_alive(WorkerId worker) const {
+    return worker_alive_.at(worker);
+  }
+
+ private:
+  struct TaskInfo {
+    TaskSpec spec;
+    std::string graph;
+    SchedulerTaskState state = SchedulerTaskState::kReleased;
+    std::size_t waiting_on = 0;             ///< unmet dependency count
+    std::vector<TaskKey> dependents;
+    std::size_t remaining_dependents = 0;   ///< release refcount
+    std::set<WorkerId> who_has;             ///< replicas in worker memory
+    Worker* assigned = nullptr;
+    std::uint32_t retries = 0;
+    bool stolen = false;
+  };
+
+  struct GraphInfo {
+    std::string name;
+    std::size_t remaining = 0;
+    GraphDoneFn on_done;  ///< cleared after firing (recovery may re-count)
+  };
+
+  void transition(TaskInfo& info, SchedulerTaskState to,
+                  const std::string& stimulus);
+  /// Moves a runnable task to a worker or the scheduler queue.
+  void dispatch(TaskInfo& info, const std::string& stimulus);
+  /// Dask's decide_worker: minimize expected dep-transfer cost, tie-break
+  /// on occupancy.
+  Worker* decide_worker(const TaskInfo& info);
+  void send_to_worker(TaskInfo& info, Worker* worker,
+                      const std::string& stimulus, bool stolen);
+  void on_task_finished(const TaskKey& key, const TaskRecord& record,
+                        bool failed);
+  /// Reference-counted key release: frees the task's replicas from worker
+  /// memory once all known dependents completed (releasable tasks only).
+  void maybe_release(TaskInfo& info);
+  /// Schedules recomputation of a result whose replicas are all gone.
+  void recompute_lost(TaskInfo& info);
+  /// Moves a processing task back to waiting (after its worker died),
+  /// recovering any lost dependencies first.
+  void requeue_after_failure(TaskInfo& info);
+  void drain_queue();
+  void stealing_round();
+  [[nodiscard]] Duration transfer_cost_estimate(const TaskInfo& info,
+                                                const Worker& worker) const;
+  [[nodiscard]] Duration compute_estimate(const TaskInfo& info) const;
+
+  sim::Engine& engine_;
+  platform::Network& network_;
+  SchedulerConfig config_;
+  RngStream rng_;
+  LogCollector& logs_;
+
+  std::vector<Worker*> workers_;
+  std::vector<bool> worker_alive_;
+  /// Scheduler-side view of per-worker in-flight tasks (assigned but not
+  /// yet reported finished). Placement decisions must use this rather than
+  /// asking workers, because assignments are still in flight on the wire
+  /// when the next decision is made.
+  std::vector<std::size_t> in_flight_;
+  std::map<TaskKey, TaskInfo> tasks_;
+  std::map<std::string, GraphInfo> graphs_;
+  std::deque<TaskKey> queued_;  ///< runnable tasks waiting for capacity
+
+  /// Observed mean duration per prefix (drives steal/occupancy estimates).
+  std::map<std::string, std::pair<double, std::uint64_t>> prefix_durations_;
+
+  std::vector<TransitionRecord> transitions_;
+  std::vector<TaskRecord> task_records_;
+  std::vector<StealRecord> steals_;
+  std::vector<SchedulerPlugin*> plugins_;
+  std::uint64_t erred_ = 0;
+  bool stopped_ = false;
+  std::size_t rr_counter_ = 0;  ///< round-robin seed for cost ties
+};
+
+}  // namespace recup::dtr

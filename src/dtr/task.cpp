@@ -1,0 +1,139 @@
+#include "dtr/task.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace recup::dtr {
+
+std::string TaskKey::to_string() const {
+  if (index < 0) return group;
+  return "('" + group + "', " + std::to_string(index) + ")";
+}
+
+std::string TaskKey::prefix() const {
+  // The hash token is the final dash-separated component when it looks like
+  // a hex token; otherwise the whole group is the prefix (manual task names).
+  const std::size_t pos = group.rfind('-');
+  if (pos == std::string::npos || pos + 1 >= group.size()) return group;
+  const std::string tail = group.substr(pos + 1);
+  for (const char c : tail) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return group;
+  }
+  return group.substr(0, pos);
+}
+
+TaskGraph::TaskGraph(std::string name) : name_(std::move(name)) {}
+
+void TaskGraph::add_task(TaskSpec spec) {
+  const auto [it, inserted] = tasks_.emplace(spec.key, std::move(spec));
+  if (!inserted) {
+    throw std::invalid_argument("duplicate task key " + it->first.to_string());
+  }
+}
+
+bool TaskGraph::contains(const TaskKey& key) const {
+  return tasks_.count(key) != 0;
+}
+
+const TaskSpec& TaskGraph::task(const TaskKey& key) const {
+  const auto it = tasks_.find(key);
+  if (it == tasks_.end()) {
+    throw std::out_of_range("unknown task " + key.to_string());
+  }
+  return it->second;
+}
+
+void TaskGraph::validate(const std::vector<TaskKey>& external) const {
+  std::unordered_set<std::string> external_keys;
+  for (const auto& key : external) external_keys.insert(key.to_string());
+  for (const auto& [key, spec] : tasks_) {
+    for (const auto& dep : spec.dependencies) {
+      if (!contains(dep) && external_keys.count(dep.to_string()) == 0) {
+        throw std::invalid_argument("task " + key.to_string() +
+                                    " depends on unknown key " +
+                                    dep.to_string());
+      }
+    }
+  }
+  // Cycle check via the topological sort (throws on cycle).
+  (void)topological_order();
+}
+
+std::vector<TaskKey> TaskGraph::topological_order() const {
+  // Kahn's algorithm over in-graph dependencies only.
+  std::map<TaskKey, std::size_t> in_degree;
+  std::map<TaskKey, std::vector<TaskKey>> dependents;
+  for (const auto& [key, spec] : tasks_) {
+    std::size_t degree = 0;
+    for (const auto& dep : spec.dependencies) {
+      if (contains(dep)) {
+        ++degree;
+        dependents[dep].push_back(key);
+      }
+    }
+    in_degree[key] = degree;
+  }
+  std::vector<TaskKey> ready;
+  for (const auto& [key, degree] : in_degree) {
+    if (degree == 0) ready.push_back(key);
+  }
+  std::vector<TaskKey> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    TaskKey key = ready.back();
+    ready.pop_back();
+    order.push_back(key);
+    const auto it = dependents.find(key);
+    if (it == dependents.end()) continue;
+    for (const auto& dependent : it->second) {
+      if (--in_degree[dependent] == 0) ready.push_back(dependent);
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    throw std::invalid_argument("task graph '" + name_ + "' contains a cycle");
+  }
+  return order;
+}
+
+const char* to_string(SchedulerTaskState state) {
+  switch (state) {
+    case SchedulerTaskState::kReleased:
+      return "released";
+    case SchedulerTaskState::kWaiting:
+      return "waiting";
+    case SchedulerTaskState::kQueued:
+      return "queued";
+    case SchedulerTaskState::kNoWorker:
+      return "no-worker";
+    case SchedulerTaskState::kProcessing:
+      return "processing";
+    case SchedulerTaskState::kMemory:
+      return "memory";
+    case SchedulerTaskState::kErred:
+      return "erred";
+    case SchedulerTaskState::kForgotten:
+      return "forgotten";
+  }
+  return "unknown";
+}
+
+const char* to_string(WorkerTaskState state) {
+  switch (state) {
+    case WorkerTaskState::kReceived:
+      return "received";
+    case WorkerTaskState::kFetchingDeps:
+      return "fetching-deps";
+    case WorkerTaskState::kReady:
+      return "ready";
+    case WorkerTaskState::kExecuting:
+      return "executing";
+    case WorkerTaskState::kInMemory:
+      return "in-memory";
+    case WorkerTaskState::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace recup::dtr

@@ -1,0 +1,135 @@
+// Task model of the distributed task runtime (Dask.distributed analog).
+//
+// A workflow is a directed acyclic graph whose nodes are tasks and whose
+// edges are data dependencies (paper §III-A). Tasks are identified by keys;
+// a key's *group* is its name including the graph-optimizer hash token, and
+// its *prefix* is the human-readable category (e.g. the group
+// "read_parquet-fused-assign-24266c" has prefix "read_parquet-fused-assign")
+// — Figure 6's "task category" axis is the prefix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "gpuprof/records.hpp"
+
+namespace recup::dtr {
+
+struct TaskKey {
+  std::string group;       ///< name + hash token, e.g. "getitem-24266c"
+  std::int64_t index = -1; ///< position within the group, -1 for scalar keys
+
+  [[nodiscard]] std::string to_string() const;
+  /// Category: the group name with its trailing hash token stripped.
+  [[nodiscard]] std::string prefix() const;
+  auto operator<=>(const TaskKey&) const = default;
+};
+
+/// One simulated POSIX I/O operation a task performs.
+struct IoOpSpec {
+  std::string path;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  bool is_write = false;
+};
+
+/// Declarative description of what a task does when executed. The platform
+/// models turn this into measurable durations.
+struct TaskWork {
+  /// Pure compute time before noise, seconds.
+  Duration compute = 0.0;
+  /// Multiplicative log-normal noise sigma on compute time.
+  double compute_noise_sigma = 0.08;
+  /// POSIX reads issued (sequentially) before the compute section.
+  std::vector<IoOpSpec> reads;
+  /// POSIX writes issued after the compute section.
+  std::vector<IoOpSpec> writes;
+  /// GPU kernels launched (sequentially) before the CPU compute section;
+  /// contend for the executing node's shared devices.
+  std::vector<gpuprof::KernelSpec> kernels;
+  /// Size of the task's output kept in distributed memory.
+  std::uint64_t output_bytes = 0;
+  /// Transient allocation beyond the output (drives the GC model).
+  std::uint64_t scratch_bytes = 0;
+  /// True when execution holds the worker's event loop (GIL-heavy /
+  /// non-yielding task) — the source of "event loop unresponsive" warnings.
+  bool blocks_event_loop = false;
+  /// Probability that execution fails and the task is retried (failure
+  /// injection; 0 for normal workloads).
+  double failure_probability = 0.0;
+  /// When true, the scheduler may release (forget) this task's result once
+  /// every known dependent has completed, freeing distributed memory —
+  /// Dask's reference-counted key release. Tasks whose results are needed
+  /// by *later* graph submissions must leave this false (like holding a
+  /// persisted collection / future on the client).
+  bool releasable = false;
+};
+
+struct TaskSpec {
+  TaskKey key;
+  std::vector<TaskKey> dependencies;
+  TaskWork work;
+  /// Scheduling priority within a graph; lower runs earlier (dask.order
+  /// assigns I/O-rooted chains early, producing the read bursts at graph
+  /// boundaries seen in Figure 4).
+  int priority = 0;
+};
+
+/// A submittable DAG of tasks.
+class TaskGraph {
+ public:
+  explicit TaskGraph(std::string name);
+
+  void add_task(TaskSpec spec);
+  [[nodiscard]] bool contains(const TaskKey& key) const;
+  [[nodiscard]] const TaskSpec& task(const TaskKey& key) const;
+  [[nodiscard]] const std::map<TaskKey, TaskSpec>& tasks() const {
+    return tasks_;
+  }
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Validates that every dependency exists in this graph or is marked
+  /// external (already in distributed memory from a prior graph), and that
+  /// the graph is acyclic. Throws std::invalid_argument otherwise.
+  void validate(const std::vector<TaskKey>& external = {}) const;
+
+  /// Keys in a valid topological order (dependencies first).
+  [[nodiscard]] std::vector<TaskKey> topological_order() const;
+
+ private:
+  std::string name_;
+  std::map<TaskKey, TaskSpec> tasks_;
+};
+
+// --- Task state machines ----------------------------------------------------
+
+/// Scheduler-side task states (mirrors distributed.scheduler).
+enum class SchedulerTaskState {
+  kReleased,
+  kWaiting,     ///< dependencies not yet in memory
+  kQueued,      ///< runnable but all workers saturated
+  kNoWorker,    ///< runnable but no worker available
+  kProcessing,  ///< assigned to a worker
+  kMemory,      ///< result in distributed memory
+  kErred,
+  kForgotten,
+};
+
+/// Worker-side task states (mirrors distributed.worker).
+enum class WorkerTaskState {
+  kReceived,
+  kFetchingDeps,  ///< gather_dep transfers in flight
+  kReady,         ///< waiting for a free executor thread
+  kExecuting,
+  kInMemory,
+  kError,
+};
+
+const char* to_string(SchedulerTaskState state);
+const char* to_string(WorkerTaskState state);
+
+}  // namespace recup::dtr

@@ -1,0 +1,93 @@
+#include "dtr/vfs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace recup::dtr {
+
+Vfs::Vfs(sim::Engine& engine, platform::Pfs& pfs)
+    : engine_(engine), pfs_(pfs) {}
+
+void Vfs::register_file(const std::string& path, std::uint64_t size) {
+  files_[path] = size;
+}
+
+bool Vfs::exists(const std::string& path) const {
+  return files_.count(path) != 0;
+}
+
+std::uint64_t Vfs::file_size(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw std::out_of_range("vfs: no such file " + path);
+  }
+  return it->second;
+}
+
+void Vfs::open(darshan::Runtime& rt, std::uint64_t tid,
+               const std::string& path, bool create,
+               std::function<void(const VfsResult&)> done) {
+  if (!exists(path)) {
+    if (!create) throw std::out_of_range("vfs: open missing file " + path);
+    files_[path] = 0;
+  }
+  pfs_.metadata_op(
+      [&rt, tid, path, done = std::move(done)](const platform::IoResult& r) {
+        rt.on_open(path, tid, r.start, r.end);
+        done(VfsResult{r.start, r.end});
+      });
+}
+
+void Vfs::read(darshan::Runtime& rt, std::uint64_t tid,
+               const std::string& path, std::uint64_t offset,
+               std::uint64_t length,
+               std::function<void(const VfsResult&)> done) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw std::out_of_range("vfs: read missing file " + path);
+  }
+  // Clamp like pread at EOF.
+  std::uint64_t effective = 0;
+  if (offset < it->second) {
+    effective = std::min(length, it->second - offset);
+  }
+  pfs_.io(path, offset, effective, /*is_write=*/false,
+          [&rt, tid, path, offset, effective,
+           done = std::move(done)](const platform::IoResult& r) {
+            rt.on_read(path, tid, offset, effective, r.start, r.end);
+            done(VfsResult{r.start, r.end});
+          });
+}
+
+void Vfs::write(darshan::Runtime& rt, std::uint64_t tid,
+                const std::string& path, std::uint64_t offset,
+                std::uint64_t length,
+                std::function<void(const VfsResult&)> done) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    // POSIX would require a prior open(O_CREAT); tolerate implicit creation
+    // so task specs stay terse.
+    it = files_.emplace(path, 0).first;
+  }
+  it->second = std::max(it->second, offset + length);
+  pfs_.io(path, offset, length, /*is_write=*/true,
+          [&rt, tid, path, offset, length,
+           done = std::move(done)](const platform::IoResult& r) {
+            rt.on_write(path, tid, offset, length, r.start, r.end);
+            done(VfsResult{r.start, r.end});
+          });
+}
+
+void Vfs::close(darshan::Runtime& rt, std::uint64_t tid,
+                const std::string& path,
+                std::function<void(const VfsResult&)> done) {
+  const TimePoint start = engine_.now();
+  // close() is a local operation: negligible, constant cost.
+  engine_.schedule_after(1e-6, [&rt, tid, path, start, this,
+                                done = std::move(done)] {
+    rt.on_close(path, tid, start, engine_.now());
+    done(VfsResult{start, engine_.now()});
+  });
+}
+
+}  // namespace recup::dtr

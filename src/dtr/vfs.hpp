@@ -1,0 +1,61 @@
+// Instrumented virtual file system.
+//
+// Worker I/O goes through this layer: each operation is costed by the Lustre
+// PFS model and reported to the issuing worker's Darshan runtime with the
+// executing thread's id — the exact interposition point the paper's modified
+// Darshan occupies (LD_PRELOAD'd POSIX wrappers inside each worker process).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "darshan/runtime.hpp"
+#include "platform/pfs.hpp"
+#include "sim/engine.hpp"
+
+namespace recup::dtr {
+
+/// A completed VFS operation.
+struct VfsResult {
+  TimePoint start = 0.0;
+  TimePoint end = 0.0;
+};
+
+class Vfs {
+ public:
+  Vfs(sim::Engine& engine, platform::Pfs& pfs);
+
+  /// Declares a pre-existing input file of the given size (the synthetic
+  /// dataset generators call this).
+  void register_file(const std::string& path, std::uint64_t size);
+  [[nodiscard]] bool exists(const std::string& path) const;
+  [[nodiscard]] std::uint64_t file_size(const std::string& path) const;
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+
+  /// open(2): metadata op; reported to `rt` under thread `tid`.
+  void open(darshan::Runtime& rt, std::uint64_t tid, const std::string& path,
+            bool create, std::function<void(const VfsResult&)> done);
+
+  /// pread(2)-like: reads [offset, offset+length); clamps to file size.
+  void read(darshan::Runtime& rt, std::uint64_t tid, const std::string& path,
+            std::uint64_t offset, std::uint64_t length,
+            std::function<void(const VfsResult&)> done);
+
+  /// pwrite(2)-like: extends the file when writing past the end.
+  void write(darshan::Runtime& rt, std::uint64_t tid, const std::string& path,
+             std::uint64_t offset, std::uint64_t length,
+             std::function<void(const VfsResult&)> done);
+
+  /// close(2): near-free metadata op.
+  void close(darshan::Runtime& rt, std::uint64_t tid, const std::string& path,
+             std::function<void(const VfsResult&)> done);
+
+ private:
+  sim::Engine& engine_;
+  platform::Pfs& pfs_;
+  std::map<std::string, std::uint64_t> files_;  // path -> size
+};
+
+}  // namespace recup::dtr

@@ -1,0 +1,44 @@
+#include "gpuprof/collector.hpp"
+
+#include <algorithm>
+
+namespace recup::gpuprof {
+
+void Collector::record(const KernelRecord& record) {
+  records_.push_back(record);
+}
+
+std::vector<KernelSummary> Collector::by_kernel() const {
+  std::map<std::string, KernelSummary> by_name;
+  for (const auto& r : records_) {
+    KernelSummary& s = by_name[r.kernel_name];
+    s.kernel_name = r.kernel_name;
+    ++s.launches;
+    s.total_time += r.duration();
+    s.max_time = std::max(s.max_time, r.duration());
+    s.total_queue_delay += r.queue_delay();
+  }
+  std::vector<KernelSummary> out;
+  out.reserve(by_name.size());
+  for (auto& [name, summary] : by_name) {
+    summary.mean_time =
+        summary.total_time / static_cast<double>(summary.launches);
+    out.push_back(summary);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const KernelSummary& a, const KernelSummary& b) {
+              return a.total_time > b.total_time;
+            });
+  return out;
+}
+
+std::map<std::pair<platform::NodeId, DeviceIndex>, double>
+Collector::device_busy_time() const {
+  std::map<std::pair<platform::NodeId, DeviceIndex>, double> out;
+  for (const auto& r : records_) {
+    out[{r.node, r.device}] += r.duration();
+  }
+  return out;
+}
+
+}  // namespace recup::gpuprof

@@ -1,0 +1,43 @@
+// NSIGHT-analog collector: accumulates kernel records per run and offers
+// simple summaries (per kernel name, per device) for the analysis layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "gpuprof/records.hpp"
+
+namespace recup::gpuprof {
+
+struct KernelSummary {
+  std::string kernel_name;
+  std::uint64_t launches = 0;
+  double total_time = 0.0;
+  double mean_time = 0.0;
+  double max_time = 0.0;
+  double total_queue_delay = 0.0;
+};
+
+class Collector {
+ public:
+  void record(const KernelRecord& record);
+
+  [[nodiscard]] const std::vector<KernelRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Per-kernel-name aggregate, sorted by total time descending.
+  [[nodiscard]] std::vector<KernelSummary> by_kernel() const;
+  /// Busy time per (node, device).
+  [[nodiscard]] std::map<std::pair<platform::NodeId, DeviceIndex>, double>
+  device_busy_time() const;
+
+ private:
+  std::vector<KernelRecord> records_;
+};
+
+}  // namespace recup::gpuprof

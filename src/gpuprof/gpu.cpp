@@ -1,0 +1,67 @@
+#include "gpuprof/gpu.hpp"
+
+#include <stdexcept>
+
+namespace recup::gpuprof {
+
+GpuSet::GpuSet(sim::Engine& engine, std::size_t node_count, GpuConfig config,
+               RngStream rng)
+    : engine_(engine), config_(config), rng_(rng) {
+  if (config_.devices_per_node == 0 || config_.streams_per_device == 0) {
+    throw std::invalid_argument("gpu config needs devices and streams");
+  }
+  devices_.resize(node_count);
+  next_device_.assign(node_count, 0);
+  for (auto& node_devices : devices_) {
+    for (std::uint32_t d = 0; d < config_.devices_per_node; ++d) {
+      node_devices.push_back(std::make_unique<sim::Resource>(
+          engine_, config_.streams_per_device));
+    }
+  }
+}
+
+void GpuSet::launch(platform::NodeId node, const KernelSpec& spec,
+                    std::uint64_t thread_id,
+                    std::function<void(const KernelRecord&)> on_complete) {
+  if (node >= devices_.size()) {
+    throw std::out_of_range("gpu launch on unknown node");
+  }
+  ++launched_;
+  auto& node_devices = devices_[node];
+  // Least-loaded device, round-robin tie-break (CUDA_VISIBLE_DEVICES-style
+  // assignment would pin; Dask workers typically share via round robin).
+  DeviceIndex best = next_device_[node];
+  std::size_t best_load = SIZE_MAX;
+  for (std::uint32_t i = 0; i < node_devices.size(); ++i) {
+    const auto d = static_cast<DeviceIndex>(
+        (next_device_[node] + i) % node_devices.size());
+    const std::size_t load =
+        node_devices[d]->in_service() + node_devices[d]->queued();
+    if (load < best_load) {
+      best_load = load;
+      best = d;
+    }
+  }
+  next_device_[node] =
+      static_cast<std::uint32_t>((best + 1) % node_devices.size());
+
+  const TimePoint queued = engine_.now();
+  Duration service = spec.duration * rng_.lognormal(1.0, config_.jitter_sigma);
+  service += config_.launch_latency;
+  node_devices[best]->request(
+      service, [queued, node, best, thread_id, name = spec.name,
+                on_complete = std::move(on_complete)](TimePoint start,
+                                                      TimePoint end) {
+        KernelRecord record;
+        record.node = node;
+        record.device = best;
+        record.kernel_name = name;
+        record.thread_id = thread_id;
+        record.queued = queued;
+        record.start = start;
+        record.end = end;
+        on_complete(record);
+      });
+}
+
+}  // namespace recup::gpuprof

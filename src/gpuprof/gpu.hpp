@@ -1,0 +1,53 @@
+// Per-node GPU model: each node exposes `gpus` devices, each serving a
+// bounded number of concurrent kernels (streams). Workers on a node share
+// its devices, so co-scheduled GPU-heavy tasks contend — a variability
+// source specific to accelerated workloads like the ResNet152 batch
+// prediction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpuprof/records.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace recup::gpuprof {
+
+struct GpuConfig {
+  std::uint32_t devices_per_node = 4;  ///< Polaris: 4x A100 per node
+  std::uint32_t streams_per_device = 2;
+  /// Host-side launch overhead per kernel.
+  Duration launch_latency = 12e-6;
+  /// Multiplicative log-normal jitter on kernel duration.
+  double jitter_sigma = 0.10;
+};
+
+class GpuSet {
+ public:
+  GpuSet(sim::Engine& engine, std::size_t node_count, GpuConfig config,
+         RngStream rng);
+
+  /// Launches one kernel from `thread_id` on the least-loaded device of
+  /// `node`. `on_complete` receives the finished record.
+  void launch(platform::NodeId node, const KernelSpec& spec,
+              std::uint64_t thread_id,
+              std::function<void(const KernelRecord&)> on_complete);
+
+  [[nodiscard]] const GpuConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t kernels_launched() const { return launched_; }
+
+ private:
+  sim::Engine& engine_;
+  GpuConfig config_;
+  RngStream rng_;
+  // devices_[node][device]
+  std::vector<std::vector<std::unique_ptr<sim::Resource>>> devices_;
+  std::vector<std::uint32_t> next_device_;  // round-robin cursor per node
+  std::uint64_t launched_ = 0;
+};
+
+}  // namespace recup::gpuprof

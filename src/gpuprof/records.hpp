@@ -1,0 +1,38 @@
+// GPU kernel trace records — the NSIGHT Systems-analog data source the
+// paper lists as future work for AI workloads (§VI). Kernel records carry
+// the same join identifiers as every other layer (node, launching thread
+// id, timestamps) so PERFRECUP can attribute kernels to tasks exactly like
+// Darshan segments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+#include "platform/topology.hpp"
+
+namespace recup::gpuprof {
+
+using DeviceIndex = std::uint32_t;
+
+struct KernelRecord {
+  platform::NodeId node = 0;
+  DeviceIndex device = 0;
+  std::string kernel_name;
+  std::uint64_t thread_id = 0;  ///< launching host thread (task lane)
+  TimePoint queued = 0.0;       ///< when the launch was issued
+  TimePoint start = 0.0;        ///< execution start on the device
+  TimePoint end = 0.0;
+
+  [[nodiscard]] Duration duration() const { return end - start; }
+  [[nodiscard]] Duration queue_delay() const { return start - queued; }
+};
+
+/// Declarative kernel work inside a task (part of TaskWork).
+struct KernelSpec {
+  std::string name;
+  Duration duration = 0.0;  ///< device time per launch, before jitter
+  std::uint32_t launches = 1;
+};
+
+}  // namespace recup::gpuprof

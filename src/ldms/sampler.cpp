@@ -1,0 +1,79 @@
+#include "ldms/sampler.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace recup::ldms {
+
+Sampler::Sampler(sim::Engine& engine, SamplerConfig config)
+    : engine_(engine), config_(config) {
+  if (config_.interval <= 0.0) {
+    throw std::invalid_argument("ldms sampler needs a positive interval");
+  }
+}
+
+void Sampler::add_provider(MetricProvider provider) {
+  providers_.push_back(std::move(provider));
+}
+
+void Sampler::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void Sampler::stop() { running_ = false; }
+
+void Sampler::tick() {
+  if (!running_) return;
+  engine_.schedule_after(config_.interval, [this] {
+    if (!running_) return;
+    for (std::size_t i = 0; i < providers_.size(); ++i) {
+      MetricSample sample = providers_[i]();
+      sample.node = static_cast<std::uint32_t>(i);
+      sample.time = engine_.now();
+      samples_.push_back(sample);
+    }
+    tick();
+  });
+}
+
+std::vector<MetricSample> Sampler::node_series(std::uint32_t node) const {
+  std::vector<MetricSample> out;
+  for (const auto& sample : samples_) {
+    if (sample.node == node) out.push_back(sample);
+  }
+  return out;
+}
+
+std::vector<double> Sampler::mean_utilization() const {
+  std::vector<double> sums;
+  std::vector<std::size_t> counts;
+  for (const auto& sample : samples_) {
+    if (sample.node >= sums.size()) {
+      sums.resize(sample.node + 1, 0.0);
+      counts.resize(sample.node + 1, 0);
+    }
+    sums[sample.node] += sample.cpu_utilization;
+    ++counts[sample.node];
+  }
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    if (counts[i] > 0) sums[i] /= static_cast<double>(counts[i]);
+  }
+  return sums;
+}
+
+std::string Sampler::to_csv() const {
+  std::ostringstream out;
+  out << "node,time,cpu,memory,network_transfers,pfs_ops\n";
+  for (const auto& s : samples_) {
+    out << s.node << ',' << format_double(s.time, 6) << ','
+        << format_double(s.cpu_utilization, 4) << ',' << s.memory_bytes << ','
+        << s.network_transfers << ',' << s.pfs_ops << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace recup::ldms

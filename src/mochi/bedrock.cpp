@@ -1,0 +1,82 @@
+#include "mochi/bedrock.hpp"
+
+#include <set>
+
+namespace recup::mochi {
+
+ServiceHandle::ServiceHandle(const json::Value& config) : config_(config) {
+  if (!config_.is_object() || !config_.contains("providers")) {
+    throw BedrockError("bedrock: config must contain a 'providers' array");
+  }
+  std::set<std::string> seen;
+  for (const auto& provider : config_.at("providers").as_array()) {
+    const std::string type = provider.get_string("type", "");
+    const std::string name = provider.get_string("name", "");
+    if (name.empty()) throw BedrockError("bedrock: provider missing 'name'");
+    if (!seen.insert(name).second) {
+      throw BedrockError("bedrock: duplicate provider name '" + name + "'");
+    }
+    if (type == "yokan") {
+      kvs_.emplace_back(name, std::make_unique<KeyValueStore>(name));
+    } else if (type == "warabi") {
+      blobs_.emplace_back(name, std::make_unique<BlobStore>(name));
+    } else if (type == "ssg") {
+      const auto suspect = static_cast<std::uint64_t>(
+          provider.get_int("suspect_after", 2));
+      const auto dead =
+          static_cast<std::uint64_t>(provider.get_int("dead_after", 5));
+      groups_.emplace_back(name,
+                           std::make_unique<Group>(name, suspect, dead));
+    } else {
+      throw BedrockError("bedrock: unknown provider type '" + type + "'");
+    }
+  }
+}
+
+ServiceHandle ServiceHandle::from_string(const std::string& config_text) {
+  return ServiceHandle(json::parse(config_text));
+}
+
+KeyValueStore& ServiceHandle::yokan(const std::string& name) {
+  for (auto& [n, kv] : kvs_) {
+    if (n == name) return *kv;
+  }
+  throw BedrockError("bedrock: no yokan provider named '" + name + "'");
+}
+
+BlobStore& ServiceHandle::warabi(const std::string& name) {
+  for (auto& [n, blob] : blobs_) {
+    if (n == name) return *blob;
+  }
+  throw BedrockError("bedrock: no warabi provider named '" + name + "'");
+}
+
+Group& ServiceHandle::ssg(const std::string& name) {
+  for (auto& [n, group] : groups_) {
+    if (n == name) return *group;
+  }
+  throw BedrockError("bedrock: no ssg provider named '" + name + "'");
+}
+
+bool ServiceHandle::has_provider(const std::string& name) const {
+  for (const auto& [n, kv] : kvs_) {
+    if (n == name) return true;
+  }
+  for (const auto& [n, blob] : blobs_) {
+    if (n == name) return true;
+  }
+  for (const auto& [n, group] : groups_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ServiceHandle::provider_names() const {
+  std::vector<std::string> out;
+  for (const auto& [n, kv] : kvs_) out.push_back(n);
+  for (const auto& [n, blob] : blobs_) out.push_back(n);
+  for (const auto& [n, group] : groups_) out.push_back(n);
+  return out;
+}
+
+}  // namespace recup::mochi

@@ -1,0 +1,57 @@
+// Bedrock-analog: JSON-configuration-driven bootstrapping of Mochi service
+// providers (paper §III-B: "Bedrock for deployment and bootstrapping").
+// A ServiceHandle owns one process-worth of providers (KV stores, blob
+// stores, groups); lookups are by provider name.
+//
+// Example configuration:
+//   {
+//     "providers": [
+//       {"type": "yokan",  "name": "metadata"},
+//       {"type": "warabi", "name": "data"},
+//       {"type": "ssg",    "name": "group", "suspect_after": 2,
+//        "dead_after": 5}
+//     ]
+//   }
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "mochi/ssg.hpp"
+#include "mochi/warabi.hpp"
+#include "mochi/yokan.hpp"
+
+namespace recup::mochi {
+
+class BedrockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ServiceHandle {
+ public:
+  /// Bootstraps providers from a parsed configuration document.
+  explicit ServiceHandle(const json::Value& config);
+  /// Bootstraps from configuration text.
+  static ServiceHandle from_string(const std::string& config_text);
+
+  /// Provider lookup; throws BedrockError when missing or wrong type.
+  [[nodiscard]] KeyValueStore& yokan(const std::string& name);
+  [[nodiscard]] BlobStore& warabi(const std::string& name);
+  [[nodiscard]] Group& ssg(const std::string& name);
+
+  [[nodiscard]] bool has_provider(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> provider_names() const;
+  /// The configuration this handle was built from (for provenance capture).
+  [[nodiscard]] const json::Value& config() const { return config_; }
+
+ private:
+  json::Value config_;
+  std::vector<std::pair<std::string, std::unique_ptr<KeyValueStore>>> kvs_;
+  std::vector<std::pair<std::string, std::unique_ptr<BlobStore>>> blobs_;
+  std::vector<std::pair<std::string, std::unique_ptr<Group>>> groups_;
+};
+
+}  // namespace recup::mochi

@@ -1,0 +1,128 @@
+#include "mochi/ssg.hpp"
+
+#include <stdexcept>
+
+namespace recup::mochi {
+
+Group::Group(std::string name, std::uint64_t suspect_after,
+             std::uint64_t dead_after)
+    : name_(std::move(name)),
+      suspect_after_(suspect_after),
+      dead_after_(dead_after) {
+  if (suspect_after_ == 0 || dead_after_ <= suspect_after_) {
+    throw std::invalid_argument("ssg: need 0 < suspect_after < dead_after");
+  }
+}
+
+MemberId Group::join(const std::string& address) {
+  std::vector<std::pair<Member, MembershipUpdate>> updates;
+  MemberId id;
+  {
+    std::lock_guard lock(mutex_);
+    id = next_id_++;
+    Entry entry;
+    entry.member.id = id;
+    entry.member.address = address;
+    entry.heard_this_round = true;
+    entries_.emplace(id, entry);
+    updates.emplace_back(entry.member, MembershipUpdate::kJoined);
+  }
+  for (const auto& [member, update] : updates) notify(member, update);
+  return id;
+}
+
+void Group::leave(MemberId id) {
+  Member copy;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return;
+    copy = it->second.member;
+    entries_.erase(it);
+  }
+  copy.state = MemberState::kDead;
+  notify(copy, MembershipUpdate::kLeft);
+}
+
+void Group::heartbeat(MemberId id) {
+  std::vector<std::pair<Member, MembershipUpdate>> updates;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return;
+    Entry& entry = it->second;
+    entry.heard_this_round = true;
+    entry.member.missed_heartbeats = 0;
+    if (entry.member.state != MemberState::kAlive) {
+      entry.member.state = MemberState::kAlive;
+      updates.emplace_back(entry.member, MembershipUpdate::kRejoined);
+    }
+  }
+  for (const auto& [member, update] : updates) notify(member, update);
+}
+
+void Group::tick() {
+  std::vector<std::pair<Member, MembershipUpdate>> updates;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& [id, entry] : entries_) {
+      if (entry.heard_this_round) {
+        entry.heard_this_round = false;
+        continue;
+      }
+      if (entry.member.state == MemberState::kDead) continue;
+      ++entry.member.missed_heartbeats;
+      if (entry.member.missed_heartbeats >= dead_after_) {
+        entry.member.state = MemberState::kDead;
+        updates.emplace_back(entry.member, MembershipUpdate::kDied);
+      } else if (entry.member.missed_heartbeats >= suspect_after_ &&
+                 entry.member.state == MemberState::kAlive) {
+        entry.member.state = MemberState::kSuspect;
+        updates.emplace_back(entry.member, MembershipUpdate::kSuspected);
+      }
+    }
+  }
+  for (const auto& [member, update] : updates) notify(member, update);
+}
+
+void Group::add_observer(Observer observer) {
+  std::lock_guard lock(mutex_);
+  observers_.push_back(std::move(observer));
+}
+
+std::vector<Member> Group::members() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Member> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(entry.member);
+  return out;
+}
+
+std::size_t Group::alive_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.member.state == MemberState::kAlive) ++count;
+  }
+  return count;
+}
+
+MemberState Group::state(MemberId id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    throw std::out_of_range("ssg: unknown member " + std::to_string(id));
+  }
+  return it->second.member.state;
+}
+
+void Group::notify(const Member& member, MembershipUpdate update) {
+  std::vector<Observer> observers;
+  {
+    std::lock_guard lock(mutex_);
+    observers = observers_;
+  }
+  for (const auto& observer : observers) observer(member, update);
+}
+
+}  // namespace recup::mochi

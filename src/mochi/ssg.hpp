@@ -1,0 +1,72 @@
+// SSG-analog: group membership with heartbeat-based fault detection (paper
+// §III-B: "SSG for group membership and fault detection"). Detection runs on
+// logical heartbeat rounds driven by the caller, so behaviour is
+// deterministic under test while the production loop can tick it from a
+// timer thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace recup::mochi {
+
+using MemberId = std::uint64_t;
+
+enum class MemberState { kAlive, kSuspect, kDead };
+
+struct Member {
+  MemberId id = 0;
+  std::string address;
+  MemberState state = MemberState::kAlive;
+  std::uint64_t missed_heartbeats = 0;
+};
+
+enum class MembershipUpdate { kJoined, kSuspected, kDied, kLeft, kRejoined };
+
+class Group {
+ public:
+  using Observer =
+      std::function<void(const Member&, MembershipUpdate update)>;
+
+  /// `suspect_after` missed rounds marks a member suspect; `dead_after`
+  /// missed rounds marks it dead.
+  Group(std::string name, std::uint64_t suspect_after = 2,
+        std::uint64_t dead_after = 5);
+
+  MemberId join(const std::string& address);
+  void leave(MemberId id);
+  /// Records a heartbeat from `id` for the current round; revives suspects.
+  void heartbeat(MemberId id);
+  /// Advances one detection round: members without a heartbeat since the
+  /// previous round accrue a miss; thresholds fire observer updates.
+  void tick();
+
+  void add_observer(Observer observer);
+
+  [[nodiscard]] std::vector<Member> members() const;
+  [[nodiscard]] std::size_t alive_count() const;
+  [[nodiscard]] MemberState state(MemberId id) const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct Entry {
+    Member member;
+    bool heard_this_round = false;
+  };
+
+  void notify(const Member& member, MembershipUpdate update);
+
+  std::string name_;
+  std::uint64_t suspect_after_;
+  std::uint64_t dead_after_;
+  mutable std::mutex mutex_;
+  std::map<MemberId, Entry> entries_;
+  std::vector<Observer> observers_;
+  MemberId next_id_ = 1;
+};
+
+}  // namespace recup::mochi

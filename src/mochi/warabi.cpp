@@ -1,0 +1,101 @@
+#include "mochi/warabi.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace recup::mochi {
+
+RegionId BlobStore::create() {
+  std::lock_guard lock(mutex_);
+  ++stats_.creates;
+  const RegionId id = next_id_++;
+  regions_.emplace(id, Region{});
+  return id;
+}
+
+RegionId BlobStore::create_sealed(std::string data) {
+  std::lock_guard lock(mutex_);
+  ++stats_.creates;
+  ++stats_.writes;
+  stats_.bytes_written += data.size();
+  const RegionId id = next_id_++;
+  regions_.emplace(id, Region{std::move(data), true});
+  return id;
+}
+
+const BlobStore::Region& BlobStore::region_or_throw(RegionId id) const {
+  const auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    throw std::out_of_range("warabi: unknown region " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::uint64_t BlobStore::append(RegionId id, std::string_view data) {
+  std::lock_guard lock(mutex_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    throw std::out_of_range("warabi: unknown region " + std::to_string(id));
+  }
+  if (it->second.sealed) {
+    throw std::logic_error("warabi: append to sealed region");
+  }
+  ++stats_.writes;
+  stats_.bytes_written += data.size();
+  const std::uint64_t offset = it->second.data.size();
+  it->second.data.append(data);
+  return offset;
+}
+
+void BlobStore::seal(RegionId id) {
+  std::lock_guard lock(mutex_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    throw std::out_of_range("warabi: unknown region " + std::to_string(id));
+  }
+  it->second.sealed = true;
+}
+
+bool BlobStore::sealed(RegionId id) const {
+  std::lock_guard lock(mutex_);
+  return region_or_throw(id).sealed;
+}
+
+std::string BlobStore::read(RegionId id, std::uint64_t offset,
+                            std::uint64_t length) const {
+  std::lock_guard lock(mutex_);
+  const Region& region = region_or_throw(id);
+  ++stats_.reads;
+  if (offset >= region.data.size()) return {};
+  const std::uint64_t avail = region.data.size() - offset;
+  const std::uint64_t take = std::min(length, avail);
+  stats_.bytes_read += take;
+  return region.data.substr(offset, take);
+}
+
+std::uint64_t BlobStore::size(RegionId id) const {
+  std::lock_guard lock(mutex_);
+  return region_or_throw(id).data.size();
+}
+
+bool BlobStore::erase(RegionId id) {
+  std::lock_guard lock(mutex_);
+  return regions_.erase(id) != 0;
+}
+
+bool BlobStore::exists(RegionId id) const {
+  std::lock_guard lock(mutex_);
+  return regions_.count(id) != 0;
+}
+
+std::size_t BlobStore::region_count() const {
+  std::lock_guard lock(mutex_);
+  return regions_.size();
+}
+
+WarabiStats BlobStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace recup::mochi

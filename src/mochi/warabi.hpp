@@ -1,0 +1,66 @@
+// Warabi-analog: a thread-safe blob (raw region) store. Mofka stores event
+// data payloads here (paper §III-B: "Warabi to store raw (blob) data").
+// Regions are immutable once sealed; partial reads are supported so
+// consumers can fetch only the byte ranges their data selector requests.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace recup::mochi {
+
+using RegionId = std::uint64_t;
+
+struct WarabiStats {
+  std::uint64_t creates = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+class BlobStore {
+ public:
+  explicit BlobStore(std::string name = "warabi") : name_(std::move(name)) {}
+
+  /// Creates an empty, writable region.
+  RegionId create();
+  /// Creates a region already holding `data` and seals it.
+  RegionId create_sealed(std::string data);
+  /// Appends to an unsealed region; returns the offset written at.
+  std::uint64_t append(RegionId id, std::string_view data);
+  /// Seals a region; further appends throw.
+  void seal(RegionId id);
+  [[nodiscard]] bool sealed(RegionId id) const;
+
+  /// Reads [offset, offset+length); clamps to the region size.
+  [[nodiscard]] std::string read(RegionId id, std::uint64_t offset = 0,
+                                 std::uint64_t length = UINT64_MAX) const;
+  [[nodiscard]] std::uint64_t size(RegionId id) const;
+  bool erase(RegionId id);
+  [[nodiscard]] bool exists(RegionId id) const;
+
+  [[nodiscard]] std::size_t region_count() const;
+  [[nodiscard]] WarabiStats stats() const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct Region {
+    std::string data;
+    bool sealed = false;
+  };
+
+  const Region& region_or_throw(RegionId id) const;
+
+  std::string name_;
+  mutable std::mutex mutex_;
+  std::unordered_map<RegionId, Region> regions_;
+  RegionId next_id_ = 1;
+  mutable WarabiStats stats_;
+};
+
+}  // namespace recup::mochi

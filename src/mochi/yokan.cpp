@@ -1,0 +1,145 @@
+#include "mochi/yokan.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace recup::mochi {
+
+void KeyValueStore::put(const std::string& key, std::string value) {
+  std::lock_guard lock(mutex_);
+  ++stats_.puts;
+  data_[key] = std::move(value);
+}
+
+bool KeyValueStore::put_if_absent(const std::string& key, std::string value) {
+  std::lock_guard lock(mutex_);
+  ++stats_.puts;
+  return data_.emplace(key, std::move(value)).second;
+}
+
+std::optional<std::string> KeyValueStore::get(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  ++stats_.gets;
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KeyValueStore::exists(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  ++stats_.gets;
+  return data_.count(key) != 0;
+}
+
+bool KeyValueStore::erase(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  ++stats_.erases;
+  return data_.erase(key) != 0;
+}
+
+std::int64_t KeyValueStore::increment(const std::string& key,
+                                      std::int64_t delta) {
+  std::lock_guard lock(mutex_);
+  ++stats_.puts;
+  std::int64_t current = 0;
+  const auto it = data_.find(key);
+  if (it != data_.end()) {
+    const auto& s = it->second;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(),
+                                           current);
+    if (ec != std::errc() || ptr != s.data() + s.size()) {
+      throw std::runtime_error("yokan: key '" + key + "' is not an integer");
+    }
+  }
+  current += delta;
+  data_[key] = std::to_string(current);
+  return current;
+}
+
+std::vector<std::string> KeyValueStore::list_keys(const std::string& prefix,
+                                                  std::size_t limit) const {
+  std::lock_guard lock(mutex_);
+  ++stats_.lists;
+  std::vector<std::string> out;
+  for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+    if (limit != 0 && out.size() >= limit) break;
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> KeyValueStore::list_keyvals(
+    const std::string& prefix, std::size_t limit) const {
+  std::lock_guard lock(mutex_);
+  ++stats_.lists;
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second);
+    if (limit != 0 && out.size() >= limit) break;
+  }
+  return out;
+}
+
+std::size_t KeyValueStore::size() const {
+  std::lock_guard lock(mutex_);
+  return data_.size();
+}
+
+YokanStats KeyValueStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+namespace {
+
+void write_u64(std::ofstream& out, std::uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+std::uint64_t read_u64(std::ifstream& in) {
+  std::uint64_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("yokan: truncated store file");
+  return value;
+}
+
+}  // namespace
+
+void KeyValueStore::save(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("yokan: cannot open " + path);
+  write_u64(out, data_.size());
+  for (const auto& [key, value] : data_) {
+    write_u64(out, key.size());
+    out.write(key.data(), static_cast<std::streamsize>(key.size()));
+    write_u64(out, value.size());
+    out.write(value.data(), static_cast<std::streamsize>(value.size()));
+  }
+  if (!out) throw std::runtime_error("yokan: write failed for " + path);
+}
+
+void KeyValueStore::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("yokan: cannot open " + path);
+  const std::uint64_t count = read_u64(in);
+  std::map<std::string, std::string> loaded;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t key_size = read_u64(in);
+    std::string key(key_size, '\0');
+    in.read(key.data(), static_cast<std::streamsize>(key_size));
+    const std::uint64_t value_size = read_u64(in);
+    std::string value(value_size, '\0');
+    in.read(value.data(), static_cast<std::streamsize>(value_size));
+    if (!in) throw std::runtime_error("yokan: truncated store file");
+    loaded.emplace(std::move(key), std::move(value));
+  }
+  std::lock_guard lock(mutex_);
+  data_ = std::move(loaded);
+}
+
+}  // namespace recup::mochi

@@ -1,0 +1,177 @@
+#include "mofka/broker.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace recup::mofka {
+
+Broker::Broker(mochi::KeyValueStore& metadata_store,
+               mochi::BlobStore& data_store)
+    : metadata_store_(metadata_store), data_store_(data_store) {}
+
+void Broker::create_topic(const std::string& name, TopicConfig config) {
+  if (config.partitions == 0) {
+    throw MofkaError("mofka: topic needs >= 1 partition");
+  }
+  std::lock_guard lock(mutex_);
+  if (topics_.count(name) != 0) {
+    throw MofkaError("mofka: topic '" + name + "' already exists");
+  }
+  Topic topic;
+  topic.config = std::move(config);
+  topic.next_offset.assign(topic.config.partitions, 0);
+  topic.data_regions.assign(topic.config.partitions, {});
+  topics_.emplace(name, std::move(topic));
+}
+
+bool Broker::topic_exists(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return topics_.count(name) != 0;
+}
+
+std::vector<std::string> Broker::topic_names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, topic] : topics_) out.push_back(name);
+  return out;
+}
+
+PartitionIndex Broker::partition_count(const std::string& topic) const {
+  std::lock_guard lock(mutex_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) throw MofkaError("mofka: unknown topic " + topic);
+  return it->second.config.partitions;
+}
+
+TopicStats Broker::topic_stats(const std::string& topic) const {
+  std::lock_guard lock(mutex_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) throw MofkaError("mofka: unknown topic " + topic);
+  return it->second.stats;
+}
+
+std::string Broker::meta_key(const std::string& topic,
+                             PartitionIndex partition, EventId offset) {
+  // Zero-padded offsets keep lexicographic order == numeric order, so prefix
+  // scans over yokan return events in append order.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/%08u/%020" PRIu64, partition, offset);
+  return "t/" + topic + buf;
+}
+
+EventId Broker::append_batch(
+    const std::string& topic, PartitionIndex partition,
+    const std::vector<std::pair<json::Value, std::string>>& events) {
+  if (events.empty()) throw MofkaError("mofka: empty batch");
+  Validator validator;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = topics_.find(topic);
+    if (it == topics_.end()) throw MofkaError("mofka: unknown topic " + topic);
+    if (partition >= it->second.config.partitions) {
+      throw MofkaError("mofka: partition out of range");
+    }
+    validator = it->second.config.validator;
+  }
+  if (validator) {
+    for (const auto& [metadata, data] : events) validator(metadata);
+  }
+
+  std::lock_guard lock(mutex_);
+  Topic& t = topics_.at(topic);
+  const EventId first = t.next_offset[partition];
+  for (const auto& [metadata, data] : events) {
+    const EventId offset = t.next_offset[partition]++;
+    const std::string serialized = metadata.dump();
+    // Metadata in yokan, payload in warabi, linked by region id order.
+    metadata_store_.put(meta_key(topic, partition, offset), serialized);
+    t.data_regions[partition].push_back(data_store_.create_sealed(data));
+    t.stats.events += 1;
+    t.stats.bytes_metadata += serialized.size();
+    t.stats.bytes_data += data.size();
+  }
+  t.stats.batches += 1;
+  return first;
+}
+
+PartitionIndex Broker::select_partition(const std::string& topic,
+                                        const json::Value& metadata) {
+  std::lock_guard lock(mutex_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) throw MofkaError("mofka: unknown topic " + topic);
+  Topic& t = it->second;
+  if (t.config.selector) {
+    const PartitionIndex chosen =
+        t.config.selector(metadata, t.config.partitions);
+    if (chosen >= t.config.partitions) {
+      throw MofkaError("mofka: partition selector out of range");
+    }
+    return chosen;
+  }
+  const PartitionIndex chosen = t.round_robin_next;
+  t.round_robin_next =
+      static_cast<PartitionIndex>((t.round_robin_next + 1) %
+                                  t.config.partitions);
+  return chosen;
+}
+
+EventId Broker::partition_size(const std::string& topic,
+                               PartitionIndex partition) const {
+  std::lock_guard lock(mutex_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) throw MofkaError("mofka: unknown topic " + topic);
+  if (partition >= it->second.config.partitions) {
+    throw MofkaError("mofka: partition out of range");
+  }
+  return it->second.next_offset[partition];
+}
+
+std::optional<Event> Broker::fetch(
+    const std::string& topic, PartitionIndex partition, EventId offset,
+    const std::function<DataSelection(const json::Value&)>& selection) const {
+  mochi::RegionId region = 0;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = topics_.find(topic);
+    if (it == topics_.end()) throw MofkaError("mofka: unknown topic " + topic);
+    if (partition >= it->second.config.partitions) {
+      throw MofkaError("mofka: partition out of range");
+    }
+    if (offset >= it->second.next_offset[partition]) return std::nullopt;
+    region = it->second.data_regions[partition][offset];
+  }
+  const auto serialized = metadata_store_.get(meta_key(topic, partition,
+                                                       offset));
+  if (!serialized) {
+    throw MofkaError("mofka: metadata missing for committed event");
+  }
+  Event event;
+  event.topic = topic;
+  event.partition = partition;
+  event.id = offset;
+  event.metadata = json::parse(*serialized);
+  DataSelection sel;
+  if (selection) sel = selection(event.metadata);
+  if (sel.fetch) {
+    event.data = data_store_.read(region, sel.offset, sel.length);
+  }
+  return event;
+}
+
+void Broker::commit_offset(const std::string& topic, const std::string& group,
+                           PartitionIndex partition, EventId next_offset) {
+  metadata_store_.put(
+      "g/" + topic + "/" + group + "/" + std::to_string(partition),
+      std::to_string(next_offset));
+}
+
+EventId Broker::committed_offset(const std::string& topic,
+                                 const std::string& group,
+                                 PartitionIndex partition) const {
+  const auto value = metadata_store_.get(
+      "g/" + topic + "/" + group + "/" + std::to_string(partition));
+  if (!value) return 0;
+  return static_cast<EventId>(std::stoull(*value));
+}
+
+}  // namespace recup::mofka

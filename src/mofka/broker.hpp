@@ -1,0 +1,109 @@
+// Mofka broker: topics, partitions, and their storage.
+//
+// Event metadata lives in a Yokan KV store (key "t/<topic>/<part>/<offset>"),
+// data payloads in a Warabi blob store — the same decomposition the paper
+// describes. The broker is fully thread-safe: producers append from
+// background flush threads while consumers pull concurrently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "mochi/warabi.hpp"
+#include "mochi/yokan.hpp"
+#include "mofka/event.hpp"
+
+namespace recup::mofka {
+
+class MofkaError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Validates event metadata before it is accepted (Mofka's validator hook).
+/// Throwing rejects the whole batch.
+using Validator = std::function<void(const json::Value& metadata)>;
+
+/// Maps an event's metadata to a partition (Mofka's partition selector).
+using PartitionSelector =
+    std::function<PartitionIndex(const json::Value& metadata,
+                                 PartitionIndex partition_count)>;
+
+struct TopicConfig {
+  PartitionIndex partitions = 1;
+  Validator validator;               ///< optional
+  PartitionSelector selector;        ///< optional; default round-robin
+};
+
+struct TopicStats {
+  std::uint64_t events = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t bytes_metadata = 0;
+  std::uint64_t bytes_data = 0;
+};
+
+class Broker {
+ public:
+  Broker(mochi::KeyValueStore& metadata_store, mochi::BlobStore& data_store);
+
+  void create_topic(const std::string& name, TopicConfig config = {});
+  [[nodiscard]] bool topic_exists(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> topic_names() const;
+  [[nodiscard]] PartitionIndex partition_count(const std::string& topic) const;
+  [[nodiscard]] TopicStats topic_stats(const std::string& topic) const;
+
+  /// Appends a batch of (metadata, data) pairs to one partition atomically;
+  /// returns the offset of the first event. Runs the topic validator on
+  /// every event first.
+  EventId append_batch(
+      const std::string& topic, PartitionIndex partition,
+      const std::vector<std::pair<json::Value, std::string>>& events);
+
+  /// Chooses a partition for the given metadata via the topic's selector.
+  [[nodiscard]] PartitionIndex select_partition(const std::string& topic,
+                                                const json::Value& metadata);
+
+  /// Number of events currently in a partition.
+  [[nodiscard]] EventId partition_size(const std::string& topic,
+                                       PartitionIndex partition) const;
+
+  /// Fetches one event; `selection(metadata)` controls data fetching.
+  [[nodiscard]] std::optional<Event> fetch(
+      const std::string& topic, PartitionIndex partition, EventId offset,
+      const std::function<DataSelection(const json::Value&)>& selection =
+          nullptr) const;
+
+  /// Consumer-group committed offsets (persisted in the metadata store).
+  void commit_offset(const std::string& topic, const std::string& group,
+                     PartitionIndex partition, EventId next_offset);
+  [[nodiscard]] EventId committed_offset(const std::string& topic,
+                                         const std::string& group,
+                                         PartitionIndex partition) const;
+
+ private:
+  struct Topic {
+    TopicConfig config;
+    std::vector<EventId> next_offset;          // per partition
+    std::vector<std::vector<mochi::RegionId>> data_regions;  // per partition
+    PartitionIndex round_robin_next = 0;
+    TopicStats stats;
+  };
+
+  [[nodiscard]] static std::string meta_key(const std::string& topic,
+                                            PartitionIndex partition,
+                                            EventId offset);
+
+  mochi::KeyValueStore& metadata_store_;
+  mochi::BlobStore& data_store_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Topic> topics_;
+};
+
+}  // namespace recup::mofka

@@ -1,0 +1,46 @@
+#include "mofka/consumer.hpp"
+
+namespace recup::mofka {
+
+Consumer::Consumer(Broker& broker, std::string topic, std::string group,
+                   ConsumerConfig config)
+    : broker_(broker),
+      topic_(std::move(topic)),
+      group_(std::move(group)),
+      config_(std::move(config)) {
+  const PartitionIndex parts = broker_.partition_count(topic_);
+  next_offset_.resize(parts);
+  for (PartitionIndex p = 0; p < parts; ++p) {
+    next_offset_[p] = broker_.committed_offset(topic_, group_, p);
+  }
+}
+
+std::optional<Event> Consumer::pull() {
+  const auto parts = static_cast<PartitionIndex>(next_offset_.size());
+  for (PartitionIndex i = 0; i < parts; ++i) {
+    const PartitionIndex p =
+        static_cast<PartitionIndex>((rr_ + i) % parts);
+    auto event = broker_.fetch(topic_, p, next_offset_[p], config_.selector);
+    if (event) {
+      ++next_offset_[p];
+      rr_ = static_cast<PartitionIndex>((p + 1) % parts);
+      ++consumed_;
+      return event;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Event> Consumer::pull_all() {
+  std::vector<Event> out;
+  while (auto event = pull()) out.push_back(std::move(*event));
+  return out;
+}
+
+void Consumer::commit() {
+  for (PartitionIndex p = 0; p < next_offset_.size(); ++p) {
+    broker_.commit_offset(topic_, group_, p, next_offset_[p]);
+  }
+}
+
+}  // namespace recup::mofka

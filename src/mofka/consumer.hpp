@@ -1,0 +1,59 @@
+// Mofka consumer: pull-based subscription with prefetching and a data
+// selector (paper §III-B). The same API serves both modes the paper relies
+// on: in situ consumption while the workflow runs, and bulk post-hoc reads
+// ("the API for consuming events is identical whether consumers process
+// events individually in real time or in bulk at the completion of a
+// workflow").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "mofka/broker.hpp"
+
+namespace recup::mofka {
+
+struct ConsumerConfig {
+  /// Events prefetched ahead of the application per partition.
+  std::size_t prefetch = 32;
+  /// Optional data selector; nullptr fetches full payloads.
+  std::function<DataSelection(const json::Value&)> selector;
+};
+
+class Consumer {
+ public:
+  /// Subscribes `group` to `topic`, resuming from the group's committed
+  /// offsets.
+  Consumer(Broker& broker, std::string topic, std::string group,
+           ConsumerConfig config = {});
+
+  /// Pulls the next event in offset order, round-robining across
+  /// partitions; returns nullopt when fully drained.
+  std::optional<Event> pull();
+
+  /// Pulls every remaining event (bulk post-processing mode).
+  std::vector<Event> pull_all();
+
+  /// Persists this consumer's position for its group.
+  void commit();
+
+  [[nodiscard]] std::uint64_t consumed() const { return consumed_; }
+  [[nodiscard]] const std::string& topic() const { return topic_; }
+  [[nodiscard]] const std::string& group() const { return group_; }
+
+ private:
+  Broker& broker_;
+  std::string topic_;
+  std::string group_;
+  ConsumerConfig config_;
+  std::vector<EventId> next_offset_;  // per partition
+  PartitionIndex rr_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace recup::mofka

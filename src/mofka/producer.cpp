@@ -1,0 +1,106 @@
+#include "mofka/producer.hpp"
+
+namespace recup::mofka {
+
+Producer::Producer(Broker& broker, std::string topic, ProducerConfig config)
+    : broker_(broker), topic_(std::move(topic)), config_(config) {
+  if (config_.batch_size == 0) {
+    throw MofkaError("mofka: producer batch_size must be >= 1");
+  }
+  pending_.resize(broker_.partition_count(topic_));
+  if (config_.background_flush) {
+    background_ = std::thread([this] { background_loop(); });
+  }
+}
+
+Producer::~Producer() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (background_.joinable()) background_.join();
+  flush();
+}
+
+std::future<EventId> Producer::push(json::Value metadata, std::string data) {
+  const PartitionIndex partition =
+      broker_.select_partition(topic_, metadata);
+  PendingEvent event;
+  event.metadata = std::move(metadata);
+  event.data = std::move(data);
+  std::future<EventId> future = event.promise.get_future();
+
+  std::vector<PendingEvent> ready;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.pushed;
+    auto& queue = pending_[partition];
+    queue.push_back(std::move(event));
+    if (queue.size() >= config_.batch_size) {
+      ready = std::move(queue);
+      queue.clear();
+      ++stats_.size_triggered_flushes;
+    }
+  }
+  if (!ready.empty()) flush_partition(partition, std::move(ready));
+  return future;
+}
+
+void Producer::flush() {
+  for (PartitionIndex p = 0; p < pending_.size(); ++p) {
+    std::vector<PendingEvent> batch;
+    {
+      std::lock_guard lock(mutex_);
+      if (pending_[p].empty()) continue;
+      batch = std::move(pending_[p]);
+      pending_[p].clear();
+    }
+    flush_partition(p, std::move(batch));
+  }
+}
+
+void Producer::flush_partition(PartitionIndex partition,
+                               std::vector<PendingEvent> batch) {
+  std::vector<std::pair<json::Value, std::string>> events;
+  events.reserve(batch.size());
+  for (auto& e : batch) {
+    events.emplace_back(std::move(e.metadata), std::move(e.data));
+  }
+  try {
+    const EventId first = broker_.append_batch(topic_, partition, events);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(first + i);
+    }
+    std::lock_guard lock(mutex_);
+    ++stats_.batches_flushed;
+  } catch (...) {
+    for (auto& e : batch) {
+      e.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+void Producer::background_loop() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    wake_.wait_for(lock, config_.flush_interval);
+    if (stopping_) break;
+    for (PartitionIndex p = 0; p < pending_.size(); ++p) {
+      if (pending_[p].empty()) continue;
+      std::vector<PendingEvent> batch = std::move(pending_[p]);
+      pending_[p].clear();
+      ++stats_.timer_triggered_flushes;
+      lock.unlock();
+      flush_partition(p, std::move(batch));
+      lock.lock();
+    }
+  }
+}
+
+ProducerStats Producer::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace recup::mofka

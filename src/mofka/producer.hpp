@@ -1,0 +1,79 @@
+// Mofka producer: nonblocking push with batching and a background flush
+// thread (paper §III-B: "optimizes transfers using a nonblocking API,
+// background network and processing threads, batching strategies").
+//
+// push() buffers the event and returns a future resolved with the event's
+// partition offset once its batch commits. Batches flush when they reach
+// `batch_size` events or when the background thread's `flush_interval`
+// expires, whichever comes first.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mofka/broker.hpp"
+
+namespace recup::mofka {
+
+struct ProducerConfig {
+  std::size_t batch_size = 64;
+  std::chrono::milliseconds flush_interval{5};
+  /// When false, no background thread is started and batches only flush on
+  /// size threshold or explicit flush(); useful for deterministic tests.
+  bool background_flush = true;
+};
+
+struct ProducerStats {
+  std::uint64_t pushed = 0;
+  std::uint64_t batches_flushed = 0;
+  std::uint64_t size_triggered_flushes = 0;
+  std::uint64_t timer_triggered_flushes = 0;
+};
+
+class Producer {
+ public:
+  Producer(Broker& broker, std::string topic, ProducerConfig config = {});
+  ~Producer();
+
+  Producer(const Producer&) = delete;
+  Producer& operator=(const Producer&) = delete;
+
+  /// Buffers an event; nonblocking except for the internal lock.
+  std::future<EventId> push(json::Value metadata, std::string data = {});
+
+  /// Flushes all pending batches synchronously.
+  void flush();
+
+  [[nodiscard]] ProducerStats stats() const;
+  [[nodiscard]] const std::string& topic() const { return topic_; }
+
+ private:
+  struct PendingEvent {
+    json::Value metadata;
+    std::string data;
+    std::promise<EventId> promise;
+  };
+
+  /// Flushes one partition's pending events. Caller must NOT hold the lock.
+  void flush_partition(PartitionIndex partition,
+                       std::vector<PendingEvent> batch);
+  void background_loop();
+
+  Broker& broker_;
+  std::string topic_;
+  ProducerConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<std::vector<PendingEvent>> pending_;  // per partition
+  ProducerStats stats_;
+  bool stopping_ = false;
+  std::thread background_;
+};
+
+}  // namespace recup::mofka

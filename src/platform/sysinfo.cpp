@@ -1,0 +1,43 @@
+#include "platform/sysinfo.hpp"
+
+namespace recup::platform {
+
+json::Value SoftwareEnvironment::to_json() const {
+  json::Object o;
+  o["os_name"] = os_name;
+  o["os_kernel"] = os_kernel;
+  o["compiler"] = compiler;
+  json::Array modules;
+  for (const auto& m : loaded_modules) modules.emplace_back(m);
+  o["loaded_modules"] = std::move(modules);
+  json::Object pkgs;
+  for (const auto& [name, version] : packages) pkgs[name] = version;
+  o["packages"] = std::move(pkgs);
+  return json::Value(std::move(o));
+}
+
+json::Value JobConfiguration::to_json() const {
+  json::Object o;
+  o["job_id"] = job_id;
+  o["queue"] = queue;
+  o["nodes"] = nodes;
+  o["workers_per_node"] = workers_per_node;
+  o["threads_per_worker"] = threads_per_worker;
+  o["walltime_limit_s"] = walltime_limit_s;
+  o["job_script"] = job_script;
+  return json::Value(std::move(o));
+}
+
+json::Value WmsConfiguration::to_json() const {
+  json::Object o;
+  o["heartbeat_interval_s"] = heartbeat_interval_s;
+  o["connect_timeout_s"] = connect_timeout_s;
+  o["tick_interval_s"] = tick_interval_s;
+  o["event_loop_warn_threshold_s"] = event_loop_warn_threshold_s;
+  o["work_stealing"] = work_stealing;
+  o["work_stealing_interval_s"] = work_stealing_interval_s;
+  o["recommended_chunk_bytes"] = recommended_chunk_bytes;
+  return json::Value(std::move(o));
+}
+
+}  // namespace recup::platform

@@ -1,0 +1,72 @@
+#include "platform/topology.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace recup::platform {
+
+Topology::Topology(std::vector<NodeSpec> nodes) : nodes_(std::move(nodes)) {
+  if (nodes_.empty()) throw std::invalid_argument("topology needs >=1 node");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].id != i) {
+      throw std::invalid_argument("node ids must be dense and ordered");
+    }
+  }
+}
+
+const NodeSpec& Topology::node(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("unknown node id");
+  return nodes_[id];
+}
+
+bool Topology::same_switch(NodeId a, NodeId b) const {
+  return node(a).switch_id == node(b).switch_id;
+}
+
+int Topology::hops(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  return same_switch(a, b) ? 1 : 2;
+}
+
+json::Value Topology::to_json() const {
+  json::Array nodes;
+  for (const auto& n : nodes_) {
+    json::Object o;
+    o["id"] = static_cast<std::int64_t>(n.id);
+    o["hostname"] = n.hostname;
+    o["cpu_model"] = n.cpu_model;
+    o["cpu_ghz"] = n.cpu_ghz;
+    o["cores"] = static_cast<std::int64_t>(n.cores);
+    o["memory_bytes"] = static_cast<std::int64_t>(n.memory_bytes);
+    o["gpus"] = static_cast<std::int64_t>(n.gpus);
+    o["gpu_model"] = n.gpu_model;
+    o["switch_id"] = static_cast<std::int64_t>(n.switch_id);
+    o["nic_model"] = n.nic_model;
+    o["nic_count"] = static_cast<std::int64_t>(n.nic_count);
+    nodes.emplace_back(std::move(o));
+  }
+  json::Object out;
+  out["nodes"] = std::move(nodes);
+  return json::Value(std::move(out));
+}
+
+Topology make_polaris_like(std::size_t node_count,
+                           std::size_t nodes_per_switch) {
+  if (nodes_per_switch == 0) {
+    throw std::invalid_argument("nodes_per_switch must be >= 1");
+  }
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    NodeSpec spec;
+    spec.id = static_cast<NodeId>(i);
+    spec.switch_id = static_cast<std::uint32_t>(i / nodes_per_switch);
+    spec.hostname = "x3" + hex_token(0x100 + i / nodes_per_switch, 3) + "c0s" +
+                    std::to_string(i % nodes_per_switch) + "b0n0";
+    nodes.push_back(spec);
+  }
+  return Topology(std::move(nodes));
+}
+
+}  // namespace recup::platform

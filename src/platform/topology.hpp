@@ -1,0 +1,58 @@
+// Cluster topology model: nodes, their hardware characteristics, and switch
+// placement. This is provenance layer 1 of the paper's Figure 1 (hardware
+// infrastructure: CPU, GPU, SSD, memory, PFS, network topology) and the
+// source of placement-induced variability the paper calls out ("if the Dask
+// scheduler and worker nodes are connected to different switches, some
+// workers may experience increased latency").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace recup::platform {
+
+using NodeId = std::uint32_t;
+
+struct NodeSpec {
+  NodeId id = 0;
+  std::string hostname;
+  std::string cpu_model = "AMD EPYC Milan 7543P";
+  double cpu_ghz = 2.8;
+  int cores = 32;
+  std::uint64_t memory_bytes = 512ULL * 1024 * 1024 * 1024;
+  int gpus = 4;
+  std::string gpu_model = "NVIDIA A100";
+  std::uint32_t switch_id = 0;
+  std::string nic_model = "Slingshot 11";
+  int nic_count = 2;
+};
+
+/// Static topology of the allocated partition.
+class Topology {
+ public:
+  explicit Topology(std::vector<NodeSpec> nodes);
+
+  [[nodiscard]] const std::vector<NodeSpec>& nodes() const { return nodes_; }
+  [[nodiscard]] const NodeSpec& node(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] bool same_node(NodeId a, NodeId b) const { return a == b; }
+  [[nodiscard]] bool same_switch(NodeId a, NodeId b) const;
+  /// Hop count between two nodes: 0 same node, 1 same switch, 2 otherwise.
+  [[nodiscard]] int hops(NodeId a, NodeId b) const;
+
+  /// Serializes for the provenance chart's hardware layer.
+  [[nodiscard]] json::Value to_json() const;
+
+ private:
+  std::vector<NodeSpec> nodes_;
+};
+
+/// Builds a Polaris-like allocation: `node_count` nodes distributed over
+/// switches of `nodes_per_switch`. Hostnames follow the x3xxxc0s…b0n0 style.
+Topology make_polaris_like(std::size_t node_count,
+                           std::size_t nodes_per_switch = 2);
+
+}  // namespace recup::platform

@@ -1,0 +1,97 @@
+#include "prov/chart.hpp"
+
+#include <sstream>
+
+namespace recup::prov {
+
+json::Value provenance_chart(const dtr::RunData& run) {
+  json::Object chart;
+
+  // Layer 1: hardware infrastructure.
+  json::Object hardware;
+  if (run.environment.contains("hardware")) {
+    hardware["platform"] = run.environment.at("hardware");
+  }
+  chart["hardware_infrastructure"] = std::move(hardware);
+
+  // Layer 2: system software and job configuration.
+  json::Object system;
+  if (run.environment.contains("software")) {
+    system["software_environment"] = run.environment.at("software");
+  }
+  if (run.environment.contains("job")) {
+    system["job_configuration"] = run.environment.at("job");
+  }
+  if (run.environment.contains("wms_config")) {
+    system["wms_configuration"] = run.environment.at("wms_config");
+  }
+  if (run.environment.contains("mochi_config")) {
+    system["data_services_configuration"] = run.environment.at("mochi_config");
+  }
+  chart["system_software_and_job"] = std::move(system);
+
+  // Layer 3: application (WMS records + profiler summary).
+  json::Object application;
+  json::Object wms;
+  wms["workflow"] = run.meta.workflow;
+  wms["seed"] = run.meta.seed;
+  wms["run_index"] = static_cast<std::int64_t>(run.meta.run_index);
+  wms["task_graphs"] = run.graph_count;
+  wms["tasks"] = run.tasks.size();
+  wms["transitions"] = run.transitions.size();
+  wms["communications"] = run.comms.size();
+  wms["warnings"] = run.warnings.size();
+  wms["steals"] = run.steals.size();
+  wms["wall_time_s"] = run.meta.wall_time();
+  wms["coordination_time_s"] = run.coordination_time;
+  application["wms"] = std::move(wms);
+
+  json::Object profiler;
+  std::uint64_t io_ops = 0;
+  std::uint64_t dropped = 0;
+  bool truncated = false;
+  for (const auto& log : run.darshan_logs) {
+    for (const auto& rec : log.dxt) {
+      io_ops += rec.segments.size();
+      dropped += rec.dropped_segments;
+      truncated = truncated || rec.truncated;
+    }
+  }
+  profiler["darshan_logs"] = run.darshan_logs.size();
+  profiler["dxt_segments"] = io_ops;
+  profiler["dxt_dropped_segments"] = dropped;
+  profiler["dxt_truncated"] = truncated;
+  application["profiler"] = std::move(profiler);
+  chart["application"] = std::move(application);
+
+  return json::Value(std::move(chart));
+}
+
+namespace {
+
+void outline(std::ostringstream& out, const json::Value& value,
+             const std::string& key, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  if (value.is_object()) {
+    out << indent << key << ":\n";
+    for (const auto& [k, v] : value.as_object()) {
+      outline(out, v, k, depth + 1);
+    }
+  } else if (value.is_array()) {
+    out << indent << key << ": [" << value.size() << " entries]\n";
+  } else {
+    out << indent << key << ": " << value.dump() << "\n";
+  }
+}
+
+}  // namespace
+
+std::string render_chart(const json::Value& chart) {
+  std::ostringstream out;
+  for (const auto& [key, value] : chart.as_object()) {
+    outline(out, value, key, 0);
+  }
+  return out.str();
+}
+
+}  // namespace recup::prov

@@ -1,0 +1,19 @@
+// Layered provenance chart (paper Figure 1): hardware infrastructure,
+// system software + job configuration, and the application layer (WMS +
+// performance tools). Assembled from a RunData into one JSON document.
+#pragma once
+
+#include <string>
+
+#include "dtr/recorder.hpp"
+#include "json/json.hpp"
+
+namespace recup::prov {
+
+/// Builds the full three-layer provenance chart for a run.
+json::Value provenance_chart(const dtr::RunData& run);
+
+/// Renders a human-readable outline of the chart (layer -> entries).
+std::string render_chart(const json::Value& chart);
+
+}  // namespace recup::prov

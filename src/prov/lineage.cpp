@@ -1,0 +1,171 @@
+#include "prov/lineage.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace recup::prov {
+
+std::optional<json::Value> task_lineage(const dtr::RunData& run,
+                                        const dtr::TaskKey& key) {
+  const dtr::TaskRecord* record = nullptr;
+  for (const auto& task : run.tasks) {
+    if (task.key == key) {
+      record = &task;
+      break;
+    }
+  }
+  if (record == nullptr) return std::nullopt;
+
+  json::Object lineage;
+  lineage["key"] = key.to_string();
+  lineage["group"] = key.group;
+  lineage["prefix"] = key.prefix();
+  lineage["graph"] = record->graph;
+  lineage["run"] = json::Object{
+      {"workflow", run.meta.workflow},
+      {"seed", json::Value(run.meta.seed)},
+      {"run_index", json::Value(static_cast<std::int64_t>(
+                        run.meta.run_index))}};
+
+  // Dependencies with their completion status and location.
+  json::Array deps;
+  for (const auto& dep : record->dependencies) {
+    json::Object d;
+    d["key"] = dep.to_string();
+    const dtr::TaskRecord* dep_record = nullptr;
+    for (const auto& task : run.tasks) {
+      if (task.key == dep) {
+        dep_record = &task;
+        break;
+      }
+    }
+    if (dep_record != nullptr) {
+      d["status"] = "memory";
+      d["worker"] = dep_record->worker_address;
+      d["output_bytes"] = dep_record->output_bytes;
+    } else {
+      d["status"] = "unknown";
+    }
+    deps.emplace_back(std::move(d));
+  }
+  lineage["dependencies"] = std::move(deps);
+
+  // Every state transition, ordered by time, with location and stimulus.
+  json::Array states;
+  std::vector<const dtr::TransitionRecord*> transitions;
+  for (const auto& t : run.transitions) {
+    if (t.key == key) transitions.push_back(&t);
+  }
+  std::sort(transitions.begin(), transitions.end(),
+            [](const auto* a, const auto* b) { return a->time < b->time; });
+  for (const auto* t : transitions) {
+    json::Object s;
+    s["from"] = t->from_state;
+    s["to"] = t->to_state;
+    s["stimulus"] = t->stimulus;
+    s["location"] = t->location;
+    s["time"] = t->time;
+    states.emplace_back(std::move(s));
+  }
+  lineage["states"] = std::move(states);
+
+  // Execution summary.
+  json::Object exec;
+  exec["worker"] = record->worker_address;
+  exec["thread_id"] = record->thread_id;
+  exec["start"] = record->start_time;
+  exec["end"] = record->end_time;
+  exec["compute_time"] = record->compute_time;
+  exec["io_time"] = record->io_time;
+  exec["output_bytes"] = record->output_bytes;
+  exec["retries"] = static_cast<std::int64_t>(record->retries);
+  exec["stolen"] = record->stolen;
+  lineage["execution"] = std::move(exec);
+
+  // Data locations: the producing worker plus every worker that fetched the
+  // result (replication through gather_dep transfers).
+  json::Array locations;
+  locations.emplace_back(record->worker_address);
+  json::Array movements;
+  for (const auto& comm : run.comms) {
+    if (comm.key == key) {
+      json::Object m;
+      m["from"] = comm.source_address;
+      m["to"] = comm.destination_address;
+      m["bytes"] = comm.bytes;
+      m["start"] = comm.start;
+      m["end"] = comm.end;
+      m["cross_node"] = comm.cross_node;
+      movements.emplace_back(std::move(m));
+      locations.emplace_back(comm.destination_address);
+    }
+  }
+  lineage["data_locations"] = std::move(locations);
+  lineage["data_movements"] = std::move(movements);
+
+  // High-fidelity I/O records attributed to this task: segments on the same
+  // worker process + thread id inside the execution window.
+  json::Array io_records;
+  for (const auto& log : run.darshan_logs) {
+    for (const auto& rec : log.dxt) {
+      if (rec.process_id != record->worker) continue;
+      for (const auto& seg : rec.segments) {
+        if (seg.thread_id != record->thread_id) continue;
+        if (seg.start < record->start_time - 1e-9 ||
+            seg.start > record->end_time + 1e-9) {
+          continue;
+        }
+        json::Object io;
+        io["pfs"] = "lustre-sim";
+        io["file"] = rec.file_path;
+        io["type"] = seg.op == darshan::IoOp::kRead ? "read" : "write";
+        io["size"] = seg.length;
+        io["offset"] = seg.offset;
+        io["start"] = seg.start;
+        io["end"] = seg.end;
+        io_records.emplace_back(std::move(io));
+      }
+    }
+  }
+  lineage["io_records"] = std::move(io_records);
+
+  return json::Value(std::move(lineage));
+}
+
+namespace {
+
+void render_node(std::ostringstream& out, const json::Value& value,
+                 const std::string& key, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  if (value.is_object()) {
+    out << indent << key << "\n";
+    for (const auto& [k, v] : value.as_object()) {
+      render_node(out, v, k, depth + 1);
+    }
+  } else if (value.is_array()) {
+    out << indent << key << " (" << value.size() << ")\n";
+    std::size_t index = 0;
+    for (const auto& item : value.as_array()) {
+      render_node(out, item, "[" + std::to_string(index++) + "]", depth + 1);
+      if (index >= 5 && value.size() > 6) {
+        out << indent << "  ... (" << value.size() - index << " more)\n";
+        break;
+      }
+    }
+  } else {
+    out << indent << key << ": " << value.dump() << "\n";
+  }
+}
+
+}  // namespace
+
+std::string render_lineage(const json::Value& lineage) {
+  std::ostringstream out;
+  out << "Task provenance summary\n";
+  for (const auto& [key, value] : lineage.as_object()) {
+    render_node(out, value, key, 1);
+  }
+  return out.str();
+}
+
+}  // namespace recup::prov

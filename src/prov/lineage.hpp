@@ -1,0 +1,25 @@
+// Task lineage builder (paper Figure 8): the full provenance summary of one
+// task assembled from the fused multi-source data — graph membership,
+// dependency list with status and location, every state transition with
+// location and timestamp, data locations (including replicas created by
+// inter-worker transfers), and the high-fidelity I/O records attributed to
+// the task.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dtr/recorder.hpp"
+#include "json/json.hpp"
+
+namespace recup::prov {
+
+/// Builds the provenance summary for `key`. Returns nullopt when the task
+/// never ran in this run.
+std::optional<json::Value> task_lineage(const dtr::RunData& run,
+                                        const dtr::TaskKey& key);
+
+/// Renders the lineage as an indented tree like the paper's Figure 8.
+std::string render_lineage(const json::Value& lineage);
+
+}  // namespace recup::prov

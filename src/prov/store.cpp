@@ -1,0 +1,80 @@
+#include "prov/store.hpp"
+
+#include <stdexcept>
+
+namespace recup::prov {
+
+void ProvenanceStore::add_run(dtr::RunData run) {
+  const RunId id{run.meta.workflow, run.meta.run_index};
+  if (runs_.count(id) != 0) {
+    throw std::invalid_argument("duplicate run: " + id.workflow + "#" +
+                                std::to_string(id.run_index));
+  }
+  runs_.emplace(id, std::move(run));
+}
+
+std::vector<RunId> ProvenanceStore::runs() const {
+  std::vector<RunId> out;
+  out.reserve(runs_.size());
+  for (const auto& [id, run] : runs_) out.push_back(id);
+  return out;
+}
+
+const dtr::RunData& ProvenanceStore::run(const RunId& id) const {
+  const auto it = runs_.find(id);
+  if (it == runs_.end()) {
+    throw std::out_of_range("unknown run: " + id.workflow + "#" +
+                            std::to_string(id.run_index));
+  }
+  return it->second;
+}
+
+std::vector<const dtr::RunData*> ProvenanceStore::runs_of(
+    const std::string& workflow) const {
+  std::vector<const dtr::RunData*> out;
+  for (const auto& [id, run] : runs_) {
+    if (id.workflow == workflow) out.push_back(&run);
+  }
+  return out;
+}
+
+std::vector<const dtr::TaskRecord*> ProvenanceStore::find_task(
+    const std::string& workflow, const dtr::TaskKey& key) const {
+  std::vector<const dtr::TaskRecord*> out;
+  for (const auto& [id, run] : runs_) {
+    if (id.workflow != workflow) continue;
+    for (const auto& task : run.tasks) {
+      if (task.key == key) out.push_back(&task);
+    }
+  }
+  return out;
+}
+
+std::vector<const dtr::TaskRecord*> ProvenanceStore::tasks_on_thread(
+    const RunId& id, std::uint64_t thread_id) const {
+  std::vector<const dtr::TaskRecord*> out;
+  for (const auto& task : run(id).tasks) {
+    if (task.thread_id == thread_id) out.push_back(&task);
+  }
+  return out;
+}
+
+std::vector<const dtr::TaskRecord*> ProvenanceStore::tasks_at(
+    const RunId& id, TimePoint time) const {
+  std::vector<const dtr::TaskRecord*> out;
+  for (const auto& task : run(id).tasks) {
+    if (task.start_time <= time && time < task.end_time) out.push_back(&task);
+  }
+  return out;
+}
+
+std::vector<const dtr::TaskRecord*> ProvenanceStore::tasks_on_worker(
+    const RunId& id, const std::string& address) const {
+  std::vector<const dtr::TaskRecord*> out;
+  for (const auto& task : run(id).tasks) {
+    if (task.worker_address == address) out.push_back(&task);
+  }
+  return out;
+}
+
+}  // namespace recup::prov

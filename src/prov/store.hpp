@@ -1,0 +1,52 @@
+// FAIR tabular provenance store (paper §V): all runs' data kept "in a unique
+// tabular format, with at least one common identifier between every two
+// different data sources". Supports lookup by the shared identifiers the
+// paper enumerates: task keys, start/end timestamps, worker addresses, and
+// POSIX thread ids.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dtr/recorder.hpp"
+
+namespace recup::prov {
+
+struct RunId {
+  std::string workflow;
+  std::uint32_t run_index = 0;
+  auto operator<=>(const RunId&) const = default;
+};
+
+class ProvenanceStore {
+ public:
+  void add_run(dtr::RunData run);
+
+  [[nodiscard]] std::vector<RunId> runs() const;
+  [[nodiscard]] const dtr::RunData& run(const RunId& id) const;
+  [[nodiscard]] std::vector<const dtr::RunData*> runs_of(
+      const std::string& workflow) const;
+
+  // --- Identifier-based lookups ----------------------------------------------
+  /// Task records by exact key across all runs of a workflow.
+  [[nodiscard]] std::vector<const dtr::TaskRecord*> find_task(
+      const std::string& workflow, const dtr::TaskKey& key) const;
+  /// Tasks executed on a given thread id in one run (pthread identifier).
+  [[nodiscard]] std::vector<const dtr::TaskRecord*> tasks_on_thread(
+      const RunId& id, std::uint64_t thread_id) const;
+  /// Tasks executing at a given instant in one run (timestamp identifier).
+  [[nodiscard]] std::vector<const dtr::TaskRecord*> tasks_at(
+      const RunId& id, TimePoint time) const;
+  /// Tasks on a given worker address in one run.
+  [[nodiscard]] std::vector<const dtr::TaskRecord*> tasks_on_worker(
+      const RunId& id, const std::string& address) const;
+
+  [[nodiscard]] std::size_t size() const { return runs_.size(); }
+
+ private:
+  std::map<RunId, dtr::RunData> runs_;
+};
+
+}  // namespace recup::prov

@@ -1,0 +1,55 @@
+#include "sim/engine.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace recup::sim {
+
+EventHandle Engine::schedule_at(TimePoint when, EventFn fn) {
+  if (when < now_) {
+    throw std::invalid_argument("cannot schedule event in the past");
+  }
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Scheduled{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+EventHandle Engine::schedule_after(Duration delay, EventFn fn) {
+  if (delay < 0.0) throw std::invalid_argument("negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Engine::run() {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && !stopped_) {
+    Scheduled event = queue_.top();
+    queue_.pop();
+    if (*event.cancelled) continue;
+    *event.cancelled = true;  // mark fired so handles report !pending
+    now_ = event.when;
+    event.fn();
+    ++executed;
+  }
+  executed_ += executed;
+  return executed;
+}
+
+std::uint64_t Engine::run_until(TimePoint until) {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && !stopped_ && queue_.top().when <= until) {
+    Scheduled event = queue_.top();
+    queue_.pop();
+    if (*event.cancelled) continue;
+    *event.cancelled = true;
+    now_ = event.when;
+    event.fn();
+    ++executed;
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+  executed_ += executed;
+  return executed;
+}
+
+}  // namespace recup::sim

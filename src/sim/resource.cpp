@@ -1,0 +1,43 @@
+#include "sim/resource.hpp"
+
+#include <stdexcept>
+
+namespace recup::sim {
+
+Resource::Resource(Engine& engine, std::size_t capacity)
+    : engine_(engine), capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("resource capacity 0");
+}
+
+void Resource::request(
+    Duration service_time,
+    std::function<void(TimePoint, TimePoint)> on_complete) {
+  if (service_time < 0.0) throw std::invalid_argument("negative service time");
+  Pending pending{service_time, engine_.now(), std::move(on_complete)};
+  if (in_service_ < capacity_) {
+    start_service(std::move(pending));
+  } else {
+    ++contended_;
+    waiting_.push_back(std::move(pending));
+  }
+}
+
+void Resource::start_service(Pending pending) {
+  ++in_service_;
+  const TimePoint start = engine_.now();
+  queue_delay_ += start - pending.requested_at;
+  const Duration service = pending.service_time;
+  auto callback = std::move(pending.on_complete);
+  engine_.schedule_after(service, [this, start, callback = std::move(
+                                             callback)]() mutable {
+    --in_service_;
+    if (!waiting_.empty()) {
+      Pending next = std::move(waiting_.front());
+      waiting_.pop_front();
+      start_service(std::move(next));
+    }
+    if (callback) callback(start, engine_.now());
+  });
+}
+
+}  // namespace recup::sim

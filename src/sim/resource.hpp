@@ -1,0 +1,55 @@
+// Capacity-limited FIFO resource on the virtual clock.
+//
+// Models contention points in the platform: an OST serving a bounded number
+// of concurrent I/O requests, a NIC serving transfers, a worker's executor
+// lanes. Requests queue when all slots are busy; queueing delay is how
+// contention-induced variability reaches the measured records.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/engine.hpp"
+
+namespace recup::sim {
+
+class Resource {
+ public:
+  /// `capacity` concurrent slots served FIFO.
+  Resource(Engine& engine, std::size_t capacity);
+
+  /// Requests one slot for `service_time` seconds. `on_complete(start, end)`
+  /// fires at `end`; `start` is when the slot was actually acquired (>=
+  /// request time when queued).
+  void request(Duration service_time,
+               std::function<void(TimePoint start, TimePoint end)> on_complete);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t in_service() const { return in_service_; }
+  [[nodiscard]] std::size_t queued() const { return waiting_.size(); }
+  /// Total requests that had to wait in queue.
+  [[nodiscard]] std::uint64_t contended_requests() const {
+    return contended_;
+  }
+  /// Sum of all queueing delays experienced so far.
+  [[nodiscard]] Duration total_queue_delay() const { return queue_delay_; }
+
+ private:
+  struct Pending {
+    Duration service_time;
+    TimePoint requested_at;
+    std::function<void(TimePoint, TimePoint)> on_complete;
+  };
+
+  void start_service(Pending pending);
+
+  Engine& engine_;
+  std::size_t capacity_;
+  std::size_t in_service_ = 0;
+  std::deque<Pending> waiting_;
+  std::uint64_t contended_ = 0;
+  Duration queue_delay_ = 0.0;
+};
+
+}  // namespace recup::sim

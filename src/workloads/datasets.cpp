@@ -1,0 +1,67 @@
+#include "workloads/datasets.hpp"
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace recup::workloads {
+namespace {
+
+std::string indexed_path(const char* pattern, std::size_t index) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), pattern, index);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<DatasetFile> bcss_images(std::size_t count) {
+  std::vector<DatasetFile> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // ~80 MB images with slight deterministic size variation.
+    const std::uint64_t base = 80ULL * 1024 * 1024;
+    const std::uint64_t jitter =
+        (fnv1a64(indexed_path("bcss-%zu", i)) % 8) * 512 * 1024;
+    out.push_back({indexed_path("/data/bcss/image_%03zu.png", i),
+                   base + jitter});
+  }
+  return out;
+}
+
+std::vector<DatasetFile> imagewang_files(std::size_t count) {
+  std::vector<DatasetFile> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // 100-400 KB JPEGs, deterministic per index.
+    const std::uint64_t bytes =
+        100ULL * 1024 +
+        fnv1a64(indexed_path("imagewang-%zu", i)) % (300ULL * 1024);
+    out.push_back({indexed_path("/data/imagewang/img_%04zu.jpg", i), bytes});
+  }
+  return out;
+}
+
+std::vector<DatasetFile> nyc_taxi_parquet(std::size_t count) {
+  // 20 GiB split across `count` monthly partitions (2019-2024 records).
+  const std::uint64_t total = 20ULL * 1024 * 1024 * 1024;
+  std::vector<DatasetFile> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t base = total / count;
+    const std::uint64_t jitter =
+        (fnv1a64(indexed_path("nyctaxi-%zu", i)) % 32) * 1024 * 1024;
+    out.push_back(
+        {indexed_path("/data/nyctaxi/fhvhv_tripdata_%03zu.parquet", i),
+         base + jitter});
+  }
+  return out;
+}
+
+void register_dataset(dtr::Vfs& vfs, const std::vector<DatasetFile>& files) {
+  for (const auto& file : files) {
+    vfs.register_file(file.path, file.bytes);
+  }
+}
+
+}  // namespace recup::workloads

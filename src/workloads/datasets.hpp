@@ -1,0 +1,35 @@
+// Synthetic dataset generators standing in for the paper's inputs:
+//   - Breast Cancer Semantic Segmentation images  (ImageProcessing)
+//   - Imagewang (ImageNet subset) JPEG files      (ResNet152)
+//   - NYC High Volume For-Hire Vehicle parquet    (XGBOOST, 20 GiB)
+// Only file names and sizes matter to the characterization; contents are
+// never materialized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dtr/vfs.hpp"
+
+namespace recup::workloads {
+
+struct DatasetFile {
+  std::string path;
+  std::uint64_t bytes = 0;
+};
+
+/// 151 histology images of ~80 MB each under /data/bcss/.
+std::vector<DatasetFile> bcss_images(std::size_t count = 151);
+
+/// 3929 JPEG files of 100-400 KB under /data/imagewang/ (sizes are a
+/// deterministic function of the index, not of the run seed).
+std::vector<DatasetFile> imagewang_files(std::size_t count = 3929);
+
+/// 61 parquet partitions totalling ~20 GiB under /data/nyctaxi/.
+std::vector<DatasetFile> nyc_taxi_parquet(std::size_t count = 61);
+
+/// Registers a dataset in a VFS.
+void register_dataset(dtr::Vfs& vfs, const std::vector<DatasetFile>& files);
+
+}  // namespace recup::workloads

@@ -1,0 +1,196 @@
+#include "workloads/image_processing.hpp"
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "workloads/datasets.hpp"
+
+namespace recup::workloads {
+namespace {
+
+std::string hash_token(const std::string& name, std::uint64_t salt) {
+  return hex_token(fnv1a64(name) ^ salt, 6);
+}
+
+std::string scratch_path(const char* stage, std::size_t image) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "/scratch/imgpipe/%s_%03zu.tmp", stage,
+                image);
+  return buf;
+}
+
+}  // namespace
+
+Workload make_image_processing(std::uint64_t seed,
+                               ImageProcessingParams params) {
+  Workload w;
+  w.name = "ImageProcessing";
+  w.cluster.seed = seed;
+  w.cluster.job.job_id = "imgproc";
+  // Chunk results are mid-size; the workflow fits in memory (no spilling).
+  w.cluster.worker.spill_threshold_bytes = 0;
+
+  const auto files = bcss_images(params.images);
+  w.prepare = [files](dtr::Vfs& vfs) { register_dataset(vfs, files); };
+
+  w.build_graphs = [params, files](RngStream& rng)
+      -> std::vector<dtr::TaskGraph> {
+    RngStream io_rng = rng.substream("imgproc-io");
+
+    const auto chunks_of = [&](std::size_t image) {
+      return params.base_chunks + (image < params.extra_chunk_images ? 1 : 0);
+    };
+
+    // --- Graph 1: imread + normalization (grayscale fused) -----------------
+    dtr::TaskGraph g1("normalize-graph");
+    const std::string imread_group = "imread-" + hash_token("imread", 0xa1);
+    const std::string norm_group =
+        "normalize-grayscale-" + hash_token("normalize", 0xa2);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      dtr::TaskSpec imread;
+      imread.key = {imread_group, static_cast<std::int64_t>(i)};
+      imread.priority = -1;  // I/O roots run first (dask.order)
+      imread.work.compute = params.imread_compute;
+      imread.work.output_bytes = files[i].bytes;
+      imread.work.scratch_bytes = files[i].bytes / 2;
+      // dask_image.imread issues many 4 MB reads per 80 MB image; the exact
+      // count varies slightly run to run (page-cache / readahead effects).
+      const std::uint64_t full_reads = files[i].bytes / params.read_op_bytes;
+      // Images with an odd trailing stripe need one extra short read.
+      std::uint64_t ops = full_reads + fnv1a64(files[i].path) % 2;
+      if (io_rng.chance(0.3)) ops += io_rng.uniform_int(1, 2);
+      for (std::uint64_t op = 0; op < ops; ++op) {
+        const std::uint64_t offset =
+            (op % full_reads) * params.read_op_bytes;
+        imread.work.reads.push_back(
+            {files[i].path, offset, params.read_op_bytes, false});
+      }
+      g1.add_task(imread);
+
+      for (std::size_t c = 0; c < chunks_of(i); ++c) {
+        dtr::TaskSpec norm;
+        norm.key = {norm_group,
+                    static_cast<std::int64_t>(i * 16 + c)};
+        norm.dependencies.push_back(imread.key);
+        norm.work.compute = params.normalize_compute;
+        norm.work.output_bytes = files[i].bytes / chunks_of(i);
+        norm.work.scratch_bytes = norm.work.output_bytes;
+        // The first two chunks of each image write the normalized
+        // intermediate back to scratch (phase-1 write burst).
+        if (c < 2) {
+          norm.work.writes.push_back({scratch_path("norm", i),
+                                      c * 12ULL * 1024 * 1024,
+                                      12ULL * 1024 * 1024, true});
+        }
+        g1.add_task(norm);
+      }
+    }
+    {
+      dtr::TaskSpec finalize;
+      finalize.key = {"store-normalized-" + hash_token("store1", 0xa3), 0};
+      const std::size_t last = files.size() - 1;
+      for (std::size_t c = 0; c < chunks_of(last); ++c) {
+        finalize.dependencies.push_back(
+            {norm_group, static_cast<std::int64_t>(last * 16 + c)});
+      }
+      finalize.work.compute = 0.02;
+      finalize.work.output_bytes = 1024;
+      g1.add_task(finalize);
+    }
+
+    // --- Graph 2: Gaussian filter -------------------------------------------
+    dtr::TaskGraph g2("gaussian-graph");
+    const std::string gauss_group =
+        "gaussian_filter-" + hash_token("gaussian", 0xb1);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      for (std::size_t c = 0; c < chunks_of(i); ++c) {
+        dtr::TaskSpec gauss;
+        gauss.key = {gauss_group, static_cast<std::int64_t>(i * 16 + c)};
+        gauss.dependencies.push_back(
+            {norm_group, static_cast<std::int64_t>(i * 16 + c)});
+        gauss.work.compute = params.gaussian_compute;
+        gauss.work.output_bytes = files[i].bytes / chunks_of(i);
+        gauss.work.scratch_bytes = gauss.work.output_bytes;
+        if (c == 0) {
+          gauss.priority = -1;  // the chunk that re-reads the intermediate
+          // Phase-2 read burst: re-read the stored intermediate (6 ops)...
+          for (int op = 0; op < 6; ++op) {
+            gauss.work.reads.push_back({scratch_path("norm", i),
+                                        static_cast<std::uint64_t>(op) *
+                                            params.read_op_bytes,
+                                        params.read_op_bytes, false});
+          }
+          // ...and write the (small, few-KB) filtered preview image.
+          gauss.work.writes.push_back(
+              {scratch_path("gauss", i), 0, 48ULL * 1024, true});
+        }
+        g2.add_task(gauss);
+      }
+    }
+    {
+      dtr::TaskSpec finalize;
+      finalize.key = {"store-gaussian-" + hash_token("store2", 0xb2), 0};
+      const std::size_t last = files.size() - 1;
+      for (std::size_t c = 0; c < chunks_of(last); ++c) {
+        finalize.dependencies.push_back(
+            {gauss_group, static_cast<std::int64_t>(last * 16 + c)});
+      }
+      finalize.work.compute = 0.02;
+      finalize.work.output_bytes = 1024;
+      g2.add_task(finalize);
+    }
+
+    // --- Graph 3: segmentation ------------------------------------------------
+    dtr::TaskGraph g3("segmentation-graph");
+    const std::string seg_group =
+        "segmentation-" + hash_token("segmentation", 0xc1);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      for (std::size_t c = 0; c < chunks_of(i); ++c) {
+        dtr::TaskSpec seg;
+        seg.key = {seg_group, static_cast<std::int64_t>(i * 16 + c)};
+        seg.dependencies.push_back(
+            {gauss_group, static_cast<std::int64_t>(i * 16 + c)});
+        seg.work.compute = params.segmentation_compute;
+        seg.work.output_bytes = 96ULL * 1024;  // label masks are small
+        seg.work.scratch_bytes = files[i].bytes / chunks_of(i);
+        if (c == 0) {
+          seg.priority = -1;
+          // Phase-3 reads: the small gaussian previews (3 small ops)...
+          for (int op = 0; op < 3; ++op) {
+            seg.work.reads.push_back(
+                {scratch_path("gauss", i),
+                 static_cast<std::uint64_t>(op) * 16ULL * 1024, 16ULL * 1024,
+                 false});
+          }
+          // ...and two few-KB segmentation mask writes.
+          seg.work.writes.push_back(
+              {scratch_path("seg", i), 0, 24ULL * 1024, true});
+          seg.work.writes.push_back(
+              {scratch_path("seg", i), 24ULL * 1024, 24ULL * 1024, true});
+        }
+        g3.add_task(seg);
+      }
+    }
+    {
+      dtr::TaskSpec finalize;
+      finalize.key = {"store-masks-" + hash_token("store3", 0xc2), 0};
+      const std::size_t last = files.size() - 1;
+      for (std::size_t c = 0; c < chunks_of(last); ++c) {
+        finalize.dependencies.push_back(
+            {seg_group, static_cast<std::int64_t>(last * 16 + c)});
+      }
+      finalize.work.compute = 0.02;
+      finalize.work.output_bytes = 1024;
+      g3.add_task(finalize);
+    }
+
+    std::vector<dtr::TaskGraph> graphs;
+    graphs.push_back(std::move(g1));
+    graphs.push_back(std::move(g2));
+    graphs.push_back(std::move(g3));
+    return graphs;
+  };
+  return w;
+}
+
+}  // namespace recup::workloads

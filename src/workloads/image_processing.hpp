@@ -1,0 +1,31 @@
+// ImageProcessing pipeline (paper §IV-B): normalization, grayscale, Gaussian
+// filter, and segmentation over the BCSS histology images, expressed as
+// three sequential task graphs (one compute() per step, with grayscale fused
+// into the normalization graph by the optimizer — Table I reports three
+// graphs). Each graph re-reads its inputs from the PFS, which produces the
+// three read-burst phases of Figure 4.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/workload.hpp"
+
+namespace recup::workloads {
+
+struct ImageProcessingParams {
+  std::size_t images = 151;
+  /// Per-image chunk counts average ~11.7 so the totals match Table I
+  /// (5440 distinct tasks over three graphs).
+  std::size_t base_chunks = 11;
+  std::size_t extra_chunk_images = 101;  ///< first N images get +1 chunk
+  std::uint64_t read_op_bytes = 4ULL * 1024 * 1024;  ///< the 4 MB reads
+  double normalize_compute = 0.55;
+  double gaussian_compute = 0.75;
+  double segmentation_compute = 0.95;
+  double imread_compute = 0.15;
+};
+
+Workload make_image_processing(std::uint64_t seed = 42,
+                               ImageProcessingParams params = {});
+
+}  // namespace recup::workloads

@@ -1,0 +1,46 @@
+#include "workloads/registry.hpp"
+
+#include <stdexcept>
+
+#include "workloads/image_processing.hpp"
+#include "workloads/resnet152.hpp"
+#include "workloads/xgboost.hpp"
+
+namespace recup::workloads {
+
+std::vector<std::string> workload_names() {
+  return {"ImageProcessing", "ResNet152", "XGBOOST"};
+}
+
+Workload make_workload(const std::string& name, std::uint64_t seed) {
+  if (name == "ImageProcessing") return make_image_processing(seed);
+  if (name == "ResNet152") return make_resnet152(seed);
+  if (name == "XGBOOST") return make_xgboost(seed);
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+dtr::RunData execute(const Workload& workload, std::uint32_t run_index) {
+  // Each run perturbs the seed the way resubmitting the same job lands on a
+  // different allocation / system state.
+  dtr::ClusterConfig config = workload.cluster;
+  std::uint64_t state = workload.cluster.seed + 0x9e37 * (run_index + 1);
+  config.seed = splitmix64(state);
+
+  dtr::Cluster cluster(config);
+  if (workload.prepare) workload.prepare(cluster.vfs());
+  RngStream graph_rng(config.seed ^ fnv1a64("graphs"));
+  auto graphs = workload.build_graphs(graph_rng);
+  return cluster.run(std::move(graphs), workload.name, run_index);
+}
+
+std::vector<dtr::RunData> execute_runs(const Workload& workload,
+                                       std::uint32_t count) {
+  std::vector<dtr::RunData> runs;
+  runs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    runs.push_back(execute(workload, i));
+  }
+  return runs;
+}
+
+}  // namespace recup::workloads

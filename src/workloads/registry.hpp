@@ -1,0 +1,16 @@
+// Workload registry: name-based lookup over the paper's three workflows,
+// used by the bench harness and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace recup::workloads {
+
+/// Names: "ImageProcessing", "ResNet152", "XGBOOST".
+std::vector<std::string> workload_names();
+Workload make_workload(const std::string& name, std::uint64_t seed = 42);
+
+}  // namespace recup::workloads

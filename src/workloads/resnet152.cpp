@@ -1,0 +1,102 @@
+#include "workloads/resnet152.hpp"
+
+#include "common/strings.hpp"
+#include "workloads/datasets.hpp"
+
+namespace recup::workloads {
+
+Workload make_resnet152(std::uint64_t seed, ResNet152Params params) {
+  Workload w;
+  w.name = "ResNet152";
+  w.cluster.seed = seed;
+  w.cluster.job.job_id = "resnet152";
+  w.cluster.darshan.dxt.memory_budget_units = params.dxt_budget_units;
+
+  const auto files = imagewang_files(params.files);
+  w.prepare = [files](dtr::Vfs& vfs) { register_dataset(vfs, files); };
+
+  w.build_graphs = [params, files](RngStream& rng)
+      -> std::vector<dtr::TaskGraph> {
+    RngStream io_rng = rng.substream("resnet-io");
+    const std::string load_group =
+        "load-" + hex_token(fnv1a64("load") ^ 0x11, 6);
+    const std::string transform_group =
+        "transform-" + hex_token(fnv1a64("transform") ^ 0x22, 6);
+    const std::string predict_group =
+        "predict-" + hex_token(fnv1a64("predict") ^ 0x33, 6);
+
+    dtr::TaskGraph g("batch-prediction");
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      dtr::TaskSpec load;
+      load.key = {load_group, static_cast<std::int64_t>(i)};
+      load.work.compute = params.load_compute;
+      load.work.output_bytes = 3ULL * 224 * 224 * 4;  // decoded tensor
+      load.work.scratch_bytes = files[i].bytes * 3;
+      // One read covers most JPEGs; larger ones take a second read, and an
+      // occasional readahead miss adds one more.
+      const std::uint64_t half = files[i].bytes / 2;
+      load.work.reads.push_back({files[i].path, 0, files[i].bytes, false});
+      if (files[i].bytes > 256ULL * 1024) {
+        load.work.reads.push_back({files[i].path, half, half, false});
+      }
+      if (io_rng.chance(0.08)) {
+        load.work.reads.push_back(
+            {files[i].path, 0, 64ULL * 1024, false});
+      }
+      g.add_task(load);
+
+      dtr::TaskSpec transform;
+      transform.key = {transform_group, static_cast<std::int64_t>(i)};
+      transform.dependencies.push_back(load.key);
+      transform.work.compute = params.transform_compute;
+      transform.work.output_bytes = 3ULL * 224 * 224 * 4;
+      transform.work.scratch_bytes = transform.work.output_bytes * 2;
+      g.add_task(transform);
+    }
+
+    // Predict over fixed-size batches of transformed tensors.
+    const std::size_t batches =
+        (files.size() + params.batch_size - 1) / params.batch_size;
+    for (std::size_t b = 0; b < batches; ++b) {
+      dtr::TaskSpec predict;
+      predict.key = {predict_group, static_cast<std::int64_t>(b)};
+      const std::size_t begin = b * params.batch_size;
+      const std::size_t end =
+          std::min(files.size(), begin + params.batch_size);
+      for (std::size_t i = begin; i < end; ++i) {
+        predict.dependencies.push_back(
+            {transform_group, static_cast<std::int64_t>(i)});
+      }
+      // The forward pass runs on the node's shared A100s; CPU time covers
+      // batching/serialization only. Kernel mix approximates a ResNet
+      // forward pass profile.
+      predict.work.compute = params.predict_compute * 0.25;
+      predict.work.kernels = {
+          {"conv2d_implicit_gemm", params.predict_compute * 0.45, 1},
+          {"batchnorm_fwd", params.predict_compute * 0.10, 1},
+          {"gemm_fc", params.predict_compute * 0.15, 1},
+          {"softmax_fwd", params.predict_compute * 0.05, 1}};
+      predict.work.output_bytes = (end - begin) * 20 * 4;  // logits
+      predict.work.scratch_bytes = 64ULL * 1024 * 1024;
+      g.add_task(predict);
+    }
+
+    // Final accuracy summary gathers the logits.
+    dtr::TaskSpec summary;
+    summary.key = {"accuracy-summary-" + hex_token(fnv1a64("summary"), 6), 0};
+    for (std::size_t b = 0; b < batches; ++b) {
+      summary.dependencies.push_back(
+          {predict_group, static_cast<std::int64_t>(b)});
+    }
+    summary.work.compute = 0.2;
+    summary.work.output_bytes = 4096;
+    g.add_task(summary);
+
+    std::vector<dtr::TaskGraph> graphs;
+    graphs.push_back(std::move(g));
+    return graphs;
+  };
+  return w;
+}
+
+}  // namespace recup::workloads

@@ -1,0 +1,36 @@
+// XGBoost regression training on NYC taxi trip records (paper §IV-B):
+// xgboost.dask.train / predict over 61 parquet partitions (20 GiB),
+// producing 74 task graphs. The read_parquet-fused-assign tasks are long
+// (the graph optimizer fuses the I/O with consuming operations), produce
+// outputs well above the recommended 128 MB chunk size, and hold the worker
+// event loop — the combination behind Figure 6 (longest category) and
+// Figure 7 (unresponsive-event-loop warnings clustering in the first 500 s).
+// Memory pressure from the large partitions triggers spilling, whose
+// placement-dependent writes/reads make the Table I I/O-op range wide
+// (867-1670).
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/workload.hpp"
+
+namespace recup::workloads {
+
+struct XgboostParams {
+  std::size_t partitions = 61;
+  std::size_t boosting_rounds = 70;
+  std::size_t reducers = 16;          ///< tree-reduction tasks per round
+  double read_parquet_compute = 58.0; ///< fused read+assign, event-loop bound
+  double gradient_compute = 4.2;
+  double histogram_compute = 2.6;
+  double reduce_compute = 0.9;
+  double predict_compute = 2.0;
+  /// Total distinct tasks, matched to Table I; the generator asserts it.
+  std::size_t target_tasks = 10348;
+  /// Worker memory budget before spilling to local scratch.
+  std::uint64_t spill_threshold_bytes = 2560ULL * 1024 * 1024;
+};
+
+Workload make_xgboost(std::uint64_t seed = 42, XgboostParams params = {});
+
+}  // namespace recup::workloads

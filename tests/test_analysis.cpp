@@ -1,0 +1,268 @@
+// Analysis engine tests: readers, fused views (task<->I/O attribution),
+// phase breakdowns, figure computations, and variability metrics.
+#include <gtest/gtest.h>
+
+#include "analysis/figures.hpp"
+#include "analysis/readers.hpp"
+#include "analysis/variability.hpp"
+#include "analysis/views.hpp"
+#include "dtr/cluster.hpp"
+
+namespace recup::analysis {
+namespace {
+
+dtr::ClusterConfig small_config(std::uint64_t seed) {
+  dtr::ClusterConfig config;
+  config.job.nodes = 2;
+  config.job.workers_per_node = 2;
+  config.job.threads_per_worker = 2;
+  config.seed = seed;
+  return config;
+}
+
+dtr::RunData io_heavy_run(std::uint64_t seed, std::uint32_t run_index = 0) {
+  dtr::Cluster cluster(small_config(seed));
+  cluster.vfs().register_file("/data/big", 64ULL << 20);
+  dtr::TaskGraph g("io-graph");
+  for (int i = 0; i < 16; ++i) {
+    dtr::TaskSpec t;
+    t.key = {"reader-aa11", i};
+    t.work.compute = 0.05;
+    t.work.output_bytes = 4 << 20;
+    t.work.reads.push_back({"/data/big",
+                            static_cast<std::uint64_t>(i) * (4 << 20),
+                            4 << 20, false});
+    g.add_task(t);
+  }
+  dtr::TaskGraph g2("consume-graph");
+  for (int i = 0; i < 16; ++i) {
+    dtr::TaskSpec t;
+    t.key = {"writer-bb22", i};
+    t.dependencies.push_back({"reader-aa11", i});
+    t.work.compute = 0.05;
+    t.work.writes.push_back({"/out/part", static_cast<std::uint64_t>(i) * 4096,
+                             4096, true});
+    g2.add_task(t);
+  }
+  std::vector<dtr::TaskGraph> graphs;
+  graphs.push_back(std::move(g));
+  graphs.push_back(std::move(g2));
+  return cluster.run(std::move(graphs), "io-heavy", run_index);
+}
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { run_ = new dtr::RunData(io_heavy_run(7)); }
+  static void TearDownTestSuite() {
+    delete run_;
+    run_ = nullptr;
+  }
+  static dtr::RunData* run_;
+};
+
+dtr::RunData* AnalysisTest::run_ = nullptr;
+
+TEST_F(AnalysisTest, FramesHaveExpectedShapes) {
+  EXPECT_EQ(tasks_frame(*run_).rows(), 32u);
+  EXPECT_GT(transitions_frame(*run_).rows(), 32u * 3);
+  const DataFrame dxt = dxt_frame(run_->darshan_logs);
+  EXPECT_EQ(dxt.rows(), 32u);  // 16 reads + 16 writes
+  const DataFrame posix = posix_frame(run_->darshan_logs);
+  EXPECT_GE(posix.rows(), 2u);  // >= 2 distinct files across workers
+  EXPECT_EQ(warnings_frame(*run_).rows(), run_->warnings.size());
+  EXPECT_EQ(steals_frame(*run_).rows(), run_->steals.size());
+  EXPECT_EQ(comms_frame(*run_).rows(), run_->comms.size());
+}
+
+TEST_F(AnalysisTest, AttributionAssignsEveryTaskIo) {
+  const auto attributed = attribute_io(*run_);
+  EXPECT_EQ(attributed.size(), 32u);
+  std::size_t with_task = 0;
+  for (const auto& io : attributed) {
+    if (!io.task_key.empty()) {
+      ++with_task;
+      // The fused row's prefix is the task category.
+      EXPECT_TRUE(io.prefix == "reader" || io.prefix == "writer") << io.prefix;
+      if (io.prefix == "reader") EXPECT_EQ(io.op, "read");
+      if (io.prefix == "writer") EXPECT_EQ(io.op, "write");
+    }
+  }
+  EXPECT_EQ(with_task, 32u);  // no spills here: everything attributes
+}
+
+TEST_F(AnalysisTest, TaskIoFrameJoinsConsistently) {
+  const DataFrame fused = task_io_frame(*run_);
+  EXPECT_EQ(fused.rows(), 32u);
+  // Join the fused view back against the task frame on the key.
+  const DataFrame tasks = tasks_frame(*run_);
+  const DataFrame joined = fused.inner_join(tasks, {"task_key"}, {"key"});
+  EXPECT_EQ(joined.rows(), 32u);
+}
+
+TEST_F(AnalysisTest, PhaseBreakdownSumsArePositiveAndConsistent) {
+  const PhaseBreakdown p = phase_breakdown(*run_);
+  EXPECT_GT(p.io_time, 0.0);
+  EXPECT_GT(p.compute_time, 0.0);
+  EXPECT_GT(p.wall_time, 0.0);
+  EXPECT_EQ(p.io_ops, 32u);
+  EXPECT_EQ(p.comm_count, run_->comms.size());
+  // Compute is ~32 x 0.05 s with noise.
+  EXPECT_NEAR(p.compute_time, 1.6, 0.5);
+}
+
+TEST_F(AnalysisTest, CategoryIoSummaryPartitionsAllOps) {
+  const DataFrame summary = category_io_summary(*run_);
+  ASSERT_EQ(summary.rows(), 2u);  // reader (reads), writer (writes)
+  EXPECT_EQ(summary.sum("io_ops"), 32.0);
+  // Readers move 4 MiB per task, writers 4 KiB.
+  const DataFrame readers =
+      summary.filter([](const DataFrame& d, std::size_t r) {
+        return d.col("category").str(r) == "reader";
+      });
+  ASSERT_EQ(readers.rows(), 1u);
+  EXPECT_EQ(readers.col("tasks").i64(0), 16);
+  EXPECT_DOUBLE_EQ(readers.col("ops_per_task").f64(0), 1.0);
+  EXPECT_DOUBLE_EQ(readers.col("bytes_per_task").f64(0),
+                   static_cast<double>(4 << 20));
+}
+
+TEST_F(AnalysisTest, WorkerViewFiltersByAddress) {
+  const auto& address = run_->tasks.front().worker_address;
+  const DataFrame view = worker_view(*run_, address);
+  EXPECT_GT(view.rows(), 0u);
+  EXPECT_LT(view.rows(), 33u);
+  const DataFrame none = worker_view(*run_, "tcp://nowhere:1");
+  EXPECT_EQ(none.rows(), 0u);
+}
+
+TEST_F(AnalysisTest, WindowViewIsChronological) {
+  const DataFrame window = window_view(*run_, 0.0, run_->meta.wall_end);
+  EXPECT_GT(window.rows(), 64u);
+  for (std::size_t r = 1; r < window.rows(); ++r) {
+    EXPECT_LE(window.col("time").f64(r - 1), window.col("time").f64(r));
+  }
+}
+
+TEST_F(AnalysisTest, Figure4RowsMatchSegments) {
+  const auto rows = figure4_rows(*run_);
+  EXPECT_EQ(rows.size(), 32u);
+  const std::string gantt = render_figure4(*run_, 60);
+  EXPECT_NE(gantt.find("Fig. 4"), std::string::npos);
+  EXPECT_NE(gantt.find('r') != std::string::npos ||
+                gantt.find('R') != std::string::npos,
+            false);
+}
+
+TEST_F(AnalysisTest, ReadPhasesDetected) {
+  // Two graphs -> reads in graph 1 only; a single read phase expected.
+  const auto phases = detect_read_phases(*run_, 2.0);
+  EXPECT_EQ(phases.size(), 1u);
+}
+
+TEST_F(AnalysisTest, Figure5FrameHasCommRows) {
+  const DataFrame comm = figure5_frame(*run_);
+  EXPECT_EQ(comm.rows(), run_->comms.size());
+  if (comm.rows() > 0) {
+    const std::string rendered = render_figure5(*run_);
+    EXPECT_NE(rendered.find("Fig. 5"), std::string::npos);
+  }
+}
+
+TEST_F(AnalysisTest, Figure6CategorySummarySorted) {
+  const DataFrame summary = figure6_category_summary(*run_);
+  EXPECT_EQ(summary.rows(), 2u);  // reader, writer
+  for (std::size_t r = 1; r < summary.rows(); ++r) {
+    EXPECT_GE(summary.col("mean_duration").f64(r - 1),
+              summary.col("mean_duration").f64(r));
+  }
+  EXPECT_NE(render_figure6(*run_).find("Task category"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, Figure7HistogramCountsWarnings) {
+  const WarningHistogram hist = figure7_histogram(*run_, 10.0);
+  EXPECT_EQ(hist.total_unresponsive + hist.total_gc, run_->warnings.size());
+  std::uint64_t binned = 0;
+  for (std::size_t b = 0; b < hist.bin_starts.size(); ++b) {
+    binned += hist.unresponsive[b] + hist.gc[b];
+  }
+  EXPECT_EQ(binned, run_->warnings.size());
+}
+
+TEST(AnalysisMultiRun, CharacterizeAndTable1) {
+  std::vector<dtr::RunData> runs;
+  for (std::uint32_t i = 0; i < 3; ++i) runs.push_back(io_heavy_run(50 + i, i));
+  const WorkflowCharacteristics chars = characterize(runs);
+  EXPECT_EQ(chars.workflow, "io-heavy");
+  EXPECT_EQ(chars.runs, 3u);
+  EXPECT_EQ(chars.task_graphs, 2u);
+  EXPECT_EQ(chars.distinct_tasks, 32u);
+  // Only dataset files under /data/ count (scratch outputs are excluded,
+  // matching Table I's dataset-file semantics).
+  EXPECT_EQ(chars.distinct_files, 1u);
+  EXPECT_LE(chars.io_ops_min, chars.io_ops_max);
+  EXPECT_LE(chars.comms_min, chars.comms_max);
+  const std::string table = render_table1({chars});
+  EXPECT_NE(table.find("io-heavy"), std::string::npos);
+  EXPECT_NE(table.find("TABLE I"), std::string::npos);
+}
+
+TEST(AnalysisMultiRun, Figure3NormalizedStats) {
+  std::vector<dtr::RunData> runs;
+  for (std::uint32_t i = 0; i < 3; ++i) runs.push_back(io_heavy_run(80 + i, i));
+  const PhaseStats stats = figure3_stats("io-heavy", runs);
+  EXPECT_DOUBLE_EQ(stats.total_mean, 1.0);  // normalized by mean wall time
+  EXPECT_GT(stats.total_std, 0.0);          // different seeds -> variability
+  EXPECT_GT(stats.compute_mean, 0.0);
+  EXPECT_GT(stats.wall_mean_s, 0.0);
+  EXPECT_LT(stats.io_mean, 10.0);
+  const std::string rendered = render_figure3({stats});
+  EXPECT_NE(rendered.find("io-heavy"), std::string::npos);
+  EXPECT_EQ(figure3_frame({stats}).rows(), 4u);
+}
+
+TEST(AnalysisMultiRun, RunLevelVariabilityMetrics) {
+  std::vector<dtr::RunData> runs;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    runs.push_back(io_heavy_run(90 + i, i));
+  }
+  const auto metrics = run_level_variability(runs);
+  ASSERT_EQ(metrics.size(), 7u);
+  for (const auto& m : metrics) {
+    EXPECT_GE(m.max, m.min) << m.metric;
+    EXPECT_GE(m.cv, 0.0) << m.metric;
+  }
+  EXPECT_EQ(metrics[0].metric, "wall_time_s");
+  EXPECT_GT(metrics[0].cv, 0.0);
+  EXPECT_NE(render_variability(metrics).find("wall_time_s"),
+            std::string::npos);
+}
+
+TEST(AnalysisMultiRun, CategoryVariabilityRanksByCv) {
+  std::vector<dtr::RunData> runs;
+  for (std::uint32_t i = 0; i < 3; ++i) runs.push_back(io_heavy_run(70 + i, i));
+  const DataFrame cv = category_variability(runs);
+  EXPECT_EQ(cv.rows(), 2u);
+  for (std::size_t r = 1; r < cv.rows(); ++r) {
+    EXPECT_GE(cv.col("cv").f64(r - 1), cv.col("cv").f64(r));
+  }
+}
+
+TEST(AnalysisMultiRun, ScheduleSimilaritySelfIsPerfect) {
+  const dtr::RunData run = io_heavy_run(5);
+  const ScheduleSimilarity self = schedule_similarity(run, run);
+  EXPECT_EQ(self.common_tasks, 32u);
+  EXPECT_NEAR(self.order_correlation, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(self.same_worker_fraction, 1.0);
+}
+
+TEST(AnalysisMultiRun, ScheduleSimilarityAcrossSeedsImperfect) {
+  const dtr::RunData a = io_heavy_run(5);
+  const dtr::RunData b = io_heavy_run(6, 1);
+  const ScheduleSimilarity sim = schedule_similarity(a, b);
+  EXPECT_EQ(sim.common_tasks, 32u);
+  EXPECT_LT(sim.order_correlation, 1.0);
+  EXPECT_GT(sim.order_correlation, -1.0);
+}
+
+}  // namespace
+}  // namespace recup::analysis

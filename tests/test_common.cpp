@@ -1,0 +1,317 @@
+// Unit tests for src/common: RNG streams, statistics, histograms, CSV,
+// string utilities, queues, logging, and tables.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/csv.hpp"
+#include "common/histogram.hpp"
+#include "common/log.hpp"
+#include "common/queue.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/time.hpp"
+
+namespace recup {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  RngStream a(42);
+  RngStream b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  RngStream a(1);
+  RngStream b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000) == b.uniform_int(0, 1000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, SubstreamsAreIndependentAndStable) {
+  RngStream root(7);
+  RngStream net1 = root.substream("network");
+  RngStream net2 = root.substream("network");
+  RngStream pfs = root.substream("pfs");
+  EXPECT_EQ(net1.seed(), net2.seed());
+  EXPECT_NE(net1.seed(), pfs.seed());
+  EXPECT_NE(net1.seed(), root.seed());
+}
+
+TEST(Rng, LognormalMedianRoughlyCorrect) {
+  RngStream rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.lognormal(2.0, 0.5));
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 2.0, 0.1);
+}
+
+TEST(Rng, NormalRespectsFloor) {
+  RngStream rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.normal(0.0, 10.0, 0.5), 0.5);
+  }
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  RngStream rng(9);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 2);
+}
+
+TEST(Rng, WeightedIndexRejectsNonPositive) {
+  RngStream rng(1);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(weights), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  RngStream rng(5);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Fnv, StableKnownValue) {
+  // FNV-1a of empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  RngStream rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0, 10);
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(RunningStats, CvZeroWhenMeanZero) {
+  RunningStats s;
+  s.add(-1.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Summarize, Percentiles) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(i);
+  const SampleSummary s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 0.01);
+  EXPECT_NEAR(s.p95, 95.05, 0.1);
+  EXPECT_EQ(s.count, 100u);
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+  const SampleSummary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys).value(), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg).value(), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSideIsNullopt) {
+  std::vector<double> xs = {1, 1, 1};
+  std::vector<double> ys = {1, 2, 3};
+  EXPECT_FALSE(pearson(xs, ys).has_value());
+  EXPECT_FALSE(pearson({1.0}, {2.0}).has_value());
+}
+
+TEST(SizeHistogram, DarshanBuckets) {
+  SizeHistogram h;
+  h.add(50);                    // 0_100
+  h.add(100);                   // 100_1K
+  h.add(4 * 1024 * 1024);       // 4M_10M
+  h.add(4 * 1024 * 1024 - 1);   // 1M_4M
+  h.add(2ULL * 1024 * 1024 * 1024);  // 1G_PLUS
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.bucket(6), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(SizeHistogram, MergeAdds) {
+  SizeHistogram a, b;
+  a.add(10, 3);
+  b.add(10, 2);
+  a.merge(b);
+  EXPECT_EQ(a.bucket(0), 5u);
+}
+
+TEST(BinnedHistogram, BinsAndOverflow) {
+  BinnedHistogram h(0.0, 100.0, 10);
+  h.add(5.0);
+  h.add(95.0);
+  h.add(150.0);   // overflow
+  h.add(-1.0);    // underflow counts as overflow too
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 20.0);
+}
+
+TEST(Strings, SplitJoinTrim) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(join({"a", "b"}, "-"), "a-b");
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_TRUE(starts_with("abcdef", "abc"));
+  EXPECT_TRUE(ends_with("abcdef", "def"));
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+}
+
+TEST(Strings, HexTokenAndBytes) {
+  EXPECT_EQ(hex_token(0xABC, 6), "000abc");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(4ULL * 1024 * 1024), "4.0 MiB");
+}
+
+TEST(Csv, EscapeRoundTrip) {
+  const std::vector<std::string> fields = {"plain", "with,comma",
+                                           "with\"quote", "with\nnewline"};
+  const std::string row = csv_row(fields);
+  EXPECT_EQ(csv_parse_row(row), fields);
+}
+
+TEST(Csv, ParseMultipleRows) {
+  const auto rows = csv_parse("a,b\n1,2\n3,4\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(csv_parse("\"oops"), std::invalid_argument);
+}
+
+TEST(BoundedQueue, PushPopFifo) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(BoundedQueue, CloseDrainsThenNullopt) {
+  BoundedQueue<int> q(4);
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CrossThreadHandoff) {
+  BoundedQueue<int> q(2);
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) q.push(i);
+    q.close();
+  });
+  int expected = 0;
+  while (auto v = q.pop()) {
+    EXPECT_EQ(*v, expected++);
+  }
+  producer.join();
+  EXPECT_EQ(expected, 100);
+}
+
+TEST(LogCollector, CollectsAndFilters) {
+  LogCollector logs;
+  logs.log(LogLevel::kInfo, "a", "hello");
+  logs.log(LogLevel::kWarning, "b", "careful");
+  logs.log(LogLevel::kError, "c", "boom");
+  EXPECT_EQ(logs.count(), 3u);
+  EXPECT_EQ(logs.records_at_least(LogLevel::kWarning).size(), 2u);
+  logs.clear();
+  EXPECT_EQ(logs.count(), 0u);
+}
+
+TEST(LogCollector, UsesClock) {
+  double now = 1.5;
+  LogCollector logs([&] { return now; });
+  logs.log(LogLevel::kInfo, "x", "m1");
+  now = 3.0;
+  logs.log(LogLevel::kInfo, "x", "m2");
+  const auto records = logs.records();
+  EXPECT_DOUBLE_EQ(records[0].time, 1.5);
+  EXPECT_DOUBLE_EQ(records[1].time, 3.0);
+}
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string rendered = t.render("Title");
+  EXPECT_NE(rendered.find("Title"), std::string::npos);
+  EXPECT_NE(rendered.find("| alpha |"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiCharts, BarChartScalesAndShowsErrors) {
+  const std::string chart =
+      ascii_bar_chart({{"a", 1.0}, {"bb", 0.5}}, {0.1, 0.0}, 20);
+  EXPECT_NE(chart.find("a "), std::string::npos);
+  EXPECT_NE(chart.find("+/-"), std::string::npos);
+}
+
+TEST(TimeInterval, OverlapMath) {
+  TimeInterval a{0.0, 10.0};
+  TimeInterval b{5.0, 15.0};
+  TimeInterval c{20.0, 30.0};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_DOUBLE_EQ(a.overlap_length(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.overlap_length(c), 0.0);
+  EXPECT_TRUE(a.contains(0.0));
+  EXPECT_FALSE(a.contains(10.0));
+}
+
+}  // namespace
+}  // namespace recup

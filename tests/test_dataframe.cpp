@@ -1,0 +1,264 @@
+// DataFrame tests: schema/type discipline, relational operations, CSV
+// round trips, and property-style parameterized checks.
+#include <gtest/gtest.h>
+
+#include "analysis/dataframe.hpp"
+#include "common/rng.hpp"
+
+namespace recup::analysis {
+namespace {
+
+DataFrame sample_frame() {
+  DataFrame df({{"name", ColumnType::kString},
+                {"group", ColumnType::kString},
+                {"value", ColumnType::kDouble},
+                {"count", ColumnType::kInt64}});
+  df.add_row({"a", "x", 1.5, std::int64_t{1}});
+  df.add_row({"b", "x", 2.5, std::int64_t{2}});
+  df.add_row({"c", "y", 3.0, std::int64_t{3}});
+  df.add_row({"d", "y", 4.0, std::int64_t{4}});
+  return df;
+}
+
+TEST(DataFrame, SchemaAndAccess) {
+  const DataFrame df = sample_frame();
+  EXPECT_EQ(df.rows(), 4u);
+  EXPECT_EQ(df.width(), 4u);
+  EXPECT_TRUE(df.has_column("value"));
+  EXPECT_FALSE(df.has_column("missing"));
+  EXPECT_EQ(df.col("name").str(0), "a");
+  EXPECT_DOUBLE_EQ(df.col("value").f64(1), 2.5);
+  EXPECT_EQ(df.col("count").i64(2), 3);
+  // Int column widens to double through f64.
+  EXPECT_DOUBLE_EQ(df.col("count").f64(3), 4.0);
+  EXPECT_THROW(df.col("missing"), DataFrameError);
+  EXPECT_THROW(df.col("name").f64(0), DataFrameError);
+  EXPECT_THROW(df.col("value").i64(0), DataFrameError);
+}
+
+TEST(DataFrame, TypeCheckedAppend) {
+  DataFrame df({{"i", ColumnType::kInt64}});
+  EXPECT_THROW(df.add_row({std::string("not-int")}), DataFrameError);
+  EXPECT_THROW(df.add_row({std::int64_t{1}, std::int64_t{2}}),
+               DataFrameError);
+  // Int accepted into double columns.
+  DataFrame dd({{"d", ColumnType::kDouble}});
+  dd.add_row({std::int64_t{3}});
+  EXPECT_DOUBLE_EQ(dd.col("d").f64(0), 3.0);
+}
+
+TEST(DataFrame, DuplicateColumnRejected) {
+  EXPECT_THROW(DataFrame({{"a", ColumnType::kInt64},
+                          {"a", ColumnType::kDouble}}),
+               DataFrameError);
+}
+
+TEST(DataFrame, FilterKeepsMatchingRows) {
+  const DataFrame df = sample_frame();
+  const DataFrame filtered = df.filter([](const DataFrame& d, std::size_t r) {
+    return d.col("value").f64(r) > 2.0;
+  });
+  EXPECT_EQ(filtered.rows(), 3u);
+  EXPECT_EQ(filtered.col("name").str(0), "b");
+}
+
+TEST(DataFrame, SortByNumericAndString) {
+  const DataFrame df = sample_frame();
+  const DataFrame desc = df.sort_by("value", /*ascending=*/false);
+  EXPECT_EQ(desc.col("name").str(0), "d");
+  EXPECT_EQ(desc.col("name").str(3), "a");
+  const DataFrame by_name = df.sort_by("name");
+  EXPECT_EQ(by_name.col("name").str(0), "a");
+}
+
+TEST(DataFrame, SortIsStable) {
+  DataFrame df({{"k", ColumnType::kInt64}, {"tag", ColumnType::kString}});
+  df.add_row({std::int64_t{1}, "first"});
+  df.add_row({std::int64_t{1}, "second"});
+  df.add_row({std::int64_t{0}, "zero"});
+  const DataFrame sorted = df.sort_by("k");
+  EXPECT_EQ(sorted.col("tag").str(1), "first");
+  EXPECT_EQ(sorted.col("tag").str(2), "second");
+}
+
+TEST(DataFrame, SelectAndHead) {
+  const DataFrame df = sample_frame();
+  const DataFrame sel = df.select({"value", "name"});
+  EXPECT_EQ(sel.width(), 2u);
+  EXPECT_EQ(sel.col(0).name(), "value");
+  const DataFrame top = df.head(2);
+  EXPECT_EQ(top.rows(), 2u);
+  EXPECT_EQ(df.head(100).rows(), 4u);
+}
+
+TEST(DataFrame, GroupByAggregates) {
+  const DataFrame df = sample_frame();
+  const DataFrame grouped =
+      df.group_by({"group"}, {{"value", Agg::kSum, "total"},
+                              {"value", Agg::kMean, "avg"},
+                              {"value", Agg::kMin, "lo"},
+                              {"value", Agg::kMax, "hi"},
+                              {"", Agg::kCount, "n"},
+                              {"name", Agg::kFirst, "first_name"}});
+  EXPECT_EQ(grouped.rows(), 2u);
+  const DataFrame x = grouped.filter([](const DataFrame& d, std::size_t r) {
+    return d.col("group").str(r) == "x";
+  });
+  ASSERT_EQ(x.rows(), 1u);
+  EXPECT_DOUBLE_EQ(x.col("total").f64(0), 4.0);
+  EXPECT_DOUBLE_EQ(x.col("avg").f64(0), 2.0);
+  EXPECT_DOUBLE_EQ(x.col("lo").f64(0), 1.5);
+  EXPECT_DOUBLE_EQ(x.col("hi").f64(0), 2.5);
+  EXPECT_EQ(x.col("n").i64(0), 2);
+  EXPECT_EQ(x.col("first_name").str(0), "a");
+}
+
+TEST(DataFrame, GroupByStd) {
+  DataFrame df({{"g", ColumnType::kString}, {"v", ColumnType::kDouble}});
+  df.add_row({"a", 2.0});
+  df.add_row({"a", 4.0});
+  const DataFrame grouped = df.group_by({"g"}, {{"v", Agg::kStd, "sd"}});
+  EXPECT_NEAR(grouped.col("sd").f64(0), std::sqrt(2.0), 1e-12);
+}
+
+TEST(DataFrame, InnerJoinMatchesKeys) {
+  DataFrame left({{"id", ColumnType::kInt64}, {"l", ColumnType::kString}});
+  left.add_row({std::int64_t{1}, "one"});
+  left.add_row({std::int64_t{2}, "two"});
+  left.add_row({std::int64_t{3}, "three"});
+  DataFrame right({{"key", ColumnType::kInt64}, {"r", ColumnType::kString}});
+  right.add_row({std::int64_t{2}, "TWO"});
+  right.add_row({std::int64_t{3}, "THREE"});
+  right.add_row({std::int64_t{3}, "TROIS"});  // multiple matches fan out
+  const DataFrame joined = left.inner_join(right, {"id"}, {"key"});
+  EXPECT_EQ(joined.rows(), 3u);
+  EXPECT_EQ(joined.col("l").str(0), "two");
+  EXPECT_EQ(joined.col("r").str(0), "TWO");
+  EXPECT_EQ(joined.col("r").str(2), "TROIS");
+}
+
+TEST(DataFrame, JoinNameCollisionSuffixed) {
+  DataFrame left({{"id", ColumnType::kInt64}, {"v", ColumnType::kInt64}});
+  left.add_row({std::int64_t{1}, std::int64_t{10}});
+  DataFrame right({{"id", ColumnType::kInt64}, {"v", ColumnType::kInt64}});
+  right.add_row({std::int64_t{1}, std::int64_t{20}});
+  const DataFrame joined = left.inner_join(right, {"id"}, {"id"});
+  EXPECT_TRUE(joined.has_column("v"));
+  EXPECT_TRUE(joined.has_column("v_right"));
+  EXPECT_EQ(joined.col("v").i64(0), 10);
+  EXPECT_EQ(joined.col("v_right").i64(0), 20);
+}
+
+TEST(DataFrame, JoinRequiresKeys) {
+  const DataFrame df = sample_frame();
+  EXPECT_THROW(df.inner_join(df, {}, {}), DataFrameError);
+  EXPECT_THROW(df.inner_join(df, {"name"}, {"name", "group"}),
+               DataFrameError);
+}
+
+TEST(DataFrame, ConcatAppendsRows) {
+  const DataFrame df = sample_frame();
+  const DataFrame both = df.concat(df);
+  EXPECT_EQ(both.rows(), 8u);
+  EXPECT_EQ(both.col("name").str(4), "a");
+}
+
+TEST(DataFrame, ColumnHelpers) {
+  const DataFrame df = sample_frame();
+  EXPECT_DOUBLE_EQ(df.sum("value"), 11.0);
+  EXPECT_DOUBLE_EQ(df.mean("value"), 2.75);
+  EXPECT_DOUBLE_EQ(df.min("count"), 1.0);
+  EXPECT_DOUBLE_EQ(df.max("count"), 4.0);
+  EXPECT_EQ(df.distinct("group"), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(DataFrame, CsvRoundTrip) {
+  const DataFrame df = sample_frame();
+  const DataFrame back = DataFrame::from_csv(df.to_csv());
+  EXPECT_EQ(back.rows(), df.rows());
+  EXPECT_EQ(back.col("name").str(2), "c");
+  EXPECT_EQ(back.col("count").type(), ColumnType::kInt64);
+  EXPECT_EQ(back.col("value").type(), ColumnType::kDouble);
+  EXPECT_DOUBLE_EQ(back.col("value").f64(3), 4.0);
+}
+
+TEST(DataFrame, CsvQuotedFieldsSurvive) {
+  DataFrame df({{"k", ColumnType::kString}});
+  df.add_row({"('getitem-24266c', 63)"});
+  df.add_row({"line\nbreak"});
+  const DataFrame back = DataFrame::from_csv(df.to_csv());
+  EXPECT_EQ(back.col("k").str(0), "('getitem-24266c', 63)");
+  EXPECT_EQ(back.col("k").str(1), "line\nbreak");
+}
+
+TEST(DataFrame, CsvTypeInference) {
+  const DataFrame df = DataFrame::from_csv("a,b,c\n1,1.5,x\n2,2.5,y\n");
+  EXPECT_EQ(df.col("a").type(), ColumnType::kInt64);
+  EXPECT_EQ(df.col("b").type(), ColumnType::kDouble);
+  EXPECT_EQ(df.col("c").type(), ColumnType::kString);
+}
+
+TEST(DataFrame, CsvErrors) {
+  EXPECT_THROW(DataFrame::from_csv(""), DataFrameError);
+  EXPECT_THROW(DataFrame::from_csv("a,b\n1\n"), DataFrameError);
+  EXPECT_THROW(DataFrame::from_csv_file("/no/such/file.csv"),
+               DataFrameError);
+}
+
+// Property-style sweep: filter-then-count equals manual count across random
+// frames of varying size.
+class DataFrameProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DataFrameProperty, FilterCountMatchesPredicate) {
+  RngStream rng(static_cast<std::uint64_t>(GetParam()));
+  DataFrame df({{"v", ColumnType::kDouble}});
+  const int n = GetParam() * 37 % 200 + 1;
+  int expected = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.uniform(0, 1);
+    if (v > 0.5) ++expected;
+    df.add_row({v});
+  }
+  const DataFrame filtered = df.filter([](const DataFrame& d, std::size_t r) {
+    return d.col("v").f64(r) > 0.5;
+  });
+  EXPECT_EQ(filtered.rows(), static_cast<std::size_t>(expected));
+}
+
+TEST_P(DataFrameProperty, SortIsPermutationAndOrdered) {
+  RngStream rng(static_cast<std::uint64_t>(GetParam()) + 999);
+  DataFrame df({{"v", ColumnType::kDouble}});
+  const int n = GetParam() * 53 % 150 + 2;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.uniform(-100, 100);
+    total += v;
+    df.add_row({v});
+  }
+  const DataFrame sorted = df.sort_by("v");
+  EXPECT_EQ(sorted.rows(), static_cast<std::size_t>(n));
+  EXPECT_NEAR(sorted.sum("v"), total, 1e-9);
+  for (std::size_t r = 1; r < sorted.rows(); ++r) {
+    EXPECT_LE(sorted.col("v").f64(r - 1), sorted.col("v").f64(r));
+  }
+}
+
+TEST_P(DataFrameProperty, GroupBySumsPartitionTotal) {
+  RngStream rng(static_cast<std::uint64_t>(GetParam()) + 5555);
+  DataFrame df({{"g", ColumnType::kString}, {"v", ColumnType::kDouble}});
+  double total = 0.0;
+  const int n = GetParam() * 29 % 300 + 5;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.uniform(0, 10);
+    total += v;
+    df.add_row({std::string(1, static_cast<char>('a' + i % 7)), v});
+  }
+  const DataFrame grouped = df.group_by({"g"}, {{"v", Agg::kSum, "s"}});
+  EXPECT_NEAR(grouped.sum("s"), total, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DataFrameProperty,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace recup::analysis

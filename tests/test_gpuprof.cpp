@@ -1,0 +1,147 @@
+// GPU profiler tests: device contention, collector summaries, and
+// kernel-to-task attribution through the cluster.
+#include <gtest/gtest.h>
+
+#include "analysis/readers.hpp"
+#include "dtr/cluster.hpp"
+#include "gpuprof/collector.hpp"
+#include "gpuprof/gpu.hpp"
+
+namespace recup::gpuprof {
+namespace {
+
+TEST(GpuSet, KernelsCompleteWithJitteredDuration) {
+  sim::Engine engine;
+  GpuConfig config;
+  config.jitter_sigma = 0.0;
+  GpuSet gpus(engine, 2, config, RngStream(1));
+  KernelRecord done;
+  gpus.launch(0, {"gemm", 0.5, 1}, 42,
+              [&](const KernelRecord& r) { done = r; });
+  engine.run();
+  EXPECT_EQ(done.kernel_name, "gemm");
+  EXPECT_EQ(done.thread_id, 42u);
+  EXPECT_EQ(done.node, 0u);
+  EXPECT_NEAR(done.duration(), 0.5, 1e-4);
+  EXPECT_EQ(gpus.kernels_launched(), 1u);
+}
+
+TEST(GpuSet, SpreadsAcrossDevices) {
+  sim::Engine engine;
+  GpuConfig config;
+  config.devices_per_node = 4;
+  config.streams_per_device = 1;
+  config.jitter_sigma = 0.0;
+  GpuSet gpus(engine, 1, config, RngStream(1));
+  std::set<DeviceIndex> devices;
+  for (int i = 0; i < 4; ++i) {
+    gpus.launch(0, {"k", 0.1, 1}, 1,
+                [&](const KernelRecord& r) { devices.insert(r.device); });
+  }
+  engine.run();
+  EXPECT_EQ(devices.size(), 4u);  // least-loaded spreads over all devices
+}
+
+TEST(GpuSet, ContentionQueuesKernels) {
+  sim::Engine engine;
+  GpuConfig config;
+  config.devices_per_node = 1;
+  config.streams_per_device = 1;
+  config.jitter_sigma = 0.0;
+  GpuSet gpus(engine, 1, config, RngStream(1));
+  std::vector<KernelRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    gpus.launch(0, {"k", 1.0, 1}, 1,
+                [&](const KernelRecord& r) { records.push_back(r); });
+  }
+  engine.run();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_NEAR(records[1].queue_delay(), 1.0, 0.01);
+  EXPECT_NEAR(records[2].queue_delay(), 2.0, 0.01);
+}
+
+TEST(GpuSet, RejectsBadNodeAndConfig) {
+  sim::Engine engine;
+  GpuSet gpus(engine, 1, GpuConfig{}, RngStream(1));
+  EXPECT_THROW(gpus.launch(5, {"k", 0.1, 1}, 1, nullptr),
+               std::out_of_range);
+  GpuConfig bad;
+  bad.devices_per_node = 0;
+  EXPECT_THROW(GpuSet(engine, 1, bad, RngStream(1)), std::invalid_argument);
+}
+
+TEST(Collector, SummariesAggregateByKernel) {
+  Collector collector;
+  collector.record({0, 0, "gemm", 1, 0.0, 0.0, 1.0});
+  collector.record({0, 1, "gemm", 1, 1.0, 1.5, 2.0});
+  collector.record({1, 0, "conv", 1, 0.0, 0.0, 5.0});
+  const auto by_kernel = collector.by_kernel();
+  ASSERT_EQ(by_kernel.size(), 2u);
+  EXPECT_EQ(by_kernel[0].kernel_name, "conv");  // sorted by total time
+  EXPECT_EQ(by_kernel[1].launches, 2u);
+  EXPECT_NEAR(by_kernel[1].total_time, 1.5, 1e-12);
+  EXPECT_NEAR(by_kernel[1].total_queue_delay, 0.5, 1e-12);
+  const auto busy = collector.device_busy_time();
+  EXPECT_EQ(busy.size(), 3u);
+  EXPECT_NEAR(busy.at({1, 0}), 5.0, 1e-12);
+}
+
+TEST(GpuIntegration, KernelsAttributedToGpuTasks) {
+  dtr::ClusterConfig config;
+  config.job.nodes = 1;
+  config.job.workers_per_node = 2;
+  config.job.threads_per_worker = 2;
+  config.seed = 5;
+  dtr::Cluster cluster(config);
+  dtr::TaskGraph g("gpu-graph");
+  for (int i = 0; i < 6; ++i) {
+    dtr::TaskSpec t;
+    t.key = {"infer-aa11", i};
+    t.work.compute = 0.05;
+    t.work.kernels = {{"conv", 0.2, 2}, {"gemm", 0.1, 1}};
+    g.add_task(t);
+  }
+  const dtr::RunData run = cluster.run({g}, "gpu-test", 0);
+
+  ASSERT_EQ(run.kernels.size(), 6u * 3u);
+  // Every kernel's launching thread id matches a task that was executing.
+  for (const auto& k : run.kernels) {
+    bool matched = false;
+    for (const auto& t : run.tasks) {
+      if (t.thread_id == k.thread_id && k.queued >= t.start_time - 1e-9 &&
+          k.queued <= t.end_time + 1e-9) {
+        matched = true;
+      }
+    }
+    EXPECT_TRUE(matched);
+  }
+  // Task records account the GPU time.
+  for (const auto& t : run.tasks) {
+    EXPECT_GT(t.gpu_time, 0.4);  // 2x0.2 + 0.1 plus queueing
+  }
+  // Analysis frame shape.
+  const analysis::DataFrame frame = analysis::kernels_frame(run);
+  EXPECT_EQ(frame.rows(), 18u);
+  EXPECT_GT(frame.sum("duration"), 0.0);
+}
+
+TEST(GpuIntegration, DisabledGpuprofYieldsNoKernels) {
+  dtr::ClusterConfig config;
+  config.job.nodes = 1;
+  config.job.workers_per_node = 1;
+  config.job.threads_per_worker = 1;
+  config.enable_gpuprof = false;
+  dtr::Cluster cluster(config);
+  dtr::TaskGraph g("gpu-graph");
+  dtr::TaskSpec t;
+  t.key = {"infer-aa11", 0};
+  t.work.compute = 0.01;
+  t.work.kernels = {{"conv", 0.2, 1}};
+  g.add_task(t);
+  const dtr::RunData run = cluster.run({g}, "gpu-off", 0);
+  EXPECT_TRUE(run.kernels.empty());
+  EXPECT_DOUBLE_EQ(run.tasks.front().gpu_time, 0.0);
+}
+
+}  // namespace
+}  // namespace recup::gpuprof

@@ -1,0 +1,273 @@
+// End-to-end integration tests: execute the paper's workflows through the
+// full instrumented stack and check the properties the evaluation section
+// reports (Table I shapes, Figure 4 phases, Figure 6 category ranking,
+// Figure 7 warning clustering, Figure 8 lineage completeness).
+#include <gtest/gtest.h>
+
+#include "analysis/figures.hpp"
+#include "analysis/readers.hpp"
+#include "analysis/views.hpp"
+#include "common/stats.hpp"
+#include "prov/lineage.hpp"
+#include "workloads/image_processing.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/resnet152.hpp"
+#include "workloads/xgboost.hpp"
+
+namespace recup {
+namespace {
+
+using workloads::execute;
+
+class ImageProcessingRun : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    run_ = new dtr::RunData(
+        execute(workloads::make_image_processing(42), 0));
+  }
+  static void TearDownTestSuite() {
+    delete run_;
+    run_ = nullptr;
+  }
+  static dtr::RunData* run_;
+};
+dtr::RunData* ImageProcessingRun::run_ = nullptr;
+
+TEST_F(ImageProcessingRun, Table1Characteristics) {
+  EXPECT_EQ(run_->graph_count, 3u);
+  EXPECT_EQ(run_->tasks.size(), 5440u);
+  const analysis::PhaseBreakdown p = analysis::phase_breakdown(*run_);
+  // Table I: 5274-5287 I/O operations; allow the band to breathe.
+  EXPECT_GT(p.io_ops, 5100u);
+  EXPECT_LT(p.io_ops, 5450u);
+  EXPECT_GT(p.comm_count, 0u);
+  // Distinct *input* files: 151 images (plus scratch intermediates).
+  std::set<std::string> inputs;
+  for (const auto& log : run_->darshan_logs) {
+    for (const auto& rec : log.posix) {
+      if (rec.file_path.rfind("/data/bcss/", 0) == 0) {
+        inputs.insert(rec.file_path);
+      }
+    }
+  }
+  EXPECT_EQ(inputs.size(), 151u);
+}
+
+TEST_F(ImageProcessingRun, Figure4ThreeReadPhases) {
+  const auto phases = analysis::detect_read_phases(*run_, 5.0);
+  // Three graphs executed in sequence -> three read bursts.
+  EXPECT_EQ(phases.size(), 3u);
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    EXPECT_GT(phases[i].begin, phases[i - 1].end);
+  }
+}
+
+TEST_F(ImageProcessingRun, Figure4WritesFollowEachReadPhase) {
+  const auto phases = analysis::detect_read_phases(*run_, 5.0);
+  ASSERT_EQ(phases.size(), 3u);
+  // Each phase is followed by write activity before the next read phase.
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const double window_end =
+        i + 1 < phases.size() ? phases[i + 1].begin : run_->meta.wall_end;
+    bool wrote = false;
+    for (const auto& log : run_->darshan_logs) {
+      for (const auto& rec : log.dxt) {
+        for (const auto& seg : rec.segments) {
+          if (seg.op == darshan::IoOp::kWrite &&
+              seg.start >= phases[i].begin && seg.start <= window_end) {
+            wrote = true;
+          }
+        }
+      }
+    }
+    EXPECT_TRUE(wrote) << "no writes after read phase " << i;
+  }
+}
+
+TEST_F(ImageProcessingRun, DarshanNotTruncated) {
+  for (const auto& log : run_->darshan_logs) {
+    for (const auto& rec : log.dxt) {
+      EXPECT_FALSE(rec.truncated);
+    }
+  }
+}
+
+TEST_F(ImageProcessingRun, EveryIoAttributesToATask) {
+  const auto attributed = analysis::attribute_io(*run_);
+  std::size_t unattributed = 0;
+  for (const auto& io : attributed) {
+    if (io.task_key.empty()) ++unattributed;
+  }
+  // No spilling in this workload: everything should attribute.
+  EXPECT_EQ(unattributed, 0u);
+}
+
+class ResNetRun : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    run_ = new dtr::RunData(execute(workloads::make_resnet152(42), 0));
+  }
+  static void TearDownTestSuite() {
+    delete run_;
+    run_ = nullptr;
+  }
+  static dtr::RunData* run_;
+};
+dtr::RunData* ResNetRun::run_ = nullptr;
+
+TEST_F(ResNetRun, Table1Characteristics) {
+  EXPECT_EQ(run_->graph_count, 1u);
+  EXPECT_EQ(run_->tasks.size(), 8645u);
+  std::set<std::string> inputs;
+  for (const auto& log : run_->darshan_logs) {
+    for (const auto& rec : log.posix) inputs.insert(rec.file_path);
+  }
+  // Paper: 3929 distinct files. POSIX module sees all of them even when DXT
+  // truncates, but DXT record creation is budget-bound; POSIX counting here.
+  EXPECT_EQ(inputs.size(), 3929u);
+}
+
+TEST_F(ResNetRun, DxtTruncationReproducesFootnote9) {
+  const analysis::PhaseBreakdown p = analysis::phase_breakdown(*run_);
+  // Recorded (truncated) DXT ops near the paper's 2057-2302 band.
+  EXPECT_GT(p.io_ops, 1700u);
+  EXPECT_LT(p.io_ops, 2700u);
+  bool truncated = false;
+  for (const auto& log : run_->darshan_logs) {
+    for (const auto& rec : log.dxt) truncated = truncated || rec.truncated;
+  }
+  EXPECT_TRUE(truncated);
+  // POSIX counters remain complete: far more ops than DXT kept.
+  std::uint64_t posix_ops = 0;
+  for (const auto& log : run_->darshan_logs) {
+    for (const auto& rec : log.posix) posix_ops += rec.reads + rec.writes;
+  }
+  EXPECT_GT(posix_ops, p.io_ops);
+}
+
+TEST_F(ResNetRun, Figure5EarlyColdConnectionsAreSlow) {
+  // Cold-connection transfers cluster near the start and are slower than
+  // warm transfers of similar size (the Figure 5 observation).
+  std::vector<double> cold_durations;
+  std::vector<double> warm_durations;
+  for (const auto& c : run_->comms) {
+    if (c.bytes > 1 << 20) continue;  // compare small messages only
+    (c.cold_connection ? cold_durations : warm_durations)
+        .push_back(c.duration());
+  }
+  ASSERT_FALSE(cold_durations.empty());
+  ASSERT_FALSE(warm_durations.empty());
+  const SampleSummary cold = summarize(cold_durations);
+  const SampleSummary warm = summarize(warm_durations);
+  EXPECT_GT(cold.median, warm.median * 10);
+  // Both inter- and intra-node communications appear.
+  bool any_cross = false;
+  bool any_local = false;
+  for (const auto& c : run_->comms) {
+    if (c.cross_node) any_cross = true;
+    else any_local = true;
+  }
+  EXPECT_TRUE(any_cross);
+  EXPECT_TRUE(any_local);
+}
+
+class XgboostRun : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    run_ = new dtr::RunData(execute(workloads::make_xgboost(42), 0));
+  }
+  static void TearDownTestSuite() {
+    delete run_;
+    run_ = nullptr;
+  }
+  static dtr::RunData* run_;
+};
+dtr::RunData* XgboostRun::run_ = nullptr;
+
+TEST_F(XgboostRun, Table1Characteristics) {
+  EXPECT_EQ(run_->graph_count, 74u);
+  EXPECT_EQ(run_->tasks.size(), 10348u);
+  std::set<std::string> inputs;
+  for (const auto& log : run_->darshan_logs) {
+    for (const auto& rec : log.posix) {
+      if (rec.file_path.rfind("/data/nyctaxi/", 0) == 0) {
+        inputs.insert(rec.file_path);
+      }
+    }
+  }
+  EXPECT_EQ(inputs.size(), 61u);
+}
+
+TEST_F(XgboostRun, Figure6ReadParquetIsLongestCategory) {
+  const analysis::DataFrame summary =
+      analysis::figure6_category_summary(*run_);
+  ASSERT_GT(summary.rows(), 0u);
+  EXPECT_EQ(summary.col("category").str(0), "read_parquet-fused-assign");
+  // And its outputs exceed the recommended 128 MB.
+  EXPECT_GT(summary.col("mean_size_mb").f64(0), 128.0);
+}
+
+TEST_F(XgboostRun, Figure7WarningsClusterEarly) {
+  const analysis::WarningHistogram hist =
+      analysis::figure7_histogram(*run_, 50.0);
+  EXPECT_GT(hist.total_unresponsive, 0u);
+  // The bulk of unresponsive warnings land in the first 500 s, during the
+  // long read_parquet-fused-assign tasks.
+  EXPECT_GT(hist.unresponsive_first_500s,
+            hist.total_unresponsive * 6 / 10);
+}
+
+TEST_F(XgboostRun, SpillingProducesExtraIo) {
+  bool spill_write = false;
+  for (const auto& log : run_->darshan_logs) {
+    for (const auto& rec : log.posix) {
+      if (rec.file_path.rfind("/local/scratch/", 0) == 0 && rec.writes > 0) {
+        spill_write = true;
+      }
+    }
+  }
+  EXPECT_TRUE(spill_write);
+}
+
+TEST_F(XgboostRun, Figure8LineageForGetitemTask) {
+  const dtr::TaskKey key = [&] {
+    for (const auto& t : run_->tasks) {
+      if (t.prefix == "getitem__get_categories" && t.key.index == 42) {
+        return t.key;
+      }
+    }
+    return run_->tasks.front().key;
+  }();
+  const auto lineage = prov::task_lineage(*run_, key);
+  ASSERT_TRUE(lineage.has_value());
+  EXPECT_FALSE(lineage->at("states").as_array().empty());
+  EXPECT_FALSE(lineage->at("dependencies").as_array().empty());
+  EXPECT_TRUE(lineage->contains("execution"));
+}
+
+TEST(IntegrationMofka, StreamedRecordsMatchDirectCollection) {
+  // Scaled-down XGBOOST exercising the Mofka path end to end.
+  workloads::XgboostParams params;
+  params.partitions = 6;
+  params.boosting_rounds = 3;
+  params.reducers = 2;
+  params.read_parquet_compute = 5.0;
+  workloads::Workload w = workloads::make_xgboost(42, params);
+
+  dtr::ClusterConfig config = w.cluster;
+  config.seed = 7;
+  dtr::Cluster cluster(config);
+  w.prepare(cluster.vfs());
+  RngStream rng(7);
+  auto graphs = w.build_graphs(rng);
+  const dtr::RunData run = cluster.run(std::move(graphs), w.name, 0);
+
+  const auto streamed = analysis::read_wms_topics(cluster.broker());
+  EXPECT_EQ(streamed.tasks.size(), run.tasks.size());
+  EXPECT_EQ(streamed.transitions.size(), run.transitions.size());
+  EXPECT_EQ(streamed.warnings.size(), run.warnings.size());
+  EXPECT_EQ(streamed.steals.size(), run.steals.size());
+}
+
+}  // namespace
+}  // namespace recup

@@ -1,0 +1,116 @@
+// Unit tests for the JSON module: parse/dump round trips, typed access,
+// error handling.
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+
+namespace recup::json {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse("3.5").as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntAndDoubleStayDistinct) {
+  EXPECT_TRUE(parse("42").is_int());
+  EXPECT_FALSE(parse("42").is_double());
+  EXPECT_TRUE(parse("42.0").is_double());
+  // Integer widens through as_double but not the reverse.
+  EXPECT_DOUBLE_EQ(parse("42").as_double(), 42.0);
+  EXPECT_THROW(parse("42.5").as_int(), TypeError);
+}
+
+TEST(Json, ParseNested) {
+  const Value v = parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  EXPECT_EQ(v.at("a").size(), 3u);
+  EXPECT_EQ(v.at("a").at(2).at("b").as_string(), "c");
+  EXPECT_TRUE(v.at("d").at("e").is_null());
+}
+
+TEST(Json, StringEscapes) {
+  const Value v = parse(R"("line1\nline2\t\"q\" \\ A")");
+  EXPECT_EQ(v.as_string(), "line1\nline2\t\"q\" \\ A");
+}
+
+TEST(Json, UnicodeEscapeUtf8) {
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(parse(R"("€")").as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(Json, DumpRoundTrip) {
+  const std::string text =
+      R"({"arr":[1,2.5,"s"],"b":true,"n":null,"num":-3})";
+  const Value v = parse(text);
+  const Value again = parse(v.dump());
+  EXPECT_EQ(v, again);
+}
+
+TEST(Json, DumpDeterministicKeyOrder) {
+  Value v;
+  v["zebra"] = 1;
+  v["alpha"] = 2;
+  EXPECT_EQ(v.dump(), R"({"alpha":2,"zebra":1})");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Value v;
+  v["a"] = 1;
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\": 1"), std::string::npos);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("tru"), ParseError);
+  EXPECT_THROW(parse("{\"a\":1} extra"), ParseError);
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+}
+
+TEST(Json, TypeErrors) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), TypeError);
+  EXPECT_THROW(v.at("key"), TypeError);
+  EXPECT_THROW(v.at(5), TypeError);
+  EXPECT_THROW(parse("1").size(), TypeError);
+}
+
+TEST(Json, TypedLookupsWithDefaults) {
+  const Value v = parse(R"({"i": 7, "d": 2.5, "s": "x", "b": true})");
+  EXPECT_EQ(v.get_int("i", -1), 7);
+  EXPECT_EQ(v.get_int("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(v.get_double("d", 0.0), 2.5);
+  EXPECT_EQ(v.get_string("s", ""), "x");
+  EXPECT_EQ(v.get_bool("b", false), true);
+  EXPECT_EQ(v.get_bool("missing", true), true);
+}
+
+TEST(Json, OperatorBracketBuildsObjects) {
+  Value v;  // starts null
+  v["outer"]["inner"] = 3;
+  EXPECT_EQ(v.at("outer").at("inner").as_int(), 3);
+  EXPECT_TRUE(v.contains("outer"));
+  EXPECT_FALSE(v.contains("nope"));
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  Value v(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(v.dump(), "null");
+}
+
+TEST(Json, LargeIntegerRoundTrip) {
+  const std::int64_t big = 0x7f0000000001ULL;
+  Value v(big);
+  EXPECT_EQ(parse(v.dump()).as_int(), big);
+}
+
+}  // namespace
+}  // namespace recup::json

@@ -1,0 +1,118 @@
+// LDMS-analog tests: periodic sampling on the virtual clock and the
+// cluster-integrated system metrics source.
+#include <gtest/gtest.h>
+
+#include "analysis/readers.hpp"
+#include "dtr/cluster.hpp"
+#include "ldms/sampler.hpp"
+
+namespace recup::ldms {
+namespace {
+
+TEST(Sampler, PollsAllProvidersOnTheGrid) {
+  sim::Engine engine;
+  Sampler sampler(engine, SamplerConfig{1.0});
+  int calls_a = 0;
+  int calls_b = 0;
+  sampler.add_provider([&] {
+    ++calls_a;
+    MetricSample s;
+    s.cpu_utilization = 0.5;
+    return s;
+  });
+  sampler.add_provider([&] {
+    ++calls_b;
+    MetricSample s;
+    s.cpu_utilization = 1.0;
+    return s;
+  });
+  sampler.start();
+  engine.schedule_at(5.5, [&] { sampler.stop(); });
+  engine.run();
+  EXPECT_EQ(calls_a, 5);
+  EXPECT_EQ(calls_b, 5);
+  EXPECT_EQ(sampler.sample_count(), 10u);
+  // Node ids assigned by registration order; timestamps on the grid.
+  for (const auto& s : sampler.node_series(0)) {
+    EXPECT_DOUBLE_EQ(s.cpu_utilization, 0.5);
+    EXPECT_NEAR(std::fmod(s.time, 1.0), 0.0, 1e-9);
+  }
+  const auto means = sampler.mean_utilization();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 0.5);
+  EXPECT_DOUBLE_EQ(means[1], 1.0);
+}
+
+TEST(Sampler, CsvHasHeaderAndRows) {
+  sim::Engine engine;
+  Sampler sampler(engine, SamplerConfig{0.5});
+  sampler.add_provider([] { return MetricSample{}; });
+  sampler.start();
+  engine.schedule_at(2.1, [&] { sampler.stop(); });
+  engine.run();
+  const std::string csv = sampler.to_csv();
+  EXPECT_NE(csv.find("node,time,cpu"), std::string::npos);
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 5);
+}
+
+TEST(Sampler, InvalidIntervalRejected) {
+  sim::Engine engine;
+  EXPECT_THROW(Sampler(engine, SamplerConfig{0.0}), std::invalid_argument);
+}
+
+TEST(LdmsIntegration, ClusterCollectsSystemMetrics) {
+  dtr::ClusterConfig config;
+  config.job.nodes = 2;
+  config.job.workers_per_node = 2;
+  config.job.threads_per_worker = 2;
+  config.seed = 3;
+  config.enable_ldms = true;
+  config.ldms.interval = 0.5;
+  dtr::Cluster cluster(config);
+  dtr::TaskGraph g("busy");
+  for (int i = 0; i < 40; ++i) {
+    dtr::TaskSpec t;
+    t.key = {"busy-aa11", i};
+    t.work.compute = 0.5;
+    t.work.output_bytes = 1 << 20;
+    g.add_task(t);
+  }
+  const dtr::RunData run = cluster.run({g}, "ldms", 0);
+
+  ASSERT_FALSE(run.system_metrics.empty());
+  // Two nodes sampled each round.
+  std::set<std::uint32_t> nodes;
+  double peak_cpu = 0.0;
+  std::uint64_t last_pfs = 0;
+  for (const auto& s : run.system_metrics) {
+    nodes.insert(s.node);
+    peak_cpu = std::max(peak_cpu, s.cpu_utilization);
+    EXPECT_LE(s.cpu_utilization, 1.0);
+    EXPECT_GE(s.network_transfers, 0u);
+    last_pfs = std::max(last_pfs, s.pfs_ops);
+  }
+  EXPECT_EQ(nodes.size(), 2u);
+  EXPECT_GT(peak_cpu, 0.5);  // the burst saturates the lanes at some point
+
+  const analysis::DataFrame frame = analysis::system_metrics_frame(run);
+  EXPECT_EQ(frame.rows(), run.system_metrics.size());
+  EXPECT_GT(frame.max("cpu"), 0.5);
+}
+
+TEST(LdmsIntegration, DisabledByDefault) {
+  dtr::ClusterConfig config;
+  config.job.nodes = 1;
+  config.job.workers_per_node = 1;
+  config.job.threads_per_worker = 1;
+  dtr::Cluster cluster(config);
+  dtr::TaskGraph g("one");
+  dtr::TaskSpec t;
+  t.key = {"t-aa11", 0};
+  t.work.compute = 0.01;
+  g.add_task(t);
+  const dtr::RunData run = cluster.run({g}, "noldms", 0);
+  EXPECT_TRUE(run.system_metrics.empty());
+}
+
+}  // namespace
+}  // namespace recup::ldms

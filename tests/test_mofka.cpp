@@ -1,0 +1,263 @@
+// Unit tests for the Mofka event streaming service: topics, batching
+// producer, pull consumer, data selectors, validators, partition selectors,
+// consumer groups, and concurrent production.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "mochi/bedrock.hpp"
+#include "mofka/broker.hpp"
+#include "mofka/consumer.hpp"
+#include "mofka/producer.hpp"
+
+namespace recup::mofka {
+namespace {
+
+class MofkaTest : public ::testing::Test {
+ protected:
+  MofkaTest() : broker_(kv_, blobs_) {}
+
+  mochi::KeyValueStore kv_;
+  mochi::BlobStore blobs_;
+  Broker broker_;
+};
+
+json::Value meta(int i) {
+  json::Object o;
+  o["i"] = i;
+  return json::Value(std::move(o));
+}
+
+TEST_F(MofkaTest, TopicLifecycle) {
+  broker_.create_topic("t", TopicConfig{2, nullptr, nullptr});
+  EXPECT_TRUE(broker_.topic_exists("t"));
+  EXPECT_FALSE(broker_.topic_exists("u"));
+  EXPECT_EQ(broker_.partition_count("t"), 2u);
+  EXPECT_THROW(broker_.create_topic("t"), MofkaError);
+  EXPECT_THROW(broker_.create_topic("zero", TopicConfig{0, nullptr, nullptr}),
+               MofkaError);
+  EXPECT_THROW(broker_.partition_count("u"), MofkaError);
+}
+
+TEST_F(MofkaTest, ProduceConsumeOrderedPerPartition) {
+  broker_.create_topic("t");
+  Producer producer(broker_, "t",
+                    ProducerConfig{8, std::chrono::milliseconds(5), false});
+  for (int i = 0; i < 20; ++i) producer.push(meta(i), "d" + std::to_string(i));
+  producer.flush();
+
+  Consumer consumer(broker_, "t", "g");
+  int expected = 0;
+  while (auto event = consumer.pull()) {
+    EXPECT_EQ(event->metadata.at("i").as_int(), expected);
+    EXPECT_EQ(event->data, "d" + std::to_string(expected));
+    ++expected;
+  }
+  EXPECT_EQ(expected, 20);
+}
+
+TEST_F(MofkaTest, PushFutureResolvesToOffset) {
+  broker_.create_topic("t");
+  Producer producer(broker_, "t",
+                    ProducerConfig{4, std::chrono::milliseconds(5), false});
+  auto f0 = producer.push(meta(0));
+  auto f1 = producer.push(meta(1));
+  producer.flush();
+  EXPECT_EQ(f0.get(), 0u);
+  EXPECT_EQ(f1.get(), 1u);
+}
+
+TEST_F(MofkaTest, SizeTriggeredBatching) {
+  broker_.create_topic("t");
+  Producer producer(broker_, "t",
+                    ProducerConfig{4, std::chrono::milliseconds(5), false});
+  for (int i = 0; i < 9; ++i) producer.push(meta(i));
+  // Two full batches flushed by size; one partial pending.
+  EXPECT_EQ(broker_.partition_size("t", 0), 8u);
+  producer.flush();
+  EXPECT_EQ(broker_.partition_size("t", 0), 9u);
+  const ProducerStats stats = producer.stats();
+  EXPECT_EQ(stats.pushed, 9u);
+  EXPECT_EQ(stats.size_triggered_flushes, 2u);
+  EXPECT_EQ(stats.batches_flushed, 3u);
+}
+
+TEST_F(MofkaTest, BackgroundFlushDeliversWithoutExplicitFlush) {
+  broker_.create_topic("t");
+  Producer producer(broker_, "t",
+                    ProducerConfig{1000, std::chrono::milliseconds(2), true});
+  auto f = producer.push(meta(1));
+  // The background thread must flush this within a reasonable time.
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+  EXPECT_EQ(f.get(), 0u);
+}
+
+TEST_F(MofkaTest, DestructorFlushesPending) {
+  broker_.create_topic("t");
+  {
+    Producer producer(broker_, "t",
+                      ProducerConfig{1000, std::chrono::milliseconds(50),
+                                     false});
+    producer.push(meta(1));
+  }
+  EXPECT_EQ(broker_.partition_size("t", 0), 1u);
+}
+
+TEST_F(MofkaTest, RoundRobinPartitionSpread) {
+  broker_.create_topic("t", TopicConfig{4, nullptr, nullptr});
+  Producer producer(broker_, "t",
+                    ProducerConfig{1, std::chrono::milliseconds(5), false});
+  for (int i = 0; i < 8; ++i) producer.push(meta(i));
+  producer.flush();
+  for (PartitionIndex p = 0; p < 4; ++p) {
+    EXPECT_EQ(broker_.partition_size("t", p), 2u);
+  }
+}
+
+TEST_F(MofkaTest, CustomPartitionSelector) {
+  TopicConfig config;
+  config.partitions = 2;
+  config.selector = [](const json::Value& m, PartitionIndex n) {
+    return static_cast<PartitionIndex>(m.at("i").as_int() % n);
+  };
+  broker_.create_topic("t", std::move(config));
+  Producer producer(broker_, "t",
+                    ProducerConfig{1, std::chrono::milliseconds(5), false});
+  for (int i = 0; i < 6; ++i) producer.push(meta(i));
+  producer.flush();
+  Consumer c0(broker_, "t", "g");
+  // Partition 0 holds even i, partition 1 odd i; pull_all interleaves but
+  // every event lands exactly once.
+  const auto events = c0.pull_all();
+  EXPECT_EQ(events.size(), 6u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.metadata.at("i").as_int() % 2, e.partition);
+  }
+}
+
+TEST_F(MofkaTest, ValidatorRejectsBadMetadata) {
+  TopicConfig config;
+  config.validator = [](const json::Value& m) {
+    if (!m.contains("i")) throw MofkaError("missing i");
+  };
+  broker_.create_topic("t", std::move(config));
+  Producer producer(broker_, "t",
+                    ProducerConfig{1, std::chrono::milliseconds(5), false});
+  auto ok = producer.push(meta(1));
+  EXPECT_EQ(ok.get(), 0u);
+  json::Object bad;
+  bad["j"] = 2;
+  auto fail = producer.push(json::Value(std::move(bad)));
+  EXPECT_THROW(fail.get(), MofkaError);
+  EXPECT_EQ(broker_.partition_size("t", 0), 1u);
+}
+
+TEST_F(MofkaTest, DataSelectorSkipsOrSlicesPayload) {
+  broker_.create_topic("t");
+  Producer producer(broker_, "t",
+                    ProducerConfig{1, std::chrono::milliseconds(5), false});
+  producer.push(meta(0), "0123456789");
+  producer.push(meta(1), "abcdefghij");
+  producer.flush();
+
+  ConsumerConfig config;
+  config.selector = [](const json::Value& m) {
+    DataSelection sel;
+    if (m.at("i").as_int() == 0) {
+      sel.fetch = false;  // skip payload
+    } else {
+      sel.offset = 2;
+      sel.length = 3;
+    }
+    return sel;
+  };
+  Consumer consumer(broker_, "t", "g", std::move(config));
+  const auto events = consumer.pull_all();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].data, "");
+  EXPECT_EQ(events[1].data, "cde");
+}
+
+TEST_F(MofkaTest, ConsumerGroupsResumeFromCommit) {
+  broker_.create_topic("t");
+  Producer producer(broker_, "t",
+                    ProducerConfig{1, std::chrono::milliseconds(5), false});
+  for (int i = 0; i < 5; ++i) producer.push(meta(i));
+  producer.flush();
+
+  {
+    Consumer consumer(broker_, "t", "g");
+    EXPECT_TRUE(consumer.pull().has_value());
+    EXPECT_TRUE(consumer.pull().has_value());
+    consumer.commit();
+  }
+  {
+    Consumer consumer(broker_, "t", "g");
+    const auto event = consumer.pull();
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->metadata.at("i").as_int(), 2);  // resumes at offset 2
+  }
+  {
+    Consumer fresh(broker_, "t", "other-group");
+    EXPECT_EQ(fresh.pull_all().size(), 5u);  // independent offsets
+  }
+}
+
+TEST_F(MofkaTest, StatsAccumulateBytes) {
+  broker_.create_topic("t");
+  Producer producer(broker_, "t",
+                    ProducerConfig{2, std::chrono::milliseconds(5), false});
+  producer.push(meta(0), "xxxx");
+  producer.push(meta(1), "yy");
+  producer.flush();
+  const TopicStats stats = broker_.topic_stats("t");
+  EXPECT_EQ(stats.events, 2u);
+  EXPECT_EQ(stats.bytes_data, 6u);
+  EXPECT_GT(stats.bytes_metadata, 0u);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST_F(MofkaTest, ConcurrentProducersAllEventsArrive) {
+  broker_.create_topic("t", TopicConfig{2, nullptr, nullptr});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  {
+    std::vector<std::unique_ptr<Producer>> producers;
+    for (int t = 0; t < kThreads; ++t) {
+      producers.push_back(std::make_unique<Producer>(
+          broker_, "t", ProducerConfig{16, std::chrono::milliseconds(1),
+                                       true}));
+    }
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          producers[t]->push(meta(t * kPerThread + i));
+        }
+        producers[t]->flush();
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  Consumer consumer(broker_, "t", "g");
+  std::set<std::int64_t> seen;
+  while (auto event = consumer.pull()) {
+    seen.insert(event->metadata.at("i").as_int());
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST_F(MofkaTest, FetchOutOfRangeReturnsNullopt) {
+  broker_.create_topic("t");
+  EXPECT_FALSE(broker_.fetch("t", 0, 0).has_value());
+  EXPECT_THROW(broker_.fetch("t", 5, 0), MofkaError);
+  EXPECT_THROW(broker_.fetch("missing", 0, 0), MofkaError);
+}
+
+TEST_F(MofkaTest, EmptyBatchRejected) {
+  broker_.create_topic("t");
+  EXPECT_THROW(broker_.append_batch("t", 0, {}), MofkaError);
+}
+
+}  // namespace
+}  // namespace recup::mofka

@@ -1,0 +1,177 @@
+// Unit tests for the discrete-event engine and resources: ordering,
+// cancellation, determinism, and FIFO contention semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace recup::sim {
+namespace {
+
+TEST(Engine, RunsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, TiesBreakInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(1.0, [&, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine engine;
+  std::vector<double> times;
+  engine.schedule_after(1.0, [&] {
+    times.push_back(engine.now());
+    engine.schedule_after(0.5, [&] { times.push_back(engine.now()); });
+  });
+  engine.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(Engine, RejectsPastAndNegative) {
+  Engine engine;
+  engine.schedule_at(5.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(-0.1, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool ran = false;
+  EventHandle handle = engine.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  engine.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, HandleNotPendingAfterFire) {
+  Engine engine;
+  EventHandle handle = engine.schedule_at(1.0, [] {});
+  engine.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // safe no-op
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(1.0, [&] { ++count; });
+  engine.schedule_at(2.0, [&] { ++count; });
+  engine.schedule_at(3.0, [&] { ++count; });
+  engine.run_until(2.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  engine.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine engine;
+  engine.run_until(10.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, StopHaltsLoop) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(1.0, [&] {
+    ++count;
+    engine.stop();
+  });
+  engine.schedule_at(2.0, [&] { ++count; });
+  engine.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(engine.pending_events(), 1u);
+}
+
+TEST(Resource, ServesUpToCapacityConcurrently) {
+  Engine engine;
+  Resource resource(engine, 2);
+  std::vector<double> ends;
+  for (int i = 0; i < 4; ++i) {
+    resource.request(1.0, [&](TimePoint, TimePoint end) {
+      ends.push_back(end);
+    });
+  }
+  engine.run();
+  ASSERT_EQ(ends.size(), 4u);
+  // Two at t=1, two queued until t=2.
+  EXPECT_DOUBLE_EQ(ends[0], 1.0);
+  EXPECT_DOUBLE_EQ(ends[1], 1.0);
+  EXPECT_DOUBLE_EQ(ends[2], 2.0);
+  EXPECT_DOUBLE_EQ(ends[3], 2.0);
+  EXPECT_EQ(resource.contended_requests(), 2u);
+  EXPECT_DOUBLE_EQ(resource.total_queue_delay(), 2.0);
+}
+
+TEST(Resource, FifoOrder) {
+  Engine engine;
+  Resource resource(engine, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    resource.request(1.0, [&, i](TimePoint, TimePoint) {
+      order.push_back(i);
+    });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Resource, StartTimeReflectsQueueing) {
+  Engine engine;
+  Resource resource(engine, 1);
+  TimePoint second_start = -1.0;
+  resource.request(2.0, [](TimePoint, TimePoint) {});
+  resource.request(1.0, [&](TimePoint start, TimePoint) {
+    second_start = start;
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(second_start, 2.0);
+}
+
+TEST(Resource, RejectsInvalidArguments) {
+  Engine engine;
+  EXPECT_THROW(Resource(engine, 0), std::invalid_argument);
+  Resource resource(engine, 1);
+  EXPECT_THROW(resource.request(-1.0, nullptr), std::invalid_argument);
+}
+
+TEST(Engine, DeterministicAcrossIdenticalPrograms) {
+  const auto run_program = [] {
+    Engine engine;
+    std::vector<double> trace;
+    for (int i = 0; i < 50; ++i) {
+      engine.schedule_after(0.1 * i, [&engine, &trace] {
+        trace.push_back(engine.now());
+        engine.schedule_after(0.05, [&engine, &trace] {
+          trace.push_back(engine.now());
+        });
+      });
+    }
+    engine.run();
+    return trace;
+  };
+  EXPECT_EQ(run_program(), run_program());
+}
+
+}  // namespace
+}  // namespace recup::sim

@@ -1,0 +1,119 @@
+// Unit tests for the task model: keys, prefixes, graph validation, and
+// topological ordering.
+#include <gtest/gtest.h>
+
+#include "dtr/task.hpp"
+
+namespace recup::dtr {
+namespace {
+
+TEST(TaskKey, ToStringFormats) {
+  EXPECT_EQ((TaskKey{"getitem-24266c", 63}).to_string(),
+            "('getitem-24266c', 63)");
+  EXPECT_EQ((TaskKey{"scalar-task", -1}).to_string(), "scalar-task");
+}
+
+TEST(TaskKey, PrefixStripsHashToken) {
+  EXPECT_EQ((TaskKey{"getitem-24266c", 0}).prefix(), "getitem");
+  EXPECT_EQ((TaskKey{"read_parquet-fused-assign-24266c", 0}).prefix(),
+            "read_parquet-fused-assign");
+  // Non-hex tail is part of the name.
+  EXPECT_EQ((TaskKey{"random_split_take", 0}).prefix(), "random_split_take");
+  EXPECT_EQ((TaskKey{"no-hash-Z", 0}).prefix(), "no-hash-Z");
+}
+
+TEST(TaskKey, Ordering) {
+  const TaskKey a{"a", 0};
+  const TaskKey b{"a", 1};
+  const TaskKey c{"b", 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (TaskKey{"a", 0}));
+}
+
+TEST(TaskGraph, AddAndLookup) {
+  TaskGraph g("g");
+  TaskSpec t;
+  t.key = {"x-0aa", 1};
+  g.add_task(t);
+  EXPECT_TRUE(g.contains({"x-0aa", 1}));
+  EXPECT_FALSE(g.contains({"x-0aa", 2}));
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.task({"x-0aa", 1}).key.index, 1);
+  EXPECT_THROW(g.task({"y", 0}), std::out_of_range);
+  EXPECT_THROW(g.add_task(t), std::invalid_argument);  // duplicate
+}
+
+TEST(TaskGraph, ValidateDetectsMissingDependency) {
+  TaskGraph g("g");
+  TaskSpec t;
+  t.key = {"a", 0};
+  t.dependencies.push_back({"missing", 0});
+  g.add_task(t);
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  // External keys satisfy the dependency.
+  g.validate({TaskKey{"missing", 0}});
+}
+
+TEST(TaskGraph, ValidateDetectsCycle) {
+  TaskGraph g("g");
+  TaskSpec a;
+  a.key = {"a", 0};
+  a.dependencies.push_back({"b", 0});
+  TaskSpec b;
+  b.key = {"b", 0};
+  b.dependencies.push_back({"a", 0});
+  g.add_task(a);
+  g.add_task(b);
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsDependencies) {
+  TaskGraph g("g");
+  // Chain c -> b -> a plus independent d.
+  TaskSpec a;
+  a.key = {"a", 0};
+  TaskSpec b;
+  b.key = {"b", 0};
+  b.dependencies.push_back(a.key);
+  TaskSpec c;
+  c.key = {"c", 0};
+  c.dependencies.push_back(b.key);
+  TaskSpec d;
+  d.key = {"d", 0};
+  g.add_task(c);
+  g.add_task(a);
+  g.add_task(d);
+  g.add_task(b);
+
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  const auto pos = [&](const TaskKey& k) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == k) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(pos(a.key), pos(b.key));
+  EXPECT_LT(pos(b.key), pos(c.key));
+}
+
+TEST(TaskGraph, SelfDependencyIsCycle) {
+  TaskGraph g("g");
+  TaskSpec a;
+  a.key = {"a", 0};
+  a.dependencies.push_back(a.key);
+  g.add_task(a);
+  EXPECT_THROW(g.topological_order(), std::invalid_argument);
+}
+
+TEST(TaskStates, NamesAreStable) {
+  EXPECT_STREQ(to_string(SchedulerTaskState::kProcessing), "processing");
+  EXPECT_STREQ(to_string(SchedulerTaskState::kMemory), "memory");
+  EXPECT_STREQ(to_string(SchedulerTaskState::kQueued), "queued");
+  EXPECT_STREQ(to_string(WorkerTaskState::kExecuting), "executing");
+  EXPECT_STREQ(to_string(WorkerTaskState::kFetchingDeps), "fetching-deps");
+}
+
+}  // namespace
+}  // namespace recup::dtr

@@ -1,0 +1,258 @@
+// Worker tests: lane execution, thread-id stability, I/O accounting through
+// the VFS into Darshan, event-loop warnings, GC, and spilling.
+#include <gtest/gtest.h>
+
+#include "dtr_fixture.hpp"
+
+namespace recup::dtr {
+namespace {
+
+using testing::MiniCluster;
+using testing::independent_graph;
+
+TEST(Worker, LaneConcurrencyBoundedByThreads) {
+  MiniCluster mini(1, 1, 2);  // one worker, two lanes
+  mini.run_graph(independent_graph(8, 0.1));
+  // With 2 lanes and 8 tasks of 0.1 s, at most 2 may execute at any instant.
+  // Sweep start/end events to find the maximum concurrency.
+  const auto& records = mini.scheduler.task_records();
+  ASSERT_EQ(records.size(), 8u);
+  std::vector<std::pair<double, int>> events;
+  for (const auto& r : records) {
+    events.emplace_back(r.start_time, +1);
+    events.emplace_back(r.end_time, -1);
+  }
+  std::sort(events.begin(), events.end());
+  int current = 0;
+  int peak = 0;
+  for (const auto& [time, delta] : events) {
+    current += delta;
+    peak = std::max(peak, current);
+  }
+  EXPECT_EQ(peak, 2);
+}
+
+TEST(Worker, ThreadIdsAreStablePerLane) {
+  MiniCluster mini(1, 1, 4);
+  mini.run_graph(independent_graph(40, 0.01));
+  std::map<std::uint32_t, std::uint64_t> lane_to_tid;
+  for (const auto& r : mini.scheduler.task_records()) {
+    const auto it = lane_to_tid.find(r.lane);
+    if (it == lane_to_tid.end()) {
+      lane_to_tid[r.lane] = r.thread_id;
+    } else {
+      EXPECT_EQ(it->second, r.thread_id);
+    }
+  }
+  // Distinct lanes have distinct thread ids.
+  std::set<std::uint64_t> tids;
+  for (const auto& [lane, tid] : lane_to_tid) tids.insert(tid);
+  EXPECT_EQ(tids.size(), lane_to_tid.size());
+}
+
+TEST(Worker, IoFlowsIntoDarshanWithTaskThreadId) {
+  MiniCluster mini(1, 1, 1);
+  mini.vfs.register_file("/data/input", 8 << 20);
+  TaskGraph g("io");
+  TaskSpec t;
+  t.key = {"reader-c0ffee", 0};
+  t.work.compute = 0.01;
+  t.work.reads.push_back({"/data/input", 0, 4 << 20, false});
+  t.work.reads.push_back({"/data/input", 4 << 20, 4 << 20, false});
+  t.work.writes.push_back({"/out/result", 0, 1 << 20, true});
+  g.add_task(t);
+  EXPECT_TRUE(mini.run_graph(g));
+
+  const auto& darshan = mini.workers[0]->darshan();
+  EXPECT_EQ(darshan.total_reads(), 2u);
+  EXPECT_EQ(darshan.total_writes(), 1u);
+  EXPECT_EQ(darshan.total_bytes_read(), static_cast<std::uint64_t>(8 << 20));
+  EXPECT_EQ(darshan.total_bytes_written(),
+            static_cast<std::uint64_t>(1 << 20));
+
+  const auto& record = mini.scheduler.task_records().front();
+  for (const auto& dxt : darshan.dxt_records()) {
+    for (const auto& seg : dxt.segments) {
+      EXPECT_EQ(seg.thread_id, record.thread_id);
+      EXPECT_GE(seg.start, record.start_time);
+      EXPECT_LE(seg.end, record.end_time + 1e-9);
+    }
+  }
+  EXPECT_GT(record.io_time, 0.0);
+  EXPECT_EQ(record.bytes_read, static_cast<std::uint64_t>(8 << 20));
+}
+
+TEST(Worker, DxtSegmentBytesMatchPosixCounters) {
+  MiniCluster mini(1, 2, 2);
+  mini.vfs.register_file("/data/a", 16 << 20);
+  TaskGraph g("io2");
+  for (int i = 0; i < 10; ++i) {
+    TaskSpec t;
+    t.key = {"reader-c0ffee", i};
+    t.work.compute = 0.005;
+    t.work.reads.push_back(
+        {"/data/a", static_cast<std::uint64_t>(i) << 20, 1 << 20, false});
+    g.add_task(t);
+  }
+  EXPECT_TRUE(mini.run_graph(g));
+  for (const auto& w : mini.workers) {
+    std::uint64_t dxt_bytes = 0;
+    for (const auto& rec : w->darshan().dxt_records()) {
+      for (const auto& seg : rec.segments) {
+        if (seg.op == darshan::IoOp::kRead) dxt_bytes += seg.length;
+      }
+    }
+    EXPECT_EQ(dxt_bytes, w->darshan().total_bytes_read());
+  }
+}
+
+TEST(Worker, BlockingTaskEmitsUnresponsiveWarnings) {
+  WorkerConfig config;
+  config.event_loop_warn_threshold = 1.0;
+  config.event_loop_warn_repeat = 1.0;
+  MiniCluster mini(1, 1, 2, config);
+  TaskGraph g("blocking");
+  TaskSpec t;
+  t.key = {"gil-hog-00ff", 0};
+  t.work.compute = 5.0;
+  t.work.compute_noise_sigma = 0.0;
+  t.work.blocks_event_loop = true;
+  g.add_task(t);
+  EXPECT_TRUE(mini.run_graph(g));
+  const auto& warnings = mini.workers[0]->warnings();
+  // Blocked ~5 s, monitor first fires at 1 s then every 1 s: ~5 warnings.
+  ASSERT_GE(warnings.size(), 4u);
+  ASSERT_LE(warnings.size(), 6u);
+  for (const auto& w : warnings) {
+    EXPECT_EQ(w.kind, "event_loop_unresponsive");
+    EXPECT_GT(w.blocked_for, 0.9);
+  }
+  // Reported block durations increase while stuck.
+  EXPECT_GT(warnings.back().blocked_for, warnings.front().blocked_for);
+}
+
+TEST(Worker, NonBlockingTaskEmitsNoWarnings) {
+  WorkerConfig config;
+  config.event_loop_warn_threshold = 0.5;
+  MiniCluster mini(1, 1, 2, config);
+  TaskGraph g("calm");
+  TaskSpec t;
+  t.key = {"calm-0abc", 0};
+  t.work.compute = 3.0;  // long but yields the loop
+  g.add_task(t);
+  EXPECT_TRUE(mini.run_graph(g));
+  EXPECT_TRUE(mini.workers[0]->warnings().empty());
+}
+
+TEST(Worker, GcTriggersOnAllocationPressure) {
+  WorkerConfig config;
+  config.gc_threshold_bytes = 100ULL << 20;
+  config.gc_warn_threshold = 0.0;  // log every collection
+  MiniCluster mini(1, 1, 2, config);
+  TaskGraph g("alloc");
+  for (int i = 0; i < 10; ++i) {
+    TaskSpec t;
+    t.key = {"alloc-dd00", i};
+    t.work.compute = 0.01;
+    t.work.scratch_bytes = 30ULL << 20;
+    g.add_task(t);
+  }
+  EXPECT_TRUE(mini.run_graph(g));
+  int gc_warnings = 0;
+  for (const auto& w : mini.workers[0]->warnings()) {
+    if (w.kind == "gc_collection") ++gc_warnings;
+  }
+  // 10 x 30 MiB of scratch against a 100 MiB threshold: ~3 collections.
+  EXPECT_GE(gc_warnings, 2);
+  EXPECT_LE(gc_warnings, 4);
+}
+
+TEST(Worker, SpillsWhenOverMemoryBudgetAndIoIsVisible) {
+  WorkerConfig config;
+  config.spill_threshold_bytes = 64ULL << 20;
+  config.spill_chunk_bytes = 16ULL << 20;
+  MiniCluster mini(1, 1, 1, config);
+  TaskGraph g("memory-hog");
+  // Chain so results stay resident: each produces 40 MiB.
+  for (int i = 0; i < 5; ++i) {
+    TaskSpec t;
+    t.key = {"hog-ee11", i};
+    t.work.compute = 0.01;
+    t.work.output_bytes = 40ULL << 20;
+    g.add_task(t);
+  }
+  EXPECT_TRUE(mini.run_graph(g));
+  const auto& w = *mini.workers[0];
+  EXPECT_LE(w.memory_bytes(), 64ULL << 20);
+  // Spill writes appear in the Darshan data.
+  EXPECT_GT(w.darshan().total_writes(), 0u);
+  bool spill_file_seen = false;
+  for (const auto& rec : w.darshan().posix_records()) {
+    if (rec.file_path.find("/local/scratch/") == 0) spill_file_seen = true;
+  }
+  EXPECT_TRUE(spill_file_seen);
+}
+
+TEST(Worker, UnspillsDependenciesBeforeUse) {
+  WorkerConfig config;
+  config.spill_threshold_bytes = 64ULL << 20;
+  MiniCluster mini(1, 1, 1, config);
+
+  TaskGraph g1("fill");
+  for (int i = 0; i < 4; ++i) {
+    TaskSpec t;
+    t.key = {"filler-bb11", i};
+    t.work.compute = 0.01;
+    t.work.output_bytes = 35ULL << 20;
+    g1.add_task(t);
+  }
+  EXPECT_TRUE(mini.run_graph(g1));
+  const std::uint64_t reads_before = mini.workers[0]->darshan().total_reads();
+  // 4 x 35 MiB against a 64 MiB budget: the oldest results were spilled.
+  ASSERT_TRUE(mini.workers[0]->has_data({"filler-bb11", 0}));
+  ASSERT_LE(mini.workers[0]->memory_bytes(), 64ULL << 20);
+
+  // A dependent of the spilled oldest result must read it back from scratch.
+  TaskGraph g2("use");
+  TaskSpec consumer;
+  consumer.key = {"consumer-cc22", 0};
+  consumer.dependencies.push_back({"filler-bb11", 0});
+  consumer.work.compute = 0.01;
+  g2.add_task(consumer);
+  bool done = false;
+  mini.scheduler.submit_graph(g2, [&](const std::string&) { done = true; });
+  mini.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(mini.workers[0]->darshan().total_reads(), reads_before);
+}
+
+TEST(Worker, StolenFlagPropagates) {
+  MiniCluster mini(1, 1, 1);
+  TaskGraph g("one");
+  TaskSpec t;
+  t.key = {"task-ff00", 0};
+  t.work.compute = 0.01;
+  g.add_task(t);
+  mini.run_graph(g);
+  EXPECT_FALSE(mini.scheduler.task_records().front().stolen);
+}
+
+TEST(Worker, DataAccessAndDrop) {
+  MiniCluster mini(1, 1, 1);
+  auto& w = *mini.workers[0];
+  const TaskKey key{"k-1234ab", 0};
+  EXPECT_FALSE(w.has_data(key));
+  EXPECT_THROW(w.data_size(key), std::out_of_range);
+  w.put_data(key, 4096);
+  EXPECT_TRUE(w.has_data(key));
+  EXPECT_EQ(w.data_size(key), 4096u);
+  EXPECT_EQ(w.serve_data(key), 4096u);
+  EXPECT_EQ(w.memory_bytes(), 4096u);
+  w.drop_data(key);
+  EXPECT_FALSE(w.has_data(key));
+  EXPECT_EQ(w.memory_bytes(), 0u);
+  w.drop_data(key);  // idempotent
+}
+
+}  // namespace
+}  // namespace recup::dtr

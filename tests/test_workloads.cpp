@@ -1,0 +1,230 @@
+// Workload generator tests: graph structure matches Table I (task graphs,
+// distinct tasks, files), datasets, and parameterized scaling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/datasets.hpp"
+#include "workloads/image_processing.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/resnet152.hpp"
+#include "workloads/xgboost.hpp"
+
+namespace recup::workloads {
+namespace {
+
+std::size_t total_tasks(const std::vector<dtr::TaskGraph>& graphs) {
+  std::size_t total = 0;
+  for (const auto& g : graphs) total += g.size();
+  return total;
+}
+
+TEST(Datasets, SizesMatchPaper) {
+  const auto bcss = bcss_images();
+  EXPECT_EQ(bcss.size(), 151u);
+  for (const auto& f : bcss) {
+    EXPECT_GE(f.bytes, 80ULL << 20);
+    EXPECT_LT(f.bytes, 85ULL << 20);
+  }
+  const auto wang = imagewang_files();
+  EXPECT_EQ(wang.size(), 3929u);
+  for (const auto& f : wang) {
+    EXPECT_GE(f.bytes, 100ULL << 10);
+    EXPECT_LT(f.bytes, 400ULL << 10);
+  }
+  const auto taxi = nyc_taxi_parquet();
+  EXPECT_EQ(taxi.size(), 61u);
+  std::uint64_t total = 0;
+  for (const auto& f : taxi) total += f.bytes;
+  EXPECT_NEAR(static_cast<double>(total),
+              static_cast<double>(20ULL << 30), 4e9);
+}
+
+TEST(Datasets, PathsAreUniqueAndDeterministic) {
+  const auto a = imagewang_files(100);
+  const auto b = imagewang_files(100);
+  std::set<std::string> paths;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].path, b[i].path);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+    paths.insert(a[i].path);
+  }
+  EXPECT_EQ(paths.size(), 100u);
+}
+
+TEST(ImageProcessing, StructureMatchesTable1) {
+  Workload w = make_image_processing(42);
+  RngStream rng(1);
+  const auto graphs = w.build_graphs(rng);
+  ASSERT_EQ(graphs.size(), 3u);  // Table I: 3 task graphs
+  EXPECT_EQ(total_tasks(graphs), 5440u);  // Table I: 5440 distinct tasks
+  // Dependencies across graphs reference earlier graphs' outputs.
+  std::vector<dtr::TaskKey> external;
+  for (const auto& g : graphs) {
+    g.validate(external);
+    for (const auto& [key, spec] : g.tasks()) external.push_back(key);
+  }
+}
+
+TEST(ImageProcessing, ReadOpsNearPaperRange) {
+  Workload w = make_image_processing(42);
+  RngStream rng(7);
+  const auto graphs = w.build_graphs(rng);
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  for (const auto& g : graphs) {
+    for (const auto& [key, spec] : g.tasks()) {
+      reads += spec.work.reads.size();
+      writes += spec.work.writes.size();
+    }
+  }
+  // Paper Table I: 5274-5287 I/O operations.
+  EXPECT_GT(reads + writes, 5150u);
+  EXPECT_LT(reads + writes, 5400u);
+  // Figure 4: reads are 4 MB ops.
+  for (const auto& [key, spec] : graphs[0].tasks()) {
+    for (const auto& op : spec.work.reads) {
+      EXPECT_EQ(op.length, 4ULL << 20);
+    }
+  }
+}
+
+TEST(ImageProcessing, IoCountVariesAcrossRunSeeds) {
+  Workload w = make_image_processing(42);
+  std::set<std::size_t> counts;
+  for (int s = 0; s < 5; ++s) {
+    RngStream rng(static_cast<std::uint64_t>(s));
+    const auto graphs = w.build_graphs(rng);
+    std::size_t reads = 0;
+    for (const auto& g : graphs) {
+      for (const auto& [key, spec] : g.tasks()) {
+        reads += spec.work.reads.size();
+      }
+    }
+    counts.insert(reads);
+  }
+  EXPECT_GT(counts.size(), 1u);  // run-to-run variation exists
+}
+
+TEST(ResNet152, StructureMatchesTable1) {
+  Workload w = make_resnet152(42);
+  RngStream rng(1);
+  const auto graphs = w.build_graphs(rng);
+  ASSERT_EQ(graphs.size(), 1u);  // Table I: single task graph
+  EXPECT_EQ(total_tasks(graphs), 8645u);  // Table I: 8645 distinct tasks
+  graphs[0].validate();
+  // 3929 distinct input files referenced.
+  std::set<std::string> files;
+  for (const auto& [key, spec] : graphs[0].tasks()) {
+    for (const auto& op : spec.work.reads) files.insert(op.path);
+  }
+  EXPECT_EQ(files.size(), 3929u);
+}
+
+TEST(ResNet152, DxtBudgetConfiguredForTruncation) {
+  Workload w = make_resnet152(42);
+  EXPECT_EQ(w.cluster.darshan.dxt.memory_budget_units, 620u);
+  // Issued ops far exceed what the budget can record (8 workers x ~1250).
+  RngStream rng(1);
+  const auto graphs = w.build_graphs(rng);
+  std::size_t reads = 0;
+  for (const auto& [key, spec] : graphs[0].tasks()) {
+    reads += spec.work.reads.size();
+  }
+  EXPECT_GT(reads, 4000u);
+}
+
+TEST(Xgboost, StructureMatchesTable1) {
+  Workload w = make_xgboost(42);
+  RngStream rng(1);
+  const auto graphs = w.build_graphs(rng);
+  ASSERT_EQ(graphs.size(), 74u);  // Table I: 74 task graphs
+  EXPECT_EQ(total_tasks(graphs), 10348u);  // Table I: 10348 distinct tasks
+  // 61 distinct parquet files (shuffle scratch files excluded).
+  std::set<std::string> files;
+  for (const auto& g : graphs) {
+    for (const auto& [key, spec] : g.tasks()) {
+      for (const auto& op : spec.work.reads) {
+        if (op.path.rfind("/data/", 0) == 0) files.insert(op.path);
+      }
+    }
+  }
+  EXPECT_EQ(files.size(), 61u);
+}
+
+TEST(Xgboost, ReadParquetTasksAreTheHeavyCategory) {
+  Workload w = make_xgboost(42);
+  RngStream rng(1);
+  const auto graphs = w.build_graphs(rng);
+  bool found = false;
+  for (const auto& [key, spec] : graphs[0].tasks()) {
+    if (key.prefix() == "read_parquet-fused-assign") {
+      found = true;
+      EXPECT_TRUE(spec.work.blocks_event_loop);
+      EXPECT_GT(spec.work.compute, 10.0);
+      // Output above the recommended 128 MB chunk size (Figure 6 point).
+      EXPECT_GT(spec.work.output_bytes, 128ULL << 20);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Xgboost, GraphChainIsValidAcrossSubmissions) {
+  Workload w = make_xgboost(42);
+  RngStream rng(1);
+  const auto graphs = w.build_graphs(rng);
+  std::vector<dtr::TaskKey> external;
+  for (const auto& g : graphs) {
+    g.validate(external);
+    for (const auto& [key, spec] : g.tasks()) external.push_back(key);
+  }
+}
+
+TEST(Xgboost, ScalingParamsKeepValidity) {
+  XgboostParams params;
+  params.partitions = 8;
+  params.boosting_rounds = 5;
+  params.reducers = 4;
+  Workload w = make_xgboost(42, params);
+  RngStream rng(1);
+  const auto graphs = w.build_graphs(rng);
+  EXPECT_EQ(graphs.size(), 9u);  // load + split + 5 rounds + predict + score
+  std::vector<dtr::TaskKey> external;
+  for (const auto& g : graphs) {
+    g.validate(external);
+    for (const auto& [key, spec] : g.tasks()) external.push_back(key);
+  }
+}
+
+TEST(Registry, NamesAndLookup) {
+  const auto names = workload_names();
+  ASSERT_EQ(names.size(), 3u);
+  for (const auto& name : names) {
+    const Workload w = make_workload(name);
+    EXPECT_EQ(w.name, name);
+  }
+  EXPECT_THROW(make_workload("Bogus"), std::invalid_argument);
+}
+
+TEST(Registry, GraphStructureStableAcrossRunIndexes) {
+  // The task *structure* must be identical between runs; only stochastic
+  // details (I/O retry counts) may differ.
+  Workload w = make_image_processing(42);
+  RngStream r1(1);
+  RngStream r2(2);
+  const auto a = w.build_graphs(r1);
+  const auto b = w.build_graphs(r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t g = 0; g < a.size(); ++g) {
+    ASSERT_EQ(a[g].size(), b[g].size());
+    auto it_a = a[g].tasks().begin();
+    auto it_b = b[g].tasks().begin();
+    for (; it_a != a[g].tasks().end(); ++it_a, ++it_b) {
+      EXPECT_EQ(it_a->first, it_b->first);
+      EXPECT_EQ(it_a->second.dependencies, it_b->second.dependencies);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace recup::workloads

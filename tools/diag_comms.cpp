@@ -1,0 +1,59 @@
+// Diagnostic: run one workload and break down communications and I/O ops by
+// task-key prefix, to see which graph stages generate transfers/spills.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "analysis/views.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/xgboost.hpp"
+
+using namespace recup;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "XGBOOST";
+  const workloads::Workload w = workloads::make_workload(name, 42);
+  const dtr::RunData run = workloads::execute(w, 0);
+
+  std::map<std::string, std::size_t> comm_by_prefix;
+  std::map<std::string, std::uint64_t> comm_bytes;
+  for (const auto& c : run.comms) {
+    ++comm_by_prefix[c.key.prefix()];
+    comm_bytes[c.key.prefix()] += c.bytes;
+  }
+  std::printf("=== comms by producing-task prefix (total %zu) ===\n",
+              run.comms.size());
+  for (const auto& [prefix, count] : comm_by_prefix) {
+    std::printf("  %-32s %6zu  (%.1f MiB avg)\n", prefix.c_str(), count,
+                static_cast<double>(comm_bytes[prefix]) /
+                    static_cast<double>(count) / (1024.0 * 1024.0));
+  }
+
+  std::map<std::string, std::size_t> io_by_dir;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  for (const auto& log : run.darshan_logs) {
+    for (const auto& rec : log.dxt) {
+      std::string dir = rec.file_path.substr(0, rec.file_path.rfind('/'));
+      io_by_dir[dir] += rec.segments.size();
+      for (const auto& seg : rec.segments) {
+        (seg.op == darshan::IoOp::kRead ? reads : writes) += 1;
+      }
+    }
+  }
+  std::printf("\n=== dxt ops by directory (reads %llu writes %llu) ===\n",
+              static_cast<unsigned long long>(reads),
+              static_cast<unsigned long long>(writes));
+  for (const auto& [dir, count] : io_by_dir) {
+    std::printf("  %-40s %6zu\n", dir.c_str(), count);
+  }
+  std::printf("\nwall %.1fs  steals %zu  warnings %zu (first500s loop: ",
+              run.meta.wall_time(), run.steals.size(), run.warnings.size());
+  std::size_t early = 0;
+  for (const auto& warn : run.warnings) {
+    if (warn.kind == "event_loop_unresponsive" && warn.time < 500) ++early;
+  }
+  std::printf("%zu)\n", early);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// recup-report: command-line analysis of a persisted run directory, in the
+// spirit of darshan-parser / PyDarshan's CLI on top of PERFRECUP views.
+//
+//   recup_report <run-dir> summary
+//   recup_report <run-dir> phases
+//   recup_report <run-dir> categories [top]
+//   recup_report <run-dir> warnings [bin-seconds]
+//   recup_report <run-dir> timeline [width]
+//   recup_report <run-dir> comm
+//   recup_report <run-dir> lineage <group> <index>
+//   recup_report <run-dir> window <begin> <end>
+//   recup_report <run-dir> chart
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/figures.hpp"
+#include "analysis/views.hpp"
+#include "darshan/heatmap.hpp"
+#include "dtr/recorder.hpp"
+#include "prov/chart.hpp"
+#include "prov/lineage.hpp"
+
+using namespace recup;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: recup_report <run-dir> "
+               "summary|phases|categories|warnings|timeline|comm|heatmap|lineage|"
+               "window|chart [args]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string dir = argv[1];
+  const std::string command = argv[2];
+
+  dtr::RunData run;
+  try {
+    run = dtr::read_run_dir(dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot read run directory %s: %s\n", dir.c_str(),
+                 e.what());
+    return 1;
+  }
+
+  if (command == "summary") {
+    std::printf("workflow:   %s (run %u, seed %llu)\n",
+                run.meta.workflow.c_str(), run.meta.run_index,
+                static_cast<unsigned long long>(run.meta.seed));
+    std::printf("wall time:  %.3f s (coordination %.3f s)\n",
+                run.meta.wall_time(), run.coordination_time);
+    std::printf("graphs:     %zu\n", run.graph_count);
+    std::printf("tasks:      %zu\n", run.tasks.size());
+    std::printf("transitions:%zu\n", run.transitions.size());
+    std::printf("transfers:  %zu\n", run.comms.size());
+    std::printf("warnings:   %zu\n", run.warnings.size());
+    std::printf("steals:     %zu\n", run.steals.size());
+    std::printf("kernels:    %zu\n", run.kernels.size());
+    std::printf("darshan:    %zu worker logs\n", run.darshan_logs.size());
+    return 0;
+  }
+  if (command == "phases") {
+    const analysis::PhaseBreakdown p = analysis::phase_breakdown(run);
+    std::printf("io:           %10.4f s over %llu ops\n", p.io_time,
+                static_cast<unsigned long long>(p.io_ops));
+    std::printf("communication:%10.4f s over %llu transfers\n", p.comm_time,
+                static_cast<unsigned long long>(p.comm_count));
+    std::printf("computation:  %10.4f s\n", p.compute_time);
+    std::printf("wall:         %10.4f s\n", p.wall_time);
+    std::printf("coordination: %10.4f s\n", p.coordination_time);
+    return 0;
+  }
+  if (command == "categories") {
+    const std::size_t top =
+        argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 10;
+    std::cout << analysis::render_figure6(run, top);
+    return 0;
+  }
+  if (command == "warnings") {
+    const double bin = argc > 3 ? std::atof(argv[3]) : 50.0;
+    std::cout << analysis::render_figure7(
+        analysis::figure7_histogram(run, bin));
+    return 0;
+  }
+  if (command == "timeline") {
+    const std::size_t width =
+        argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 100;
+    std::cout << analysis::render_figure4(run, width);
+    return 0;
+  }
+  if (command == "comm") {
+    std::cout << analysis::render_figure5(run);
+    return 0;
+  }
+  if (command == "lineage") {
+    if (argc < 5) return usage();
+    const dtr::TaskKey key{argv[3], std::atoll(argv[4])};
+    const auto lineage = prov::task_lineage(run, key);
+    if (!lineage) {
+      std::fprintf(stderr, "no such task: %s\n", key.to_string().c_str());
+      return 1;
+    }
+    std::cout << prov::render_lineage(*lineage);
+    return 0;
+  }
+  if (command == "window") {
+    if (argc < 5) return usage();
+    const analysis::DataFrame window =
+        analysis::window_view(run, std::atof(argv[3]), std::atof(argv[4]));
+    std::cout << window.describe(50);
+    return 0;
+  }
+  if (command == "heatmap") {
+    const double bin = argc > 3 ? std::atof(argv[3]) : 1.0;
+    std::vector<darshan::DxtRecord> all_dxt;
+    for (const auto& log : run.darshan_logs) {
+      all_dxt.insert(all_dxt.end(), log.dxt.begin(), log.dxt.end());
+    }
+    std::cout << darshan::Heatmap::from_dxt(
+                     all_dxt, darshan::HeatmapConfig{bin, 4096})
+                     .render(100);
+    return 0;
+  }
+  if (command == "chart") {
+    std::cout << prov::render_chart(prov::provenance_chart(run));
+    return 0;
+  }
+  return usage();
+}
