@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cpp" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prov/CMakeFiles/recup_prov.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/recup_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/recup_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtr/CMakeFiles/recup_dtr.dir/DependInfo.cmake"
+  "/root/repo/build/src/mofka/CMakeFiles/recup_mofka.dir/DependInfo.cmake"
+  "/root/repo/build/src/mochi/CMakeFiles/recup_mochi.dir/DependInfo.cmake"
+  "/root/repo/build/src/darshan/CMakeFiles/recup_darshan.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpuprof/CMakeFiles/recup_gpuprof.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/recup_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/recup_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldms/CMakeFiles/recup_ldms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/recup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/recup_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

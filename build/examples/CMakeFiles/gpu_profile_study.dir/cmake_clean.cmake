@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_profile_study.dir/gpu_profile_study.cpp.o"
+  "CMakeFiles/gpu_profile_study.dir/gpu_profile_study.cpp.o.d"
+  "gpu_profile_study"
+  "gpu_profile_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_profile_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

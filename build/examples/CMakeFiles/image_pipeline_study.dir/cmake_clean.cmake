@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_pipeline_study.dir/image_pipeline_study.cpp.o"
+  "CMakeFiles/image_pipeline_study.dir/image_pipeline_study.cpp.o.d"
+  "image_pipeline_study"
+  "image_pipeline_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_pipeline_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_consumer.dir/streaming_consumer.cpp.o"
+  "CMakeFiles/streaming_consumer.dir/streaming_consumer.cpp.o.d"
+  "streaming_consumer"
+  "streaming_consumer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_consumer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgboost_variability.dir/xgboost_variability.cpp.o"
+  "CMakeFiles/xgboost_variability.dir/xgboost_variability.cpp.o.d"
+  "xgboost_variability"
+  "xgboost_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgboost_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xgboost_variability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dataframe.cpp" "src/analysis/CMakeFiles/recup_analysis.dir/dataframe.cpp.o" "gcc" "src/analysis/CMakeFiles/recup_analysis.dir/dataframe.cpp.o.d"
+  "/root/repo/src/analysis/figures.cpp" "src/analysis/CMakeFiles/recup_analysis.dir/figures.cpp.o" "gcc" "src/analysis/CMakeFiles/recup_analysis.dir/figures.cpp.o.d"
+  "/root/repo/src/analysis/readers.cpp" "src/analysis/CMakeFiles/recup_analysis.dir/readers.cpp.o" "gcc" "src/analysis/CMakeFiles/recup_analysis.dir/readers.cpp.o.d"
+  "/root/repo/src/analysis/variability.cpp" "src/analysis/CMakeFiles/recup_analysis.dir/variability.cpp.o" "gcc" "src/analysis/CMakeFiles/recup_analysis.dir/variability.cpp.o.d"
+  "/root/repo/src/analysis/views.cpp" "src/analysis/CMakeFiles/recup_analysis.dir/views.cpp.o" "gcc" "src/analysis/CMakeFiles/recup_analysis.dir/views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/recup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/recup_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtr/CMakeFiles/recup_dtr.dir/DependInfo.cmake"
+  "/root/repo/build/src/darshan/CMakeFiles/recup_darshan.dir/DependInfo.cmake"
+  "/root/repo/build/src/mofka/CMakeFiles/recup_mofka.dir/DependInfo.cmake"
+  "/root/repo/build/src/mochi/CMakeFiles/recup_mochi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpuprof/CMakeFiles/recup_gpuprof.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/recup_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldms/CMakeFiles/recup_ldms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/recup_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

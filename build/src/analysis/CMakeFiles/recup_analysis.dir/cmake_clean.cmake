@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_analysis.dir/dataframe.cpp.o"
+  "CMakeFiles/recup_analysis.dir/dataframe.cpp.o.d"
+  "CMakeFiles/recup_analysis.dir/figures.cpp.o"
+  "CMakeFiles/recup_analysis.dir/figures.cpp.o.d"
+  "CMakeFiles/recup_analysis.dir/readers.cpp.o"
+  "CMakeFiles/recup_analysis.dir/readers.cpp.o.d"
+  "CMakeFiles/recup_analysis.dir/variability.cpp.o"
+  "CMakeFiles/recup_analysis.dir/variability.cpp.o.d"
+  "CMakeFiles/recup_analysis.dir/views.cpp.o"
+  "CMakeFiles/recup_analysis.dir/views.cpp.o.d"
+  "librecup_analysis.a"
+  "librecup_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librecup_analysis.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_common.dir/csv.cpp.o"
+  "CMakeFiles/recup_common.dir/csv.cpp.o.d"
+  "CMakeFiles/recup_common.dir/histogram.cpp.o"
+  "CMakeFiles/recup_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/recup_common.dir/log.cpp.o"
+  "CMakeFiles/recup_common.dir/log.cpp.o.d"
+  "CMakeFiles/recup_common.dir/rng.cpp.o"
+  "CMakeFiles/recup_common.dir/rng.cpp.o.d"
+  "CMakeFiles/recup_common.dir/stats.cpp.o"
+  "CMakeFiles/recup_common.dir/stats.cpp.o.d"
+  "CMakeFiles/recup_common.dir/strings.cpp.o"
+  "CMakeFiles/recup_common.dir/strings.cpp.o.d"
+  "CMakeFiles/recup_common.dir/table.cpp.o"
+  "CMakeFiles/recup_common.dir/table.cpp.o.d"
+  "librecup_common.a"
+  "librecup_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darshan/dxt.cpp" "src/darshan/CMakeFiles/recup_darshan.dir/dxt.cpp.o" "gcc" "src/darshan/CMakeFiles/recup_darshan.dir/dxt.cpp.o.d"
+  "/root/repo/src/darshan/heatmap.cpp" "src/darshan/CMakeFiles/recup_darshan.dir/heatmap.cpp.o" "gcc" "src/darshan/CMakeFiles/recup_darshan.dir/heatmap.cpp.o.d"
+  "/root/repo/src/darshan/log_format.cpp" "src/darshan/CMakeFiles/recup_darshan.dir/log_format.cpp.o" "gcc" "src/darshan/CMakeFiles/recup_darshan.dir/log_format.cpp.o.d"
+  "/root/repo/src/darshan/report.cpp" "src/darshan/CMakeFiles/recup_darshan.dir/report.cpp.o" "gcc" "src/darshan/CMakeFiles/recup_darshan.dir/report.cpp.o.d"
+  "/root/repo/src/darshan/runtime.cpp" "src/darshan/CMakeFiles/recup_darshan.dir/runtime.cpp.o" "gcc" "src/darshan/CMakeFiles/recup_darshan.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/recup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/recup_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_darshan.dir/dxt.cpp.o"
+  "CMakeFiles/recup_darshan.dir/dxt.cpp.o.d"
+  "CMakeFiles/recup_darshan.dir/heatmap.cpp.o"
+  "CMakeFiles/recup_darshan.dir/heatmap.cpp.o.d"
+  "CMakeFiles/recup_darshan.dir/log_format.cpp.o"
+  "CMakeFiles/recup_darshan.dir/log_format.cpp.o.d"
+  "CMakeFiles/recup_darshan.dir/report.cpp.o"
+  "CMakeFiles/recup_darshan.dir/report.cpp.o.d"
+  "CMakeFiles/recup_darshan.dir/runtime.cpp.o"
+  "CMakeFiles/recup_darshan.dir/runtime.cpp.o.d"
+  "librecup_darshan.a"
+  "librecup_darshan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_darshan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtr/adaptive.cpp" "src/dtr/CMakeFiles/recup_dtr.dir/adaptive.cpp.o" "gcc" "src/dtr/CMakeFiles/recup_dtr.dir/adaptive.cpp.o.d"
+  "/root/repo/src/dtr/client.cpp" "src/dtr/CMakeFiles/recup_dtr.dir/client.cpp.o" "gcc" "src/dtr/CMakeFiles/recup_dtr.dir/client.cpp.o.d"
+  "/root/repo/src/dtr/cluster.cpp" "src/dtr/CMakeFiles/recup_dtr.dir/cluster.cpp.o" "gcc" "src/dtr/CMakeFiles/recup_dtr.dir/cluster.cpp.o.d"
+  "/root/repo/src/dtr/darshan_bridge.cpp" "src/dtr/CMakeFiles/recup_dtr.dir/darshan_bridge.cpp.o" "gcc" "src/dtr/CMakeFiles/recup_dtr.dir/darshan_bridge.cpp.o.d"
+  "/root/repo/src/dtr/mofka_plugins.cpp" "src/dtr/CMakeFiles/recup_dtr.dir/mofka_plugins.cpp.o" "gcc" "src/dtr/CMakeFiles/recup_dtr.dir/mofka_plugins.cpp.o.d"
+  "/root/repo/src/dtr/recorder.cpp" "src/dtr/CMakeFiles/recup_dtr.dir/recorder.cpp.o" "gcc" "src/dtr/CMakeFiles/recup_dtr.dir/recorder.cpp.o.d"
+  "/root/repo/src/dtr/scheduler.cpp" "src/dtr/CMakeFiles/recup_dtr.dir/scheduler.cpp.o" "gcc" "src/dtr/CMakeFiles/recup_dtr.dir/scheduler.cpp.o.d"
+  "/root/repo/src/dtr/task.cpp" "src/dtr/CMakeFiles/recup_dtr.dir/task.cpp.o" "gcc" "src/dtr/CMakeFiles/recup_dtr.dir/task.cpp.o.d"
+  "/root/repo/src/dtr/vfs.cpp" "src/dtr/CMakeFiles/recup_dtr.dir/vfs.cpp.o" "gcc" "src/dtr/CMakeFiles/recup_dtr.dir/vfs.cpp.o.d"
+  "/root/repo/src/dtr/worker.cpp" "src/dtr/CMakeFiles/recup_dtr.dir/worker.cpp.o" "gcc" "src/dtr/CMakeFiles/recup_dtr.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/recup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/recup_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/recup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/recup_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/mochi/CMakeFiles/recup_mochi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mofka/CMakeFiles/recup_mofka.dir/DependInfo.cmake"
+  "/root/repo/build/src/darshan/CMakeFiles/recup_darshan.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpuprof/CMakeFiles/recup_gpuprof.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldms/CMakeFiles/recup_ldms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

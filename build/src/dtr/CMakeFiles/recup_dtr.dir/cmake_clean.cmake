@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_dtr.dir/adaptive.cpp.o"
+  "CMakeFiles/recup_dtr.dir/adaptive.cpp.o.d"
+  "CMakeFiles/recup_dtr.dir/client.cpp.o"
+  "CMakeFiles/recup_dtr.dir/client.cpp.o.d"
+  "CMakeFiles/recup_dtr.dir/cluster.cpp.o"
+  "CMakeFiles/recup_dtr.dir/cluster.cpp.o.d"
+  "CMakeFiles/recup_dtr.dir/darshan_bridge.cpp.o"
+  "CMakeFiles/recup_dtr.dir/darshan_bridge.cpp.o.d"
+  "CMakeFiles/recup_dtr.dir/mofka_plugins.cpp.o"
+  "CMakeFiles/recup_dtr.dir/mofka_plugins.cpp.o.d"
+  "CMakeFiles/recup_dtr.dir/recorder.cpp.o"
+  "CMakeFiles/recup_dtr.dir/recorder.cpp.o.d"
+  "CMakeFiles/recup_dtr.dir/scheduler.cpp.o"
+  "CMakeFiles/recup_dtr.dir/scheduler.cpp.o.d"
+  "CMakeFiles/recup_dtr.dir/task.cpp.o"
+  "CMakeFiles/recup_dtr.dir/task.cpp.o.d"
+  "CMakeFiles/recup_dtr.dir/vfs.cpp.o"
+  "CMakeFiles/recup_dtr.dir/vfs.cpp.o.d"
+  "CMakeFiles/recup_dtr.dir/worker.cpp.o"
+  "CMakeFiles/recup_dtr.dir/worker.cpp.o.d"
+  "librecup_dtr.a"
+  "librecup_dtr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_dtr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpuprof/collector.cpp" "src/gpuprof/CMakeFiles/recup_gpuprof.dir/collector.cpp.o" "gcc" "src/gpuprof/CMakeFiles/recup_gpuprof.dir/collector.cpp.o.d"
+  "/root/repo/src/gpuprof/gpu.cpp" "src/gpuprof/CMakeFiles/recup_gpuprof.dir/gpu.cpp.o" "gcc" "src/gpuprof/CMakeFiles/recup_gpuprof.dir/gpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/recup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/recup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/recup_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/recup_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_gpuprof.dir/collector.cpp.o"
+  "CMakeFiles/recup_gpuprof.dir/collector.cpp.o.d"
+  "CMakeFiles/recup_gpuprof.dir/gpu.cpp.o"
+  "CMakeFiles/recup_gpuprof.dir/gpu.cpp.o.d"
+  "librecup_gpuprof.a"
+  "librecup_gpuprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_gpuprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_json.dir/json.cpp.o"
+  "CMakeFiles/recup_json.dir/json.cpp.o.d"
+  "librecup_json.a"
+  "librecup_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_ldms.dir/sampler.cpp.o"
+  "CMakeFiles/recup_ldms.dir/sampler.cpp.o.d"
+  "librecup_ldms.a"
+  "librecup_ldms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_ldms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

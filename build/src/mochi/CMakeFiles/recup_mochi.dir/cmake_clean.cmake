@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_mochi.dir/bedrock.cpp.o"
+  "CMakeFiles/recup_mochi.dir/bedrock.cpp.o.d"
+  "CMakeFiles/recup_mochi.dir/ssg.cpp.o"
+  "CMakeFiles/recup_mochi.dir/ssg.cpp.o.d"
+  "CMakeFiles/recup_mochi.dir/warabi.cpp.o"
+  "CMakeFiles/recup_mochi.dir/warabi.cpp.o.d"
+  "CMakeFiles/recup_mochi.dir/yokan.cpp.o"
+  "CMakeFiles/recup_mochi.dir/yokan.cpp.o.d"
+  "librecup_mochi.a"
+  "librecup_mochi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_mochi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mofka/broker.cpp" "src/mofka/CMakeFiles/recup_mofka.dir/broker.cpp.o" "gcc" "src/mofka/CMakeFiles/recup_mofka.dir/broker.cpp.o.d"
+  "/root/repo/src/mofka/consumer.cpp" "src/mofka/CMakeFiles/recup_mofka.dir/consumer.cpp.o" "gcc" "src/mofka/CMakeFiles/recup_mofka.dir/consumer.cpp.o.d"
+  "/root/repo/src/mofka/producer.cpp" "src/mofka/CMakeFiles/recup_mofka.dir/producer.cpp.o" "gcc" "src/mofka/CMakeFiles/recup_mofka.dir/producer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/recup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/recup_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/mochi/CMakeFiles/recup_mochi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

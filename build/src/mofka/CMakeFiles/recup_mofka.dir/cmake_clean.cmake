@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_mofka.dir/broker.cpp.o"
+  "CMakeFiles/recup_mofka.dir/broker.cpp.o.d"
+  "CMakeFiles/recup_mofka.dir/consumer.cpp.o"
+  "CMakeFiles/recup_mofka.dir/consumer.cpp.o.d"
+  "CMakeFiles/recup_mofka.dir/producer.cpp.o"
+  "CMakeFiles/recup_mofka.dir/producer.cpp.o.d"
+  "librecup_mofka.a"
+  "librecup_mofka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_mofka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_platform.dir/network.cpp.o"
+  "CMakeFiles/recup_platform.dir/network.cpp.o.d"
+  "CMakeFiles/recup_platform.dir/pfs.cpp.o"
+  "CMakeFiles/recup_platform.dir/pfs.cpp.o.d"
+  "CMakeFiles/recup_platform.dir/sysinfo.cpp.o"
+  "CMakeFiles/recup_platform.dir/sysinfo.cpp.o.d"
+  "CMakeFiles/recup_platform.dir/topology.cpp.o"
+  "CMakeFiles/recup_platform.dir/topology.cpp.o.d"
+  "librecup_platform.a"
+  "librecup_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

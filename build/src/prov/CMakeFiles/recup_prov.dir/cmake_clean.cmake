@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_prov.dir/chart.cpp.o"
+  "CMakeFiles/recup_prov.dir/chart.cpp.o.d"
+  "CMakeFiles/recup_prov.dir/lineage.cpp.o"
+  "CMakeFiles/recup_prov.dir/lineage.cpp.o.d"
+  "CMakeFiles/recup_prov.dir/store.cpp.o"
+  "CMakeFiles/recup_prov.dir/store.cpp.o.d"
+  "librecup_prov.a"
+  "librecup_prov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_prov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

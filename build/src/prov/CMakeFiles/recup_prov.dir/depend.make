@@ -1,0 +1,2 @@
+# Empty dependencies file for recup_prov.
+# This may be replaced when dependencies are built.

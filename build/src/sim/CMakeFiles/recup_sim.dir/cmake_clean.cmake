@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_sim.dir/engine.cpp.o"
+  "CMakeFiles/recup_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/recup_sim.dir/resource.cpp.o"
+  "CMakeFiles/recup_sim.dir/resource.cpp.o.d"
+  "librecup_sim.a"
+  "librecup_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for recup_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_workloads.dir/datasets.cpp.o"
+  "CMakeFiles/recup_workloads.dir/datasets.cpp.o.d"
+  "CMakeFiles/recup_workloads.dir/image_processing.cpp.o"
+  "CMakeFiles/recup_workloads.dir/image_processing.cpp.o.d"
+  "CMakeFiles/recup_workloads.dir/registry.cpp.o"
+  "CMakeFiles/recup_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/recup_workloads.dir/resnet152.cpp.o"
+  "CMakeFiles/recup_workloads.dir/resnet152.cpp.o.d"
+  "CMakeFiles/recup_workloads.dir/xgboost.cpp.o"
+  "CMakeFiles/recup_workloads.dir/xgboost.cpp.o.d"
+  "librecup_workloads.a"
+  "librecup_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_darshan.dir/test_darshan.cpp.o"
+  "CMakeFiles/test_darshan.dir/test_darshan.cpp.o.d"
+  "test_darshan"
+  "test_darshan.pdb"
+  "test_darshan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_darshan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

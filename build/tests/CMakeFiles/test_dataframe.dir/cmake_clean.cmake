@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataframe.dir/test_dataframe.cpp.o"
+  "CMakeFiles/test_dataframe.dir/test_dataframe.cpp.o.d"
+  "test_dataframe"
+  "test_dataframe.pdb"
+  "test_dataframe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

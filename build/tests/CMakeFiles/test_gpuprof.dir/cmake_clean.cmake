@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpuprof.dir/test_gpuprof.cpp.o"
+  "CMakeFiles/test_gpuprof.dir/test_gpuprof.cpp.o.d"
+  "test_gpuprof"
+  "test_gpuprof.pdb"
+  "test_gpuprof[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpuprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

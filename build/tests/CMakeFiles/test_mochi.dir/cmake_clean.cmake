@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mochi.dir/test_mochi.cpp.o"
+  "CMakeFiles/test_mochi.dir/test_mochi.cpp.o.d"
+  "test_mochi"
+  "test_mochi.pdb"
+  "test_mochi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mochi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mofka.dir/test_mofka.cpp.o"
+  "CMakeFiles/test_mofka.dir/test_mofka.cpp.o.d"
+  "test_mofka"
+  "test_mofka.pdb"
+  "test_mofka[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mofka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

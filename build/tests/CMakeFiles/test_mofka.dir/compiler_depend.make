@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_mofka.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_mochi[1]_include.cmake")
+include("/root/repo/build/tests/test_mofka[1]_include.cmake")
+include("/root/repo/build/tests/test_darshan[1]_include.cmake")
+include("/root/repo/build/tests/test_task_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_worker[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_dataframe[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_provenance[1]_include.cmake")
+include("/root/repo/build/tests/test_gpuprof[1]_include.cmake")
+include("/root/repo/build/tests/test_online[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_tolerance[1]_include.cmake")
+include("/root/repo/build/tests/test_ldms[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

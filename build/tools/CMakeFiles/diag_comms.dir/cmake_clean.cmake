@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_comms.dir/diag_comms.cpp.o"
+  "CMakeFiles/diag_comms.dir/diag_comms.cpp.o.d"
+  "diag_comms"
+  "diag_comms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_comms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

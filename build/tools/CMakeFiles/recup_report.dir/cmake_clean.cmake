@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recup_report.dir/recup_report.cpp.o"
+  "CMakeFiles/recup_report.dir/recup_report.cpp.o.d"
+  "recup_report"
+  "recup_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recup_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
