@@ -175,4 +175,93 @@ void BM_DataFrameJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_DataFrameJoin)->Arg(1000)->Arg(10000);
 
+// Mixed-type frame used by the columnar-operation benches below.
+analysis::DataFrame bench_frame(std::int64_t n) {
+  analysis::DataFrame df({{"k", analysis::ColumnType::kInt64},
+                          {"g", analysis::ColumnType::kString},
+                          {"v", analysis::ColumnType::kDouble}});
+  df.reserve(static_cast<std::size_t>(n));
+  RngStream rng(7);
+  for (std::int64_t i = 0; i < n; ++i) {
+    df.add_row({i, std::string(1, static_cast<char>('a' + i % 26)),
+                rng.uniform(0, 1)});
+  }
+  return df;
+}
+
+void BM_DataFrameFilter(benchmark::State& state) {
+  const analysis::DataFrame df = bench_frame(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        df.filter([](const analysis::DataFrame& d, std::size_t r) {
+          return d.col("v").f64(r) > 0.5;
+        }));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DataFrameFilter)->Arg(1000)->Arg(10000);
+
+void BM_DataFrameSortBy(benchmark::State& state) {
+  const analysis::DataFrame df = bench_frame(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(df.sort_by("v"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DataFrameSortBy)->Arg(1000)->Arg(10000);
+
+void BM_DataFrameConcat(benchmark::State& state) {
+  const analysis::DataFrame df = bench_frame(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(df.concat(df));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_DataFrameConcat)->Arg(1000)->Arg(10000);
+
+// The task<->I/O fusion shape: segments asof-merged onto task windows by
+// (worker, thread) with a valid-until bound.
+void BM_DataFrameAsofMerge(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  analysis::DataFrame segments({{"tid", analysis::ColumnType::kInt64},
+                                {"start", analysis::ColumnType::kDouble}});
+  analysis::DataFrame tasks({{"tid", analysis::ColumnType::kInt64},
+                             {"task_start", analysis::ColumnType::kDouble},
+                             {"task_end", analysis::ColumnType::kDouble},
+                             {"key", analysis::ColumnType::kString}});
+  segments.reserve(static_cast<std::size_t>(n));
+  tasks.reserve(static_cast<std::size_t>(n / 4 + 1));
+  RngStream rng(11);
+  for (std::int64_t i = 0; i < n; ++i) {
+    segments.add_row({i % 8, rng.uniform(0, 100)});
+  }
+  for (std::int64_t i = 0; i < n / 4 + 1; ++i) {
+    const double start = rng.uniform(0, 100);
+    tasks.add_row({i % 8, start, start + 0.5,
+                   "task-" + std::to_string(i)});
+  }
+  analysis::AsofSpec spec;
+  spec.left_on = "start";
+  spec.right_on = "task_start";
+  spec.left_by = {"tid"};
+  spec.right_by = {"tid"};
+  spec.right_valid_until = "task_end";
+  spec.keep_unmatched = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(segments.asof_merge(tasks, spec));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DataFrameAsofMerge)->Arg(1000)->Arg(10000);
+
+void BM_DataFrameFromCsv(benchmark::State& state) {
+  const std::string csv = bench_frame(state.range(0)).to_csv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::DataFrame::from_csv(csv));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(csv.size()));
+}
+BENCHMARK(BM_DataFrameFromCsv)->Arg(1000)->Arg(10000);
+
 }  // namespace

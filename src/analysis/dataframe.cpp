@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <numeric>
 #include <sstream>
@@ -26,6 +27,20 @@ std::size_t Column::size() const {
       return strings_.size();
   }
   return 0;
+}
+
+void Column::reserve(std::size_t n) {
+  switch (type_) {
+    case ColumnType::kInt64:
+      ints_.reserve(n);
+      break;
+    case ColumnType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ColumnType::kString:
+      strings_.reserve(n);
+      break;
+  }
 }
 
 void Column::push(Cell cell) {
@@ -52,6 +67,70 @@ void Column::push(Cell cell) {
         return;
       }
       throw DataFrameError("column '" + name_ + "' expects string");
+  }
+}
+
+void Column::gather(const Column& src, const std::vector<std::size_t>& rows) {
+  if (type_ == ColumnType::kDouble && src.type_ == ColumnType::kInt64) {
+    doubles_.reserve(doubles_.size() + rows.size());
+    for (const std::size_t r : rows) {
+      doubles_.push_back(r == kMissingRow ? 0.0
+                                          : static_cast<double>(src.ints_[r]));
+    }
+    return;
+  }
+  if (type_ != src.type_) {
+    throw DataFrameError("gather type mismatch into column '" + name_ + "'");
+  }
+  switch (type_) {
+    case ColumnType::kInt64:
+      ints_.reserve(ints_.size() + rows.size());
+      for (const std::size_t r : rows) {
+        ints_.push_back(r == kMissingRow ? 0 : src.ints_[r]);
+      }
+      break;
+    case ColumnType::kDouble:
+      doubles_.reserve(doubles_.size() + rows.size());
+      for (const std::size_t r : rows) {
+        doubles_.push_back(r == kMissingRow ? 0.0 : src.doubles_[r]);
+      }
+      break;
+    case ColumnType::kString:
+      strings_.reserve(strings_.size() + rows.size());
+      for (const std::size_t r : rows) {
+        strings_.push_back(r == kMissingRow ? std::string() : src.strings_[r]);
+      }
+      break;
+  }
+}
+
+void Column::append_slice(const Column& src, std::size_t begin,
+                          std::size_t end) {
+  end = std::min(end, src.size());
+  begin = std::min(begin, end);
+  if (type_ == ColumnType::kDouble && src.type_ == ColumnType::kInt64) {
+    doubles_.reserve(doubles_.size() + (end - begin));
+    for (std::size_t r = begin; r < end; ++r) {
+      doubles_.push_back(static_cast<double>(src.ints_[r]));
+    }
+    return;
+  }
+  if (type_ != src.type_) {
+    throw DataFrameError("append type mismatch into column '" + name_ + "'");
+  }
+  switch (type_) {
+    case ColumnType::kInt64:
+      ints_.insert(ints_.end(), src.ints_.begin() + begin,
+                   src.ints_.begin() + end);
+      break;
+    case ColumnType::kDouble:
+      doubles_.insert(doubles_.end(), src.doubles_.begin() + begin,
+                      src.doubles_.begin() + end);
+      break;
+    case ColumnType::kString:
+      strings_.insert(strings_.end(), src.strings_.begin() + begin,
+                      src.strings_.begin() + end);
+      break;
   }
 }
 
@@ -86,9 +165,12 @@ std::string Column::display(std::size_t row) const {
     case ColumnType::kInt64:
       return std::to_string(ints_.at(row));
     case ColumnType::kDouble: {
-      char buf[64];
-      std::snprintf(buf, sizeof(buf), "%.9g", doubles_.at(row));
-      return buf;
+      // Shortest representation that round-trips exactly through from_chars,
+      // so to_csv -> from_csv loses no precision and distinct doubles never
+      // share a display form.
+      char buf[32];
+      const auto res = std::to_chars(buf, buf + sizeof(buf), doubles_.at(row));
+      return std::string(buf, res.ptr);
     }
     case ColumnType::kString:
       return strings_.at(row);
@@ -111,9 +193,263 @@ Cell Column::cell(std::size_t row) const {
 std::vector<double> Column::numeric() const {
   std::vector<double> out;
   out.reserve(size());
-  for (std::size_t i = 0; i < size(); ++i) out.push_back(f64(i));
+  switch (type_) {
+    case ColumnType::kInt64:
+      for (const std::int64_t v : ints_) out.push_back(static_cast<double>(v));
+      break;
+    case ColumnType::kDouble:
+      out = doubles_;
+      break;
+    case ColumnType::kString:
+      throw DataFrameError("column '" + name_ + "' is not numeric");
+  }
   return out;
 }
+
+const std::vector<std::int64_t>& Column::ints() const {
+  if (type_ != ColumnType::kInt64) {
+    throw DataFrameError("column '" + name_ + "' is not int64");
+  }
+  return ints_;
+}
+
+const std::vector<double>& Column::doubles() const {
+  if (type_ != ColumnType::kDouble) {
+    throw DataFrameError("column '" + name_ + "' is not double");
+  }
+  return doubles_;
+}
+
+const std::vector<std::string>& Column::strings() const {
+  if (type_ != ColumnType::kString) {
+    throw DataFrameError("column '" + name_ + "' is not string");
+  }
+  return strings_;
+}
+
+// --- Typed composite-key machinery -------------------------------------------
+//
+// Group-by, join, distinct, and asof-merge all key rows on a composite of
+// typed columns. Keys hash over the raw representation (int64 value, double
+// bit pattern with -0.0 collapsed, string bytes) — never over stringified
+// cells — and compare/order with the native type semantics.
+namespace {
+
+enum class KeyKind { kInt, kFloat, kStr };
+
+struct KeyCol {
+  const Column* col = nullptr;
+  KeyKind kind = KeyKind::kInt;
+};
+
+KeyKind kind_of(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return KeyKind::kInt;
+    case ColumnType::kDouble:
+      return KeyKind::kFloat;
+    case ColumnType::kString:
+      return KeyKind::kStr;
+  }
+  return KeyKind::kStr;
+}
+
+/// Comparison kind across two join sides; numeric types widen to double.
+KeyKind unified_kind(ColumnType left, ColumnType right) {
+  if (left == right) return kind_of(left);
+  if (left != ColumnType::kString && right != ColumnType::kString) {
+    return KeyKind::kFloat;
+  }
+  throw DataFrameError("join key type mismatch (string vs numeric)");
+}
+
+inline std::uint64_t mix_u64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Canonical bit pattern used for hashing and equality of double keys:
+/// -0.0 collapses onto +0.0 so the two compare equal, and NaNs compare by
+/// payload (grouping all identical NaNs) instead of being unequal to
+/// themselves, which would leak hash-table entries.
+inline std::uint64_t f64_key_bits(double d) {
+  if (d == 0.0) d = 0.0;
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+inline double widened(const Column& col, std::size_t row) {
+  return col.type() == ColumnType::kInt64
+             ? static_cast<double>(col.ints()[row])
+             : col.doubles()[row];
+}
+
+std::uint64_t hash_row(const std::vector<KeyCol>& cols, std::size_t row) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const KeyCol& kc : cols) {
+    switch (kc.kind) {
+      case KeyKind::kInt:
+        h = hash_combine(
+            h, mix_u64(static_cast<std::uint64_t>(kc.col->ints()[row])));
+        break;
+      case KeyKind::kFloat:
+        h = hash_combine(h, mix_u64(f64_key_bits(widened(*kc.col, row))));
+        break;
+      case KeyKind::kStr:
+        h = hash_combine(
+            h, std::hash<std::string_view>{}(kc.col->strings()[row]));
+        break;
+    }
+  }
+  return h;
+}
+
+bool rows_equal(const std::vector<KeyCol>& a_cols, std::size_t a_row,
+                const std::vector<KeyCol>& b_cols, std::size_t b_row) {
+  for (std::size_t i = 0; i < a_cols.size(); ++i) {
+    switch (a_cols[i].kind) {
+      case KeyKind::kInt:
+        if (a_cols[i].col->ints()[a_row] != b_cols[i].col->ints()[b_row]) {
+          return false;
+        }
+        break;
+      case KeyKind::kFloat:
+        if (f64_key_bits(widened(*a_cols[i].col, a_row)) !=
+            f64_key_bits(widened(*b_cols[i].col, b_row))) {
+          return false;
+        }
+        break;
+      case KeyKind::kStr:
+        if (a_cols[i].col->strings()[a_row] !=
+            b_cols[i].col->strings()[b_row]) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+/// Total order over doubles for deterministic group output (non-NaN first,
+/// NaNs ordered by payload).
+inline bool f64_total_less(double a, double b) {
+  const bool an = std::isnan(a);
+  const bool bn = std::isnan(b);
+  if (an || bn) {
+    if (an != bn) return bn;
+    return f64_key_bits(a) < f64_key_bits(b);
+  }
+  return a < b;
+}
+
+/// Lexicographic typed comparison of two rows' composite keys.
+bool row_key_less(const std::vector<KeyCol>& cols, std::size_t a,
+                  std::size_t b) {
+  for (const KeyCol& kc : cols) {
+    switch (kc.kind) {
+      case KeyKind::kInt: {
+        const auto& v = kc.col->ints();
+        if (v[a] != v[b]) return v[a] < v[b];
+        break;
+      }
+      case KeyKind::kFloat: {
+        const double x = widened(*kc.col, a);
+        const double y = widened(*kc.col, b);
+        if (f64_key_bits(x) != f64_key_bits(y)) return f64_total_less(x, y);
+        break;
+      }
+      case KeyKind::kStr: {
+        const auto& v = kc.col->strings();
+        if (v[a] != v[b]) return v[a] < v[b];
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+/// Flat open-addressing table mapping composite row keys to dense key ids.
+/// Sized once up front (no rehash); slots hold key ids whose representative
+/// rows live in the caller-owned `heads` vector. Probing works across frames
+/// (join): the probe side supplies its own KeyCol set with unified kinds, so
+/// equal keys hash identically on both sides.
+class RowKeyTable {
+ public:
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  RowKeyTable(const std::vector<KeyCol>& cols, std::size_t expected)
+      : cols_(&cols) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, kNone);
+  }
+
+  /// Key id of `row`'s composite key, inserting a new key if unseen; the
+  /// first row of each new key is appended to `heads`.
+  std::uint32_t insert(std::size_t row, std::vector<std::size_t>& heads) {
+    std::size_t i = hash_row(*cols_, row) & mask_;
+    while (slots_[i] != kNone) {
+      const std::uint32_t k = slots_[i];
+      if (rows_equal(*cols_, heads[k], *cols_, row)) return k;
+      i = (i + 1) & mask_;
+    }
+    const auto k = static_cast<std::uint32_t>(heads.size());
+    slots_[i] = k;
+    heads.push_back(row);
+    return k;
+  }
+
+  /// Key id matching a row of another frame, or kNone.
+  std::uint32_t find(const std::vector<KeyCol>& probe_cols, std::size_t row,
+                     const std::vector<std::size_t>& heads) const {
+    std::size_t i = hash_row(probe_cols, row) & mask_;
+    while (slots_[i] != kNone) {
+      const std::uint32_t k = slots_[i];
+      if (rows_equal(probe_cols, row, *cols_, heads[k])) return k;
+      i = (i + 1) & mask_;
+    }
+    return kNone;
+  }
+
+ private:
+  const std::vector<KeyCol>* cols_;
+  std::size_t mask_ = 0;
+  std::vector<std::uint32_t> slots_;
+};
+
+/// Applies fn(double) over src at rows [begin, end) with one type dispatch.
+template <typename Fn>
+void for_each_numeric(const Column& src, const std::size_t* begin,
+                      const std::size_t* end, Fn&& fn) {
+  switch (src.type()) {
+    case ColumnType::kInt64: {
+      const auto& v = src.ints();
+      for (const std::size_t* r = begin; r != end; ++r) {
+        fn(static_cast<double>(v[*r]));
+      }
+      break;
+    }
+    case ColumnType::kDouble: {
+      const auto& v = src.doubles();
+      for (const std::size_t* r = begin; r != end; ++r) fn(v[*r]);
+      break;
+    }
+    case ColumnType::kString:
+      throw DataFrameError("column '" + src.name() + "' is not numeric");
+  }
+}
+
+}  // namespace
 
 DataFrame::DataFrame(
     std::vector<std::pair<std::string, ColumnType>> schema) {
@@ -154,6 +490,17 @@ std::vector<std::string> DataFrame::column_names() const {
   return out;
 }
 
+std::vector<std::pair<std::string, ColumnType>> DataFrame::schema() const {
+  std::vector<std::pair<std::string, ColumnType>> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.emplace_back(c.name(), c.type());
+  return out;
+}
+
+void DataFrame::reserve(std::size_t n) {
+  for (auto& c : columns_) c.reserve(n);
+}
+
 void DataFrame::add_row(std::vector<Cell> cells) {
   if (cells.size() != columns_.size()) {
     throw DataFrameError("row width mismatch");
@@ -165,22 +512,18 @@ void DataFrame::add_row(std::vector<Cell> cells) {
 }
 
 DataFrame DataFrame::take(const std::vector<std::size_t>& rows) const {
-  std::vector<std::pair<std::string, ColumnType>> schema;
-  schema.reserve(columns_.size());
-  for (const auto& c : columns_) schema.emplace_back(c.name(), c.type());
-  DataFrame out(std::move(schema));
-  for (const std::size_t row : rows) {
-    std::vector<Cell> cells;
-    cells.reserve(columns_.size());
-    for (const auto& c : columns_) cells.push_back(c.cell(row));
-    out.add_row(std::move(cells));
+  DataFrame out(schema());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    out.columns_[i].gather(columns_[i], rows);
   }
+  out.rows_ = rows.size();
   return out;
 }
 
 DataFrame DataFrame::filter(
     const std::function<bool(const DataFrame&, std::size_t)>& pred) const {
   std::vector<std::size_t> rows;
+  rows.reserve(rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     if (pred(*this, r)) rows.push_back(r);
   }
@@ -191,57 +534,115 @@ DataFrame DataFrame::sort_by(const std::string& column, bool ascending) const {
   const Column& key = col(column);
   std::vector<std::size_t> rows(rows_);
   std::iota(rows.begin(), rows.end(), 0);
-  const auto less = [&](std::size_t a, std::size_t b) {
-    if (key.type() == ColumnType::kString) return key.str(a) < key.str(b);
-    return key.f64(a) < key.f64(b);
+  const auto order = [&](auto less) {
+    if (ascending) {
+      std::stable_sort(rows.begin(), rows.end(), less);
+    } else {
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](std::size_t a, std::size_t b) { return less(b, a); });
+    }
   };
-  std::stable_sort(rows.begin(), rows.end(), [&](std::size_t a, std::size_t b) {
-    return ascending ? less(a, b) : less(b, a);
-  });
+  switch (key.type()) {
+    case ColumnType::kInt64: {
+      const auto& v = key.ints();
+      order([&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+      break;
+    }
+    case ColumnType::kDouble: {
+      const auto& v = key.doubles();
+      order([&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+      break;
+    }
+    case ColumnType::kString: {
+      const auto& v = key.strings();
+      order([&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+      break;
+    }
+  }
   return take(rows);
 }
 
 DataFrame DataFrame::select(const std::vector<std::string>& names) const {
-  std::vector<std::pair<std::string, ColumnType>> schema;
-  std::vector<std::size_t> idx;
+  DataFrame out;
   for (const auto& name : names) {
-    idx.push_back(index_of(name));
-    schema.emplace_back(name, columns_[idx.back()].type());
+    if (out.by_name_.count(name) != 0) {
+      throw DataFrameError("duplicate column '" + name + "'");
+    }
+    out.by_name_[name] = out.columns_.size();
+    out.columns_.push_back(columns_[index_of(name)]);  // whole-column copy
   }
-  DataFrame out(std::move(schema));
-  for (std::size_t r = 0; r < rows_; ++r) {
-    std::vector<Cell> cells;
-    for (const std::size_t i : idx) cells.push_back(columns_[i].cell(r));
-    out.add_row(std::move(cells));
-  }
+  out.rows_ = rows_;
   return out;
 }
 
 DataFrame DataFrame::head(std::size_t n) const {
-  std::vector<std::size_t> rows;
-  for (std::size_t r = 0; r < std::min(n, rows_); ++r) rows.push_back(r);
-  return take(rows);
+  DataFrame out(schema());
+  const std::size_t end = std::min(n, rows_);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    out.columns_[i].append_slice(columns_[i], 0, end);
+  }
+  out.rows_ = end;
+  return out;
+}
+
+DataFrame DataFrame::with_column(
+    const std::string& name, ColumnType type,
+    const std::function<Cell(const DataFrame&, std::size_t)>& fn) const {
+  if (by_name_.count(name) != 0) {
+    throw DataFrameError("duplicate column '" + name + "'");
+  }
+  DataFrame out = *this;
+  out.by_name_[name] = out.columns_.size();
+  out.columns_.emplace_back(name, type);
+  Column& added = out.columns_.back();
+  added.reserve(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) added.push(fn(*this, r));
+  return out;
 }
 
 DataFrame DataFrame::group_by(const std::vector<std::string>& keys,
                               const std::vector<AggSpec>& aggs) const {
-  std::vector<std::size_t> key_idx;
-  for (const auto& key : keys) key_idx.push_back(index_of(key));
-
-  // Group rows by stringified composite key (stable, deterministic).
-  std::map<std::vector<std::string>, std::vector<std::size_t>> groups;
-  for (std::size_t r = 0; r < rows_; ++r) {
-    std::vector<std::string> composite;
-    composite.reserve(key_idx.size());
-    for (const std::size_t i : key_idx) {
-      composite.push_back(columns_[i].display(r));
-    }
-    groups[std::move(composite)].push_back(r);
+  std::vector<KeyCol> key_cols;
+  key_cols.reserve(keys.size());
+  for (const auto& key : keys) {
+    const Column& c = columns_[index_of(key)];
+    key_cols.push_back({&c, kind_of(c.type())});
   }
 
-  std::vector<std::pair<std::string, ColumnType>> schema;
-  for (const std::size_t i : key_idx) {
-    schema.emplace_back(columns_[i].name(), columns_[i].type());
+  // Pass 1: map every row to a dense group id via the typed-key hash table.
+  std::vector<std::size_t> heads;  // first row of each group
+  std::vector<std::uint32_t> gid(rows_);
+  {
+    RowKeyTable table(key_cols, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) gid[r] = table.insert(r, heads);
+  }
+  const std::size_t n_groups = heads.size();
+
+  // Pass 2: counting sort rows into one flat per-group array.
+  std::vector<std::size_t> offsets(n_groups + 1, 0);
+  for (std::size_t r = 0; r < rows_; ++r) ++offsets[gid[r] + 1];
+  for (std::size_t g = 0; g < n_groups; ++g) offsets[g + 1] += offsets[g];
+  std::vector<std::size_t> flat(rows_);
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t r = 0; r < rows_; ++r) flat[cursor[gid[r]]++] = r;
+  }
+
+  // Deterministic output: order groups by their typed key values, not their
+  // stringified forms.
+  std::vector<std::size_t> order(n_groups);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return row_key_less(key_cols, heads[a], heads[b]);
+  });
+  std::vector<std::size_t> ordered_heads;
+  ordered_heads.reserve(n_groups);
+  for (const std::size_t g : order) ordered_heads.push_back(heads[g]);
+
+  std::vector<std::pair<std::string, ColumnType>> out_schema;
+  for (const auto& key : keys) {
+    const Column& c = columns_[index_of(key)];
+    out_schema.emplace_back(c.name(), c.type());
   }
   for (const auto& agg : aggs) {
     const ColumnType type =
@@ -249,50 +650,86 @@ DataFrame DataFrame::group_by(const std::vector<std::string>& keys,
             ? ColumnType::kInt64
             : (agg.op == Agg::kFirst ? col(agg.column).type()
                                      : ColumnType::kDouble);
-    schema.emplace_back(agg.as, type);
+    out_schema.emplace_back(agg.as, type);
   }
-  DataFrame out(std::move(schema));
+  DataFrame out(std::move(out_schema));
 
-  for (const auto& [composite, rows] : groups) {
-    std::vector<Cell> cells;
-    for (const std::size_t i : key_idx) {
-      cells.push_back(columns_[i].cell(rows.front()));
+  // Key columns: one typed gather over the ordered group heads.
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    out.columns_[k].gather(*key_cols[k].col, ordered_heads);
+  }
+
+  for (std::size_t a = 0; a < aggs.size(); ++a) {
+    const AggSpec& agg = aggs[a];
+    Column& dst = out.columns_[keys.size() + a];
+    if (agg.op == Agg::kCount) {
+      dst.ints_.reserve(n_groups);
+      for (const std::size_t g : order) {
+        dst.ints_.push_back(
+            static_cast<std::int64_t>(offsets[g + 1] - offsets[g]));
+      }
+      continue;
     }
-    for (const auto& agg : aggs) {
-      if (agg.op == Agg::kCount) {
-        cells.push_back(static_cast<std::int64_t>(rows.size()));
-        continue;
-      }
-      const Column& src = col(agg.column);
-      if (agg.op == Agg::kFirst) {
-        cells.push_back(src.cell(rows.front()));
-        continue;
-      }
-      RunningStats stats;
-      for (const std::size_t r : rows) stats.add(src.f64(r));
+    const Column& src = col(agg.column);
+    if (agg.op == Agg::kFirst) {
+      dst.gather(src, ordered_heads);
+      continue;
+    }
+    dst.doubles_.reserve(n_groups);
+    for (const std::size_t g : order) {
+      const std::size_t* begin = flat.data() + offsets[g];
+      const std::size_t* end = flat.data() + offsets[g + 1];
+      const auto n = static_cast<double>(end - begin);
+      double value = 0.0;
       switch (agg.op) {
         case Agg::kSum:
-          cells.push_back(stats.sum());
+        case Agg::kMean: {
+          double sum = 0.0;
+          for_each_numeric(src, begin, end, [&](double v) { sum += v; });
+          value = agg.op == Agg::kSum ? sum : (n > 0 ? sum / n : 0.0);
           break;
-        case Agg::kMean:
-          cells.push_back(stats.mean());
+        }
+        case Agg::kMin: {
+          double lo = 0.0;
+          bool first = true;
+          for_each_numeric(src, begin, end, [&](double v) {
+            lo = first ? v : std::min(lo, v);
+            first = false;
+          });
+          value = lo;
           break;
-        case Agg::kMin:
-          cells.push_back(stats.min());
+        }
+        case Agg::kMax: {
+          double hi = 0.0;
+          bool first = true;
+          for_each_numeric(src, begin, end, [&](double v) {
+            hi = first ? v : std::max(hi, v);
+            first = false;
+          });
+          value = hi;
           break;
-        case Agg::kMax:
-          cells.push_back(stats.max());
+        }
+        case Agg::kStd: {
+          // Two-pass sample standard deviation: at least as accurate as a
+          // streaming Welford update, and the second pass vectorizes.
+          double sum = 0.0;
+          for_each_numeric(src, begin, end, [&](double v) { sum += v; });
+          const double mean = n > 0 ? sum / n : 0.0;
+          double m2 = 0.0;
+          for_each_numeric(src, begin, end, [&](double v) {
+            m2 += (v - mean) * (v - mean);
+          });
+          value = n > 1.0 ? std::sqrt(m2 / (n - 1.0)) : 0.0;
           break;
-        case Agg::kStd:
-          cells.push_back(stats.stddev());
-          break;
+        }
         case Agg::kCount:
         case Agg::kFirst:
           break;  // handled above
       }
+      dst.doubles_.push_back(value);
     }
-    out.add_row(std::move(cells));
   }
+  out.rows_ = n_groups;
   return out;
 }
 
@@ -303,68 +740,204 @@ DataFrame DataFrame::inner_join(const DataFrame& right,
   if (left_keys.size() != right_keys.size() || left_keys.empty()) {
     throw DataFrameError("join requires matching, non-empty key lists");
   }
-  std::vector<std::size_t> l_idx;
+  std::vector<KeyCol> l_cols;
+  std::vector<KeyCol> r_cols;
   std::vector<std::size_t> r_idx;
-  for (const auto& key : left_keys) l_idx.push_back(index_of(key));
-  for (const auto& key : right_keys) r_idx.push_back(right.index_of(key));
+  for (std::size_t i = 0; i < left_keys.size(); ++i) {
+    const Column& lc = columns_[index_of(left_keys[i])];
+    const std::size_t ri = right.index_of(right_keys[i]);
+    const Column& rc = right.columns_[ri];
+    const KeyKind kind = unified_kind(lc.type(), rc.type());
+    l_cols.push_back({&lc, kind});
+    r_cols.push_back({&rc, kind});
+    r_idx.push_back(ri);
+  }
 
-  // Hash side: right.
-  std::map<std::vector<std::string>, std::vector<std::size_t>> lookup;
+  // Build side: right rows hashed on their typed composite key, with
+  // same-key rows chained in ascending row order (first/next arrays).
+  constexpr std::size_t kChainEnd = static_cast<std::size_t>(-1);
+  RowKeyTable table(r_cols, right.rows_);
+  std::vector<std::size_t> reps;  // representative right row per key id
+  std::vector<std::size_t> first;
+  std::vector<std::size_t> last;
+  std::vector<std::size_t> next(right.rows_, kChainEnd);
   for (std::size_t r = 0; r < right.rows_; ++r) {
-    std::vector<std::string> composite;
-    for (const std::size_t i : r_idx) {
-      composite.push_back(right.columns_[i].display(r));
+    const std::uint32_t k = table.insert(r, reps);
+    if (k == first.size()) {
+      first.push_back(r);
+      last.push_back(r);
+    } else {
+      next[last[k]] = r;
+      last[k] = r;
     }
-    lookup[std::move(composite)].push_back(r);
+  }
+
+  // Probe side: left rows in order, fanning out over right matches.
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (std::size_t l = 0; l < rows_; ++l) {
+    const std::uint32_t k = table.find(l_cols, l, reps);
+    if (k == RowKeyTable::kNone) continue;
+    for (std::size_t r = first[k]; r != kChainEnd; r = next[r]) {
+      left_rows.push_back(l);
+      right_rows.push_back(r);
+    }
   }
 
   // Output schema: all left columns, then right columns not used as keys
   // (suffixed when names collide).
-  std::vector<std::pair<std::string, ColumnType>> schema;
-  for (const auto& c : columns_) schema.emplace_back(c.name(), c.type());
+  std::vector<std::pair<std::string, ColumnType>> out_schema = schema();
   std::vector<std::size_t> right_cols;
   for (std::size_t i = 0; i < right.columns_.size(); ++i) {
     if (std::find(r_idx.begin(), r_idx.end(), i) != r_idx.end()) continue;
     right_cols.push_back(i);
     std::string name = right.columns_[i].name();
     if (by_name_.count(name) != 0) name += "_right";
-    schema.emplace_back(name, right.columns_[i].type());
+    out_schema.emplace_back(name, right.columns_[i].type());
   }
-  DataFrame out(std::move(schema));
+  DataFrame out(std::move(out_schema));
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    out.columns_[i].gather(columns_[i], left_rows);
+  }
+  for (std::size_t i = 0; i < right_cols.size(); ++i) {
+    out.columns_[columns_.size() + i].gather(right.columns_[right_cols[i]],
+                                             right_rows);
+  }
+  out.rows_ = left_rows.size();
+  return out;
+}
 
-  for (std::size_t l = 0; l < rows_; ++l) {
-    std::vector<std::string> composite;
-    for (const std::size_t i : l_idx) {
-      composite.push_back(columns_[i].display(l));
-    }
-    const auto it = lookup.find(composite);
-    if (it == lookup.end()) continue;
-    for (const std::size_t r : it->second) {
-      std::vector<Cell> cells;
-      for (const auto& c : columns_) cells.push_back(c.cell(l));
-      for (const std::size_t i : right_cols) {
-        cells.push_back(right.columns_[i].cell(r));
-      }
-      out.add_row(std::move(cells));
+DataFrame DataFrame::asof_merge(const DataFrame& right,
+                                const AsofSpec& spec) const {
+  if (spec.left_by.size() != spec.right_by.size()) {
+    throw DataFrameError("asof_merge requires pairwise by-column lists");
+  }
+  const Column& left_on = col(spec.left_on);
+  const Column& right_on = right.col(spec.right_on);
+  if (left_on.type() == ColumnType::kString ||
+      right_on.type() == ColumnType::kString) {
+    throw DataFrameError("asof_merge ordering columns must be numeric");
+  }
+  const Column* valid_until = nullptr;
+  if (!spec.right_valid_until.empty()) {
+    valid_until = &right.col(spec.right_valid_until);
+    if (valid_until->type() == ColumnType::kString) {
+      throw DataFrameError("asof_merge valid-until column must be numeric");
     }
   }
+
+  std::vector<KeyCol> l_by;
+  std::vector<KeyCol> r_by;
+  std::vector<std::size_t> r_by_idx;
+  for (std::size_t i = 0; i < spec.left_by.size(); ++i) {
+    const Column& lc = columns_[index_of(spec.left_by[i])];
+    const std::size_t ri = right.index_of(spec.right_by[i]);
+    const Column& rc = right.columns_[ri];
+    const KeyKind kind = unified_kind(lc.type(), rc.type());
+    l_by.push_back({&lc, kind});
+    r_by.push_back({&rc, kind});
+    r_by_idx.push_back(ri);
+  }
+
+  // Bucket right rows by by-key, each bucket sorted by (right_on, row) so
+  // that among duplicate timestamps the last right row wins.
+  std::vector<std::vector<std::size_t>> buckets;
+  RowKeyTable table(r_by, right.rows_);
+  std::vector<std::size_t> reps;
+  if (l_by.empty()) {
+    buckets.emplace_back();
+    buckets[0].reserve(right.rows_);
+    for (std::size_t r = 0; r < right.rows_; ++r) buckets[0].push_back(r);
+  } else {
+    for (std::size_t r = 0; r < right.rows_; ++r) {
+      const std::uint32_t k = table.insert(r, reps);
+      if (k == buckets.size()) buckets.emplace_back();
+      buckets[k].push_back(r);
+    }
+  }
+  for (auto& bucket : buckets) {
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return right_on.f64(a) < right_on.f64(b);
+                     });
+  }
+
+  // Probe left rows in order; each matches the nearest-earlier right row in
+  // its bucket, subject to the window / tolerance checks.
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  left_rows.reserve(rows_);
+  right_rows.reserve(rows_);
+  for (std::size_t l = 0; l < rows_; ++l) {
+    const std::vector<std::size_t>* bucket = nullptr;
+    if (l_by.empty()) {
+      bucket = &buckets[0];
+    } else {
+      const std::uint32_t k = table.find(l_by, l, reps);
+      if (k != RowKeyTable::kNone) bucket = &buckets[k];
+    }
+    std::size_t match = Column::kMissingRow;
+    if (bucket != nullptr && !bucket->empty()) {
+      const double t = left_on.f64(l);
+      // First bucket position with right_on > t, then step back one.
+      const auto pos = std::upper_bound(
+          bucket->begin(), bucket->end(), t,
+          [&](double v, std::size_t r) { return v < right_on.f64(r); });
+      if (pos != bucket->begin()) {
+        const std::size_t candidate = *(pos - 1);
+        const bool in_window =
+            valid_until == nullptr ||
+            t <= valid_until->f64(candidate) + spec.eps;
+        const bool in_tolerance =
+            spec.tolerance < 0.0 ||
+            t - right_on.f64(candidate) <= spec.tolerance;
+        if (in_window && in_tolerance) match = candidate;
+      }
+    }
+    if (match != Column::kMissingRow) {
+      left_rows.push_back(l);
+      right_rows.push_back(match);
+    } else if (spec.keep_unmatched) {
+      left_rows.push_back(l);
+      right_rows.push_back(Column::kMissingRow);
+    }
+  }
+
+  // Output schema: all left columns, then right columns minus the by-keys
+  // (the ordering and valid-until columns are kept), suffixed on collision.
+  std::vector<std::pair<std::string, ColumnType>> out_schema = schema();
+  std::vector<std::size_t> right_cols;
+  for (std::size_t i = 0; i < right.columns_.size(); ++i) {
+    if (std::find(r_by_idx.begin(), r_by_idx.end(), i) != r_by_idx.end()) {
+      continue;
+    }
+    right_cols.push_back(i);
+    std::string name = right.columns_[i].name();
+    if (by_name_.count(name) != 0) name += "_right";
+    out_schema.emplace_back(name, right.columns_[i].type());
+  }
+  DataFrame out(std::move(out_schema));
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    out.columns_[i].gather(columns_[i], left_rows);
+  }
+  for (std::size_t i = 0; i < right_cols.size(); ++i) {
+    out.columns_[columns_.size() + i].gather(right.columns_[right_cols[i]],
+                                             right_rows);
+  }
+  out.rows_ = left_rows.size();
   return out;
 }
 
 DataFrame DataFrame::concat(const DataFrame& other) const {
   if (other.width() != width()) throw DataFrameError("concat schema mismatch");
-  std::vector<std::pair<std::string, ColumnType>> schema;
-  for (const auto& c : columns_) schema.emplace_back(c.name(), c.type());
-  DataFrame out(std::move(schema));
-  const auto copy_rows = [&](const DataFrame& src) {
-    for (std::size_t r = 0; r < src.rows_; ++r) {
-      std::vector<Cell> cells;
-      for (const auto& c : src.columns_) cells.push_back(c.cell(r));
-      out.add_row(std::move(cells));
-    }
-  };
-  copy_rows(*this);
-  copy_rows(other);
+  DataFrame out(schema());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    Column& dst = out.columns_[i];
+    dst.reserve(rows_ + other.rows_);
+    dst.append_slice(columns_[i], 0, rows_);
+    dst.append_slice(other.columns_[i], 0, other.rows_);
+  }
+  out.rows_ = rows_ + other.rows_;
   return out;
 }
 
@@ -392,14 +965,12 @@ double DataFrame::max(const std::string& column) const {
 
 std::vector<std::string> DataFrame::distinct(const std::string& column) const {
   const Column& c = col(column);
+  std::vector<KeyCol> key_cols{{&c, kind_of(c.type())}};
+  RowKeyTable table(key_cols, rows_);
+  std::vector<std::size_t> heads;
   std::vector<std::string> out;
-  std::map<std::string, bool> seen;
   for (std::size_t r = 0; r < rows_; ++r) {
-    std::string v = c.display(r);
-    if (!seen[v]) {
-      seen[v] = true;
-      out.push_back(std::move(v));
-    }
+    if (table.insert(r, heads) == out.size()) out.push_back(c.display(r));
   }
   return out;
 }
@@ -443,23 +1014,32 @@ DataFrame DataFrame::from_csv(const std::string& text) {
   if (rows.empty()) throw DataFrameError("empty csv");
   const auto& header = rows.front();
 
-  // Infer each column's type from the data rows.
-  std::vector<ColumnType> types(header.size(), ColumnType::kInt64);
+  // Single-pass type inference: a column with no observed values (no data
+  // rows) is a string column, as is one containing any empty cell; otherwise
+  // int64 if every value parses as an integer, double if every value parses
+  // as a number. Scanning a column stops at the first non-numeric cell.
+  std::vector<ColumnType> types(header.size(), ColumnType::kString);
   for (std::size_t c = 0; c < header.size(); ++c) {
+    bool saw_value = false;
     bool all_int = true;
     bool all_num = true;
     for (std::size_t r = 1; r < rows.size(); ++r) {
       if (c >= rows[r].size()) continue;
+      const std::string& cell = rows[r][c];
+      saw_value = true;
       std::int64_t i;
       double d;
-      if (!parse_i64(rows[r][c], i)) all_int = false;
-      if (!parse_f64(rows[r][c], d)) all_num = false;
-      if (!all_num) break;
+      if (all_int && parse_i64(cell, i)) continue;
+      all_int = false;
+      if (!parse_f64(cell, d)) {
+        all_num = false;
+        break;
+      }
     }
+    if (!saw_value) continue;  // stays kString
     types[c] = all_int ? ColumnType::kInt64
                : all_num ? ColumnType::kDouble
                          : ColumnType::kString;
-    if (rows.size() == 1) types[c] = ColumnType::kString;
   }
 
   std::vector<std::pair<std::string, ColumnType>> schema;
@@ -467,32 +1047,33 @@ DataFrame DataFrame::from_csv(const std::string& text) {
     schema.emplace_back(header[c], types[c]);
   }
   DataFrame out(std::move(schema));
+  out.reserve(rows.size() - 1);
   for (std::size_t r = 1; r < rows.size(); ++r) {
     if (rows[r].size() != header.size()) {
       throw DataFrameError("csv row width mismatch at row " +
                            std::to_string(r));
     }
-    std::vector<Cell> cells;
     for (std::size_t c = 0; c < header.size(); ++c) {
+      Column& dst = out.columns_[c];
       switch (types[c]) {
         case ColumnType::kInt64: {
           std::int64_t v = 0;
           parse_i64(rows[r][c], v);
-          cells.emplace_back(v);
+          dst.ints_.push_back(v);
           break;
         }
         case ColumnType::kDouble: {
           double v = 0.0;
           parse_f64(rows[r][c], v);
-          cells.emplace_back(v);
+          dst.doubles_.push_back(v);
           break;
         }
         case ColumnType::kString:
-          cells.emplace_back(rows[r][c]);
+          dst.strings_.push_back(rows[r][c]);
           break;
       }
     }
-    out.add_row(std::move(cells));
+    ++out.rows_;
   }
   return out;
 }

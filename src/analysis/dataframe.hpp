@@ -2,9 +2,17 @@
 // uniform data structures built atop the pandas library"). A DataFrame is a
 // set of typed columns (int64 / double / string) of equal length, with the
 // relational operations the analyses need: filter, sort, group-by with
-// aggregation, inner join, and CSV round-trip. Data from every collection
-// layer lands in this one shape, giving the shared-identifier
+// aggregation, inner join, asof merge, and CSV round-trip. Data from every
+// collection layer lands in this one shape, giving the shared-identifier
 // interoperability the paper's FAIR discussion calls for.
+//
+// Execution model: operations are columnar. Row selections (filter, sort,
+// head, take) materialize a row-index vector once and then gather whole
+// typed column slices, never touching per-row Cell variants. Group-by,
+// join, distinct, and asof-merge key on a typed composite hash
+// (hash-combine over raw int64 values, double bit patterns, and strings);
+// output ordering stays deterministic by sorting group heads on the typed
+// key values themselves, and joins/asof-merges emit rows in left-row order.
 #pragma once
 
 #include <cstdint>
@@ -35,20 +43,38 @@ class Column {
   [[nodiscard]] ColumnType type() const { return type_; }
   [[nodiscard]] std::size_t size() const;
 
+  void reserve(std::size_t n);
   void push(Cell cell);  ///< type-checked append (int widens to double)
+
+  /// Appends src[row] for every index in `rows` (typed block gather; no
+  /// per-row variant boxing). Indices equal to kMissingRow append the
+  /// type's default (0 / 0.0 / ""), which asof_merge uses for unmatched
+  /// left rows. Types must match exactly, except int64 -> double widening.
+  static constexpr std::size_t kMissingRow = static_cast<std::size_t>(-1);
+  void gather(const Column& src, const std::vector<std::size_t>& rows);
+  /// Appends the contiguous slice src[begin, end).
+  void append_slice(const Column& src, std::size_t begin, std::size_t end);
 
   [[nodiscard]] std::int64_t i64(std::size_t row) const;
   /// Numeric read; int columns widen to double.
   [[nodiscard]] double f64(std::size_t row) const;
   [[nodiscard]] const std::string& str(std::size_t row) const;
-  /// Stringified value (for CSV and display).
+  /// Stringified value (for CSV and display). Doubles use shortest
+  /// round-trip formatting so CSV round-trips are lossless.
   [[nodiscard]] std::string display(std::size_t row) const;
   [[nodiscard]] Cell cell(std::size_t row) const;
 
   /// Whole-column numeric view (int widens); throws for string columns.
   [[nodiscard]] std::vector<double> numeric() const;
 
+  // Raw typed views for hot loops; only valid for the matching type().
+  [[nodiscard]] const std::vector<std::int64_t>& ints() const;
+  [[nodiscard]] const std::vector<double>& doubles() const;
+  [[nodiscard]] const std::vector<std::string>& strings() const;
+
  private:
+  friend class DataFrame;
+
   std::string name_;
   ColumnType type_;
   std::vector<std::int64_t> ints_;
@@ -65,6 +91,27 @@ struct AggSpec {
   std::string as;       ///< output column name
 };
 
+/// Parameters for DataFrame::asof_merge — the nearest-earlier timestamp
+/// join the paper's task<->I/O fusion needs (§III-D): each left row matches
+/// the right row with the greatest `right_on` value <= its `left_on` value,
+/// optionally restricted to rows agreeing on the by-columns (e.g. worker
+/// process id + pthread id).
+struct AsofSpec {
+  std::string left_on;                 ///< numeric ordering column (left)
+  std::string right_on;                ///< numeric ordering column (right)
+  std::vector<std::string> left_by;    ///< optional exact-match columns
+  std::vector<std::string> right_by;   ///< pairwise with left_by
+  /// Optional numeric right column bounding the match window: a candidate
+  /// only matches while left_on <= right[right_valid_until] + eps. This is
+  /// the task execution window in the task<->I/O join.
+  std::string right_valid_until;
+  double eps = 0.0;
+  /// If >= 0, a candidate only matches while left_on - right_on <= tolerance.
+  double tolerance = -1.0;
+  /// Keep left rows with no match, defaulting right cells (0 / 0.0 / "").
+  bool keep_unmatched = false;
+};
+
 class DataFrame {
  public:
   DataFrame() = default;
@@ -78,6 +125,8 @@ class DataFrame {
   [[nodiscard]] const Column& col(std::size_t index) const;
   [[nodiscard]] std::vector<std::string> column_names() const;
 
+  /// Reserves capacity for n rows in every column.
+  void reserve(std::size_t n);
   /// Appends one row; cells must match the schema order.
   void add_row(std::vector<Cell> cells);
 
@@ -88,14 +137,24 @@ class DataFrame {
                                   bool ascending = true) const;
   [[nodiscard]] DataFrame select(const std::vector<std::string>& names) const;
   [[nodiscard]] DataFrame head(std::size_t n) const;
+  /// Copy of this frame with one computed column appended.
+  [[nodiscard]] DataFrame with_column(
+      const std::string& name, ColumnType type,
+      const std::function<Cell(const DataFrame&, std::size_t)>& fn) const;
   /// Group by key columns, computing the given aggregates per group.
+  /// Output groups are ordered by the typed key values ascending.
   [[nodiscard]] DataFrame group_by(const std::vector<std::string>& keys,
                                    const std::vector<AggSpec>& aggs) const;
-  /// Inner join on equality of the named key columns.
+  /// Inner join on equality of the named key columns (hashed; output rows
+  /// follow left-row order, then right-row order within a key).
   [[nodiscard]] DataFrame inner_join(const DataFrame& right,
                                      const std::vector<std::string>& left_keys,
                                      const std::vector<std::string>& right_keys)
       const;
+  /// Nearest-earlier merge (see AsofSpec). Output rows follow left-row
+  /// order; among duplicate right_on values the last right row wins.
+  [[nodiscard]] DataFrame asof_merge(const DataFrame& right,
+                                     const AsofSpec& spec) const;
   /// Rows of `this` concatenated with `other` (schemas must match).
   [[nodiscard]] DataFrame concat(const DataFrame& other) const;
 
@@ -104,6 +163,8 @@ class DataFrame {
   [[nodiscard]] double mean(const std::string& column) const;
   [[nodiscard]] double min(const std::string& column) const;
   [[nodiscard]] double max(const std::string& column) const;
+  /// Distinct display values in first-appearance order (typed hashing, so
+  /// distinct doubles never collide through their string forms).
   [[nodiscard]] std::vector<std::string> distinct(
       const std::string& column) const;
 
@@ -111,7 +172,8 @@ class DataFrame {
   [[nodiscard]] std::string to_csv() const;
   void to_csv_file(const std::string& path) const;
   /// Parses a CSV with a header row; column types are inferred per column
-  /// (int64 if all values parse as integers, else double, else string).
+  /// (int64 if all values parse as integers, else double, else string;
+  /// a column with no data rows or any empty cell is string).
   static DataFrame from_csv(const std::string& text);
   static DataFrame from_csv_file(const std::string& path);
 
@@ -121,6 +183,7 @@ class DataFrame {
  private:
   [[nodiscard]] std::size_t index_of(const std::string& name) const;
   [[nodiscard]] DataFrame take(const std::vector<std::size_t>& rows) const;
+  [[nodiscard]] std::vector<std::pair<std::string, ColumnType>> schema() const;
 
   std::vector<Column> columns_;
   std::map<std::string, std::size_t> by_name_;

@@ -116,6 +116,7 @@ DataFrame figure3_frame(const std::vector<PhaseStats>& stats) {
                 {"phase", ColumnType::kString},
                 {"normalized_mean", ColumnType::kDouble},
                 {"normalized_std", ColumnType::kDouble}});
+  df.reserve(stats.size() * 4);
   for (const auto& s : stats) {
     df.add_row({s.workflow, "io", s.io_mean, s.io_std});
     df.add_row({s.workflow, "communication", s.comm_mean, s.comm_std});
@@ -157,7 +158,9 @@ DataFrame figure4_frame(const dtr::RunData& run) {
                 {"start", ColumnType::kDouble},
                 {"end", ColumnType::kDouble},
                 {"bytes", ColumnType::kInt64}});
-  for (const auto& row : figure4_rows(run)) {
+  const auto rows = figure4_rows(run);
+  df.reserve(rows.size());
+  for (const auto& row : rows) {
     df.add_row({row.thread_label, row.op, row.start, row.end,
                 static_cast<std::int64_t>(row.bytes)});
   }
@@ -228,6 +231,7 @@ DataFrame figure5_frame(const dtr::RunData& run) {
                 {"start", ColumnType::kDouble},
                 {"cross_node", ColumnType::kInt64},
                 {"cold_connection", ColumnType::kInt64}});
+  df.reserve(run.comms.size());
   for (const auto& comm : run.comms) {
     df.add_row({static_cast<std::int64_t>(comm.bytes), comm.duration(),
                 comm.start, static_cast<std::int64_t>(comm.cross_node ? 1 : 0),
@@ -272,6 +276,7 @@ DataFrame figure6_frame(const dtr::RunData& run) {
                 {"thread", ColumnType::kInt64},
                 {"size_mb", ColumnType::kDouble},
                 {"duration", ColumnType::kDouble}});
+  df.reserve(run.tasks.size());
   for (const auto& task : run.tasks) {
     df.add_row({task.start_time, task.prefix,
                 static_cast<std::int64_t>(task.thread_id),
@@ -363,6 +368,7 @@ DataFrame figure7_frame(const WarningHistogram& hist) {
                 {"bin_end", ColumnType::kDouble},
                 {"unresponsive", ColumnType::kInt64},
                 {"gc", ColumnType::kInt64}});
+  df.reserve(hist.bin_starts.size());
   for (std::size_t b = 0; b < hist.bin_starts.size(); ++b) {
     df.add_row({hist.bin_starts[b], hist.bin_starts[b] + hist.bin_seconds,
                 static_cast<std::int64_t>(hist.unresponsive[b]),

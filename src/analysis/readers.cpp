@@ -27,6 +27,7 @@ DataFrame tasks_frame(const dtr::RunData& run) {
                 {"retries", ColumnType::kInt64},
                 {"stolen", ColumnType::kInt64},
                 {"n_dependencies", ColumnType::kInt64}});
+  df.reserve(run.tasks.size());
   for (const auto& t : run.tasks) {
     df.add_row({t.key.to_string(), t.graph, t.prefix,
                 static_cast<std::int64_t>(t.worker), t.worker_address,
@@ -53,6 +54,7 @@ DataFrame transitions_frame(const dtr::RunData& run) {
                 {"stimulus", ColumnType::kString},
                 {"location", ColumnType::kString},
                 {"time", ColumnType::kDouble}});
+  df.reserve(run.transitions.size());
   for (const auto& t : run.transitions) {
     df.add_row({t.key.to_string(), t.graph, t.from_state, t.to_state,
                 t.stimulus, t.location, t.time});
@@ -70,6 +72,7 @@ DataFrame comms_frame(const dtr::RunData& run) {
                 {"duration", ColumnType::kDouble},
                 {"cross_node", ColumnType::kInt64},
                 {"cold_connection", ColumnType::kInt64}});
+  df.reserve(run.comms.size());
   for (const auto& c : run.comms) {
     df.add_row({c.key.to_string(), static_cast<std::int64_t>(c.source),
                 static_cast<std::int64_t>(c.destination),
@@ -85,6 +88,7 @@ DataFrame warnings_frame(const dtr::RunData& run) {
                 {"location", ColumnType::kString},
                 {"time", ColumnType::kDouble},
                 {"blocked_for", ColumnType::kDouble}});
+  df.reserve(run.warnings.size());
   for (const auto& w : run.warnings) {
     df.add_row({w.kind, w.location, w.time, w.blocked_for});
   }
@@ -98,6 +102,7 @@ DataFrame steals_frame(const dtr::RunData& run) {
                 {"time", ColumnType::kDouble},
                 {"est_transfer", ColumnType::kDouble},
                 {"est_compute", ColumnType::kDouble}});
+  df.reserve(run.steals.size());
   for (const auto& s : run.steals) {
     df.add_row({s.key.to_string(), static_cast<std::int64_t>(s.victim),
                 static_cast<std::int64_t>(s.thief), s.time,
@@ -117,6 +122,11 @@ DataFrame dxt_frame(const std::vector<darshan::LogFile>& logs) {
                 {"start", ColumnType::kDouble},
                 {"end", ColumnType::kDouble},
                 {"duration", ColumnType::kDouble}});
+  std::size_t n_segments = 0;
+  for (const auto& log : logs) {
+    for (const auto& rec : log.dxt) n_segments += rec.segments.size();
+  }
+  df.reserve(n_segments);
   for (const auto& log : logs) {
     for (const auto& rec : log.dxt) {
       for (const auto& seg : rec.segments) {
@@ -144,6 +154,9 @@ DataFrame posix_frame(const std::vector<darshan::LogFile>& logs) {
                 {"read_time", ColumnType::kDouble},
                 {"write_time", ColumnType::kDouble},
                 {"meta_time", ColumnType::kDouble}});
+  std::size_t n_records = 0;
+  for (const auto& log : logs) n_records += log.posix.size();
+  df.reserve(n_records);
   for (const auto& log : logs) {
     for (const auto& rec : log.posix) {
       df.add_row({rec.hostname, static_cast<std::int64_t>(rec.process_id),
@@ -168,6 +181,7 @@ DataFrame kernels_frame(const dtr::RunData& run) {
                 {"end", ColumnType::kDouble},
                 {"duration", ColumnType::kDouble},
                 {"queue_delay", ColumnType::kDouble}});
+  df.reserve(run.kernels.size());
   for (const auto& k : run.kernels) {
     df.add_row({static_cast<std::int64_t>(k.node),
                 static_cast<std::int64_t>(k.device), k.kernel_name,
@@ -184,6 +198,7 @@ DataFrame system_metrics_frame(const dtr::RunData& run) {
                 {"memory", ColumnType::kInt64},
                 {"network_transfers", ColumnType::kInt64},
                 {"pfs_ops", ColumnType::kInt64}});
+  df.reserve(run.system_metrics.size());
   for (const auto& s : run.system_metrics) {
     df.add_row({static_cast<std::int64_t>(s.node), s.time,
                 s.cpu_utilization, static_cast<std::int64_t>(s.memory_bytes),

@@ -2,83 +2,96 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
 namespace recup::analysis {
 
-std::vector<AttributedIo> attribute_io(const dtr::RunData& run) {
-  // Index task execution windows per (worker process, thread id), sorted by
-  // start time for binary search.
-  struct Window {
-    TimePoint start;
-    TimePoint end;
-    const dtr::TaskRecord* task;
-  };
-  std::map<std::pair<std::uint32_t, std::uint64_t>, std::vector<Window>>
-      windows;
-  for (const auto& task : run.tasks) {
-    windows[{task.worker, task.thread_id}].push_back(
-        Window{task.start_time, task.end_time, &task});
+DataFrame task_io_frame(const dtr::RunData& run) {
+  // Left side: one row per DXT segment.
+  DataFrame segments({{"file", ColumnType::kString},
+                      {"op", ColumnType::kString},
+                      {"length", ColumnType::kInt64},
+                      {"start", ColumnType::kDouble},
+                      {"end", ColumnType::kDouble},
+                      {"duration", ColumnType::kDouble},
+                      {"worker", ColumnType::kInt64},
+                      {"thread_id", ColumnType::kInt64}});
+  std::size_t n_segments = 0;
+  for (const auto& log : run.darshan_logs) {
+    for (const auto& rec : log.dxt) n_segments += rec.segments.size();
   }
-  for (auto& [key, vec] : windows) {
-    std::sort(vec.begin(), vec.end(),
-              [](const Window& a, const Window& b) {
-                return a.start < b.start;
-              });
-  }
-
-  std::vector<AttributedIo> out;
+  segments.reserve(n_segments);
   for (const auto& log : run.darshan_logs) {
     for (const auto& rec : log.dxt) {
       for (const auto& seg : rec.segments) {
-        AttributedIo io;
-        io.file = rec.file_path;
-        io.op = seg.op == darshan::IoOp::kRead ? "read" : "write";
-        io.length = seg.length;
-        io.start = seg.start;
-        io.end = seg.end;
-        io.worker = rec.process_id;
-        io.thread_id = seg.thread_id;
-
-        const auto it = windows.find({rec.process_id, seg.thread_id});
-        if (it != windows.end()) {
-          // Last window starting at or before the segment start.
-          const auto& vec = it->second;
-          auto pos = std::upper_bound(
-              vec.begin(), vec.end(), seg.start,
-              [](TimePoint t, const Window& w) { return t < w.start; });
-          if (pos != vec.begin()) {
-            --pos;
-            if (seg.start <= pos->end + 1e-9) {
-              io.task_key = pos->task->key.to_string();
-              io.prefix = pos->task->prefix;
-            }
-          }
-        }
-        out.push_back(std::move(io));
+        segments.add_row(
+            {rec.file_path, seg.op == darshan::IoOp::kRead ? "read" : "write",
+             static_cast<std::int64_t>(seg.length), seg.start, seg.end,
+             seg.end - seg.start, static_cast<std::int64_t>(rec.process_id),
+             static_cast<std::int64_t>(seg.thread_id)});
       }
     }
   }
-  return out;
+
+  // Right side: one row per task with its execution window.
+  DataFrame tasks({{"task_key", ColumnType::kString},
+                   {"prefix", ColumnType::kString},
+                   {"worker", ColumnType::kInt64},
+                   {"thread_id", ColumnType::kInt64},
+                   {"task_start", ColumnType::kDouble},
+                   {"task_end", ColumnType::kDouble}});
+  tasks.reserve(run.tasks.size());
+  for (const auto& task : run.tasks) {
+    tasks.add_row({task.key.to_string(), task.prefix,
+                   static_cast<std::int64_t>(task.worker),
+                   static_cast<std::int64_t>(task.thread_id), task.start_time,
+                   task.end_time});
+  }
+
+  // The paper's fusion (§III-D): each segment joins the task whose
+  // execution window it started in, matching on the shared (worker
+  // process, pthread id) identifiers and the nearest-earlier start time.
+  // Segments matching no task (e.g. spill writeback) keep empty keys.
+  AsofSpec spec;
+  spec.left_on = "start";
+  spec.right_on = "task_start";
+  spec.left_by = {"worker", "thread_id"};
+  spec.right_by = {"worker", "thread_id"};
+  spec.right_valid_until = "task_end";
+  spec.eps = 1e-9;
+  spec.keep_unmatched = true;
+  return segments.asof_merge(tasks, spec)
+      .select({"task_key", "prefix", "file", "op", "length", "start", "end",
+               "duration", "worker", "thread_id"});
 }
 
-DataFrame task_io_frame(const dtr::RunData& run) {
-  DataFrame df({{"task_key", ColumnType::kString},
-                {"prefix", ColumnType::kString},
-                {"file", ColumnType::kString},
-                {"op", ColumnType::kString},
-                {"length", ColumnType::kInt64},
-                {"start", ColumnType::kDouble},
-                {"end", ColumnType::kDouble},
-                {"duration", ColumnType::kDouble},
-                {"worker", ColumnType::kInt64},
-                {"thread_id", ColumnType::kInt64}});
-  for (const auto& io : attribute_io(run)) {
-    df.add_row({io.task_key, io.prefix, io.file, io.op,
-                static_cast<std::int64_t>(io.length), io.start, io.end,
-                io.end - io.start, static_cast<std::int64_t>(io.worker),
-                static_cast<std::int64_t>(io.thread_id)});
+std::vector<AttributedIo> attribute_io(const dtr::RunData& run) {
+  const DataFrame df = task_io_frame(run);
+  const auto& task_key = df.col("task_key").strings();
+  const auto& prefix = df.col("prefix").strings();
+  const auto& file = df.col("file").strings();
+  const auto& op = df.col("op").strings();
+  const auto& length = df.col("length").ints();
+  const auto& start = df.col("start").doubles();
+  const auto& end = df.col("end").doubles();
+  const auto& worker = df.col("worker").ints();
+  const auto& thread_id = df.col("thread_id").ints();
+  std::vector<AttributedIo> out;
+  out.reserve(df.rows());
+  for (std::size_t r = 0; r < df.rows(); ++r) {
+    AttributedIo io;
+    io.task_key = task_key[r];
+    io.prefix = prefix[r];
+    io.file = file[r];
+    io.op = op[r];
+    io.length = static_cast<std::uint64_t>(length[r]);
+    io.start = start[r];
+    io.end = end[r];
+    io.worker = static_cast<std::uint32_t>(worker[r]);
+    io.thread_id = static_cast<std::uint64_t>(thread_id[r]);
+    out.push_back(std::move(io));
   }
-  return df;
+  return out;
 }
 
 PhaseBreakdown phase_breakdown(const dtr::RunData& run) {
@@ -113,6 +126,7 @@ DataFrame worker_view(const dtr::RunData& run, const std::string& address) {
                 {"io_time", ColumnType::kDouble},
                 {"compute_time", ColumnType::kDouble},
                 {"output_bytes", ColumnType::kInt64}});
+  df.reserve(run.tasks.size());
   for (const auto& task : run.tasks) {
     if (task.worker_address != address) continue;
     df.add_row({task.key.to_string(), task.prefix,
@@ -125,42 +139,49 @@ DataFrame worker_view(const dtr::RunData& run, const std::string& address) {
 }
 
 DataFrame category_io_summary(const dtr::RunData& run) {
-  struct Acc {
-    std::uint64_t ops = 0;
-    std::uint64_t bytes = 0;
-    double io_time = 0.0;
-  };
-  std::map<std::string, Acc> by_category;
-  for (const auto& io : attribute_io(run)) {
-    Acc& acc = by_category[io.prefix.empty() ? "(unattributed)" : io.prefix];
-    ++acc.ops;
-    acc.bytes += io.length;
-    acc.io_time += io.end - io.start;
-  }
-  std::map<std::string, std::uint64_t> task_counts;
-  for (const auto& task : run.tasks) ++task_counts[task.prefix];
+  // All relational work rides the columnar engine: the fused task<->I/O
+  // frame, a hashed group-by over the category, and computed per-task
+  // averages joined in from the run's task counts.
+  const DataFrame grouped =
+      task_io_frame(run)
+          .with_column("category", ColumnType::kString,
+                       [](const DataFrame& d, std::size_t r) {
+                         const std::string& p = d.col("prefix").str(r);
+                         return Cell(p.empty() ? std::string("(unattributed)")
+                                               : p);
+                       })
+          .group_by({"category"}, {{"", Agg::kCount, "io_ops"},
+                                   {"length", Agg::kSum, "io_bytes"},
+                                   {"duration", Agg::kSum, "io_time"}});
 
-  DataFrame df({{"category", ColumnType::kString},
-                {"tasks", ColumnType::kInt64},
-                {"io_ops", ColumnType::kInt64},
-                {"io_bytes", ColumnType::kInt64},
-                {"io_time", ColumnType::kDouble},
-                {"ops_per_task", ColumnType::kDouble},
-                {"bytes_per_task", ColumnType::kDouble}});
-  for (const auto& [category, acc] : by_category) {
-    const auto it = task_counts.find(category);
-    const double tasks =
-        it == task_counts.end() ? 0.0 : static_cast<double>(it->second);
-    df.add_row({category,
-                static_cast<std::int64_t>(it == task_counts.end()
-                                              ? 0
-                                              : it->second),
-                static_cast<std::int64_t>(acc.ops),
-                static_cast<std::int64_t>(acc.bytes), acc.io_time,
-                tasks > 0 ? static_cast<double>(acc.ops) / tasks : 0.0,
-                tasks > 0 ? static_cast<double>(acc.bytes) / tasks : 0.0});
-  }
-  return df.sort_by("io_time", /*ascending=*/false);
+  std::unordered_map<std::string, std::int64_t> task_counts;
+  for (const auto& task : run.tasks) ++task_counts[task.prefix];
+  const auto tasks_of = [&](const DataFrame& d, std::size_t r) {
+    const auto it = task_counts.find(d.col("category").str(r));
+    return it == task_counts.end() ? std::int64_t{0} : it->second;
+  };
+  return grouped
+      .with_column("tasks", ColumnType::kInt64,
+                   [&](const DataFrame& d, std::size_t r) {
+                     return Cell(tasks_of(d, r));
+                   })
+      .with_column("ops_per_task", ColumnType::kDouble,
+                   [&](const DataFrame& d, std::size_t r) {
+                     const auto tasks = static_cast<double>(tasks_of(d, r));
+                     return Cell(tasks > 0
+                                     ? d.col("io_ops").f64(r) / tasks
+                                     : 0.0);
+                   })
+      .with_column("bytes_per_task", ColumnType::kDouble,
+                   [&](const DataFrame& d, std::size_t r) {
+                     const auto tasks = static_cast<double>(tasks_of(d, r));
+                     return Cell(tasks > 0
+                                     ? d.col("io_bytes").f64(r) / tasks
+                                     : 0.0);
+                   })
+      .select({"category", "tasks", "io_ops", "io_bytes", "io_time",
+               "ops_per_task", "bytes_per_task"})
+      .sort_by("io_time", /*ascending=*/false);
 }
 
 DataFrame window_view(const dtr::RunData& run, TimePoint begin,
@@ -169,6 +190,7 @@ DataFrame window_view(const dtr::RunData& run, TimePoint begin,
                 {"source", ColumnType::kString},
                 {"what", ColumnType::kString},
                 {"detail", ColumnType::kString}});
+  df.reserve(run.tasks.size() * 2 + run.comms.size() + run.warnings.size());
   for (const auto& task : run.tasks) {
     if (task.start_time >= begin && task.start_time < end) {
       df.add_row({task.start_time, "wms", "task-start", task.key.to_string()});

@@ -1,5 +1,8 @@
 #include "prov/store.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <numeric>
 #include <stdexcept>
 
 namespace recup::prov {
@@ -10,7 +13,33 @@ void ProvenanceStore::add_run(dtr::RunData run) {
     throw std::invalid_argument("duplicate run: " + id.workflow + "#" +
                                 std::to_string(id.run_index));
   }
-  runs_.emplace(id, std::move(run));
+  const auto it = runs_.emplace(id, std::move(run)).first;
+  const auto& tasks = it->second.tasks;
+
+  RunIndex index;
+  index.by_thread.reserve(tasks.size());
+  index.by_worker.reserve(tasks.size());
+  index.by_key.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    index.by_thread[tasks[i].thread_id].push_back(i);
+    index.by_worker[tasks[i].worker_address].push_back(i);
+    index.by_key[tasks[i].key.to_string()].push_back(i);
+  }
+  index.by_start.resize(tasks.size());
+  std::iota(index.by_start.begin(), index.by_start.end(), std::size_t{0});
+  std::sort(index.by_start.begin(), index.by_start.end(),
+            [&](std::size_t a, std::size_t b) {
+              return tasks[a].start_time < tasks[b].start_time;
+            });
+  index.start_sorted.reserve(tasks.size());
+  index.max_end_prefix.reserve(tasks.size());
+  TimePoint max_end = std::numeric_limits<TimePoint>::lowest();
+  for (const std::size_t i : index.by_start) {
+    index.start_sorted.push_back(tasks[i].start_time);
+    max_end = std::max(max_end, tasks[i].end_time);
+    index.max_end_prefix.push_back(max_end);
+  }
+  indexes_.emplace(id, std::move(index));
 }
 
 std::vector<RunId> ProvenanceStore::runs() const {
@@ -29,6 +58,16 @@ const dtr::RunData& ProvenanceStore::run(const RunId& id) const {
   return it->second;
 }
 
+const ProvenanceStore::RunIndex& ProvenanceStore::index_for(
+    const RunId& id) const {
+  const auto it = indexes_.find(id);
+  if (it == indexes_.end()) {
+    throw std::out_of_range("unknown run: " + id.workflow + "#" +
+                            std::to_string(id.run_index));
+  }
+  return it->second;
+}
+
 std::vector<const dtr::RunData*> ProvenanceStore::runs_of(
     const std::string& workflow) const {
   std::vector<const dtr::RunData*> out;
@@ -40,11 +79,17 @@ std::vector<const dtr::RunData*> ProvenanceStore::runs_of(
 
 std::vector<const dtr::TaskRecord*> ProvenanceStore::find_task(
     const std::string& workflow, const dtr::TaskKey& key) const {
+  const std::string key_str = key.to_string();
   std::vector<const dtr::TaskRecord*> out;
   for (const auto& [id, run] : runs_) {
     if (id.workflow != workflow) continue;
-    for (const auto& task : run.tasks) {
-      if (task.key == key) out.push_back(&task);
+    const auto& index = index_for(id);
+    const auto it = index.by_key.find(key_str);
+    if (it == index.by_key.end()) continue;
+    for (const std::size_t i : it->second) {
+      // to_string() collisions are impossible within a group, but guard the
+      // (group, index) pair anyway so the hash bucket never over-reports.
+      if (run.tasks[i].key == key) out.push_back(&run.tasks[i]);
     }
   }
   return out;
@@ -52,28 +97,48 @@ std::vector<const dtr::TaskRecord*> ProvenanceStore::find_task(
 
 std::vector<const dtr::TaskRecord*> ProvenanceStore::tasks_on_thread(
     const RunId& id, std::uint64_t thread_id) const {
+  const auto& tasks = run(id).tasks;
+  const auto& index = index_for(id);
   std::vector<const dtr::TaskRecord*> out;
-  for (const auto& task : run(id).tasks) {
-    if (task.thread_id == thread_id) out.push_back(&task);
-  }
+  const auto it = index.by_thread.find(thread_id);
+  if (it == index.by_thread.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t i : it->second) out.push_back(&tasks[i]);
   return out;
 }
 
 std::vector<const dtr::TaskRecord*> ProvenanceStore::tasks_at(
     const RunId& id, TimePoint time) const {
-  std::vector<const dtr::TaskRecord*> out;
-  for (const auto& task : run(id).tasks) {
-    if (task.start_time <= time && time < task.end_time) out.push_back(&task);
+  const auto& tasks = run(id).tasks;
+  const auto& index = index_for(id);
+  // Candidates all start at or before `time`; walk them newest-first and
+  // stop once the running max of end times proves nothing earlier is still
+  // executing at `time`.
+  const auto ub = std::upper_bound(index.start_sorted.begin(),
+                                   index.start_sorted.end(), time) -
+                  index.start_sorted.begin();
+  std::vector<std::size_t> hits;
+  for (std::size_t j = static_cast<std::size_t>(ub); j-- > 0;) {
+    if (index.max_end_prefix[j] <= time) break;
+    const std::size_t i = index.by_start[j];
+    if (time < tasks[i].end_time) hits.push_back(i);
   }
+  std::sort(hits.begin(), hits.end());
+  std::vector<const dtr::TaskRecord*> out;
+  out.reserve(hits.size());
+  for (const std::size_t i : hits) out.push_back(&tasks[i]);
   return out;
 }
 
 std::vector<const dtr::TaskRecord*> ProvenanceStore::tasks_on_worker(
     const RunId& id, const std::string& address) const {
+  const auto& tasks = run(id).tasks;
+  const auto& index = index_for(id);
   std::vector<const dtr::TaskRecord*> out;
-  for (const auto& task : run(id).tasks) {
-    if (task.worker_address == address) out.push_back(&task);
-  }
+  const auto it = index.by_worker.find(address);
+  if (it == index.by_worker.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t i : it->second) out.push_back(&tasks[i]);
   return out;
 }
 

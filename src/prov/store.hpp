@@ -2,12 +2,14 @@
 // tabular format, with at least one common identifier between every two
 // different data sources". Supports lookup by the shared identifiers the
 // paper enumerates: task keys, start/end timestamps, worker addresses, and
-// POSIX thread ids.
+// POSIX thread ids. Each run carries hash indexes over those identifiers
+// (built once at add_run) so lookups avoid rescanning the task table.
 #pragma once
 
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dtr/recorder.hpp"
@@ -46,7 +48,24 @@ class ProvenanceStore {
   [[nodiscard]] std::size_t size() const { return runs_.size(); }
 
  private:
+  /// Per-run lookup structures over the task table. Bucket vectors hold task
+  /// indices in record order, so lookups return tasks in their original
+  /// order. For timestamp stabbing, tasks are kept sorted by start time with
+  /// a running max of end times: a backwards scan from the first start after
+  /// `t` can stop as soon as no earlier task can still be executing.
+  struct RunIndex {
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_thread;
+    std::unordered_map<std::string, std::vector<std::size_t>> by_worker;
+    std::unordered_map<std::string, std::vector<std::size_t>> by_key;
+    std::vector<std::size_t> by_start;     ///< task indices sorted by start
+    std::vector<TimePoint> start_sorted;   ///< start times, same order
+    std::vector<TimePoint> max_end_prefix; ///< running max of end times
+  };
+
+  [[nodiscard]] const RunIndex& index_for(const RunId& id) const;
+
   std::map<RunId, dtr::RunData> runs_;
+  std::map<RunId, RunIndex> indexes_;
 };
 
 }  // namespace recup::prov

@@ -2,6 +2,11 @@
 // round trips, and property-style parameterized checks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
 #include "analysis/dataframe.hpp"
 #include "common/rng.hpp"
 
@@ -205,6 +210,210 @@ TEST(DataFrame, CsvErrors) {
                DataFrameError);
 }
 
+// Doubles survive a CSV round trip bit-for-bit: display uses shortest
+// round-trip formatting, not a fixed %.9g precision.
+TEST(DataFrame, CsvDoubleRoundTripLossless) {
+  const std::vector<double> values = {0.1,
+                                      1.0 / 3.0,
+                                      0.1 + 0.2,
+                                      3.141592653589793,
+                                      1e-300,
+                                      -2.2250738585072014e-308,
+                                      12345678.901234567,
+                                      -0.0};
+  DataFrame df({{"v", ColumnType::kDouble}});
+  for (const double v : values) df.add_row({v});
+  const DataFrame back = DataFrame::from_csv(df.to_csv());
+  ASSERT_EQ(back.rows(), values.size());
+  ASSERT_EQ(back.col("v").type(), ColumnType::kDouble);
+  for (std::size_t r = 0; r < values.size(); ++r) {
+    EXPECT_EQ(back.col("v").f64(r), values[r]) << "row " << r;
+  }
+}
+
+// Under the old %.9g display, doubles differing beyond 9 significant digits
+// stringified identically; typed keys must keep them distinct.
+TEST(DataFrame, DistinctDoublesBeyondNineDigits) {
+  DataFrame df({{"v", ColumnType::kDouble}});
+  df.add_row({1.0000000001});
+  df.add_row({1.0000000002});
+  df.add_row({1.0000000001});
+  EXPECT_EQ(df.distinct("v").size(), 2u);
+  const DataFrame grouped = df.group_by({"v"}, {{"", Agg::kCount, "n"}});
+  EXPECT_EQ(grouped.rows(), 2u);
+}
+
+TEST(DataFrame, CsvHeaderOnlyColumnsAreString) {
+  const DataFrame df = DataFrame::from_csv("a,b\n");
+  EXPECT_EQ(df.rows(), 0u);
+  EXPECT_EQ(df.col("a").type(), ColumnType::kString);
+  EXPECT_EQ(df.col("b").type(), ColumnType::kString);
+}
+
+TEST(DataFrame, CsvEmptyCellsMakeColumnString) {
+  // An empty cell anywhere makes the column string, even when every other
+  // cell parses as a number.
+  const DataFrame df = DataFrame::from_csv("a,b,c\n1,,\n2,3,\n");
+  EXPECT_EQ(df.col("a").type(), ColumnType::kInt64);
+  EXPECT_EQ(df.col("b").type(), ColumnType::kString);
+  EXPECT_EQ(df.col("b").str(1), "3");
+  EXPECT_EQ(df.col("c").type(), ColumnType::kString);
+  EXPECT_EQ(df.col("c").str(0), "");
+}
+
+// --- asof_merge ------------------------------------------------------------
+
+DataFrame asof_left() {
+  DataFrame df({{"t", ColumnType::kDouble}, {"l", ColumnType::kString}});
+  df.add_row({0.5, "before-any"});
+  df.add_row({1.0, "at-first"});
+  df.add_row({2.7, "mid"});
+  df.add_row({9.0, "after-all"});
+  return df;
+}
+
+DataFrame asof_right() {
+  DataFrame df({{"ts", ColumnType::kDouble}, {"r", ColumnType::kString}});
+  df.add_row({1.0, "one"});
+  df.add_row({2.0, "two"});
+  df.add_row({4.0, "four"});
+  return df;
+}
+
+TEST(DataFrame, AsofMergeNearestEarlier) {
+  AsofSpec spec;
+  spec.left_on = "t";
+  spec.right_on = "ts";
+  const DataFrame merged = asof_left().asof_merge(asof_right(), spec);
+  // Row 0 (t=0.5) has no earlier right row and is dropped.
+  ASSERT_EQ(merged.rows(), 3u);
+  EXPECT_EQ(merged.col("l").str(0), "at-first");
+  EXPECT_EQ(merged.col("r").str(0), "one");   // ties match (ts <= t)
+  EXPECT_EQ(merged.col("r").str(1), "two");   // 2.7 -> nearest earlier 2.0
+  EXPECT_EQ(merged.col("r").str(2), "four");  // 9.0 -> last right row
+}
+
+TEST(DataFrame, AsofMergeKeepUnmatchedDefaults) {
+  AsofSpec spec;
+  spec.left_on = "t";
+  spec.right_on = "ts";
+  spec.keep_unmatched = true;
+  const DataFrame merged = asof_left().asof_merge(asof_right(), spec);
+  ASSERT_EQ(merged.rows(), 4u);
+  EXPECT_EQ(merged.col("l").str(0), "before-any");
+  EXPECT_EQ(merged.col("r").str(0), "");          // string default
+  EXPECT_DOUBLE_EQ(merged.col("ts").f64(0), 0.0); // numeric default
+}
+
+TEST(DataFrame, AsofMergeEmptyFrames) {
+  AsofSpec spec;
+  spec.left_on = "t";
+  spec.right_on = "ts";
+  DataFrame empty_left({{"t", ColumnType::kDouble},
+                        {"l", ColumnType::kString}});
+  DataFrame empty_right({{"ts", ColumnType::kDouble},
+                         {"r", ColumnType::kString}});
+  EXPECT_EQ(empty_left.asof_merge(asof_right(), spec).rows(), 0u);
+  EXPECT_EQ(asof_left().asof_merge(empty_right, spec).rows(), 0u);
+  spec.keep_unmatched = true;
+  const DataFrame kept = asof_left().asof_merge(empty_right, spec);
+  EXPECT_EQ(kept.rows(), 4u);
+  EXPECT_EQ(kept.col("r").str(3), "");
+}
+
+TEST(DataFrame, AsofMergeNoEarlierMatch) {
+  DataFrame left({{"t", ColumnType::kDouble}});
+  left.add_row({-5.0});
+  AsofSpec spec;
+  spec.left_on = "t";
+  spec.right_on = "ts";
+  EXPECT_EQ(left.asof_merge(asof_right(), spec).rows(), 0u);
+}
+
+TEST(DataFrame, AsofMergeDuplicateTimestampsLastWins) {
+  DataFrame right({{"ts", ColumnType::kDouble}, {"r", ColumnType::kString}});
+  right.add_row({1.0, "first"});
+  right.add_row({1.0, "second"});
+  right.add_row({1.0, "third"});
+  DataFrame left({{"t", ColumnType::kDouble}});
+  left.add_row({1.5});
+  AsofSpec spec;
+  spec.left_on = "t";
+  spec.right_on = "ts";
+  const DataFrame merged = left.asof_merge(right, spec);
+  ASSERT_EQ(merged.rows(), 1u);
+  EXPECT_EQ(merged.col("r").str(0), "third");
+}
+
+TEST(DataFrame, AsofMergeByColumnsSeparateStreams) {
+  DataFrame left({{"tid", ColumnType::kInt64}, {"t", ColumnType::kDouble}});
+  left.add_row({std::int64_t{1}, 5.0});
+  left.add_row({std::int64_t{2}, 5.0});
+  left.add_row({std::int64_t{3}, 5.0});  // no right rows for tid 3
+  DataFrame right({{"tid", ColumnType::kInt64},
+                   {"ts", ColumnType::kDouble},
+                   {"r", ColumnType::kString}});
+  right.add_row({std::int64_t{2}, 4.0, "two@4"});
+  right.add_row({std::int64_t{1}, 3.0, "one@3"});
+  right.add_row({std::int64_t{1}, 6.0, "one@6"});
+  AsofSpec spec;
+  spec.left_on = "t";
+  spec.right_on = "ts";
+  spec.left_by = {"tid"};
+  spec.right_by = {"tid"};
+  const DataFrame merged = left.asof_merge(right, spec);
+  ASSERT_EQ(merged.rows(), 2u);
+  EXPECT_EQ(merged.col("tid").i64(0), 1);
+  EXPECT_EQ(merged.col("r").str(0), "one@3");
+  EXPECT_EQ(merged.col("tid").i64(1), 2);
+  EXPECT_EQ(merged.col("r").str(1), "two@4");
+  // By-key columns appear once (from the left side).
+  EXPECT_FALSE(merged.has_column("tid_right"));
+}
+
+TEST(DataFrame, AsofMergeValidUntilWindow) {
+  DataFrame right({{"ts", ColumnType::kDouble},
+                   {"te", ColumnType::kDouble},
+                   {"r", ColumnType::kString}});
+  right.add_row({1.0, 2.0, "win"});
+  DataFrame left({{"t", ColumnType::kDouble}});
+  left.add_row({1.5});  // inside [1, 2]
+  left.add_row({2.0});  // boundary, still inside with eps
+  left.add_row({3.0});  // after the window closes
+  AsofSpec spec;
+  spec.left_on = "t";
+  spec.right_on = "ts";
+  spec.right_valid_until = "te";
+  spec.eps = 1e-9;
+  const DataFrame merged = left.asof_merge(right, spec);
+  ASSERT_EQ(merged.rows(), 2u);
+  EXPECT_DOUBLE_EQ(merged.col("t").f64(1), 2.0);
+}
+
+TEST(DataFrame, AsofMergeTolerance) {
+  DataFrame left({{"t", ColumnType::kDouble}});
+  left.add_row({10.0});
+  AsofSpec spec;
+  spec.left_on = "t";
+  spec.right_on = "ts";
+  spec.tolerance = 5.0;
+  EXPECT_EQ(asof_left().head(0).asof_merge(asof_right(), spec).rows(), 0u);
+  // Nearest earlier right row is ts=4.0; 10 - 4 > 5 fails the tolerance.
+  EXPECT_EQ(left.asof_merge(asof_right(), spec).rows(), 0u);
+  spec.tolerance = 6.0;
+  EXPECT_EQ(left.asof_merge(asof_right(), spec).rows(), 1u);
+}
+
+TEST(DataFrame, AsofMergeRejectsBadSpecs) {
+  AsofSpec spec;
+  spec.left_on = "l";  // string column
+  spec.right_on = "ts";
+  EXPECT_THROW(asof_left().asof_merge(asof_right(), spec), DataFrameError);
+  spec.left_on = "t";
+  spec.left_by = {"l"};
+  EXPECT_THROW(asof_left().asof_merge(asof_right(), spec), DataFrameError);
+}
+
 // Property-style sweep: filter-then-count equals manual count across random
 // frames of varying size.
 class DataFrameProperty : public ::testing::TestWithParam<int> {};
@@ -255,6 +464,107 @@ TEST_P(DataFrameProperty, GroupBySumsPartitionTotal) {
   }
   const DataFrame grouped = df.group_by({"g"}, {{"v", Agg::kSum, "s"}});
   EXPECT_NEAR(grouped.sum("s"), total, 1e-9);
+}
+
+// Randomized two-key frame shared by the naive-reference checks below.
+DataFrame random_keyed_frame(RngStream& rng, int n) {
+  DataFrame df({{"g", ColumnType::kInt64},
+                {"h", ColumnType::kString},
+                {"v", ColumnType::kDouble}});
+  for (int i = 0; i < n; ++i) {
+    df.add_row({rng.uniform_int(0, 12),
+                std::string(1, static_cast<char>('a' + rng.uniform_int(0, 4))),
+                rng.uniform(-50, 50)});
+  }
+  return df;
+}
+
+// The hashed group_by must be row-for-row identical to a naive ordered-map
+// reference: groups ascending by typed key, aggregates over the members.
+TEST_P(DataFrameProperty, HashedGroupByMatchesNaiveReference) {
+  RngStream rng(static_cast<std::uint64_t>(GetParam()) + 70001);
+  const int n = GetParam() * 41 % 250 + 1;
+  const DataFrame df = random_keyed_frame(rng, n);
+  const DataFrame grouped =
+      df.group_by({"g", "h"}, {{"v", Agg::kSum, "s"},
+                               {"", Agg::kCount, "n"},
+                               {"v", Agg::kMin, "lo"},
+                               {"v", Agg::kMax, "hi"}});
+
+  std::map<std::pair<std::int64_t, std::string>, std::vector<double>> ref;
+  for (std::size_t r = 0; r < df.rows(); ++r) {
+    ref[{df.col("g").i64(r), df.col("h").str(r)}].push_back(
+        df.col("v").f64(r));
+  }
+  ASSERT_EQ(grouped.rows(), ref.size());
+  std::size_t row = 0;
+  for (const auto& [key, values] : ref) {
+    EXPECT_EQ(grouped.col("g").i64(row), key.first);
+    EXPECT_EQ(grouped.col("h").str(row), key.second);
+    double sum = 0.0;
+    double lo = values[0];
+    double hi = values[0];
+    for (const double v : values) {
+      sum += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_NEAR(grouped.col("s").f64(row), sum, 1e-9);
+    EXPECT_EQ(grouped.col("n").i64(row),
+              static_cast<std::int64_t>(values.size()));
+    EXPECT_DOUBLE_EQ(grouped.col("lo").f64(row), lo);
+    EXPECT_DOUBLE_EQ(grouped.col("hi").f64(row), hi);
+    ++row;
+  }
+}
+
+// The hashed inner_join must reproduce the naive nested loop: left rows in
+// order, each fanning out across matching right rows ascending.
+TEST_P(DataFrameProperty, HashedJoinMatchesNaiveReference) {
+  RngStream rng(static_cast<std::uint64_t>(GetParam()) + 80002);
+  const DataFrame left = random_keyed_frame(rng, GetParam() * 31 % 120 + 1);
+  const DataFrame right = random_keyed_frame(rng, GetParam() * 23 % 120 + 1);
+  const DataFrame joined = left.inner_join(right, {"g", "h"}, {"g", "h"});
+
+  std::vector<std::pair<std::size_t, std::size_t>> ref;
+  for (std::size_t l = 0; l < left.rows(); ++l) {
+    for (std::size_t r = 0; r < right.rows(); ++r) {
+      if (left.col("g").i64(l) == right.col("g").i64(r) &&
+          left.col("h").str(l) == right.col("h").str(r)) {
+        ref.emplace_back(l, r);
+      }
+    }
+  }
+  ASSERT_EQ(joined.rows(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(joined.col("g").i64(i), left.col("g").i64(ref[i].first));
+    EXPECT_DOUBLE_EQ(joined.col("v").f64(i),
+                     left.col("v").f64(ref[i].first));
+    EXPECT_DOUBLE_EQ(joined.col("v_right").f64(i),
+                     right.col("v").f64(ref[i].second));
+  }
+}
+
+// Typed distinct must match a naive first-appearance scan with value
+// (not string) equality.
+TEST_P(DataFrameProperty, DistinctMatchesNaiveReference) {
+  RngStream rng(static_cast<std::uint64_t>(GetParam()) + 90003);
+  DataFrame df({{"v", ColumnType::kDouble}});
+  const int n = GetParam() * 47 % 200 + 1;
+  for (int i = 0; i < n; ++i) {
+    // Small value pool so repeats are common.
+    df.add_row({static_cast<double>(rng.uniform_int(0, 9)) / 4.0});
+  }
+  std::vector<double> seen;
+  std::vector<std::string> ref;
+  for (std::size_t r = 0; r < df.rows(); ++r) {
+    const double v = df.col("v").f64(r);
+    if (std::find(seen.begin(), seen.end(), v) == seen.end()) {
+      seen.push_back(v);
+      ref.push_back(df.col("v").display(r));
+    }
+  }
+  EXPECT_EQ(df.distinct("v"), ref);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, DataFrameProperty,

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full check pipeline: the tier-1 verify line (build + ctest) followed by an
+# AddressSanitizer + UndefinedBehaviorSanitizer test pass (RECUP_SANITIZE).
+#
+# Usage: tools/run_checks.sh [--skip-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+repo_root=$(pwd)
+
+skip_sanitize=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitize) skip_sanitize=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1 verify: build + ctest =="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$skip_sanitize" == 1 ]]; then
+  echo "== sanitizer pass skipped (--skip-sanitize) =="
+  exit 0
+fi
+
+echo "== sanitizer pass: ASan + UBSan =="
+cmake -B build-asan -S . -DRECUP_SANITIZE=ON -DRECUP_BUILD_BENCH=OFF \
+  -DRECUP_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j
+(cd build-asan && \
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --output-on-failure -j"$(nproc)")
+
+echo "== all checks passed (${repo_root}) =="
