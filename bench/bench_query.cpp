@@ -1,0 +1,142 @@
+// Query-service benchmark: cold vs cached latency per query shape, and
+// concurrent throughput as the client count grows. The store holds one
+// executed workload run (real PERFRECUP records) so the scans, joins, and
+// group-bys run over representative data.
+//
+//   $ ./bench_query [--queries N] [--max-clients N] [--seed S]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/client.hpp"
+#include "query/plan.hpp"
+#include "query/server.hpp"
+#include "workloads/registry.hpp"
+
+using namespace recup;
+
+namespace {
+
+struct Shape {
+  const char* name;
+  const char* text;
+};
+
+const Shape kShapes[] = {
+    {"scan_filter",
+     R"({"from": "tasks",
+         "where": [{"col": "duration", "op": ">", "value": 0.05}],
+         "order_by": {"col": "duration", "desc": true}, "limit": 100})"},
+    {"group_by",
+     R"({"from": "tasks", "group_by": ["prefix"],
+         "aggregates": [{"col": "duration", "op": "mean", "as": "mean_s"},
+                        {"col": "key", "op": "count", "as": "n"}],
+         "order_by": {"col": "mean_s", "desc": true}})"},
+    {"count_distinct",
+     R"({"from": "transitions", "group_by": ["to"],
+         "aggregates": [{"col": "key", "op": "count_distinct", "as": "n"}]})"},
+    {"fused_task_io",
+     R"({"from": "task_io", "group_by": ["file", "op"],
+         "aggregates": [{"col": "duration", "op": "sum", "as": "total_s"}],
+         "order_by": {"col": "total_s", "desc": true}, "limit": 10})"},
+};
+
+double median_ms(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int queries = 200;
+  int max_clients = 8;
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      queries = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-clients") == 0 && i + 1 < argc) {
+      max_clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    }
+  }
+
+  std::fprintf(stderr, "executing ImageProcessing run for the store ...\n");
+  query::StoreCatalog catalog;
+  catalog.add_run(workloads::execute(
+      workloads::make_workload("ImageProcessing", seed), 0));
+
+  // Cold vs cached latency. Cold is measured on a fresh server (empty
+  // cache); cached re-issues the identical fingerprint.
+  std::printf("query_shape,cold_ms,cached_ms,speedup\n");
+  for (const Shape& shape : kShapes) {
+    query::ServerConfig config;
+    config.workers = 2;
+    query::QueryServer server(catalog, config);
+    query::QueryClient client(server);
+    const query::QueryResponse cold = client.query(std::string(shape.text));
+    if (!cold.ok) {
+      std::fprintf(stderr, "%s failed: %s\n", shape.name, cold.error.c_str());
+      return 1;
+    }
+    std::vector<double> cached;
+    for (int i = 0; i < 64; ++i) {
+      const query::QueryResponse r = client.query(std::string(shape.text));
+      if (!r.ok || !r.cached) {
+        std::fprintf(stderr, "%s: expected a cache hit\n", shape.name);
+        return 1;
+      }
+      cached.push_back(r.elapsed_ms);
+    }
+    const double cached_ms = median_ms(std::move(cached));
+    std::printf("%s,%.3f,%.4f,%.1f\n", shape.name, cold.elapsed_ms, cached_ms,
+                cached_ms > 0.0 ? cold.elapsed_ms / cached_ms : 0.0);
+  }
+
+  // Concurrent throughput vs client threads over a mixed workload: each
+  // client cycles the shapes with a per-client filter threshold so a share
+  // of queries always misses the cache (cold work under contention).
+  std::printf("\nclients,qps,cache_hit_rate\n");
+  for (int clients = 1; clients <= max_clients; clients *= 2) {
+    query::ServerConfig config;
+    config.workers = static_cast<std::size_t>(max_clients);
+    query::QueryServer server(catalog, config);
+    const auto started = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&server, c, queries] {
+        query::QueryClient client(server);
+        const std::string unique =
+            R"({"from": "tasks", "where": [{"col": "duration", "op": ">",
+                "value": 0.0)" +
+            std::to_string(c + 1) + R"(}]})";
+        for (int i = 0; i < queries; ++i) {
+          const int pick = i % 4;
+          const query::QueryResponse r =
+              pick == 3 ? client.query(unique)
+                        : client.query(std::string(kShapes[pick].text));
+          if (!r.ok) {
+            std::fprintf(stderr, "query failed: %s\n", r.error.c_str());
+            std::exit(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - started;
+    const query::ServerStats stats = server.stats();
+    const double hit_rate =
+        static_cast<double>(stats.cache.hits) /
+        static_cast<double>(stats.cache.hits + stats.cache.misses);
+    std::printf("%d,%.0f,%.3f\n", clients,
+                static_cast<double>(clients) * queries / elapsed.count(),
+                hit_rate);
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <numeric>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/csv.hpp"
 #include "common/stats.hpp"
@@ -645,11 +646,15 @@ DataFrame DataFrame::group_by(const std::vector<std::string>& keys,
     out_schema.emplace_back(c.name(), c.type());
   }
   for (const auto& agg : aggs) {
-    const ColumnType type =
-        agg.op == Agg::kCount
-            ? ColumnType::kInt64
-            : (agg.op == Agg::kFirst ? col(agg.column).type()
-                                     : ColumnType::kDouble);
+    ColumnType type = ColumnType::kDouble;
+    if (agg.op == Agg::kCount || agg.op == Agg::kCountDistinct) {
+      type = ColumnType::kInt64;
+    } else if (agg.op == Agg::kFirst) {
+      type = col(agg.column).type();
+    } else if ((agg.op == Agg::kMin || agg.op == Agg::kMax) &&
+               col(agg.column).type() == ColumnType::kString) {
+      type = ColumnType::kString;
+    }
     out_schema.emplace_back(agg.as, type);
   }
   DataFrame out(std::move(out_schema));
@@ -673,6 +678,58 @@ DataFrame DataFrame::group_by(const std::vector<std::string>& keys,
     const Column& src = col(agg.column);
     if (agg.op == Agg::kFirst) {
       dst.gather(src, ordered_heads);
+      continue;
+    }
+    if (agg.op == Agg::kCountDistinct) {
+      dst.ints_.reserve(n_groups);
+      for (const std::size_t g : order) {
+        const std::size_t* begin = flat.data() + offsets[g];
+        const std::size_t* end = flat.data() + offsets[g + 1];
+        std::size_t distinct = 0;
+        switch (src.type()) {
+          case ColumnType::kInt64: {
+            std::unordered_set<std::int64_t> seen;
+            for (const std::size_t* r = begin; r != end; ++r) {
+              seen.insert(src.ints()[*r]);
+            }
+            distinct = seen.size();
+            break;
+          }
+          case ColumnType::kDouble: {
+            std::unordered_set<std::uint64_t> seen;
+            for (const std::size_t* r = begin; r != end; ++r) {
+              seen.insert(f64_key_bits(src.doubles()[*r]));
+            }
+            distinct = seen.size();
+            break;
+          }
+          case ColumnType::kString: {
+            std::unordered_set<std::string_view> seen;
+            for (const std::size_t* r = begin; r != end; ++r) {
+              seen.insert(src.strings()[*r]);
+            }
+            distinct = seen.size();
+            break;
+          }
+        }
+        dst.ints_.push_back(static_cast<std::int64_t>(distinct));
+      }
+      continue;
+    }
+    if ((agg.op == Agg::kMin || agg.op == Agg::kMax) &&
+        src.type() == ColumnType::kString) {
+      dst.strings_.reserve(n_groups);
+      const auto& values = src.strings();
+      for (const std::size_t g : order) {
+        const std::size_t* begin = flat.data() + offsets[g];
+        const std::size_t* end = flat.data() + offsets[g + 1];
+        const std::string* best = &values[*begin];
+        for (const std::size_t* r = begin + 1; r != end; ++r) {
+          const std::string& v = values[*r];
+          if (agg.op == Agg::kMin ? v < *best : v > *best) best = &v;
+        }
+        dst.strings_.push_back(*best);
+      }
       continue;
     }
     dst.doubles_.reserve(n_groups);
@@ -724,6 +781,7 @@ DataFrame DataFrame::group_by(const std::vector<std::string>& keys,
         }
         case Agg::kCount:
         case Agg::kFirst:
+        case Agg::kCountDistinct:
           break;  // handled above
       }
       dst.doubles_.push_back(value);

@@ -82,8 +82,12 @@ class Column {
   std::vector<std::string> strings_;
 };
 
-/// Aggregation operators for group_by.
-enum class Agg { kSum, kMean, kCount, kMin, kMax, kStd, kFirst };
+/// Aggregation operators for group_by. kMin/kMax accept string columns
+/// (lexicographic, output column stays string); kCountDistinct counts
+/// distinct typed values (doubles by bit pattern, so distinct values never
+/// collide through a lossy display form).
+enum class Agg { kSum, kMean, kCount, kMin, kMax, kStd, kFirst,
+                 kCountDistinct };
 
 struct AggSpec {
   std::string column;   ///< source column (ignored for kCount)

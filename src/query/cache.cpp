@@ -1,0 +1,103 @@
+#include "query/cache.hpp"
+
+#include <functional>
+#include <utility>
+
+namespace recup::query {
+
+std::size_t approx_frame_bytes(const analysis::DataFrame& frame) {
+  std::size_t bytes = 0;
+  for (std::size_t c = 0; c < frame.width(); ++c) {
+    const analysis::Column& col = frame.col(c);
+    switch (col.type()) {
+      case analysis::ColumnType::kInt64:
+        bytes += col.size() * sizeof(std::int64_t);
+        break;
+      case analysis::ColumnType::kDouble:
+        bytes += col.size() * sizeof(double);
+        break;
+      case analysis::ColumnType::kString:
+        bytes += col.size() * sizeof(std::string);
+        for (const std::string& s : col.strings()) bytes += s.capacity();
+        break;
+    }
+  }
+  return bytes;
+}
+
+ResultCache::ResultCache() : ResultCache(Config{}) {}
+
+ResultCache::ResultCache(Config config) {
+  const std::size_t n = config.shards == 0 ? 1 : config.shards;
+  shard_budget_ = config.byte_budget / n;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string ResultCache::make_key(const std::string& fingerprint,
+                                  Epoch epoch) {
+  return fingerprint + "@" + std::to_string(epoch);
+}
+
+ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const analysis::DataFrame> ResultCache::get(
+    const std::string& fingerprint, Epoch epoch) {
+  const std::string key = make_key(fingerprint, epoch);
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return nullptr;
+  }
+  ++shard.stats.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->frame;
+}
+
+void ResultCache::put(const std::string& fingerprint, Epoch epoch,
+                      std::shared_ptr<const analysis::DataFrame> frame) {
+  if (frame == nullptr) return;
+  const std::string key = make_key(fingerprint, epoch);
+  const std::size_t bytes = approx_frame_bytes(*frame);
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  if (bytes > shard_budget_) return;  // would evict the whole shard
+  shard.lru.push_front(Entry{key, std::move(frame), bytes});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += bytes;
+  ++shard.stats.insertions;
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.insertions += shard->stats.insertions;
+    total.evictions += shard->stats.evictions;
+    total.entries += shard->lru.size();
+    total.bytes += shard->bytes;
+  }
+  return total;
+}
+
+}  // namespace recup::query

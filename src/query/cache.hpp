@@ -1,0 +1,84 @@
+// Result cache: a sharded LRU over executed query results, keyed by
+// (canonical query fingerprint, store epoch). Ingestion bumps the catalog
+// epoch, so a result computed at an older epoch can never be returned for a
+// newer store state — stale entries simply stop being referenced and age
+// out of the LRU. Each shard carries its own lock and its share of the
+// byte budget; eviction is by least-recently-used entry until the shard is
+// back under budget.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dataframe.hpp"
+#include "query/catalog.hpp"
+
+namespace recup::query {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;  ///< current resident entries
+  std::uint64_t bytes = 0;    ///< current resident payload bytes
+};
+
+/// Approximate in-memory footprint of a frame (column payloads only), used
+/// to charge entries against the cache byte budget.
+std::size_t approx_frame_bytes(const analysis::DataFrame& frame);
+
+class ResultCache {
+ public:
+  struct Config {
+    std::size_t shards = 8;
+    std::size_t byte_budget = 64u << 20;  ///< total across all shards
+  };
+
+  ResultCache();  // default Config
+  explicit ResultCache(Config config);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Cached frame for (fingerprint, epoch), or nullptr. A hit refreshes the
+  /// entry's LRU position.
+  [[nodiscard]] std::shared_ptr<const analysis::DataFrame> get(
+      const std::string& fingerprint, Epoch epoch);
+
+  /// Inserts (replacing any entry with the same key), then evicts LRU
+  /// entries until the shard is within budget. An entry larger than the
+  /// whole shard budget is not cached at all.
+  void put(const std::string& fingerprint, Epoch epoch,
+           std::shared_ptr<const analysis::DataFrame> frame);
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const analysis::DataFrame> frame;
+    std::size_t bytes = 0;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+    CacheStats stats;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& key);
+  static std::string make_key(const std::string& fingerprint, Epoch epoch);
+
+  std::size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace recup::query

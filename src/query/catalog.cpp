@@ -1,0 +1,153 @@
+#include "query/catalog.hpp"
+
+#include <utility>
+
+#include "analysis/readers.hpp"
+#include "analysis/views.hpp"
+#include "query/ir.hpp"
+
+namespace recup::query {
+
+namespace {
+
+analysis::DataFrame base_frame(ViewId view, const dtr::RunData& run) {
+  switch (view) {
+    case ViewId::kTasks:
+      return analysis::tasks_frame(run);
+    case ViewId::kTransitions:
+      return analysis::transitions_frame(run);
+    case ViewId::kIoSegments:
+      return analysis::dxt_frame(run.darshan_logs);
+    case ViewId::kComms:
+      return analysis::comms_frame(run);
+    case ViewId::kWarnings:
+      return analysis::warnings_frame(run);
+    case ViewId::kSteals:
+      return analysis::steals_frame(run);
+    case ViewId::kTaskIo:
+      return analysis::task_io_frame(run);
+  }
+  throw QueryError("unreachable view id");
+}
+
+}  // namespace
+
+const std::vector<std::string>& view_names() {
+  static const std::vector<std::string> kNames = {
+      "tasks", "transitions", "io_segments", "comms",
+      "warnings", "steals", "task_io"};
+  return kNames;
+}
+
+ViewId view_from_name(const std::string& name) {
+  const auto& names = view_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<ViewId>(i);
+  }
+  std::string known;
+  for (const auto& n : names) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw QueryError("unknown view '" + name + "' (registered views: " + known +
+                   ")");
+}
+
+const std::string& view_name(ViewId view) {
+  return view_names()[static_cast<std::size_t>(view)];
+}
+
+analysis::DataFrame empty_view_frame(ViewId view) {
+  static const dtr::RunData kEmptyRun{};
+  analysis::DataFrame base = base_frame(view, kEmptyRun);
+  base = base.with_column(
+      "workflow", analysis::ColumnType::kString,
+      [](const analysis::DataFrame&, std::size_t) -> analysis::Cell {
+        return std::string();
+      });
+  return base.with_column(
+      "run", analysis::ColumnType::kInt64,
+      [](const analysis::DataFrame&, std::size_t) -> analysis::Cell {
+        return std::int64_t{0};
+      });
+}
+
+void StoreCatalog::add_run(dtr::RunData run) {
+  std::unique_lock lock(mutex_);
+  store_.add_run(std::move(run));
+  epoch_.fetch_add(1);
+}
+
+std::vector<prov::RunId> StoreCatalog::Snapshot::runs(
+    const std::optional<std::string>& workflow,
+    const std::optional<std::int64_t>& run_index) const {
+  std::vector<prov::RunId> out;
+  for (const prov::RunId& id : catalog_.store_.runs()) {
+    if (workflow && id.workflow != *workflow) continue;
+    if (run_index &&
+        id.run_index != static_cast<std::uint32_t>(*run_index)) {
+      continue;
+    }
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::shared_ptr<const analysis::DataFrame> StoreCatalog::Snapshot::frame(
+    ViewId view, const prov::RunId& id) const {
+  const FrameKey key{view, id};
+  {
+    std::lock_guard guard(catalog_.frames_mutex_);
+    const auto it = catalog_.frames_.find(key);
+    if (it != catalog_.frames_.end()) return it->second;
+  }
+  // Materialize outside the frames mutex; concurrent readers may race to
+  // build the same frame, in which case the first insert wins and the
+  // duplicate is dropped.
+  const dtr::RunData& run = catalog_.store_.run(id);
+  analysis::DataFrame base = base_frame(view, run);
+  const std::string workflow = id.workflow;
+  const auto run_index = static_cast<std::int64_t>(id.run_index);
+  base = base.with_column(
+      "workflow", analysis::ColumnType::kString,
+      [&](const analysis::DataFrame&, std::size_t) -> analysis::Cell {
+        return workflow;
+      });
+  base = base.with_column(
+      "run", analysis::ColumnType::kInt64,
+      [&](const analysis::DataFrame&, std::size_t) -> analysis::Cell {
+        return run_index;
+      });
+  auto built = std::make_shared<const analysis::DataFrame>(std::move(base));
+  std::lock_guard guard(catalog_.frames_mutex_);
+  const auto [it, inserted] = catalog_.frames_.emplace(key, built);
+  return inserted ? built : it->second;
+}
+
+std::size_t StoreCatalog::Snapshot::estimated_rows(
+    ViewId view, const prov::RunId& id) const {
+  const dtr::RunData& run = catalog_.store_.run(id);
+  switch (view) {
+    case ViewId::kTasks:
+      return run.tasks.size();
+    case ViewId::kTransitions:
+      return run.transitions.size();
+    case ViewId::kIoSegments:
+    case ViewId::kTaskIo: {
+      std::size_t n = 0;
+      for (const auto& log : run.darshan_logs) {
+        for (const auto& rec : log.dxt) n += rec.segments.size();
+      }
+      return n;
+    }
+    case ViewId::kComms:
+      return run.comms.size();
+    case ViewId::kWarnings:
+      return run.warnings.size();
+    case ViewId::kSteals:
+      return run.steals.size();
+  }
+  return 0;
+}
+
+}  // namespace recup::query

@@ -1,0 +1,120 @@
+// StoreCatalog: the shared, live-updating run store behind the query
+// service. Wraps a prov::ProvenanceStore with
+//   - a monotonically increasing *epoch*, bumped by every ingested run;
+//   - a reader-writer discipline (std::shared_mutex): queries execute under
+//     a shared lock and observe either the old or the new epoch, never a
+//     torn state, while ingestion appends under the exclusive lock;
+//   - registered *views* — the PERFRECUP reader/fused frames (tasks,
+//     transitions, io_segments, comms, warnings, steals, task_io), each
+//     materialized per run with `workflow` / `run` identifier columns
+//     appended and memoized per (view, run). Runs are immutable once
+//     ingested, so a materialized frame never invalidates; the epoch only
+//     governs which runs are visible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/dataframe.hpp"
+#include "prov/store.hpp"
+
+namespace recup::query {
+
+using Epoch = std::uint64_t;
+
+enum class ViewId {
+  kTasks,
+  kTransitions,
+  kIoSegments,
+  kComms,
+  kWarnings,
+  kSteals,
+  kTaskIo,
+};
+
+/// All registered view names, in ViewId order.
+const std::vector<std::string>& view_names();
+/// Resolves a view name; throws QueryError listing the registered views.
+ViewId view_from_name(const std::string& name);
+const std::string& view_name(ViewId view);
+
+/// A zero-row frame carrying the view's full schema (including the
+/// `workflow` / `run` identifier columns) — plan-time column validation and
+/// the result shape when pushdown prunes every run.
+analysis::DataFrame empty_view_frame(ViewId view);
+
+class StoreCatalog {
+ public:
+  StoreCatalog() = default;
+  StoreCatalog(const StoreCatalog&) = delete;
+  StoreCatalog& operator=(const StoreCatalog&) = delete;
+
+  /// Writer side: appends a run and bumps the epoch. Blocks until all
+  /// in-flight readers drain.
+  void add_run(dtr::RunData run);
+
+  /// Current epoch (0 = empty store). Safe to read without a lock.
+  [[nodiscard]] Epoch epoch() const { return epoch_.load(); }
+
+  /// A consistent read view of the catalog. Holds the shared lock for its
+  /// lifetime: every frame and run list obtained through one Snapshot
+  /// belongs to the same epoch.
+  class Snapshot {
+   public:
+    explicit Snapshot(const StoreCatalog& catalog)
+        : catalog_(catalog), lock_(catalog.mutex_),
+          epoch_(catalog.epoch_.load()) {}
+
+    [[nodiscard]] Epoch epoch() const { return epoch_; }
+
+    /// Run ids visible in this snapshot, optionally pruned to one workflow
+    /// and/or one run index (the planner's pushdown path).
+    [[nodiscard]] std::vector<prov::RunId> runs(
+        const std::optional<std::string>& workflow,
+        const std::optional<std::int64_t>& run_index) const;
+
+    /// The view frame of one run (memoized across snapshots).
+    [[nodiscard]] std::shared_ptr<const analysis::DataFrame> frame(
+        ViewId view, const prov::RunId& id) const;
+
+    /// Record count of a view in one run without materializing the frame
+    /// (planner cost notes).
+    [[nodiscard]] std::size_t estimated_rows(ViewId view,
+                                             const prov::RunId& id) const;
+
+   private:
+    const StoreCatalog& catalog_;
+    std::shared_lock<std::shared_mutex> lock_;
+    Epoch epoch_;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const { return Snapshot(*this); }
+
+ private:
+  friend class Snapshot;
+
+  struct FrameKey {
+    ViewId view;
+    prov::RunId id;
+    auto operator<=>(const FrameKey&) const = default;
+  };
+
+  prov::ProvenanceStore store_;
+  mutable std::shared_mutex mutex_;
+  std::atomic<Epoch> epoch_{0};
+
+  // Memoized per-(view, run) frames. Guarded by its own mutex because
+  // concurrent shared-lock holders insert into it.
+  mutable std::mutex frames_mutex_;
+  mutable std::map<FrameKey, std::shared_ptr<const analysis::DataFrame>>
+      frames_;
+};
+
+}  // namespace recup::query

@@ -1,0 +1,117 @@
+#include "query/ingest.hpp"
+
+#include <utility>
+
+#include "dtr/darshan_bridge.hpp"
+#include "dtr/mofka_plugins.hpp"
+
+namespace recup::query {
+
+LiveIngestor::LiveIngestor(mofka::Broker& broker, StoreCatalog& catalog,
+                           std::string consumer_group)
+    : broker_(broker),
+      catalog_(catalog),
+      group_(std::move(consumer_group)),
+      transitions_(broker, "wms_transitions", group_),
+      tasks_(broker, "wms_tasks", group_),
+      comms_(broker, "wms_comms", group_),
+      warnings_(broker, "wms_warnings", group_),
+      cluster_(broker, "wms_cluster", group_) {}
+
+LiveIngestor::~LiveIngestor() { stop(); }
+
+std::size_t LiveIngestor::poll() {
+  std::lock_guard lock(mutex_);
+  return poll_locked();
+}
+
+std::size_t LiveIngestor::poll_locked() {
+  std::size_t consumed = 0;
+  while (auto event = transitions_.pull()) {
+    pending_.transitions.push_back(dtr::transition_from_json(event->metadata));
+    ++consumed;
+  }
+  while (auto event = tasks_.pull()) {
+    pending_.tasks.push_back(dtr::task_from_json(event->metadata));
+    ++consumed;
+  }
+  while (auto event = comms_.pull()) {
+    pending_.comms.push_back(dtr::comm_from_json(event->metadata));
+    ++consumed;
+  }
+  while (auto event = warnings_.pull()) {
+    pending_.warnings.push_back(dtr::warning_from_json(event->metadata));
+    ++consumed;
+  }
+  while (auto event = cluster_.pull()) {
+    if (event->metadata.get_string("kind", "") == "steal") {
+      pending_.steals.push_back(dtr::steal_from_json(event->metadata));
+    }
+    ++consumed;
+  }
+  pending_count_ += consumed;
+  stats_.events_consumed += consumed;
+  stats_.polls += 1;
+  return consumed;
+}
+
+Epoch LiveIngestor::publish(dtr::RunMetadata meta) {
+  dtr::RunData run;
+  {
+    std::lock_guard lock(mutex_);
+    poll_locked();  // pick up anything flushed since the last pass
+    if (broker_.topic_exists(dtr::DarshanMofkaBridge::kTopic)) {
+      pending_.darshan_logs = dtr::read_darshan_topic(broker_, group_);
+    }
+    transitions_.commit();
+    tasks_.commit();
+    comms_.commit();
+    warnings_.commit();
+    cluster_.commit();
+    run = std::exchange(pending_, dtr::RunData{});
+    pending_count_ = 0;
+    stats_.runs_published += 1;
+  }
+  run.meta = std::move(meta);
+  catalog_.add_run(std::move(run));
+  return catalog_.epoch();
+}
+
+void LiveIngestor::start(std::chrono::milliseconds interval) {
+  {
+    std::lock_guard lock(tail_mutex_);
+    if (tail_running_) return;
+    tail_running_ = true;
+  }
+  tail_thread_ = std::thread([this, interval] {
+    std::unique_lock lock(tail_mutex_);
+    while (tail_running_) {
+      lock.unlock();
+      poll();
+      lock.lock();
+      tail_cv_.wait_for(lock, interval, [this] { return !tail_running_; });
+    }
+  });
+}
+
+void LiveIngestor::stop() {
+  {
+    std::lock_guard lock(tail_mutex_);
+    if (!tail_running_) return;
+    tail_running_ = false;
+  }
+  tail_cv_.notify_all();
+  if (tail_thread_.joinable()) tail_thread_.join();
+}
+
+IngestStats LiveIngestor::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t LiveIngestor::pending_events() const {
+  std::lock_guard lock(mutex_);
+  return pending_count_;
+}
+
+}  // namespace recup::query

@@ -1,0 +1,86 @@
+// Live ingestion: a Mofka consumer that tails the WMS provenance topics
+// (and, when present, the streamed Darshan topic) and appends completed
+// runs into the shared StoreCatalog. Consumption is incremental — `poll`
+// drains whatever events the producers have flushed so far — but
+// publication is run-granular: `publish` turns everything consumed since
+// the last publish into one RunData and appends it under the catalog's
+// writer lock, bumping the epoch. Queries racing with a publish observe
+// either the old or the new epoch, never a torn run.
+//
+// `start`/`stop` run the polling pass on a background thread, which is how
+// the service tails topics while a workflow is still producing; `publish`
+// stays explicit because only the workflow driver knows when a run is
+// complete.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "analysis/readers.hpp"
+#include "mofka/broker.hpp"
+#include "mofka/consumer.hpp"
+#include "query/catalog.hpp"
+
+namespace recup::query {
+
+struct IngestStats {
+  std::uint64_t events_consumed = 0;
+  std::uint64_t runs_published = 0;
+  std::uint64_t polls = 0;
+};
+
+class LiveIngestor {
+ public:
+  LiveIngestor(mofka::Broker& broker, StoreCatalog& catalog,
+               std::string consumer_group = "recup_query_ingest");
+  ~LiveIngestor();
+
+  LiveIngestor(const LiveIngestor&) = delete;
+  LiveIngestor& operator=(const LiveIngestor&) = delete;
+
+  /// One tailing pass: drains currently available events from every WMS
+  /// topic into the pending run. Returns events consumed. Thread-safe.
+  std::size_t poll();
+
+  /// Publishes everything consumed since the last publish as one run
+  /// stamped with `meta`, after a final poll so late flushes are included.
+  /// Returns the catalog epoch after the append.
+  Epoch publish(dtr::RunMetadata meta);
+
+  /// Background tailing at the given interval until stop(). Idempotent.
+  void start(std::chrono::milliseconds interval = std::chrono::milliseconds(5));
+  void stop();
+
+  [[nodiscard]] IngestStats stats() const;
+  /// Events consumed but not yet published.
+  [[nodiscard]] std::size_t pending_events() const;
+
+ private:
+  std::size_t poll_locked();
+
+  mofka::Broker& broker_;
+  StoreCatalog& catalog_;
+  std::string group_;
+
+  mutable std::mutex mutex_;
+  mofka::Consumer transitions_;
+  mofka::Consumer tasks_;
+  mofka::Consumer comms_;
+  mofka::Consumer warnings_;
+  mofka::Consumer cluster_;
+  dtr::RunData pending_;
+  std::size_t pending_count_ = 0;
+  IngestStats stats_;
+
+  std::thread tail_thread_;
+  std::mutex tail_mutex_;
+  std::condition_variable tail_cv_;
+  bool tail_running_ = false;
+};
+
+}  // namespace recup::query

@@ -1,0 +1,341 @@
+#include "query/ir.hpp"
+
+#include <utility>
+
+namespace recup::query {
+
+namespace {
+
+CmpOp parse_cmp_op(const std::string& name) {
+  if (name == "==") return CmpOp::kEq;
+  if (name == "!=") return CmpOp::kNe;
+  if (name == "<") return CmpOp::kLt;
+  if (name == "<=") return CmpOp::kLe;
+  if (name == ">") return CmpOp::kGt;
+  if (name == ">=") return CmpOp::kGe;
+  if (name == "contains") return CmpOp::kContains;
+  throw QueryError("unknown predicate op '" + name +
+                   "' (expected ==, !=, <, <=, >, >=, contains)");
+}
+
+analysis::Agg parse_agg_op(const std::string& name) {
+  if (name == "sum") return analysis::Agg::kSum;
+  if (name == "mean") return analysis::Agg::kMean;
+  if (name == "count") return analysis::Agg::kCount;
+  if (name == "min") return analysis::Agg::kMin;
+  if (name == "max") return analysis::Agg::kMax;
+  if (name == "std") return analysis::Agg::kStd;
+  if (name == "first") return analysis::Agg::kFirst;
+  if (name == "count_distinct") return analysis::Agg::kCountDistinct;
+  throw QueryError("unknown aggregate op '" + name +
+                   "' (expected sum, mean, count, min, max, std, first, "
+                   "count_distinct)");
+}
+
+analysis::Cell parse_value(const json::Value& v, const std::string& where) {
+  if (v.is_int()) return v.as_int();
+  if (v.is_double()) return v.as_double();
+  if (v.is_string()) return v.as_string();
+  if (v.is_bool()) return static_cast<std::int64_t>(v.as_bool() ? 1 : 0);
+  throw QueryError(where + ": predicate value must be a number or string");
+}
+
+std::string require_string(const json::Value& obj, const std::string& key,
+                           const std::string& where) {
+  if (!obj.contains(key)) {
+    throw QueryError(where + ": missing required field \"" + key + "\"");
+  }
+  const json::Value& v = obj.at(key);
+  if (!v.is_string() || v.as_string().empty()) {
+    throw QueryError(where + ": field \"" + key +
+                     "\" must be a non-empty string");
+  }
+  return v.as_string();
+}
+
+std::vector<Predicate> parse_predicates(const json::Value& arr,
+                                        const std::string& where) {
+  if (!arr.is_array()) {
+    throw QueryError(where + ": \"where\" must be an array of predicates");
+  }
+  std::vector<Predicate> out;
+  out.reserve(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const json::Value& p = arr.at(i);
+    const std::string ctx = where + "[" + std::to_string(i) + "]";
+    if (!p.is_object()) throw QueryError(ctx + ": predicate must be an object");
+    Predicate pred;
+    pred.column = require_string(p, "col", ctx);
+    pred.op = parse_cmp_op(require_string(p, "op", ctx));
+    if (!p.contains("value")) {
+      throw QueryError(ctx + ": missing required field \"value\"");
+    }
+    pred.value = parse_value(p.at("value"), ctx);
+    if (pred.op == CmpOp::kContains &&
+        !std::holds_alternative<std::string>(pred.value)) {
+      throw QueryError(ctx + ": \"contains\" needs a string value");
+    }
+    out.push_back(std::move(pred));
+  }
+  return out;
+}
+
+json::Value value_to_json(const analysis::Cell& cell) {
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) return *i;
+  if (const auto* d = std::get_if<double>(&cell)) return *d;
+  return std::get<std::string>(cell);
+}
+
+json::Value predicates_to_json(const std::vector<Predicate>& preds) {
+  json::Array arr;
+  arr.reserve(preds.size());
+  for (const Predicate& p : preds) {
+    json::Object o;
+    o["col"] = p.column;
+    o["op"] = cmp_op_name(p.op);
+    o["value"] = value_to_json(p.value);
+    arr.emplace_back(std::move(o));
+  }
+  return arr;
+}
+
+}  // namespace
+
+std::string cmp_op_name(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kContains: return "contains";
+  }
+  return "?";
+}
+
+std::string agg_op_name(analysis::Agg op) {
+  switch (op) {
+    case analysis::Agg::kSum: return "sum";
+    case analysis::Agg::kMean: return "mean";
+    case analysis::Agg::kCount: return "count";
+    case analysis::Agg::kMin: return "min";
+    case analysis::Agg::kMax: return "max";
+    case analysis::Agg::kStd: return "std";
+    case analysis::Agg::kFirst: return "first";
+    case analysis::Agg::kCountDistinct: return "count_distinct";
+  }
+  return "?";
+}
+
+Query parse_query(const json::Value& doc) {
+  if (!doc.is_object()) throw QueryError("query must be a JSON object");
+  static const char* kKnown[] = {"from",       "workflow",  "run",
+                                 "where",      "asof_join", "group_by",
+                                 "aggregates", "order_by",  "limit",
+                                 "select"};
+  for (const auto& [key, value] : doc.as_object()) {
+    bool known = false;
+    for (const char* k : kKnown) known = known || key == k;
+    if (!known) throw QueryError("unknown query field \"" + key + "\"");
+  }
+
+  Query q;
+  q.from = require_string(doc, "from", "query");
+  if (doc.contains("workflow")) {
+    const json::Value& w = doc.at("workflow");
+    if (!w.is_string()) throw QueryError("\"workflow\" must be a string");
+    q.workflow = w.as_string();
+  }
+  if (doc.contains("run")) {
+    const json::Value& r = doc.at("run");
+    if (!r.is_int() || r.as_int() < 0) {
+      throw QueryError("\"run\" must be a non-negative integer");
+    }
+    q.run = r.as_int();
+  }
+  if (doc.contains("where")) {
+    q.where = parse_predicates(doc.at("where"), "where");
+  }
+
+  if (doc.contains("asof_join")) {
+    const json::Value& j = doc.at("asof_join");
+    if (!j.is_object()) throw QueryError("\"asof_join\" must be an object");
+    AsofJoin join;
+    join.right_view = require_string(j, "right", "asof_join");
+    join.left_on = require_string(j, "left_on", "asof_join");
+    join.right_on = require_string(j, "right_on", "asof_join");
+    if (j.contains("by")) {
+      const json::Value& by = j.at("by");
+      if (!by.is_array()) {
+        throw QueryError("asof_join: \"by\" must be an array of column pairs");
+      }
+      for (std::size_t i = 0; i < by.size(); ++i) {
+        const json::Value& pair = by.at(i);
+        if (!pair.is_array() || pair.size() != 2 ||
+            !pair.at(std::size_t{0}).is_string() ||
+            !pair.at(std::size_t{1}).is_string()) {
+          throw QueryError("asof_join: \"by\" entries must be "
+                           "[left_col, right_col] string pairs");
+        }
+        join.by.emplace_back(pair.at(std::size_t{0}).as_string(),
+                             pair.at(std::size_t{1}).as_string());
+      }
+    }
+    if (j.contains("right_valid_until")) {
+      join.right_valid_until =
+          require_string(j, "right_valid_until", "asof_join");
+    }
+    if (j.contains("tolerance")) {
+      const json::Value& t = j.at("tolerance");
+      if (!t.is_number()) {
+        throw QueryError("asof_join: \"tolerance\" must be a number");
+      }
+      join.tolerance = t.as_double();
+    }
+    join.keep_unmatched = j.get_bool("keep_unmatched", false);
+    if (j.contains("where")) {
+      join.where = parse_predicates(j.at("where"), "asof_join.where");
+    }
+    q.asof_join = std::move(join);
+  }
+
+  if (doc.contains("group_by")) {
+    const json::Value& g = doc.at("group_by");
+    if (!g.is_array() || g.size() == 0) {
+      throw QueryError("\"group_by\" must be a non-empty array of columns");
+    }
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (!g.at(i).is_string()) {
+        throw QueryError("\"group_by\" entries must be strings");
+      }
+      q.group_by.push_back(g.at(i).as_string());
+    }
+  }
+  if (doc.contains("aggregates")) {
+    const json::Value& aggs = doc.at("aggregates");
+    if (!aggs.is_array()) throw QueryError("\"aggregates\" must be an array");
+    for (std::size_t i = 0; i < aggs.size(); ++i) {
+      const json::Value& a = aggs.at(i);
+      const std::string ctx = "aggregates[" + std::to_string(i) + "]";
+      if (!a.is_object()) throw QueryError(ctx + ": must be an object");
+      AggregateTerm term;
+      term.op = parse_agg_op(require_string(a, "op", ctx));
+      term.as = require_string(a, "as", ctx);
+      if (a.contains("col")) {
+        if (!a.at("col").is_string()) {
+          throw QueryError(ctx + ": \"col\" must be a string");
+        }
+        term.column = a.at("col").as_string();
+      }
+      if (term.column.empty() && term.op != analysis::Agg::kCount) {
+        throw QueryError(ctx + ": \"col\" is required for op \"" +
+                         agg_op_name(term.op) + "\"");
+      }
+      q.aggregates.push_back(std::move(term));
+    }
+  }
+  if (q.aggregates.empty() != q.group_by.empty()) {
+    throw QueryError("\"group_by\" and \"aggregates\" must be used together");
+  }
+
+  if (doc.contains("order_by")) {
+    const json::Value& o = doc.at("order_by");
+    if (!o.is_object()) throw QueryError("\"order_by\" must be an object");
+    OrderBy order;
+    order.column = require_string(o, "col", "order_by");
+    order.descending = o.get_bool("desc", false);
+    q.order_by = order;
+  }
+  if (doc.contains("limit")) {
+    const json::Value& l = doc.at("limit");
+    if (!l.is_int() || l.as_int() < 0) {
+      throw QueryError("\"limit\" must be a non-negative integer");
+    }
+    q.limit = l.as_int();
+  }
+  if (doc.contains("select")) {
+    const json::Value& s = doc.at("select");
+    if (!s.is_array() || s.size() == 0) {
+      throw QueryError("\"select\" must be a non-empty array of columns");
+    }
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (!s.at(i).is_string()) {
+        throw QueryError("\"select\" entries must be strings");
+      }
+      q.select.push_back(s.at(i).as_string());
+    }
+  }
+  return q;
+}
+
+Query parse_query(const std::string& text) {
+  json::Value doc;
+  try {
+    doc = json::parse(text);
+  } catch (const json::ParseError& e) {
+    throw QueryError(std::string("query is not valid JSON: ") + e.what());
+  }
+  return parse_query(doc);
+}
+
+json::Value to_json(const Query& query) {
+  // json::Object is a std::map, so field order in the dump is alphabetical
+  // and deterministic regardless of insertion order — the property the
+  // cache fingerprint relies on.
+  json::Object o;
+  o["from"] = query.from;
+  if (query.workflow) o["workflow"] = *query.workflow;
+  if (query.run) o["run"] = *query.run;
+  if (!query.where.empty()) o["where"] = predicates_to_json(query.where);
+  if (query.asof_join) {
+    const AsofJoin& j = *query.asof_join;
+    json::Object join;
+    join["right"] = j.right_view;
+    join["left_on"] = j.left_on;
+    join["right_on"] = j.right_on;
+    if (!j.by.empty()) {
+      json::Array by;
+      for (const auto& [l, r] : j.by) by.emplace_back(json::Array{l, r});
+      join["by"] = std::move(by);
+    }
+    if (!j.right_valid_until.empty()) {
+      join["right_valid_until"] = j.right_valid_until;
+    }
+    if (j.tolerance >= 0.0) join["tolerance"] = j.tolerance;
+    if (j.keep_unmatched) join["keep_unmatched"] = true;
+    if (!j.where.empty()) join["where"] = predicates_to_json(j.where);
+    o["asof_join"] = std::move(join);
+  }
+  if (!query.group_by.empty()) {
+    json::Array g;
+    for (const std::string& c : query.group_by) g.emplace_back(c);
+    o["group_by"] = std::move(g);
+    json::Array aggs;
+    for (const AggregateTerm& a : query.aggregates) {
+      json::Object term;
+      if (!a.column.empty()) term["col"] = a.column;
+      term["op"] = agg_op_name(a.op);
+      term["as"] = a.as;
+      aggs.emplace_back(std::move(term));
+    }
+    o["aggregates"] = std::move(aggs);
+  }
+  if (query.order_by) {
+    json::Object order;
+    order["col"] = query.order_by->column;
+    if (query.order_by->descending) order["desc"] = true;
+    o["order_by"] = std::move(order);
+  }
+  if (query.limit) o["limit"] = *query.limit;
+  if (!query.select.empty()) {
+    json::Array s;
+    for (const std::string& c : query.select) s.emplace_back(c);
+    o["select"] = std::move(s);
+  }
+  return o;
+}
+
+std::string fingerprint(const Query& query) { return to_json(query).dump(); }
+
+}  // namespace recup::query

@@ -1,0 +1,469 @@
+#include "query/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace recup::query {
+
+namespace {
+
+using analysis::Cell;
+using analysis::ColumnType;
+using analysis::DataFrame;
+
+std::string cell_display(const Cell& cell) {
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    return std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&cell)) {
+    std::ostringstream out;
+    out << *d;
+    return out.str();
+  }
+  return "'" + std::get<std::string>(cell) + "'";
+}
+
+std::string predicate_display(const Predicate& p) {
+  return p.column + " " + cmp_op_name(p.op) + " " + cell_display(p.value);
+}
+
+std::string predicates_display(const std::vector<Predicate>& preds) {
+  std::string out;
+  for (const Predicate& p : preds) {
+    if (!out.empty()) out += " && ";
+    out += predicate_display(p);
+  }
+  return out;
+}
+
+template <typename T, typename U>
+void narrow_mask(const std::vector<T>& values, U rhs, CmpOp op,
+                 std::vector<char>& keep) {
+  const auto apply = [&](auto cmp) {
+    for (std::size_t r = 0; r < values.size(); ++r) {
+      if (keep[r] != 0 && !cmp(values[r], rhs)) keep[r] = 0;
+    }
+  };
+  switch (op) {
+    case CmpOp::kEq:
+      apply([](const T& a, const U& b) { return a == b; });
+      break;
+    case CmpOp::kNe:
+      apply([](const T& a, const U& b) { return a != b; });
+      break;
+    case CmpOp::kLt:
+      apply([](const T& a, const U& b) { return a < b; });
+      break;
+    case CmpOp::kLe:
+      apply([](const T& a, const U& b) { return a <= b; });
+      break;
+    case CmpOp::kGt:
+      apply([](const T& a, const U& b) { return a > b; });
+      break;
+    case CmpOp::kGe:
+      apply([](const T& a, const U& b) { return a >= b; });
+      break;
+    case CmpOp::kContains:
+      throw QueryError("'contains' applies to string columns only");
+  }
+}
+
+void narrow_mask_one(const DataFrame& frame, const Predicate& p,
+                     std::vector<char>& keep) {
+  const analysis::Column* col = nullptr;
+  try {
+    col = &frame.col(p.column);
+  } catch (const analysis::DataFrameError&) {
+    throw QueryError("predicate references unknown column '" + p.column +
+                     "'");
+  }
+  switch (col->type()) {
+    case ColumnType::kString: {
+      const auto* rhs = std::get_if<std::string>(&p.value);
+      if (rhs == nullptr) {
+        throw QueryError("predicate on string column '" + p.column +
+                         "' needs a string value");
+      }
+      const auto& values = col->strings();
+      if (p.op == CmpOp::kContains) {
+        for (std::size_t r = 0; r < values.size(); ++r) {
+          if (keep[r] != 0 && values[r].find(*rhs) == std::string::npos) {
+            keep[r] = 0;
+          }
+        }
+      } else {
+        narrow_mask(values, *rhs, p.op, keep);
+      }
+      break;
+    }
+    case ColumnType::kInt64: {
+      if (const auto* i = std::get_if<std::int64_t>(&p.value)) {
+        narrow_mask(col->ints(), *i, p.op, keep);
+      } else if (const auto* d = std::get_if<double>(&p.value)) {
+        std::vector<char>& k = keep;
+        const auto& values = col->ints();
+        std::vector<double> widened(values.begin(), values.end());
+        narrow_mask(widened, *d, p.op, k);
+      } else {
+        throw QueryError("predicate on numeric column '" + p.column +
+                         "' needs a numeric value");
+      }
+      break;
+    }
+    case ColumnType::kDouble: {
+      double rhs = 0.0;
+      if (const auto* d = std::get_if<double>(&p.value)) {
+        rhs = *d;
+      } else if (const auto* i = std::get_if<std::int64_t>(&p.value)) {
+        rhs = static_cast<double>(*i);
+      } else {
+        throw QueryError("predicate on numeric column '" + p.column +
+                         "' needs a numeric value");
+      }
+      narrow_mask(col->doubles(), rhs, p.op, keep);
+      break;
+    }
+  }
+}
+
+/// Validates one predicate against a (possibly empty) schema frame.
+void check_predicate(const DataFrame& schema, const Predicate& p,
+                     const std::string& view) {
+  if (!schema.has_column(p.column)) {
+    throw QueryError("view '" + view + "' has no column '" + p.column + "'");
+  }
+  const bool is_string =
+      schema.col(p.column).type() == ColumnType::kString;
+  const bool value_string = std::holds_alternative<std::string>(p.value);
+  if (is_string != value_string) {
+    throw QueryError("predicate '" + predicate_display(p) + "' on view '" +
+                     view + "': " +
+                     (is_string ? "string column needs a string value"
+                                : "numeric column needs a numeric value"));
+  }
+  if (p.op == CmpOp::kContains && !is_string) {
+    throw QueryError("'contains' applies to string columns only (column '" +
+                     p.column + "')");
+  }
+}
+
+void check_numeric_column(const DataFrame& schema, const std::string& column,
+                          const std::string& view, const std::string& role) {
+  if (!schema.has_column(column)) {
+    throw QueryError("view '" + view + "' has no column '" + column +
+                     "' (" + role + ")");
+  }
+  if (schema.col(column).type() == ColumnType::kString) {
+    throw QueryError(role + " column '" + column + "' of view '" + view +
+                     "' must be numeric");
+  }
+}
+
+/// Equality predicates on the run identifier columns, folded into run
+/// pruning (the pushdown path).
+struct Pushdown {
+  std::optional<std::string> workflow;
+  std::optional<std::int64_t> run;
+  std::vector<Predicate> residual;
+  std::vector<std::string> notes;
+  bool contradiction = false;
+};
+
+Pushdown extract_pushdown(const Query& q) {
+  Pushdown push;
+  push.workflow = q.workflow;
+  push.run = q.run;
+  if (q.workflow) push.notes.push_back("workflow == '" + *q.workflow + "'");
+  if (q.run) push.notes.push_back("run == " + std::to_string(*q.run));
+  for (const Predicate& p : q.where) {
+    if (p.column == "workflow" && p.op == CmpOp::kEq &&
+        std::holds_alternative<std::string>(p.value)) {
+      const std::string& w = std::get<std::string>(p.value);
+      if (push.workflow && *push.workflow != w) push.contradiction = true;
+      push.workflow = w;
+      push.notes.push_back(predicate_display(p));
+      continue;
+    }
+    if (p.column == "run" && p.op == CmpOp::kEq &&
+        std::holds_alternative<std::int64_t>(p.value)) {
+      const std::int64_t r = std::get<std::int64_t>(p.value);
+      if (push.run && *push.run != r) push.contradiction = true;
+      push.run = r;
+      push.notes.push_back(predicate_display(p));
+      continue;
+    }
+    push.residual.push_back(p);
+  }
+  return push;
+}
+
+std::string run_list_display(const std::vector<prov::RunId>& runs) {
+  std::string out;
+  for (const prov::RunId& id : runs) {
+    if (!out.empty()) out += ", ";
+    out += id.workflow + "#" + std::to_string(id.run_index);
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+}  // namespace
+
+std::string Plan::to_string() const {
+  std::ostringstream out;
+  out << "plan: " << view_name(view) << " over " << runs.size() << "/"
+      << total_runs << " runs (~" << estimated_rows << " input rows)\n";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    out << "  " << i + 1 << ". " << steps[i].op << ": " << steps[i].detail
+        << "\n";
+  }
+  return out.str();
+}
+
+DataFrame apply_predicates(const DataFrame& frame,
+                           const std::vector<Predicate>& preds) {
+  if (preds.empty()) return frame;
+  std::vector<char> keep(frame.rows(), 1);
+  for (const Predicate& p : preds) narrow_mask_one(frame, p, keep);
+  return frame.filter([&keep](const DataFrame&, std::size_t r) {
+    return keep[r] != 0;
+  });
+}
+
+Plan plan_query(const Query& query, const StoreCatalog::Snapshot& snapshot) {
+  Plan plan;
+  plan.view = view_from_name(query.from);
+  const DataFrame schema = empty_view_frame(plan.view);
+
+  Pushdown push = extract_pushdown(query);
+  for (const Predicate& p : push.residual) {
+    check_predicate(schema, p, query.from);
+  }
+  plan.total_runs = snapshot.runs(std::nullopt, std::nullopt).size();
+  if (!push.contradiction) {
+    plan.runs = snapshot.runs(push.workflow, push.run);
+  }
+  for (const prov::RunId& id : plan.runs) {
+    plan.estimated_rows += snapshot.estimated_rows(plan.view, id);
+  }
+
+  {
+    std::string detail = "view=" + query.from + " runs=[" +
+                         run_list_display(plan.runs) + "] ~" +
+                         std::to_string(plan.estimated_rows) + " rows";
+    if (push.notes.empty()) {
+      detail += "; no pushdown";
+    } else {
+      detail += "; pushdown:";
+      for (const std::string& note : push.notes) detail += " " + note;
+      if (push.contradiction) detail += " (contradictory -> empty scan)";
+    }
+    plan.steps.push_back({"scan", detail});
+  }
+  if (!push.residual.empty()) {
+    plan.steps.push_back({"filter", predicates_display(push.residual) +
+                                        " (typed columnar mask)"});
+  }
+
+  DataFrame post_join_schema = schema;
+  if (query.asof_join) {
+    const AsofJoin& join = *query.asof_join;
+    const ViewId right_view = view_from_name(join.right_view);
+    const DataFrame right_schema = empty_view_frame(right_view);
+    for (const Predicate& p : join.where) {
+      check_predicate(right_schema, p, join.right_view);
+    }
+    check_numeric_column(schema, join.left_on, query.from, "asof left_on");
+    check_numeric_column(right_schema, join.right_on, join.right_view,
+                         "asof right_on");
+    if (!join.right_valid_until.empty()) {
+      check_numeric_column(right_schema, join.right_valid_until,
+                           join.right_view, "asof right_valid_until");
+    }
+    std::string by_display;
+    for (const auto& [l, r] : join.by) {
+      if (!schema.has_column(l)) {
+        throw QueryError("view '" + query.from + "' has no column '" + l +
+                         "' (asof by)");
+      }
+      if (!right_schema.has_column(r)) {
+        throw QueryError("view '" + join.right_view + "' has no column '" +
+                         r + "' (asof by)");
+      }
+      if (!by_display.empty()) by_display += ", ";
+      by_display += l + "=" + r;
+    }
+    std::size_t right_rows = 0;
+    for (const prov::RunId& id : plan.runs) {
+      right_rows += snapshot.estimated_rows(right_view, id);
+    }
+    std::string detail = "right=" + join.right_view + " ~" +
+                         std::to_string(right_rows) + " rows; on " +
+                         join.left_on + " >= right." + join.right_on +
+                         "; by [" + by_display + "] + run identity";
+    if (!join.where.empty()) {
+      detail += "; right filter: " + predicates_display(join.where);
+    }
+    if (!join.right_valid_until.empty()) {
+      detail += "; window until " + join.right_valid_until;
+    }
+    if (join.tolerance >= 0.0) {
+      std::ostringstream tol;
+      tol << join.tolerance;
+      detail += "; tolerance " + tol.str();
+    }
+    if (join.keep_unmatched) detail += "; keep_unmatched";
+    plan.steps.push_back({"asof_join", detail});
+
+    // Approximate output schema for downstream validation: asof_merge keeps
+    // all left columns and appends the right's non-by columns (renamed on
+    // collision) — compute it on the empty schema frames.
+    analysis::AsofSpec spec;
+    spec.left_on = join.left_on;
+    spec.right_on = join.right_on;
+    for (const auto& [l, r] : join.by) {
+      spec.left_by.push_back(l);
+      spec.right_by.push_back(r);
+    }
+    spec.left_by.emplace_back("workflow");
+    spec.right_by.emplace_back("workflow");
+    spec.left_by.emplace_back("run");
+    spec.right_by.emplace_back("run");
+    if (!join.right_valid_until.empty()) {
+      spec.right_valid_until = join.right_valid_until;
+    }
+    post_join_schema = schema.asof_merge(right_schema, spec);
+  }
+
+  if (!query.group_by.empty()) {
+    std::string keys;
+    for (const std::string& k : query.group_by) {
+      if (!post_join_schema.has_column(k)) {
+        throw QueryError("group_by column '" + k + "' does not exist");
+      }
+      if (!keys.empty()) keys += ", ";
+      keys += k;
+    }
+    std::string aggs;
+    for (const AggregateTerm& a : query.aggregates) {
+      if (!a.column.empty() && !post_join_schema.has_column(a.column)) {
+        throw QueryError("aggregate column '" + a.column + "' does not exist");
+      }
+      if (!aggs.empty()) aggs += ", ";
+      aggs += agg_op_name(a.op) + "(" + a.column + ") as " + a.as;
+    }
+    plan.steps.push_back({"group_by", "keys=[" + keys + "]; aggs=[" + aggs +
+                                          "] (hashed typed keys)"});
+  }
+  if (query.order_by) {
+    plan.steps.push_back({"sort", query.order_by->column +
+                                      (query.order_by->descending ? " desc"
+                                                                  : " asc")});
+  }
+  if (query.limit) {
+    plan.steps.push_back({"limit", std::to_string(*query.limit)});
+  }
+  if (!query.select.empty()) {
+    std::string cols;
+    for (const std::string& c : query.select) {
+      if (!cols.empty()) cols += ", ";
+      cols += c;
+    }
+    plan.steps.push_back({"project", "[" + cols + "]"});
+  }
+  return plan;
+}
+
+namespace {
+
+/// Materializes + filters + concatenates one view across the plan's runs.
+DataFrame scan_view(ViewId view, const std::vector<prov::RunId>& runs,
+                    const std::vector<Predicate>& preds,
+                    const StoreCatalog::Snapshot& snapshot) {
+  if (runs.empty()) return empty_view_frame(view);
+  bool first = true;
+  DataFrame acc;
+  for (const prov::RunId& id : runs) {
+    const auto frame = snapshot.frame(view, id);
+    DataFrame filtered = apply_predicates(*frame, preds);
+    acc = first ? std::move(filtered) : acc.concat(filtered);
+    first = false;
+  }
+  return acc;
+}
+
+DataFrame run_plan(const Query& query, const Plan& plan,
+                   const StoreCatalog::Snapshot& snapshot) {
+  Pushdown push = extract_pushdown(query);
+  DataFrame current =
+      scan_view(plan.view, plan.runs, push.residual, snapshot);
+
+  if (query.asof_join) {
+    const AsofJoin& join = *query.asof_join;
+    const ViewId right_view = view_from_name(join.right_view);
+    DataFrame right =
+        scan_view(right_view, plan.runs, join.where, snapshot);
+    analysis::AsofSpec spec;
+    spec.left_on = join.left_on;
+    spec.right_on = join.right_on;
+    for (const auto& [l, r] : join.by) {
+      spec.left_by.push_back(l);
+      spec.right_by.push_back(r);
+    }
+    // Run identity joins implicitly: a row never matches across runs.
+    spec.left_by.emplace_back("workflow");
+    spec.right_by.emplace_back("workflow");
+    spec.left_by.emplace_back("run");
+    spec.right_by.emplace_back("run");
+    if (!join.right_valid_until.empty()) {
+      spec.right_valid_until = join.right_valid_until;
+    }
+    spec.tolerance = join.tolerance;
+    spec.keep_unmatched = join.keep_unmatched;
+    current = current.asof_merge(right, spec);
+  }
+
+  if (!query.group_by.empty()) {
+    std::vector<analysis::AggSpec> aggs;
+    aggs.reserve(query.aggregates.size());
+    for (const AggregateTerm& a : query.aggregates) {
+      aggs.push_back({a.column, a.op, a.as});
+    }
+    current = current.group_by(query.group_by, aggs);
+  }
+  if (query.order_by) {
+    current = current.sort_by(query.order_by->column,
+                              !query.order_by->descending);
+  }
+  if (query.limit) {
+    current = current.head(static_cast<std::size_t>(*query.limit));
+  }
+  if (!query.select.empty()) {
+    current = current.select(query.select);
+  }
+  return current;
+}
+
+}  // namespace
+
+ExecutionResult execute_query(const Query& query, const StoreCatalog& catalog,
+                              ResultCache* cache) {
+  const std::string key = fingerprint(query);
+  const StoreCatalog::Snapshot snapshot = catalog.snapshot();
+  if (cache != nullptr) {
+    if (auto hit = cache->get(key, snapshot.epoch())) {
+      return {std::move(hit), snapshot.epoch(), true};
+    }
+  }
+  const Plan plan = plan_query(query, snapshot);
+  try {
+    auto frame = std::make_shared<const DataFrame>(
+        run_plan(query, plan, snapshot));
+    if (cache != nullptr) cache->put(key, snapshot.epoch(), frame);
+    return {std::move(frame), snapshot.epoch(), false};
+  } catch (const analysis::DataFrameError& e) {
+    throw QueryError(std::string("execution failed: ") + e.what());
+  }
+}
+
+}  // namespace recup::query

@@ -1,0 +1,68 @@
+// Planner / executor: compiles a Query (IR) into a plan over the columnar
+// DataFrame engine and runs it against one StoreCatalog snapshot.
+//
+// Plan shape, in order:
+//   scan       — materialize the view for every visible run. Equality
+//                predicates on the `workflow` / `run` identifier columns are
+//                *pushed down* here: they prune which runs are materialized
+//                at all instead of filtering rows afterwards.
+//   filter     — residual predicates, evaluated with typed columnar loops
+//                into a selection mask (no per-row variant boxing).
+//   asof_join  — nearest-earlier merge against a second view; the run
+//                identifier columns are appended to the by-keys so rows
+//                never match across runs.
+//   group_by   — hashed aggregation on typed composite keys.
+//   sort/limit/project — final shaping.
+//
+// `plan_query` only plans (explain); `execute_query` plans, consults the
+// result cache keyed by (fingerprint, snapshot epoch), and executes on miss.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/dataframe.hpp"
+#include "query/cache.hpp"
+#include "query/catalog.hpp"
+#include "query/ir.hpp"
+
+namespace recup::query {
+
+struct PlanStep {
+  std::string op;      ///< "scan", "filter", "asof_join", ...
+  std::string detail;  ///< human-readable cost note
+};
+
+struct Plan {
+  ViewId view = ViewId::kTasks;
+  std::vector<prov::RunId> runs;   ///< after pushdown pruning
+  std::size_t total_runs = 0;      ///< visible runs before pruning
+  std::size_t estimated_rows = 0;  ///< scan-input rows across pruned runs
+  std::vector<PlanStep> steps;
+
+  /// Deterministic multi-line rendering (the `explain` wire payload).
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ExecutionResult {
+  std::shared_ptr<const analysis::DataFrame> frame;
+  Epoch epoch = 0;
+  bool cached = false;
+};
+
+/// Builds the plan for a query against one snapshot; throws QueryError on
+/// unknown views/columns or type mismatches.
+Plan plan_query(const Query& query, const StoreCatalog::Snapshot& snapshot);
+
+/// Executes a query against the catalog under one snapshot. `cache` may be
+/// nullptr (always cold). The returned epoch is the snapshot's epoch — the
+/// store state the result was computed at.
+ExecutionResult execute_query(const Query& query, const StoreCatalog& catalog,
+                              ResultCache* cache);
+
+/// Typed columnar predicate filter over a frame (exposed for tests).
+analysis::DataFrame apply_predicates(const analysis::DataFrame& frame,
+                                     const std::vector<Predicate>& preds);
+
+}  // namespace recup::query

@@ -1,0 +1,98 @@
+// QueryServer: the multi-client provenance query service, in the style of
+// the recup::mochi services — in-process transport, a real worker thread
+// pool, a bounded request queue with backpressure (a full queue rejects the
+// request immediately with an overload error instead of blocking the
+// client), per-request deadlines, and graceful shutdown that drains every
+// queued request before the workers exit.
+//
+// Requests and responses are recup::json documents (see query/wire.hpp for
+// the framing). Every response — success or failure — is tagged with the
+// store epoch it was computed at, so clients can reason about which
+// ingestion state they observed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "json/json.hpp"
+#include "query/cache.hpp"
+#include "query/catalog.hpp"
+
+namespace recup::query {
+
+struct ServerConfig {
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 64;
+  /// Deadline applied to requests that carry no "timeout_ms" of their own;
+  /// <= 0 disables. A request whose deadline passes while it waits in the
+  /// queue is answered with a timeout error instead of being executed.
+  double default_timeout_ms = 0.0;
+  ResultCache::Config cache;
+};
+
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_overload = 0;   ///< backpressure rejections
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t completed = 0;           ///< executed successfully
+  std::uint64_t failed = 0;              ///< invalid query / execution error
+  std::uint64_t timed_out = 0;           ///< deadline passed while queued
+  std::uint64_t queue_depth = 0;         ///< requests waiting right now
+  CacheStats cache;
+};
+
+class QueryServer {
+ public:
+  explicit QueryServer(StoreCatalog& catalog, ServerConfig config = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Submits a framed request; the future resolves to the framed response.
+  /// Backpressure and shutdown resolve the future immediately with an
+  /// error response — submit never blocks on a full queue.
+  std::future<json::Value> submit(json::Value request);
+
+  /// Closes the queue, lets the workers drain every queued request, and
+  /// joins them. Idempotent; the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    json::Value doc;
+    std::promise<json::Value> promise;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+  };
+
+  void worker_loop();
+  json::Value handle(const json::Value& doc);
+  json::Value error_response(const json::Value& doc, const std::string& what);
+
+  StoreCatalog& catalog_;
+  ServerConfig config_;
+  ResultCache cache_;
+  BoundedQueue<Request> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{true};
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+};
+
+}  // namespace recup::query

@@ -1,0 +1,29 @@
+// Wire framing for the query service, in recup::json.
+//
+// Request document:
+//   {"id": 7, "query": {...IR...}, "explain": false, "timeout_ms": 250.0}
+// Response document:
+//   {"id": 7, "ok": true, "epoch": 3, "cached": false, "elapsed_ms": 1.2,
+//    "result": {"columns": [{"name": "...", "type": "int64"}, ...],
+//               "rows": [[...], ...]}}
+// or on explain: {"explain": "plan: ..."} instead of "result";
+// or on failure: {"ok": false, "error": "...", "epoch": ...}.
+//
+// The frame codec keeps column types explicit so int64 identifiers and
+// doubles round-trip exactly (json::Value keeps integers distinct).
+#pragma once
+
+#include <string>
+
+#include "analysis/dataframe.hpp"
+#include "json/json.hpp"
+
+namespace recup::query {
+
+json::Value frame_to_json(const analysis::DataFrame& frame);
+analysis::DataFrame frame_from_json(const json::Value& doc);
+
+std::string column_type_name(analysis::ColumnType type);
+analysis::ColumnType column_type_from_name(const std::string& name);
+
+}  // namespace recup::query

@@ -126,6 +126,56 @@ TEST(DataFrame, GroupByStd) {
   EXPECT_NEAR(grouped.col("sd").f64(0), std::sqrt(2.0), 1e-12);
 }
 
+TEST(DataFrame, GroupByCountDistinct) {
+  DataFrame df({{"g", ColumnType::kString},
+                {"who", ColumnType::kString},
+                {"thread", ColumnType::kInt64},
+                {"t", ColumnType::kDouble}});
+  df.add_row({"x", "a", std::int64_t{7}, 1.0});
+  df.add_row({"x", "a", std::int64_t{8}, 1.0});
+  df.add_row({"x", "b", std::int64_t{7}, 2.0});
+  df.add_row({"y", "c", std::int64_t{9}, 3.0});
+  const DataFrame grouped =
+      df.group_by({"g"}, {{"who", Agg::kCountDistinct, "n_who"},
+                          {"thread", Agg::kCountDistinct, "n_threads"},
+                          {"t", Agg::kCountDistinct, "n_times"}});
+  ASSERT_EQ(grouped.rows(), 2u);
+  EXPECT_EQ(grouped.col("g").str(0), "x");
+  EXPECT_EQ(grouped.col("n_who").i64(0), 2);
+  EXPECT_EQ(grouped.col("n_threads").i64(0), 2);
+  EXPECT_EQ(grouped.col("n_times").i64(0), 2);
+  EXPECT_EQ(grouped.col("n_who").i64(1), 1);
+}
+
+TEST(DataFrame, GroupByCountDistinctDoublesByBitPattern) {
+  // 0.1 + 0.2 != 0.3 exactly: distinct bit patterns stay distinct even
+  // though a lossy display form could collapse them.
+  DataFrame df({{"g", ColumnType::kString}, {"v", ColumnType::kDouble}});
+  df.add_row({"a", 0.1 + 0.2});
+  df.add_row({"a", 0.3});
+  df.add_row({"a", 0.3});
+  const DataFrame grouped =
+      df.group_by({"g"}, {{"v", Agg::kCountDistinct, "n"}});
+  EXPECT_EQ(grouped.col("n").i64(0), 2);
+}
+
+TEST(DataFrame, GroupByStringMinMax) {
+  DataFrame df({{"g", ColumnType::kString}, {"name", ColumnType::kString}});
+  df.add_row({"x", "pear"});
+  df.add_row({"x", "apple"});
+  df.add_row({"x", "mango"});
+  df.add_row({"y", "kiwi"});
+  const DataFrame grouped =
+      df.group_by({"g"}, {{"name", Agg::kMin, "first_name"},
+                          {"name", Agg::kMax, "last_name"}});
+  ASSERT_EQ(grouped.rows(), 2u);
+  EXPECT_EQ(grouped.col("first_name").type(), ColumnType::kString);
+  EXPECT_EQ(grouped.col("first_name").str(0), "apple");
+  EXPECT_EQ(grouped.col("last_name").str(0), "pear");
+  EXPECT_EQ(grouped.col("first_name").str(1), "kiwi");
+  EXPECT_EQ(grouped.col("last_name").str(1), "kiwi");
+}
+
 TEST(DataFrame, InnerJoinMatchesKeys) {
   DataFrame left({{"id", ColumnType::kInt64}, {"l", ColumnType::kString}});
   left.add_row({std::int64_t{1}, "one"});

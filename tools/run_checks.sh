@@ -34,4 +34,15 @@ cmake --build build-asan -j
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --output-on-failure -j"$(nproc)")
 
+echo "== sanitized query service: concurrent smoke + short bench =="
+# The query server/ingestor are the most concurrency-heavy code in the repo;
+# run their test binary and a short multi-client bench under the sanitizers
+# explicitly (ctest above already covers test_query, but the bench path
+# exercises the CLI wiring too).
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tests/test_query \
+  --gtest_filter='QueryIngestTest.*:QueryServer.*' >/dev/null
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tools/recup_query --synthetic 2 --bench 4 10 >/dev/null
+
 echo "== all checks passed (${repo_root}) =="
