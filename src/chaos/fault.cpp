@@ -1,0 +1,137 @@
+#include "chaos/fault.hpp"
+
+#include <array>
+
+namespace recup::chaos {
+
+namespace {
+
+constexpr std::array<const char*, 8> kActionNames = {
+    "none",  "drop",            "duplicate",             "reorder",
+    "delay", "transient_error", "partition_unavailable", "thread_kill"};
+
+}  // namespace
+
+const char* to_string(FaultAction action) {
+  return kActionNames[static_cast<std::size_t>(action)];
+}
+
+FaultAction action_from_string(const std::string& name) {
+  for (std::size_t i = 0; i < kActionNames.size(); ++i) {
+    if (name == kActionNames[i]) return static_cast<FaultAction>(i);
+  }
+  throw std::invalid_argument("chaos: unknown fault action '" + name + "'");
+}
+
+const SiteSpec* FaultPlan::find(const std::string& site) const {
+  const auto it = sites.find(site);
+  return it == sites.end() ? nullptr : &it->second;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+FaultDecision FaultInjector::decide(const std::string& site) {
+  const SiteSpec* spec = plan_.find(site);
+  if (spec == nullptr) return {};
+  std::lock_guard lock(mutex_);
+  return decide_locked(site, *spec);
+}
+
+FaultDecision FaultInjector::decide(const std::string& site,
+                                    std::uint32_t partition) {
+  const SiteSpec* spec = plan_.find(site);
+  if (spec == nullptr) return {};
+  std::lock_guard lock(mutex_);
+  return decide_locked(site + "#" + std::to_string(partition), *spec);
+}
+
+FaultDecision FaultInjector::decide_locked(const std::string& state_key,
+                                           const SiteSpec& spec) {
+  auto it = states_.find(state_key);
+  if (it == states_.end()) {
+    // Substream derivation mirrors the platform models: (plan seed, site).
+    it = states_
+             .emplace(state_key,
+                      SiteState(RngStream(plan_.seed).substream(state_key)))
+             .first;
+  }
+  SiteState& state = it->second;
+  const std::uint64_t hit = ++state.hits;
+
+  FaultDecision decision;
+  if (hit < state.unavailable_until) {
+    decision.action = FaultAction::kPartitionUnavailable;
+  } else {
+    for (const ScheduledFault& scheduled : spec.schedule) {
+      if (scheduled.at_hit == hit) {
+        decision.action = scheduled.action;
+        break;
+      }
+    }
+  }
+  if (decision.none() && spec.total_probability() > 0.0) {
+    // One uniform draw per hit, mapped onto the cumulative action ladder,
+    // keeps the per-site stream consumption independent of the outcome —
+    // required for replay when specs are edited action by action.
+    const double u = state.rng.uniform(0.0, 1.0);
+    double edge = spec.drop;
+    if (u < edge) {
+      decision.action = FaultAction::kDrop;
+    } else if (u < (edge += spec.duplicate)) {
+      decision.action = FaultAction::kDuplicate;
+    } else if (u < (edge += spec.reorder)) {
+      decision.action = FaultAction::kReorder;
+    } else if (u < (edge += spec.delay)) {
+      decision.action = FaultAction::kDelay;
+    } else if (u < (edge += spec.transient_error)) {
+      decision.action = FaultAction::kTransientError;
+    } else if (u < (edge += spec.partition_unavailable)) {
+      decision.action = FaultAction::kPartitionUnavailable;
+    } else if (u < (edge += spec.thread_kill)) {
+      decision.action = FaultAction::kThreadKill;
+    }
+  }
+
+  switch (decision.action) {
+    case FaultAction::kNone:
+      return decision;
+    case FaultAction::kDelay: {
+      const auto lo = static_cast<double>(spec.delay_min.count());
+      const auto hi = static_cast<double>(spec.delay_max.count());
+      decision.delay = std::chrono::microseconds(
+          static_cast<std::int64_t>(state.rng.uniform(lo, hi < lo ? lo : hi)));
+      break;
+    }
+    case FaultAction::kPartitionUnavailable:
+      if (hit >= state.unavailable_until) {
+        state.unavailable_until = hit + 1 + spec.unavailable_hits;
+      }
+      break;
+    default:
+      break;
+  }
+  counts_[to_string(decision.action)] += 1;
+  ++faults_;
+  return decision;
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, state] : states_) {
+    if (key == site || key.rfind(site + "#", 0) == 0) total += state.hits;
+  }
+  return total;
+}
+
+std::map<std::string, std::uint64_t> FaultInjector::counts() const {
+  std::lock_guard lock(mutex_);
+  return counts_;
+}
+
+std::uint64_t FaultInjector::faults_injected() const {
+  std::lock_guard lock(mutex_);
+  return faults_;
+}
+
+}  // namespace recup::chaos

@@ -29,6 +29,10 @@ Cluster::Cluster(ClusterConfig config)
       })"));
   broker_ = std::make_unique<mofka::Broker>(services_->yokan("mofka-metadata"),
                                             services_->warabi("mofka-data"));
+  if (!config_.fault_plan.empty()) {
+    injector_ = std::make_shared<chaos::FaultInjector>(config_.fault_plan);
+    broker_->set_fault_injector(injector_);
+  }
   create_wms_topics(*broker_);
   if (config_.enable_mofka) {
     mofka_scheduler_plugin_ =
@@ -89,6 +93,9 @@ Cluster::Cluster(ClusterConfig config)
     }
     if (gpus_) {
       worker->set_gpus(gpus_.get(), gpu_collector_.get());
+    }
+    if (injector_) {
+      worker->set_fault_injector(injector_);
     }
     scheduler_->add_worker(worker.get());
     worker_members_.push_back(group.join(address));
@@ -216,6 +223,9 @@ RunData Cluster::run(std::vector<TaskGraph> graphs,
   run.transitions = scheduler_->transitions();
   run.tasks = scheduler_->task_records();
   run.steals = scheduler_->steals();
+  const auto& sched_warns = scheduler_->warnings();
+  run.warnings.insert(run.warnings.end(), sched_warns.begin(),
+                      sched_warns.end());
   for (const auto& worker : workers_) {
     const auto& wt = worker->transitions();
     run.transitions.insert(run.transitions.end(), wt.begin(), wt.end());

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/fault.hpp"
 #include "dtr/client.hpp"
 #include "dtr/darshan_bridge.hpp"
 #include "dtr/mofka_plugins.hpp"
@@ -66,6 +67,11 @@ struct ClusterConfig {
   mofka::ProducerConfig producer{/*batch_size=*/128,
                                  std::chrono::milliseconds(5),
                                  /*background_flush=*/false};
+  /// Deterministic fault injection (recup::chaos). When non-empty, a
+  /// FaultInjector seeded from the plan is installed on the Mofka broker
+  /// (push/pull/flush sites) and on every worker (dtr.worker site). Any
+  /// failing run replays from (plan.seed, plan).
+  chaos::FaultPlan fault_plan;
   std::uint64_t seed = 42;
 };
 
@@ -87,6 +93,11 @@ class Cluster {
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
   Scheduler& scheduler() { return *scheduler_; }
   mofka::Broker& broker() { return *broker_; }
+  /// Non-null only when config.fault_plan is non-empty.
+  [[nodiscard]] const std::shared_ptr<chaos::FaultInjector>&
+  fault_injector() const {
+    return injector_;
+  }
   mochi::Group& worker_group() { return services_->ssg("workers"); }
   /// Non-null only when enable_darshan_streaming is set.
   DarshanMofkaBridge* darshan_bridge() { return bridge_.get(); }
@@ -114,6 +125,7 @@ class Cluster {
   std::unique_ptr<Vfs> vfs_;
   std::unique_ptr<mochi::ServiceHandle> services_;
   std::unique_ptr<mofka::Broker> broker_;
+  std::shared_ptr<chaos::FaultInjector> injector_;
   std::unique_ptr<gpuprof::GpuSet> gpus_;
   std::unique_ptr<gpuprof::Collector> gpu_collector_;
   std::unique_ptr<DarshanMofkaBridge> bridge_;

@@ -136,8 +136,10 @@ std::vector<darshan::LogFile> read_darshan_topic(
       posix;
   std::map<darshan::ProcessId, std::map<std::string, darshan::DxtRecord>>
       dxt;
-  while (auto event = consumer.pull()) {
-    const json::Value& m = event->metadata;
+  // pull_all() drains past transient injected pull faults; a bare pull()
+  // loop would stop at the first hidden event.
+  for (auto& event : consumer.pull_all()) {
+    const json::Value& m = event.metadata;
     const auto process =
         static_cast<darshan::ProcessId>(m.at("process").as_int());
     const std::string& file = m.at("file").as_string();

@@ -193,7 +193,8 @@ StealRecord steal_from_json(const json::Value& v) {
 MofkaSchedulerPlugin::MofkaSchedulerPlugin(mofka::Broker& broker,
                                            mofka::ProducerConfig config)
     : transitions_(broker, kTransitions, config),
-      cluster_(broker, kCluster, config) {}
+      cluster_(broker, kCluster, config),
+      warnings_(broker, kWarnings, config) {}
 
 void MofkaSchedulerPlugin::on_graph_received(const std::string& graph_name,
                                              std::size_t task_count,
@@ -236,9 +237,14 @@ void MofkaSchedulerPlugin::on_steal(const StealRecord& record) {
   cluster_.push(to_json(record));
 }
 
+void MofkaSchedulerPlugin::on_warning(const WarningRecord& record) {
+  warnings_.push(to_json(record));
+}
+
 void MofkaSchedulerPlugin::flush() {
   transitions_.flush();
   cluster_.flush();
+  warnings_.flush();
 }
 
 MofkaWorkerPlugin::MofkaWorkerPlugin(mofka::Broker& broker,

@@ -49,12 +49,14 @@ class MofkaSchedulerPlugin final : public SchedulerPlugin {
   void on_worker_removed(WorkerId worker, const std::string& address,
                          TimePoint time) override;
   void on_steal(const StealRecord& record) override;
+  void on_warning(const WarningRecord& record) override;
 
   void flush();
 
  private:
   mofka::Producer transitions_;
   mofka::Producer cluster_;
+  mofka::Producer warnings_;
 };
 
 class MofkaWorkerPlugin final : public WorkerPlugin {

@@ -34,6 +34,9 @@ class SchedulerPlugin {
     (void)time;
   }
   virtual void on_steal(const StealRecord& record) { (void)record; }
+  /// Scheduler-side warnings (e.g. dead-lettered tasks whose retry or
+  /// resubmission budget ran out).
+  virtual void on_warning(const WarningRecord& record) { (void)record; }
 };
 
 class WorkerPlugin {

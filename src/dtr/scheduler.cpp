@@ -95,7 +95,14 @@ void Scheduler::submit_graph(const TaskGraph& graph, GraphDoneFn on_done) {
       }
       dep_info.dependents.push_back(key);
       ++dep_info.remaining_dependents;
-      if (dep_info.state == SchedulerTaskState::kMemory) continue;
+      if (dep_info.state == SchedulerTaskState::kMemory) {
+        if (!dep_info.who_has.empty()) continue;
+        // The result survived in name only: every replica died with its
+        // worker before this graph arrived (and with no dependents yet, the
+        // failure handler had no reason to recompute it then). Rebuild it
+        // now that someone needs it.
+        recompute_lost(dep_info);
+      }
       ++info.waiting_on;
     }
     transition(info, SchedulerTaskState::kWaiting, "update-graph");
@@ -203,7 +210,8 @@ void Scheduler::send_to_worker(TaskInfo& info, Worker* worker,
     if (dep_info.who_has.count(worker->id()) != 0) continue;
     if (dep_info.who_has.empty()) {
       throw std::logic_error("dispatching task with unmet dependency " +
-                             dep.to_string());
+                             dep.to_string() + " [stimulus=" + stimulus +
+                             " stolen=" + (stolen ? "1" : "0") + "]");
     }
     // Nearest replica serves the transfer.
     WorkerId holder = *dep_info.who_has.begin();
@@ -252,17 +260,8 @@ void Scheduler::on_task_finished(const TaskKey& key, const TaskRecord& record,
       transition(info, SchedulerTaskState::kWaiting, "retry");
       dispatch(info, "retry");
     } else {
-      ++erred_;
-      logs_.log(LogLevel::kError, "scheduler",
-                "task " + key.to_string() + " erred after retries");
-      // Terminal failure still counts towards graph completion so runs
-      // finish; dependents remain blocked forever by design.
-      auto& graph = graphs_.at(info.graph);
-      if (--graph.remaining == 0 && graph.on_done) {
-        GraphDoneFn on_done = std::move(graph.on_done);
-        graph.on_done = nullptr;
-        on_done(graph.name);
-      }
+      dead_letter(info, "erred after " + std::to_string(info.retries) +
+                            " retries");
     }
     return;
   }
@@ -327,12 +326,55 @@ void Scheduler::maybe_release(TaskInfo& info) {
   info.who_has.clear();
 }
 
+bool Scheduler::requeue_if_deps_lost(TaskInfo& info) {
+  bool lost = false;
+  for (const auto& dep : info.spec.dependencies) {
+    const auto dep_it = tasks_.find(dep);
+    if (dep_it == tasks_.end()) continue;
+    const TaskInfo& dep_info = dep_it->second;
+    if (dep_info.state == SchedulerTaskState::kMemory &&
+        !dep_info.who_has.empty()) {
+      continue;
+    }
+    lost = true;
+    break;
+  }
+  if (!lost) return false;
+  // A worker failure wiped the only replica of a dependency while this task
+  // sat in the queue; dispatching it now would reference missing data. Send
+  // it back to waiting and recover the lost inputs, mirroring
+  // requeue_after_failure (but without charging a resubmission: the task
+  // never reached a worker).
+  transition(info, SchedulerTaskState::kWaiting, "lost-dependency");
+  info.waiting_on = 0;
+  for (const auto& dep : info.spec.dependencies) {
+    const auto dep_it = tasks_.find(dep);
+    if (dep_it == tasks_.end()) continue;
+    TaskInfo& dep_info = dep_it->second;
+    if (dep_info.state == SchedulerTaskState::kMemory) {
+      if (!dep_info.who_has.empty()) continue;
+      recompute_lost(dep_info);
+    }
+    if (dep_info.state == SchedulerTaskState::kMemory &&
+        !dep_info.who_has.empty()) {
+      continue;
+    }
+    ++info.waiting_on;
+  }
+  if (info.waiting_on == 0) {
+    dispatch(info, "lost-dependency");
+  }
+  return true;
+}
+
 void Scheduler::drain_queue() {
   std::size_t remaining = queued_.size();
   while (remaining-- > 0 && !queued_.empty()) {
     const TaskKey key = queued_.front();
     queued_.pop_front();
     TaskInfo& info = tasks_.at(key);
+    if (info.state != SchedulerTaskState::kQueued) continue;
+    if (requeue_if_deps_lost(info)) continue;
     Worker* worker = decide_worker(info);
     if (worker == nullptr) {
       queued_.push_back(key);
@@ -438,7 +480,36 @@ void Scheduler::recompute_lost(TaskInfo& info) {
   }
 }
 
+void Scheduler::dead_letter(TaskInfo& info, const std::string& reason) {
+  if (info.state != SchedulerTaskState::kErred) {
+    transition(info, SchedulerTaskState::kErred, "dead-letter");
+  }
+  ++erred_;
+  WarningRecord warning;
+  warning.kind = "dead_letter";
+  warning.location = "scheduler";
+  warning.time = engine_.now();
+  warning.message = "task " + info.spec.key.to_string() + ": " + reason;
+  warnings_.push_back(warning);
+  for (auto* plugin : plugins_) plugin->on_warning(warning);
+  logs_.log(LogLevel::kError, "scheduler", "dead-letter " + warning.message);
+  // Terminal failure still counts towards graph completion so runs finish;
+  // dependents remain blocked forever by design.
+  auto& graph = graphs_.at(info.graph);
+  if (--graph.remaining == 0 && graph.on_done) {
+    GraphDoneFn on_done = std::move(graph.on_done);
+    graph.on_done = nullptr;
+    on_done(graph.name);
+  }
+}
+
 void Scheduler::requeue_after_failure(TaskInfo& info) {
+  if (++info.resubmissions > config_.max_resubmissions) {
+    dead_letter(info, "resubmission cap (" +
+                          std::to_string(config_.max_resubmissions) +
+                          ") exhausted after repeated worker failures");
+    return;
+  }
   transition(info, SchedulerTaskState::kWaiting, "worker-failed");
   info.waiting_on = 0;
   for (const auto& dep : info.spec.dependencies) {

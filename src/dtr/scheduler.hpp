@@ -36,6 +36,11 @@ struct SchedulerConfig {
   /// (Dask's steal cost heuristic).
   double steal_cost_ratio = 2.0;
   std::uint32_t max_retries = 3;
+  /// Cap on re-dispatches of one task after worker failures. Exhausting it
+  /// dead-letters the task: a terminal erred state plus a "dead_letter"
+  /// warning record, so lost work is queryable instead of silently retried
+  /// forever on a flapping cluster.
+  std::uint32_t max_resubmissions = 5;
   /// Typical task duration estimate used for occupancy weighting before any
   /// task of a prefix has completed.
   Duration default_task_duration = 0.05;
@@ -81,6 +86,10 @@ class Scheduler {
   [[nodiscard]] const std::vector<StealRecord>& steals() const {
     return steals_;
   }
+  /// Scheduler-side warnings (dead-lettered tasks).
+  [[nodiscard]] const std::vector<WarningRecord>& warnings() const {
+    return warnings_;
+  }
   [[nodiscard]] std::uint64_t erred_tasks() const { return erred_; }
 
   void add_plugin(SchedulerPlugin* plugin) { plugins_.push_back(plugin); }
@@ -108,6 +117,7 @@ class Scheduler {
     std::set<WorkerId> who_has;             ///< replicas in worker memory
     Worker* assigned = nullptr;
     std::uint32_t retries = 0;
+    std::uint32_t resubmissions = 0;  ///< re-dispatches after worker deaths
     bool stolen = false;
   };
 
@@ -134,8 +144,16 @@ class Scheduler {
   /// Schedules recomputation of a result whose replicas are all gone.
   void recompute_lost(TaskInfo& info);
   /// Moves a processing task back to waiting (after its worker died),
-  /// recovering any lost dependencies first.
+  /// recovering any lost dependencies first. Dead-letters the task when its
+  /// resubmission cap is exhausted.
   void requeue_after_failure(TaskInfo& info);
+  /// Terminal failure: erred state, "dead_letter" warning record, plugin
+  /// notification, and graph-completion accounting.
+  void dead_letter(TaskInfo& info, const std::string& reason);
+  /// Returns true (and moves the task back to waiting, recovering lost
+  /// dependencies) when a queued task can no longer be dispatched because a
+  /// dependency's replicas all died while it sat in the queue.
+  bool requeue_if_deps_lost(TaskInfo& info);
   void drain_queue();
   void stealing_round();
   [[nodiscard]] Duration transfer_cost_estimate(const TaskInfo& info,
@@ -165,6 +183,7 @@ class Scheduler {
   std::vector<TransitionRecord> transitions_;
   std::vector<TaskRecord> task_records_;
   std::vector<StealRecord> steals_;
+  std::vector<WarningRecord> warnings_;
   std::vector<SchedulerPlugin*> plugins_;
   std::uint64_t erred_ = 0;
   bool stopped_ = false;

@@ -168,6 +168,13 @@ std::vector<TaskKey> Worker::stealable_tasks() const {
 
 void Worker::maybe_start_tasks() {
   if (stopped_) return;
+  if (injector_) {
+    const auto fault = injector_->decide(chaos::sites::kDtrWorker, id_);
+    if (fault.action == chaos::FaultAction::kThreadKill) {
+      kill();
+      return;
+    }
+  }
   // New task starts are driven by the worker event loop; while it is
   // blocked (GIL-holding task or GC pause), nothing can be scheduled.
   if (engine_.now() < loop_blocked_until_) {

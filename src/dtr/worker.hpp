@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "chaos/fault.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "darshan/runtime.hpp"
@@ -131,6 +132,12 @@ class Worker {
     gpu_collector_ = collector;
   }
   void add_plugin(WorkerPlugin* plugin) { plugins_.push_back(plugin); }
+  /// Chaos hook: the worker loop consults chaos::sites::kDtrWorker (with
+  /// this worker's id as the partition) before starting tasks; an injected
+  /// kThreadKill kills the process mid-run.
+  void set_fault_injector(std::shared_ptr<chaos::FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
   void start_heartbeats();
   void stop();
   /// Hard failure: the process dies — no further completions are reported,
@@ -226,6 +233,7 @@ class Worker {
   CompletionFn on_finished_;
   HeartbeatFn on_heartbeat_;
   ReplicaFn on_replica_;
+  std::shared_ptr<chaos::FaultInjector> injector_;
   gpuprof::GpuSet* gpus_ = nullptr;
   gpuprof::Collector* gpu_collector_ = nullptr;
   std::vector<WorkerPlugin*> plugins_;

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <thread>
 
 namespace recup::mofka {
 
@@ -21,6 +22,7 @@ void Broker::create_topic(const std::string& name, TopicConfig config) {
   topic.config = std::move(config);
   topic.next_offset.assign(topic.config.partitions, 0);
   topic.data_regions.assign(topic.config.partitions, {});
+  topic.producers.resize(topic.config.partitions);
   topics_.emplace(name, std::move(topic));
 }
 
@@ -50,6 +52,17 @@ TopicStats Broker::topic_stats(const std::string& topic) const {
   return it->second.stats;
 }
 
+void Broker::set_fault_injector(
+    std::shared_ptr<chaos::FaultInjector> injector) {
+  std::lock_guard lock(mutex_);
+  injector_ = std::move(injector);
+}
+
+std::shared_ptr<chaos::FaultInjector> Broker::fault_injector() const {
+  std::lock_guard lock(mutex_);
+  return injector_;
+}
+
 std::string Broker::meta_key(const std::string& topic,
                              PartitionIndex partition, EventId offset) {
   // Zero-padded offsets keep lexicographic order == numeric order, so prefix
@@ -59,11 +72,12 @@ std::string Broker::meta_key(const std::string& topic,
   return "t/" + topic + buf;
 }
 
-EventId Broker::append_batch(
+AppendResult Broker::append_batch(
     const std::string& topic, PartitionIndex partition,
     const std::vector<std::pair<json::Value, std::string>>& events) {
   if (events.empty()) throw MofkaError("mofka: empty batch");
   Validator validator;
+  std::shared_ptr<chaos::FaultInjector> injector;
   {
     std::lock_guard lock(mutex_);
     const auto it = topics_.find(topic);
@@ -72,26 +86,84 @@ EventId Broker::append_batch(
       throw MofkaError("mofka: partition out of range");
     }
     validator = it->second.config.validator;
+    injector = injector_;
   }
   if (validator) {
     for (const auto& [metadata, data] : events) validator(metadata);
   }
 
-  std::lock_guard lock(mutex_);
-  Topic& t = topics_.at(topic);
-  const EventId first = t.next_offset[partition];
-  for (const auto& [metadata, data] : events) {
-    const EventId offset = t.next_offset[partition]++;
-    const std::string serialized = metadata.dump();
-    // Metadata in yokan, payload in warabi, linked by region id order.
-    metadata_store_.put(meta_key(topic, partition, offset), serialized);
-    t.data_regions[partition].push_back(data_store_.create_sealed(data));
-    t.stats.events += 1;
-    t.stats.bytes_metadata += serialized.size();
-    t.stats.bytes_data += data.size();
+  // Fault injection point: "drop"-like actions lose the request before it
+  // takes effect; "duplicate" appends but loses the ack, so the retried
+  // batch exercises sequence dedup.
+  chaos::FaultDecision fault;
+  if (injector) fault = injector->decide(chaos::sites::kMofkaPush, partition);
+  if (fault.action == chaos::FaultAction::kDelay) {
+    std::this_thread::sleep_for(fault.delay);
   }
-  t.stats.batches += 1;
-  return first;
+  switch (fault.action) {
+    case chaos::FaultAction::kDrop:
+      throw chaos::TransientFault("mofka: injected push drop");
+    case chaos::FaultAction::kReorder:
+      // Lost-then-retried: the retry displaces this batch's arrival order
+      // relative to other partitions/producers.
+      throw chaos::TransientFault("mofka: injected push reorder");
+    case chaos::FaultAction::kTransientError:
+      throw chaos::TransientFault("mofka: injected transient push error");
+    case chaos::FaultAction::kPartitionUnavailable:
+      throw chaos::TransientFault("mofka: injected partition outage");
+    default:
+      break;
+  }
+
+  AppendResult result;
+  result.offsets.reserve(events.size());
+  {
+    std::lock_guard lock(mutex_);
+    Topic& t = topics_.at(topic);
+    for (const auto& [metadata, data] : events) {
+      // Sequence dedup for producer-stamped events.
+      ProducerSeqState* pstate = nullptr;
+      std::uint64_t seq = 0;
+      if (metadata.is_object() && metadata.contains("_pid") &&
+          metadata.contains("_seq")) {
+        const auto pid = static_cast<std::uint64_t>(metadata.at("_pid")
+                                                        .as_int());
+        seq = static_cast<std::uint64_t>(metadata.at("_seq").as_int());
+        pstate = &t.producers[partition][pid];
+        if (!pstate->tracker.accept(seq)) {
+          ++result.duplicates;
+          ++t.stats.duplicates_absorbed;
+          const auto original = pstate->offsets.find(seq);
+          result.offsets.push_back(original != pstate->offsets.end()
+                                       ? original->second
+                                       : kUnknownOffset);
+          continue;
+        }
+      }
+      const EventId offset = t.next_offset[partition]++;
+      const std::string serialized = metadata.dump();
+      // Metadata in yokan, payload in warabi, linked by region id order.
+      metadata_store_.put(meta_key(topic, partition, offset), serialized);
+      t.data_regions[partition].push_back(data_store_.create_sealed(data));
+      t.stats.events += 1;
+      t.stats.bytes_metadata += serialized.size();
+      t.stats.bytes_data += data.size();
+      if (pstate != nullptr) {
+        pstate->offsets.emplace(seq, offset);
+        if (pstate->offsets.size() > kSeqOffsetWindow) {
+          pstate->offsets.erase(pstate->offsets.begin());
+        }
+      }
+      result.offsets.push_back(offset);
+    }
+    t.stats.batches += 1;
+  }
+  if (fault.action == chaos::FaultAction::kDuplicate) {
+    // The append landed but the ack is lost; the producer will retry the
+    // identical batch and dedup will absorb it.
+    throw chaos::TransientFault("mofka: injected ack loss after append");
+  }
+  return result;
 }
 
 PartitionIndex Broker::select_partition(const std::string& topic,

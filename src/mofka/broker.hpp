@@ -4,6 +4,15 @@
 // data payloads in a Warabi blob store — the same decomposition the paper
 // describes. The broker is fully thread-safe: producers append from
 // background flush threads while consumers pull concurrently.
+//
+// Delivery semantics: append_batch acts as the broker-side ack. Producers
+// stamp events with per-producer sequence numbers ("_pid"/"_seq" metadata
+// fields); the broker tracks them per (topic, partition, producer) and
+// absorbs re-sent events, returning the offset of the original append. This
+// turns producer retry (at-least-once) into exactly-once storage.
+//
+// An optional chaos::FaultInjector is consulted on every push; injected
+// faults surface as chaos::TransientFault, which callers may retry.
 #pragma once
 
 #include <cstdint>
@@ -15,10 +24,12 @@
 #include <string>
 #include <vector>
 
+#include "chaos/fault.hpp"
 #include "json/json.hpp"
 #include "mochi/warabi.hpp"
 #include "mochi/yokan.hpp"
 #include "mofka/event.hpp"
+#include "mofka/sequence.hpp"
 
 namespace recup::mofka {
 
@@ -26,6 +37,10 @@ class MofkaError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// Offset reported for a duplicate whose original offset has been pruned
+/// from the (bounded) sequence window.
+inline constexpr EventId kUnknownOffset = ~static_cast<EventId>(0);
 
 /// Validates event metadata before it is accepted (Mofka's validator hook).
 /// Throwing rejects the whole batch.
@@ -47,6 +62,17 @@ struct TopicStats {
   std::uint64_t batches = 0;
   std::uint64_t bytes_metadata = 0;
   std::uint64_t bytes_data = 0;
+  /// Re-sent events absorbed by sequence dedup (retries whose original
+  /// append succeeded but whose ack was lost).
+  std::uint64_t duplicates_absorbed = 0;
+};
+
+/// The broker's ack for one batch: per-event offsets in input order.
+/// Duplicates get the offset of their original append (or kUnknownOffset if
+/// it aged out of the sequence window).
+struct AppendResult {
+  std::vector<EventId> offsets;
+  std::uint64_t duplicates = 0;
 };
 
 class Broker {
@@ -59,10 +85,20 @@ class Broker {
   [[nodiscard]] PartitionIndex partition_count(const std::string& topic) const;
   [[nodiscard]] TopicStats topic_stats(const std::string& topic) const;
 
-  /// Appends a batch of (metadata, data) pairs to one partition atomically;
-  /// returns the offset of the first event. Runs the topic validator on
-  /// every event first.
-  EventId append_batch(
+  /// Installs (or clears) the fault injector consulted at the
+  /// chaos::sites::kMofkaPush site. Consumers read it back via
+  /// fault_injector() so one call wires the whole transport.
+  void set_fault_injector(std::shared_ptr<chaos::FaultInjector> injector);
+  [[nodiscard]] std::shared_ptr<chaos::FaultInjector> fault_injector() const;
+
+  /// Appends a batch of (metadata, data) pairs to one partition atomically
+  /// and acks with per-event offsets. Runs the topic validator on every
+  /// event first; events carrying "_pid"/"_seq" are deduplicated against
+  /// the per-producer sequence window. Throws chaos::TransientFault for
+  /// injected retryable faults (the batch may or may not have landed —
+  /// exactly the ambiguity real producers face; retry and let dedup sort
+  /// it out).
+  AppendResult append_batch(
       const std::string& topic, PartitionIndex partition,
       const std::vector<std::pair<json::Value, std::string>>& events);
 
@@ -88,10 +124,22 @@ class Broker {
                                          PartitionIndex partition) const;
 
  private:
+  /// Sequence window retained per (topic, partition, producer) for
+  /// duplicate-offset resolution. Must exceed any producer's in-flight
+  /// bound for exact acks; dedup itself is window-free.
+  static constexpr std::size_t kSeqOffsetWindow = 4096;
+
+  struct ProducerSeqState {
+    SequenceTracker tracker;
+    std::map<std::uint64_t, EventId> offsets;  // seq -> original offset
+  };
+
   struct Topic {
     TopicConfig config;
     std::vector<EventId> next_offset;          // per partition
     std::vector<std::vector<mochi::RegionId>> data_regions;  // per partition
+    /// Per partition: producer id -> sequence state.
+    std::vector<std::map<std::uint64_t, ProducerSeqState>> producers;
     PartitionIndex round_robin_next = 0;
     TopicStats stats;
   };
@@ -104,6 +152,7 @@ class Broker {
   mochi::BlobStore& data_store_;
   mutable std::mutex mutex_;
   std::map<std::string, Topic> topics_;
+  std::shared_ptr<chaos::FaultInjector> injector_;
 };
 
 }  // namespace recup::mofka

@@ -10,6 +10,7 @@ Consumer::Consumer(Broker& broker, std::string topic, std::string group,
       config_(std::move(config)) {
   const PartitionIndex parts = broker_.partition_count(topic_);
   next_offset_.resize(parts);
+  delivered_.resize(parts);
   for (PartitionIndex p = 0; p < parts; ++p) {
     next_offset_[p] = broker_.committed_offset(topic_, group_, p);
   }
@@ -17,14 +18,49 @@ Consumer::Consumer(Broker& broker, std::string topic, std::string group,
 
 std::optional<Event> Consumer::pull() {
   const auto parts = static_cast<PartitionIndex>(next_offset_.size());
+  const auto injector = broker_.fault_injector();
   for (PartitionIndex i = 0; i < parts; ++i) {
     const PartitionIndex p =
         static_cast<PartitionIndex>((rr_ + i) % parts);
+
+    chaos::FaultDecision fault;
+    if (injector) {
+      fault = injector->decide(chaos::sites::kMofkaConsumerPull, p);
+    }
+    if (fault.action == chaos::FaultAction::kDelay) {
+      std::this_thread::sleep_for(fault.delay);
+    }
+    if (fault.action == chaos::FaultAction::kDrop ||
+        fault.action == chaos::FaultAction::kPartitionUnavailable) {
+      // The partition's next event is transiently invisible; a later pull
+      // retries it. Callers that need a full drain loop until drained().
+      continue;
+    }
+    if (fault.action == chaos::FaultAction::kDuplicate &&
+        next_offset_[p] > 0) {
+      // The wire redelivers the previously delivered offset.
+      auto dup = broker_.fetch(topic_, p, next_offset_[p] - 1,
+                               config_.selector);
+      if (dup) {
+        ++stats_.redeliveries;
+        if (!config_.dedup) {
+          rr_ = static_cast<PartitionIndex>((p + 1) % parts);
+          ++consumed_;
+          ++stats_.delivered;
+          return dup;
+        }
+        if (!delivered_[p].accept(dup->id)) ++stats_.duplicates_dropped;
+        // Dedup absorbed it; fall through to the real next event.
+      }
+    }
+
     auto event = broker_.fetch(topic_, p, next_offset_[p], config_.selector);
     if (event) {
       ++next_offset_[p];
       rr_ = static_cast<PartitionIndex>((p + 1) % parts);
       ++consumed_;
+      if (config_.dedup) delivered_[p].accept(event->id);
+      ++stats_.delivered;
       return event;
     }
   }
@@ -33,8 +69,23 @@ std::optional<Event> Consumer::pull() {
 
 std::vector<Event> Consumer::pull_all() {
   std::vector<Event> out;
-  while (auto event = pull()) out.push_back(std::move(*event));
+  for (;;) {
+    if (auto event = pull()) {
+      out.push_back(std::move(*event));
+      continue;
+    }
+    // pull() can return nullopt while events remain (injected drop /
+    // partition outage); only stop once every partition is truly drained.
+    if (drained()) break;
+  }
   return out;
+}
+
+bool Consumer::drained() const {
+  for (PartitionIndex p = 0; p < next_offset_.size(); ++p) {
+    if (next_offset_[p] < broker_.partition_size(topic_, p)) return false;
+  }
+  return true;
 }
 
 void Consumer::commit() {

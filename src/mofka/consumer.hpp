@@ -4,6 +4,14 @@
 // ("the API for consuming events is identical whether consumers process
 // events individually in real time or in bulk at the completion of a
 // workflow").
+//
+// Delivery: the transport is at-least-once — the broker's fault injector
+// (chaos::sites::kMofkaConsumerPull) can hide the next event for a round
+// (drop) or redeliver an already-delivered offset (duplicate). A
+// SequenceTracker over delivered offsets per partition filters the
+// duplicates, so the application sees each stored event exactly once per
+// consumer instance; exactly-once *effects* across consumer restarts come
+// from the ingestor's idempotent publish.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +23,7 @@
 
 #include "common/queue.hpp"
 #include "mofka/broker.hpp"
+#include "mofka/sequence.hpp"
 
 namespace recup::mofka {
 
@@ -23,6 +32,17 @@ struct ConsumerConfig {
   std::size_t prefetch = 32;
   /// Optional data selector; nullptr fetches full payloads.
   std::function<DataSelection(const json::Value&)> selector;
+  /// Drop redelivered offsets instead of handing them to the application.
+  /// Disable to observe raw at-least-once behaviour.
+  bool dedup = true;
+};
+
+struct ConsumerStats {
+  std::uint64_t delivered = 0;
+  /// Injected redeliveries observed on the wire.
+  std::uint64_t redeliveries = 0;
+  /// Redelivered events filtered out by offset dedup.
+  std::uint64_t duplicates_dropped = 0;
 };
 
 class Consumer {
@@ -33,7 +53,8 @@ class Consumer {
            ConsumerConfig config = {});
 
   /// Pulls the next event in offset order, round-robining across
-  /// partitions; returns nullopt when fully drained.
+  /// partitions; returns nullopt when fully drained (or when every
+  /// partition's next event is transiently unavailable).
   std::optional<Event> pull();
 
   /// Pulls every remaining event (bulk post-processing mode).
@@ -42,7 +63,13 @@ class Consumer {
   /// Persists this consumer's position for its group.
   void commit();
 
+  /// True when every partition has been pulled up to the broker's current
+  /// end. Distinguishes "genuinely drained" from "pull() returned nullopt
+  /// because a fault hid the next event".
+  [[nodiscard]] bool drained() const;
+
   [[nodiscard]] std::uint64_t consumed() const { return consumed_; }
+  [[nodiscard]] ConsumerStats stats() const { return stats_; }
   [[nodiscard]] const std::string& topic() const { return topic_; }
   [[nodiscard]] const std::string& group() const { return group_; }
 
@@ -51,9 +78,11 @@ class Consumer {
   std::string topic_;
   std::string group_;
   ConsumerConfig config_;
-  std::vector<EventId> next_offset_;  // per partition
+  std::vector<EventId> next_offset_;        // per partition
+  std::vector<SequenceTracker> delivered_;  // per partition, offsets
   PartitionIndex rr_ = 0;
   std::uint64_t consumed_ = 0;
+  ConsumerStats stats_;
 };
 
 }  // namespace recup::mofka

@@ -1,13 +1,35 @@
 #include "mofka/producer.hpp"
 
+#include <atomic>
+
 namespace recup::mofka {
 
+namespace {
+std::atomic<std::uint64_t> g_next_pid{1};
+}  // namespace
+
+std::chrono::microseconds retry_backoff(std::size_t attempt,
+                                        const ProducerConfig& config) {
+  const std::uint64_t shift = attempt < 16 ? attempt : 16;
+  const auto backoff = std::chrono::microseconds(
+      config.backoff_base.count() << shift);
+  return backoff < config.backoff_max ? backoff : config.backoff_max;
+}
+
 Producer::Producer(Broker& broker, std::string topic, ProducerConfig config)
-    : broker_(broker), topic_(std::move(topic)), config_(config) {
+    : broker_(broker),
+      topic_(std::move(topic)),
+      config_(config),
+      pid_(g_next_pid.fetch_add(1, std::memory_order_relaxed)) {
   if (config_.batch_size == 0) {
     throw MofkaError("mofka: producer batch_size must be >= 1");
   }
-  pending_.resize(broker_.partition_count(topic_));
+  if (config_.max_in_flight == 0) {
+    throw MofkaError("mofka: producer max_in_flight must be >= 1");
+  }
+  const PartitionIndex parts = broker_.partition_count(topic_);
+  pending_.resize(parts);
+  next_seq_.assign(parts, 0);
   if (config_.background_flush) {
     background_ = std::thread([this] { background_loop(); });
   }
@@ -27,20 +49,34 @@ std::future<EventId> Producer::push(json::Value metadata, std::string data) {
   const PartitionIndex partition =
       broker_.select_partition(topic_, metadata);
   PendingEvent event;
-  event.metadata = std::move(metadata);
   event.data = std::move(data);
   std::future<EventId> future = event.promise.get_future();
 
   std::vector<PendingEvent> ready;
   {
     std::lock_guard lock(mutex_);
+    // Sequence stamping makes retried appends idempotent at the broker.
+    if (metadata.is_object()) {
+      metadata["_pid"] = pid_;
+      metadata["_seq"] = next_seq_[partition]++;
+    }
+    event.metadata = std::move(metadata);
     ++stats_.pushed;
+    ++inflight_;
     auto& queue = pending_[partition];
     queue.push_back(std::move(event));
     if (queue.size() >= config_.batch_size) {
       ready = std::move(queue);
       queue.clear();
       ++stats_.size_triggered_flushes;
+      ++flushing_;
+    } else if (inflight_ >= config_.max_in_flight) {
+      // In-flight bound reached: flush this partition synchronously rather
+      // than letting the buffer grow without limit.
+      ready = std::move(queue);
+      queue.clear();
+      ++stats_.backpressure_flushes;
+      ++flushing_;
     }
   }
   if (!ready.empty()) flush_partition(partition, std::move(ready));
@@ -55,9 +91,15 @@ void Producer::flush() {
       if (pending_[p].empty()) continue;
       batch = std::move(pending_[p]);
       pending_[p].clear();
+      ++flushing_;
     }
     flush_partition(p, std::move(batch));
   }
+  // Wait out flushes in flight on other threads (background timer, size
+  // triggers): when flush() returns, everything pushed before it has been
+  // acked or failed.
+  std::unique_lock lock(mutex_);
+  flush_done_.wait(lock, [this] { return flushing_ == 0; });
 }
 
 void Producer::flush_partition(PartitionIndex partition,
@@ -67,18 +109,47 @@ void Producer::flush_partition(PartitionIndex partition,
   for (auto& e : batch) {
     events.emplace_back(std::move(e.metadata), std::move(e.data));
   }
-  try {
-    const EventId first = broker_.append_batch(topic_, partition, events);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(first + i);
-    }
-    std::lock_guard lock(mutex_);
-    ++stats_.batches_flushed;
-  } catch (...) {
-    for (auto& e : batch) {
-      e.promise.set_exception(std::current_exception());
+  std::size_t attempt = 0;
+  for (;;) {
+    try {
+      const AppendResult ack = broker_.append_batch(topic_, partition,
+                                                    events);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].promise.set_value(ack.offsets[i]);
+      }
+      std::lock_guard lock(mutex_);
+      ++stats_.batches_flushed;
+      stats_.retries += attempt;
+      stats_.duplicates_acked += ack.duplicates;
+      break;
+    } catch (const chaos::TransientFault&) {
+      if (attempt >= config_.max_retries) {
+        for (auto& e : batch) {
+          e.promise.set_exception(std::current_exception());
+        }
+        std::lock_guard lock(mutex_);
+        stats_.retries += attempt;
+        stats_.events_failed += batch.size();
+        break;
+      }
+      std::this_thread::sleep_for(retry_backoff(attempt, config_));
+      ++attempt;
+    } catch (...) {
+      // Non-transient errors (validator rejections, unknown topic) are not
+      // retried: retrying cannot make a rejected batch acceptable.
+      for (auto& e : batch) {
+        e.promise.set_exception(std::current_exception());
+      }
+      std::lock_guard lock(mutex_);
+      stats_.retries += attempt;
+      stats_.events_failed += batch.size();
+      break;
     }
   }
+  std::lock_guard lock(mutex_);
+  inflight_ -= batch.size();
+  flushing_ -= 1;
+  flush_done_.notify_all();
 }
 
 void Producer::background_loop() {
@@ -86,11 +157,34 @@ void Producer::background_loop() {
   while (!stopping_) {
     wake_.wait_for(lock, config_.flush_interval);
     if (stopping_) break;
+    bool any_pending = false;
+    for (const auto& queue : pending_) {
+      if (!queue.empty()) {
+        any_pending = true;
+        break;
+      }
+    }
+    if (!any_pending) continue;
+    lock.unlock();
+    if (const auto injector = broker_.fault_injector()) {
+      const auto fault =
+          injector->decide(chaos::sites::kMofkaProducerFlush);
+      if (fault.action == chaos::FaultAction::kDelay) {
+        std::this_thread::sleep_for(fault.delay);
+      } else if (fault.action == chaos::FaultAction::kThreadKill) {
+        // The background flusher dies. Buffered events stay in pending_
+        // and are recovered by the next explicit flush() or the
+        // destructor — the flush-on-destruct guarantee.
+        return;
+      }
+    }
+    lock.lock();
     for (PartitionIndex p = 0; p < pending_.size(); ++p) {
       if (pending_[p].empty()) continue;
       std::vector<PendingEvent> batch = std::move(pending_[p]);
       pending_[p].clear();
       ++stats_.timer_triggered_flushes;
+      ++flushing_;
       lock.unlock();
       flush_partition(p, std::move(batch));
       lock.lock();

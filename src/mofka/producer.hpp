@@ -6,6 +6,16 @@
 // partition offset once its batch commits. Batches flush when they reach
 // `batch_size` events or when the background thread's `flush_interval`
 // expires, whichever comes first.
+//
+// Delivery: every pushed event is stamped with this producer's id and a
+// per-partition sequence number ("_pid"/"_seq"); retryable append failures
+// (chaos::TransientFault) are retried with exponential backoff up to
+// `max_retries`, and the broker's sequence dedup makes the retries
+// idempotent. The in-flight buffer (buffered + unacked events) is bounded
+// by `max_in_flight`: exceeding it forces a synchronous flush on the
+// pushing thread. flush() is a barrier: when it returns, every previously
+// pushed event has been acked or failed — including batches that were
+// mid-flight on the background thread when flush() was called.
 #pragma once
 
 #include <chrono>
@@ -27,13 +37,32 @@ struct ProducerConfig {
   /// When false, no background thread is started and batches only flush on
   /// size threshold or explicit flush(); useful for deterministic tests.
   bool background_flush = true;
+  /// Retries per batch on chaos::TransientFault; 0 disables retrying
+  /// (at-most-once — a deliberately lossy mode for testing the oracle).
+  std::size_t max_retries = 8;
+  std::chrono::microseconds backoff_base{50};
+  std::chrono::microseconds backoff_max{2000};
+  /// Bound on buffered + unacked events before push() forces a flush.
+  std::size_t max_in_flight = 1024;
 };
+
+/// Backoff before retry `attempt` (0-based): min(base * 2^attempt, max).
+std::chrono::microseconds retry_backoff(std::size_t attempt,
+                                        const ProducerConfig& config);
 
 struct ProducerStats {
   std::uint64_t pushed = 0;
   std::uint64_t batches_flushed = 0;
   std::uint64_t size_triggered_flushes = 0;
   std::uint64_t timer_triggered_flushes = 0;
+  /// Flushes forced by the max_in_flight bound.
+  std::uint64_t backpressure_flushes = 0;
+  /// Batch append retries after transient faults.
+  std::uint64_t retries = 0;
+  /// Events whose retried append was absorbed by broker dedup (ack lost).
+  std::uint64_t duplicates_acked = 0;
+  /// Events failed permanently (retry budget exhausted or fatal error).
+  std::uint64_t events_failed = 0;
 };
 
 class Producer {
@@ -44,14 +73,18 @@ class Producer {
   Producer(const Producer&) = delete;
   Producer& operator=(const Producer&) = delete;
 
-  /// Buffers an event; nonblocking except for the internal lock.
+  /// Buffers an event; nonblocking except for the internal lock, unless the
+  /// in-flight bound forces a synchronous flush.
   std::future<EventId> push(json::Value metadata, std::string data = {});
 
-  /// Flushes all pending batches synchronously.
+  /// Flushes all pending batches and waits for concurrently in-flight
+  /// flushes: a full delivery barrier.
   void flush();
 
   [[nodiscard]] ProducerStats stats() const;
   [[nodiscard]] const std::string& topic() const { return topic_; }
+  /// Process-unique producer id stamped into event metadata as "_pid".
+  [[nodiscard]] std::uint64_t producer_id() const { return pid_; }
 
  private:
   struct PendingEvent {
@@ -60,7 +93,8 @@ class Producer {
     std::promise<EventId> promise;
   };
 
-  /// Flushes one partition's pending events. Caller must NOT hold the lock.
+  /// Flushes one partition's pending events. Caller must NOT hold the lock
+  /// and must have incremented flushing_ when extracting the batch.
   void flush_partition(PartitionIndex partition,
                        std::vector<PendingEvent> batch);
   void background_loop();
@@ -68,9 +102,14 @@ class Producer {
   Broker& broker_;
   std::string topic_;
   ProducerConfig config_;
+  std::uint64_t pid_;
   mutable std::mutex mutex_;
   std::condition_variable wake_;
+  std::condition_variable flush_done_;
   std::vector<std::vector<PendingEvent>> pending_;  // per partition
+  std::vector<std::uint64_t> next_seq_;             // per partition
+  std::size_t inflight_ = 0;   ///< buffered + unacked events
+  std::size_t flushing_ = 0;   ///< batches currently being appended
   ProducerStats stats_;
   bool stopping_ = false;
   std::thread background_;

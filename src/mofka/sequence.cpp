@@ -1,0 +1,19 @@
+#include "mofka/sequence.hpp"
+
+namespace recup::mofka {
+
+bool SequenceTracker::accept(std::uint64_t seq) {
+  if (seq < watermark_) return false;
+  if (!ahead_.insert(seq).second) return false;
+  while (!ahead_.empty() && *ahead_.begin() == watermark_) {
+    ahead_.erase(ahead_.begin());
+    ++watermark_;
+  }
+  return true;
+}
+
+bool SequenceTracker::seen(std::uint64_t seq) const {
+  return seq < watermark_ || ahead_.count(seq) != 0;
+}
+
+}  // namespace recup::mofka

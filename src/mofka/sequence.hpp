@@ -1,0 +1,67 @@
+// Sequence-number bookkeeping for at-least-once delivery.
+//
+// A SequenceTracker answers "have I seen sequence number s before?" without
+// storing the full history: everything below a watermark is known-seen, and
+// a (bounded-in-practice) ahead-set holds out-of-order arrivals until the
+// watermark catches up. This is what makes dedup correct under *reorder*
+// faults — a naive "s <= max seen" test would mis-classify a held-back
+// earlier event as a duplicate and lose it.
+//
+// A Resequencer layers in-order release on top: values pushed with arbitrary
+// interleavings of drops (never pushed), duplicates (pushed twice), and
+// reorderings come back out in exact sequence order, each exactly once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace recup::mofka {
+
+class SequenceTracker {
+ public:
+  /// Records `seq` as seen. Returns true the first time, false for
+  /// duplicates.
+  bool accept(std::uint64_t seq);
+
+  [[nodiscard]] bool seen(std::uint64_t seq) const;
+  /// All sequence numbers < watermark() have been seen.
+  [[nodiscard]] std::uint64_t watermark() const { return watermark_; }
+  /// Out-of-order arrivals currently held above the watermark.
+  [[nodiscard]] std::size_t ahead_size() const { return ahead_.size(); }
+
+ private:
+  std::uint64_t watermark_ = 0;
+  std::set<std::uint64_t> ahead_;
+};
+
+/// Releases values in sequence order, deduplicating along the way.
+template <typename T>
+class Resequencer {
+ public:
+  /// Offers (seq, value); returns the values that became releasable, in
+  /// order. Duplicates release nothing.
+  std::vector<T> push(std::uint64_t seq, T value) {
+    if (!tracker_.accept(seq)) return {};
+    held_.emplace(seq, std::move(value));
+    std::vector<T> out;
+    while (!held_.empty() && held_.begin()->first == next_) {
+      out.push_back(std::move(held_.begin()->second));
+      held_.erase(held_.begin());
+      ++next_;
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t next_expected() const { return next_; }
+  [[nodiscard]] std::size_t held() const { return held_.size(); }
+
+ private:
+  SequenceTracker tracker_;
+  std::map<std::uint64_t, T> held_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace recup::mofka

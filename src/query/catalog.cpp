@@ -72,10 +72,13 @@ analysis::DataFrame empty_view_frame(ViewId view) {
       });
 }
 
-void StoreCatalog::add_run(dtr::RunData run) {
+bool StoreCatalog::add_run(dtr::RunData run) {
   std::unique_lock lock(mutex_);
+  const prov::RunId id{run.meta.workflow, run.meta.run_index};
+  if (store_.has_run(id)) return false;
   store_.add_run(std::move(run));
   epoch_.fetch_add(1);
+  return true;
 }
 
 std::vector<prov::RunId> StoreCatalog::Snapshot::runs(

@@ -57,8 +57,11 @@ class StoreCatalog {
   StoreCatalog& operator=(const StoreCatalog&) = delete;
 
   /// Writer side: appends a run and bumps the epoch. Blocks until all
-  /// in-flight readers drain.
-  void add_run(dtr::RunData run);
+  /// in-flight readers drain. Idempotent on the run id: re-publishing an
+  /// already-stored (workflow, run_index) is ignored — no epoch bump —
+  /// and returns false, which is what makes crash-recovery re-publication
+  /// exactly-once.
+  bool add_run(dtr::RunData run);
 
   /// Current epoch (0 = empty store). Safe to read without a lock.
   [[nodiscard]] Epoch epoch() const { return epoch_.load(); }

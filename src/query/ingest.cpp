@@ -1,11 +1,38 @@
 #include "query/ingest.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "dtr/darshan_bridge.hpp"
 #include "dtr/mofka_plugins.hpp"
 
 namespace recup::query {
+
+namespace {
+
+/// Sorts record vectors into a canonical (serialized-JSON) order. Arrival
+/// order over the Mofka transport is an artifact of flush timing, partition
+/// round-robin, and retry displacement under injected faults; canonical
+/// ordering makes published runs — and therefore every PERFRECUP view —
+/// byte-identical for the same logical record set regardless of transport
+/// interleaving.
+template <typename Record>
+void canonical_sort(std::vector<Record>& records) {
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              return dtr::to_json(a).dump() < dtr::to_json(b).dump();
+            });
+}
+
+void canonicalize(dtr::RunData& run) {
+  canonical_sort(run.transitions);
+  canonical_sort(run.tasks);
+  canonical_sort(run.comms);
+  canonical_sort(run.warnings);
+  canonical_sort(run.steals);
+}
+
+}  // namespace
 
 LiveIngestor::LiveIngestor(mofka::Broker& broker, StoreCatalog& catalog,
                            std::string consumer_group)
@@ -59,21 +86,37 @@ Epoch LiveIngestor::publish(dtr::RunMetadata meta) {
   dtr::RunData run;
   {
     std::lock_guard lock(mutex_);
-    poll_locked();  // pick up anything flushed since the last pass
+    // Drain fully: a single pass can return early when injected pull
+    // faults transiently hide events, so loop until every consumer has
+    // caught up with its partitions.
+    do {
+      poll_locked();
+    } while (!(transitions_.drained() && tasks_.drained() &&
+               comms_.drained() && warnings_.drained() &&
+               cluster_.drained()));
     if (broker_.topic_exists(dtr::DarshanMofkaBridge::kTopic)) {
       pending_.darshan_logs = dtr::read_darshan_topic(broker_, group_);
     }
+    run = std::exchange(pending_, dtr::RunData{});
+    pending_count_ = 0;
+  }
+  run.meta = std::move(meta);
+  canonicalize(run);
+  const bool added = catalog_.add_run(std::move(run));
+  {
+    // Commit cursors only after the run is in the catalog. A crash in
+    // either window is safe: before add_run, a restarted ingestor re-tails
+    // from the old cursors and publishes the same run; after add_run but
+    // before commit, the re-published duplicate run id is ignored by the
+    // idempotent catalog. Exactly-once effects either way.
+    std::lock_guard lock(mutex_);
     transitions_.commit();
     tasks_.commit();
     comms_.commit();
     warnings_.commit();
     cluster_.commit();
-    run = std::exchange(pending_, dtr::RunData{});
-    pending_count_ = 0;
-    stats_.runs_published += 1;
+    if (added) stats_.runs_published += 1;
   }
-  run.meta = std::move(meta);
-  catalog_.add_run(std::move(run));
   return catalog_.epoch();
 }
 

@@ -1,8 +1,14 @@
 // Fault-tolerance tests: worker death detected through SSG heartbeats, task
-// requeue, and lost-key recomputation.
+// requeue, lost-key recomputation, resubmission caps with dead-letter
+// records, and provenance delivery under combined worker + transport faults.
 #include <gtest/gtest.h>
 
+#include "chaos/fault.hpp"
 #include "dtr/cluster.hpp"
+#include "query/catalog.hpp"
+#include "query/ingest.hpp"
+#include "query/ir.hpp"
+#include "query/plan.hpp"
 
 namespace recup::dtr {
 namespace {
@@ -112,6 +118,92 @@ TEST(FaultTolerance, SurvivingWorkersAbsorbTheLoad) {
   }
   EXPECT_EQ(used_after_death.count(0), 0u);
   EXPECT_GE(used_after_death.size(), 3u);
+}
+
+TEST(FaultTolerance, ResubmissionCapExhaustionDeadLettersAndIsQueryable) {
+  // With the cap at zero, the first worker failure a processing task sees
+  // exhausts its resubmission budget: the scheduler must dead-letter it with
+  // a warning row instead of retrying forever or crashing the run.
+  ClusterConfig config = ft_config(77);
+  config.scheduler.max_resubmissions = 0;
+  Cluster cluster(config);
+  TaskGraph g("capped");
+  for (int i = 0; i < 16; ++i) {
+    TaskSpec t;
+    t.key = {"capped-ff66", i};
+    t.work.compute = 8.0;  // long enough to be in flight at the failure
+    t.work.output_bytes = 1 << 16;
+    g.add_task(t);
+  }
+  cluster.fail_worker_at(1, 14.0);
+  const RunData run = cluster.run({g}, "capped", 0);
+
+  std::vector<std::string> dead_letters;
+  for (const auto& w : run.warnings) {
+    if (w.kind != "dead_letter") continue;
+    EXPECT_EQ(w.location, "scheduler");
+    EXPECT_NE(w.message.find("resubmission cap"), std::string::npos)
+        << w.message;
+    dead_letters.push_back(w.message);
+  }
+  ASSERT_GT(dead_letters.size(), 0u);
+  // Independent tasks: everything not dead-lettered completed, and nothing
+  // was lost in between.
+  EXPECT_EQ(run.tasks.size() + dead_letters.size(), 16u);
+  EXPECT_EQ(cluster.scheduler().erred_tasks(), dead_letters.size());
+
+  // The dead-letter records flow through the streaming pipeline into the
+  // warnings view and are reachable through the query layer.
+  query::StoreCatalog catalog;
+  query::LiveIngestor ingestor(cluster.broker(), catalog);
+  ingestor.publish(run.meta);
+  const query::ExecutionResult result = query::execute_query(
+      query::parse_query(std::string(R"({
+        "from": "warnings",
+        "where": [{"col": "kind", "op": "==", "value": "dead_letter"}]
+      })")),
+      catalog, nullptr);
+  EXPECT_EQ(result.frame->rows(), dead_letters.size());
+}
+
+TEST(FaultTolerance, WorkerDeathMidFlushLosesNoProvenance) {
+  // Transport faults on every broker push combined with a worker death: the
+  // producers' retries plus broker-side dedup must still land one copy of
+  // every provenance record, so the ingested views match the run exactly.
+  ClusterConfig config = ft_config(88);
+  chaos::FaultPlan plan;
+  plan.seed = 909;
+  plan.sites[chaos::sites::kMofkaPush].drop = 0.1;
+  plan.sites[chaos::sites::kMofkaPush].duplicate = 0.1;
+  config.fault_plan = plan;
+  Cluster cluster(config);
+  TaskGraph g("flushy");
+  for (int i = 0; i < 40; ++i) {
+    TaskSpec t;
+    t.key = {"flushy-ab99", i};
+    t.work.compute = 1.0;
+    t.work.output_bytes = 1 << 20;
+    g.add_task(t);
+  }
+  cluster.fail_worker_at(2, 12.0);
+  const RunData run = cluster.run({g}, "flushy", 0);
+
+  EXPECT_EQ(run.tasks.size(), 40u);
+  ASSERT_TRUE(cluster.fault_injector());
+  EXPECT_GT(cluster.fault_injector()->hits(chaos::sites::kMofkaPush), 0u);
+
+  query::StoreCatalog catalog;
+  query::LiveIngestor ingestor(cluster.broker(), catalog);
+  ingestor.publish(run.meta);
+  const query::StoreCatalog::Snapshot snap = catalog.snapshot();
+  // Every completed task's provenance arrived despite drops, injected
+  // duplicates, and the mid-run death: no loss, no double-counting.
+  EXPECT_EQ(snap.frame(query::ViewId::kTasks, {"flushy", 0})->rows(),
+            run.tasks.size());
+  EXPECT_EQ(snap.frame(query::ViewId::kWarnings, {"flushy", 0})->rows(),
+            run.warnings.size());
+  EXPECT_EQ(snap.frame(query::ViewId::kComms, {"flushy", 0})->rows(),
+            run.comms.size());
 }
 
 TEST(FaultTolerance, FailureOfIdleWorkerIsHarmless) {

@@ -10,6 +10,8 @@
 #include "analysis/views.hpp"
 #include "common/strings.hpp"
 #include "dtr/cluster.hpp"
+#include "mofka/producer.hpp"
+#include "mofka/sequence.hpp"
 
 namespace recup::dtr {
 namespace {
@@ -232,6 +234,135 @@ TEST_P(WorkloadDeterminism, IdenticalSeedsIdenticalRuns) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, WorkloadDeterminism, ::testing::Range(1, 5));
+
+// ---------------------------------------------------------------------------
+// Delivery-layer properties: the sequence bookkeeping and retry backoff that
+// the at-least-once pipeline (src/mofka) builds its exactly-once effects on.
+
+/// Applies an arbitrary interleaving of duplicate / reorder / drop faults to
+/// the sequence 0..n-1: every kept seq appears >=1 time, order is shuffled.
+std::vector<std::uint64_t> faulted_arrivals(RngStream& rng, std::uint64_t n,
+                                            double duplicate_p, double drop_p) {
+  std::vector<std::uint64_t> arrivals;
+  for (std::uint64_t seq = 0; seq < n; ++seq) {
+    if (rng.chance(drop_p)) continue;
+    arrivals.push_back(seq);
+    while (rng.chance(duplicate_p)) arrivals.push_back(seq);
+  }
+  rng.shuffle(arrivals);
+  return arrivals;
+}
+
+class SequenceProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(SequenceProperties, TrackerAcceptsEachSequenceExactlyOnce) {
+  RngStream rng(4000u + static_cast<unsigned>(GetParam()));
+  const std::uint64_t n = 200;
+  const auto arrivals = faulted_arrivals(rng, n, 0.4, 0.0);
+
+  mofka::SequenceTracker tracker;
+  std::map<std::uint64_t, int> accepted;
+  for (const std::uint64_t seq : arrivals) {
+    if (tracker.accept(seq)) accepted[seq] += 1;
+  }
+  // No matter the interleaving, each sequence number is accepted exactly
+  // once — reordering must never make an early arrival look like a dup.
+  ASSERT_EQ(accepted.size(), n);
+  for (const auto& [seq, count] : accepted) EXPECT_EQ(count, 1) << seq;
+  // With the full range seen, the watermark advanced past it and the
+  // ahead-set fully collapsed (bounded memory).
+  EXPECT_EQ(tracker.watermark(), n);
+  EXPECT_EQ(tracker.ahead_size(), 0u);
+  for (std::uint64_t seq = 0; seq < n; ++seq) EXPECT_TRUE(tracker.seen(seq));
+}
+
+TEST_P(SequenceProperties, ResequencerReconstructsOriginalOrder) {
+  RngStream rng(5000u + static_cast<unsigned>(GetParam()));
+  const std::uint64_t n = 150;
+  const auto arrivals = faulted_arrivals(rng, n, 0.3, 0.0);
+
+  mofka::Resequencer<std::uint64_t> reseq;
+  std::vector<std::uint64_t> released;
+  for (const std::uint64_t seq : arrivals) {
+    for (const std::uint64_t value : reseq.push(seq, seq)) {
+      released.push_back(value);
+    }
+  }
+  // Arbitrary duplicate+reorder interleavings reconstruct the exact
+  // original sequence: 0..n-1 in order, each exactly once.
+  ASSERT_EQ(released.size(), n);
+  for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(released[i], i);
+  EXPECT_EQ(reseq.next_expected(), n);
+  EXPECT_EQ(reseq.held(), 0u);
+}
+
+TEST_P(SequenceProperties, ResequencerHoldsBackEverythingPastADrop) {
+  RngStream rng(6000u + static_cast<unsigned>(GetParam()));
+  const std::uint64_t n = 100;
+  const auto arrivals = faulted_arrivals(rng, n, 0.2, 0.1);
+  std::set<std::uint64_t> kept(arrivals.begin(), arrivals.end());
+  std::uint64_t first_missing = n;
+  for (std::uint64_t seq = 0; seq < n; ++seq) {
+    if (kept.count(seq) == 0) {
+      first_missing = seq;
+      break;
+    }
+  }
+
+  mofka::Resequencer<std::uint64_t> reseq;
+  std::vector<std::uint64_t> released;
+  for (const std::uint64_t seq : arrivals) {
+    for (const std::uint64_t value : reseq.push(seq, seq)) {
+      released.push_back(value);
+    }
+  }
+  // In-order release may not skip a gap: exactly the contiguous prefix
+  // below the first dropped sequence comes out, the rest is held for a
+  // retry to fill the hole.
+  ASSERT_EQ(released.size(), first_missing);
+  for (std::uint64_t i = 0; i < first_missing; ++i) EXPECT_EQ(released[i], i);
+  EXPECT_EQ(reseq.next_expected(), first_missing);
+  EXPECT_EQ(reseq.held(), kept.size() - first_missing);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SequenceProperties, ::testing::Range(1, 11));
+
+TEST(BackoffProperties, MonotoneBoundedAndOverflowSafe) {
+  mofka::ProducerConfig config;
+  config.backoff_base = std::chrono::microseconds{50};
+  config.backoff_max = std::chrono::microseconds{2000};
+
+  EXPECT_EQ(mofka::retry_backoff(0, config), config.backoff_base);
+  std::chrono::microseconds previous{0};
+  for (std::size_t attempt = 0; attempt < 100; ++attempt) {
+    const auto delay = mofka::retry_backoff(attempt, config);
+    EXPECT_GE(delay, previous) << "backoff not monotone at " << attempt;
+    EXPECT_GE(delay, config.backoff_base);
+    EXPECT_LE(delay, config.backoff_max);
+    previous = delay;
+  }
+  // Far past the doubling range the shift is clamped: no overflow, still
+  // capped at the max.
+  EXPECT_EQ(mofka::retry_backoff(1'000'000, config), config.backoff_max);
+}
+
+TEST(BackoffProperties, CapRespectedForAnyBaseAndMax) {
+  RngStream rng(7001);
+  for (int round = 0; round < 50; ++round) {
+    mofka::ProducerConfig config;
+    config.backoff_base =
+        std::chrono::microseconds{rng.uniform_int(1, 10'000)};
+    config.backoff_max = std::chrono::microseconds{
+        config.backoff_base.count() + rng.uniform_int(0, 100'000)};
+    std::chrono::microseconds previous{0};
+    for (std::size_t attempt = 0; attempt < 70; ++attempt) {
+      const auto delay = mofka::retry_backoff(attempt, config);
+      EXPECT_GE(delay, previous);
+      EXPECT_LE(delay, config.backoff_max);
+      previous = delay;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace recup::dtr

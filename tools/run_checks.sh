@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
 # Full check pipeline: the tier-1 verify line (build + ctest) followed by an
-# AddressSanitizer + UndefinedBehaviorSanitizer test pass (RECUP_SANITIZE).
+# AddressSanitizer + UndefinedBehaviorSanitizer test pass (RECUP_SANITIZE)
+# and a ThreadSanitizer pass (RECUP_TSAN) over the concurrency-heavy
+# subsystems (mofka delivery, chaos pipeline, query service).
 #
-# Usage: tools/run_checks.sh [--skip-sanitize]
+# Usage: tools/run_checks.sh [--skip-sanitize] [--skip-tsan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 repo_root=$(pwd)
 
 skip_sanitize=0
+skip_tsan=0
 for arg in "$@"; do
   case "$arg" in
     --skip-sanitize) skip_sanitize=1 ;;
+    --skip-tsan) skip_tsan=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -44,5 +48,23 @@ ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   --gtest_filter='QueryIngestTest.*:QueryServer.*' >/dev/null
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ./build-asan/tools/recup_query --synthetic 2 --bench 4 10 >/dev/null
+
+if [[ "$skip_tsan" == 1 ]]; then
+  echo "== TSan pass skipped (--skip-tsan) =="
+  exit 0
+fi
+
+echo "== TSan pass: concurrent delivery, chaos, and query smokes =="
+# ThreadSanitizer is incompatible with ASan, so it gets its own build tree.
+# Run the binaries that exercise real threads: the mofka producer/consumer
+# (background flush thread vs push/flush/destructor), the chaos pipeline
+# (fault injection on those same paths), and the multi-client query service.
+cmake -B build-tsan -S . -DRECUP_TSAN=ON -DRECUP_BUILD_BENCH=OFF \
+  -DRECUP_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_mofka >/dev/null
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_chaos >/dev/null
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_query \
+  --gtest_filter='QueryIngestTest.*:QueryServer.*' >/dev/null
 
 echo "== all checks passed (${repo_root}) =="
