@@ -92,5 +92,6 @@ int main(int argc, char** argv) {
   }
 
   bench::write_csv(opt, "ablation.csv", csv);
+  bench::write_bench_json("ablation");
   return 0;
 }

@@ -43,5 +43,6 @@ int main(int argc, char** argv) {
   }
 
   bench::write_csv(opt, "fig3.csv", analysis::figure3_frame(stats).to_csv());
+  bench::write_bench_json("fig3");
   return 0;
 }

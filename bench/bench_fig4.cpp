@@ -61,5 +61,6 @@ int main(int argc, char** argv) {
                    .render(100);
 
   bench::write_csv(opt, "fig4.csv", analysis::figure4_frame(run).to_csv());
+  bench::write_bench_json("fig4");
   return 0;
 }

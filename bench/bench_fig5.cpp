@@ -52,5 +52,6 @@ int main(int argc, char** argv) {
               run.comms.size());
 
   bench::write_csv(opt, "fig5.csv", analysis::figure5_frame(run).to_csv());
+  bench::write_bench_json("fig5");
   return 0;
 }

@@ -33,5 +33,6 @@ int main(int argc, char** argv) {
 
   bench::write_csv(opt, "fig6.csv", analysis::figure6_frame(run).to_csv());
   bench::write_csv(opt, "fig6_categories.csv", summary.to_csv());
+  bench::write_bench_json("fig6");
   return 0;
 }

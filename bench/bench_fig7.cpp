@@ -43,5 +43,6 @@ int main(int argc, char** argv) {
   }
 
   bench::write_csv(opt, "fig7.csv", analysis::figure7_frame(hist).to_csv());
+  bench::write_bench_json("fig7");
   return 0;
 }

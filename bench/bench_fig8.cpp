@@ -38,5 +38,6 @@ int main(int argc, char** argv) {
                    prov::provenance_chart(run).dump(2) + "\n");
   std::cout << "full lineage JSON written to " << opt.out_dir
             << "/fig8_lineage.json\n";
+  bench::write_bench_json("fig8");
   return 0;
 }

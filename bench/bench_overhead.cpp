@@ -4,7 +4,11 @@
 // operation costs.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "analysis/dataframe.hpp"
+#include "json/json.hpp"
 #include "analysis/readers.hpp"
 #include "darshan/runtime.hpp"
 #include "dtr/cluster.hpp"
@@ -265,3 +269,44 @@ void BM_DataFrameFromCsv(benchmark::State& state) {
 BENCHMARK(BM_DataFrameFromCsv)->Arg(1000)->Arg(10000);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main) so the run also drops a
+// machine-readable BENCH_overhead.json: a console reporter subclass keeps
+// the human-readable table on stdout while collecting every benchmark's
+// timings for the summary file.
+namespace {
+
+class SummaryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      json::Object row;
+      row["name"] = run.benchmark_name();
+      row["iterations"] = static_cast<std::int64_t>(run.iterations);
+      row["real_time"] = run.GetAdjustedRealTime();
+      row["cpu_time"] = run.GetAdjustedCPUTime();
+      rows.emplace_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  json::Array rows;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  SummaryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  json::Object doc;
+  doc["bench"] = "overhead";
+  doc["status"] = "ok";
+  doc["benchmarks"] = std::move(reporter.rows);
+  std::ofstream out("BENCH_overhead.json", std::ios::trunc);
+  out << json::Value(std::move(doc)).dump(2) << "\n";
+  std::fprintf(stderr, "  wrote BENCH_overhead.json\n");
+  return 0;
+}

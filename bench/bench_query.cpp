@@ -1,16 +1,23 @@
-// Query-service benchmark: cold vs cached latency per query shape, and
-// concurrent throughput as the client count grows. The store holds one
-// executed workload run (real PERFRECUP records) so the scans, joins, and
-// group-bys run over representative data.
+// Query-service benchmark: cold vs cached latency per query shape,
+// concurrent throughput as the client count grows, and the broker ingest
+// path with and without the write-ahead log (durability must stay cheap).
+// The store holds one executed workload run (real PERFRECUP records) so the
+// scans, joins, and group-bys run over representative data.
 //
 //   $ ./bench_query [--queries N] [--max-clients N] [--seed S]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
+#include "mochi/bedrock.hpp"
+#include "mofka/broker.hpp"
+#include "mofka/producer.hpp"
 #include "query/client.hpp"
 #include "query/plan.hpp"
 #include "query/server.hpp"
@@ -49,6 +56,36 @@ double median_ms(std::vector<double> samples) {
   return samples[samples.size() / 2];
 }
 
+/// Events/s through Broker::append_batch via a real producer. An empty
+/// `wal_dir` benchmarks the in-memory broker; otherwise the WAL-backed one.
+double ingest_events_per_s(const std::string& wal_dir, int events) {
+  mochi::KeyValueStore kv;
+  mochi::BlobStore blobs;
+  std::unique_ptr<mofka::Broker> broker;
+  if (wal_dir.empty()) {
+    broker = std::make_unique<mofka::Broker>(kv, blobs);
+  } else {
+    broker = std::make_unique<mofka::Broker>(
+        kv, blobs, mofka::BrokerDurability{wal_dir, {}});
+  }
+  broker->create_topic("ingest", {4, nullptr, nullptr});
+  mofka::ProducerConfig config;
+  config.batch_size = 256;
+  config.background_flush = false;
+  mofka::Producer producer(*broker, "ingest", config);
+  const auto started = std::chrono::steady_clock::now();
+  for (int i = 0; i < events; ++i) {
+    json::Object metadata;
+    metadata["i"] = static_cast<std::int64_t>(i);
+    metadata["worker"] = static_cast<std::int64_t>(i % 8);
+    producer.push(json::Value(std::move(metadata)));
+  }
+  producer.flush();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - started;
+  return static_cast<double>(events) / elapsed.count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,6 +106,9 @@ int main(int argc, char** argv) {
   query::StoreCatalog catalog;
   catalog.add_run(workloads::execute(
       workloads::make_workload("ImageProcessing", seed), 0));
+
+  json::Array latency_rows;
+  json::Array throughput_rows;
 
   // Cold vs cached latency. Cold is measured on a fresh server (empty
   // cache); cached re-issues the identical fingerprint.
@@ -95,6 +135,11 @@ int main(int argc, char** argv) {
     const double cached_ms = median_ms(std::move(cached));
     std::printf("%s,%.3f,%.4f,%.1f\n", shape.name, cold.elapsed_ms, cached_ms,
                 cached_ms > 0.0 ? cold.elapsed_ms / cached_ms : 0.0);
+    json::Object row;
+    row["shape"] = shape.name;
+    row["cold_ms"] = cold.elapsed_ms;
+    row["cached_ms"] = cached_ms;
+    latency_rows.emplace_back(std::move(row));
   }
 
   // Concurrent throughput vs client threads over a mixed workload: each
@@ -134,9 +179,42 @@ int main(int argc, char** argv) {
     const double hit_rate =
         static_cast<double>(stats.cache.hits) /
         static_cast<double>(stats.cache.hits + stats.cache.misses);
-    std::printf("%d,%.0f,%.3f\n", clients,
-                static_cast<double>(clients) * queries / elapsed.count(),
-                hit_rate);
+    const double qps =
+        static_cast<double>(clients) * queries / elapsed.count();
+    std::printf("%d,%.0f,%.3f\n", clients, qps, hit_rate);
+    json::Object row;
+    row["clients"] = static_cast<std::int64_t>(clients);
+    row["qps"] = qps;
+    row["cache_hit_rate"] = hit_rate;
+    throughput_rows.emplace_back(std::move(row));
   }
+
+  // Broker ingest throughput, in-memory vs WAL-backed: durability has to
+  // stay off the hot path (buffered segment appends, no fsync per event),
+  // so the WAL broker should track the in-memory one closely.
+  constexpr int kIngestEvents = 100000;
+  const std::string wal_dir =
+      (std::filesystem::temp_directory_path() / "recup_bench_query_wal")
+          .string();
+  std::filesystem::remove_all(wal_dir);
+  const double memory_rate = ingest_events_per_s("", kIngestEvents);
+  const double wal_rate = ingest_events_per_s(wal_dir, kIngestEvents);
+  std::filesystem::remove_all(wal_dir);
+  const double overhead =
+      wal_rate > 0.0 ? (memory_rate / wal_rate - 1.0) * 100.0 : 0.0;
+  std::printf("\ningest_mode,events_per_s\nmemory,%.0f\nwal,%.0f\n",
+              memory_rate, wal_rate);
+  std::printf("wal ingest overhead: %.1f%%\n", overhead);
+
+  json::Object ingest;
+  ingest["events"] = static_cast<std::int64_t>(kIngestEvents);
+  ingest["memory_events_per_s"] = memory_rate;
+  ingest["wal_events_per_s"] = wal_rate;
+  ingest["wal_overhead_pct"] = overhead;
+  json::Object extra;
+  extra["latency"] = std::move(latency_rows);
+  extra["throughput"] = std::move(throughput_rows);
+  extra["ingest"] = std::move(ingest);
+  bench::write_bench_json("query", std::move(extra));
   return 0;
 }

@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
            "," + std::to_string(r.comms_max) + "\n";
   }
   bench::write_csv(opt, "table1.csv", csv);
+  bench::write_bench_json("table1");
   return 0;
 }

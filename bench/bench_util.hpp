@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dtr/recorder.hpp"
+#include "json/json.hpp"
 #include "workloads/registry.hpp"
 
 namespace recup::bench {
@@ -64,12 +65,40 @@ inline std::vector<dtr::RunData> run_workflow(const std::string& name,
   return data;
 }
 
+/// Output files written so far by write_csv (for the machine-readable
+/// summary).
+inline std::vector<std::string>& generated_files() {
+  static std::vector<std::string> files;
+  return files;
+}
+
 inline void write_csv(const Options& opt, const std::string& file,
                       const std::string& content) {
   std::filesystem::create_directories(opt.out_dir);
   const std::string path = opt.out_dir + "/" + file;
   std::ofstream out(path, std::ios::trunc);
   out << content;
+  generated_files().push_back(path);
+  std::fprintf(stderr, "  wrote %s\n", path.c_str());
+}
+
+/// Machine-readable run summary: every bench binary drops a
+/// `BENCH_<name>.json` into the working directory on success, so CI (and
+/// tools/run_checks.sh) can assert a bench actually completed and pick up
+/// its headline numbers without parsing stdout. `extra` merges additional
+/// bench-specific metrics into the document.
+inline void write_bench_json(const std::string& name,
+                             json::Object extra = {}) {
+  json::Object doc;
+  doc["bench"] = name;
+  doc["status"] = "ok";
+  json::Array outputs;
+  for (const auto& file : generated_files()) outputs.emplace_back(file);
+  doc["outputs"] = std::move(outputs);
+  for (auto& [key, value] : extra) doc[key] = std::move(value);
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  out << json::Value(std::move(doc)).dump(2) << "\n";
   std::fprintf(stderr, "  wrote %s\n", path.c_str());
 }
 

@@ -51,5 +51,6 @@ int main(int argc, char** argv) {
     }
   }
   bench::write_csv(opt, "variability.csv", csv);
+  bench::write_bench_json("variability");
   return 0;
 }

@@ -87,10 +87,11 @@ DataFrame warnings_frame(const dtr::RunData& run) {
   DataFrame df({{"kind", ColumnType::kString},
                 {"location", ColumnType::kString},
                 {"time", ColumnType::kDouble},
-                {"blocked_for", ColumnType::kDouble}});
+                {"blocked_for", ColumnType::kDouble},
+                {"message", ColumnType::kString}});
   df.reserve(run.warnings.size());
   for (const auto& w : run.warnings) {
-    df.add_row({w.kind, w.location, w.time, w.blocked_for});
+    df.add_row({w.kind, w.location, w.time, w.blocked_for, w.message});
   }
   return df;
 }

@@ -6,9 +6,10 @@ namespace recup::chaos {
 
 namespace {
 
-constexpr std::array<const char*, 8> kActionNames = {
+constexpr std::array<const char*, 9> kActionNames = {
     "none",  "drop",            "duplicate",             "reorder",
-    "delay", "transient_error", "partition_unavailable", "thread_kill"};
+    "delay", "transient_error", "partition_unavailable", "thread_kill",
+    "process_crash_restart"};
 
 }  // namespace
 
@@ -89,6 +90,8 @@ FaultDecision FaultInjector::decide_locked(const std::string& state_key,
       decision.action = FaultAction::kPartitionUnavailable;
     } else if (u < (edge += spec.thread_kill)) {
       decision.action = FaultAction::kThreadKill;
+    } else if (u < (edge += spec.process_crash_restart)) {
+      decision.action = FaultAction::kProcessCrashRestart;
     }
   }
 

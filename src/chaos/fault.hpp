@@ -26,6 +26,9 @@
 //   partition_unavailable — one partition refuses service for a window
 //                           of subsequent hits
 //   thread_kill           — the background thread / worker process dies
+//   process_crash_restart — the whole component process crashes and
+//                           restarts from its on-disk (WAL/checkpoint)
+//                           state; without durable state this is data loss
 #pragma once
 
 #include <chrono>
@@ -51,6 +54,7 @@ enum class FaultAction {
   kTransientError,
   kPartitionUnavailable,
   kThreadKill,
+  kProcessCrashRestart,
 };
 
 const char* to_string(FaultAction action);
@@ -91,6 +95,7 @@ struct SiteSpec {
   double transient_error = 0.0;
   double partition_unavailable = 0.0;
   double thread_kill = 0.0;
+  double process_crash_restart = 0.0;
   std::chrono::microseconds delay_min{50};
   std::chrono::microseconds delay_max{500};
   /// Length of a partition-unavailable outage, counted in subsequent hits
@@ -100,7 +105,7 @@ struct SiteSpec {
 
   [[nodiscard]] double total_probability() const {
     return drop + duplicate + reorder + delay + transient_error +
-           partition_unavailable + thread_kill;
+           partition_unavailable + thread_kill + process_crash_restart;
   }
 };
 
@@ -131,6 +136,12 @@ inline constexpr const char* kMofkaPush = "mofka.push";
 inline constexpr const char* kMofkaConsumerPull = "mofka.consumer.pull";
 inline constexpr const char* kMofkaProducerFlush = "mofka.producer.flush";
 inline constexpr const char* kDtrWorker = "dtr.worker";
+/// Whole-process crash/restart sites, consulted by the durable control
+/// plane: the broker (per append batch), the scheduler (per completed
+/// graph), and the query-tier ingestor (per poll).
+inline constexpr const char* kBrokerProcess = "process.broker";
+inline constexpr const char* kSchedulerProcess = "process.scheduler";
+inline constexpr const char* kIngestorProcess = "process.ingestor";
 }  // namespace sites
 
 /// Executes a FaultPlan. Thread-safe; per-site decision streams are

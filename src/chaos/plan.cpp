@@ -19,6 +19,7 @@ json::Value spec_to_json(const SiteSpec& spec) {
   o["transient_error"] = spec.transient_error;
   o["partition_unavailable"] = spec.partition_unavailable;
   o["thread_kill"] = spec.thread_kill;
+  o["process_crash_restart"] = spec.process_crash_restart;
   o["delay_min_us"] = static_cast<std::int64_t>(spec.delay_min.count());
   o["delay_max_us"] = static_cast<std::int64_t>(spec.delay_max.count());
   o["unavailable_hits"] = spec.unavailable_hits;
@@ -44,6 +45,7 @@ SiteSpec spec_from_json(const json::Value& v) {
   spec.transient_error = v.get_double("transient_error", 0.0);
   spec.partition_unavailable = v.get_double("partition_unavailable", 0.0);
   spec.thread_kill = v.get_double("thread_kill", 0.0);
+  spec.process_crash_restart = v.get_double("process_crash_restart", 0.0);
   spec.delay_min = std::chrono::microseconds(
       static_cast<std::int64_t>(v.get_double("delay_min_us", 50)));
   spec.delay_max = std::chrono::microseconds(
@@ -100,6 +102,7 @@ std::string FaultPlan::describe() const {
     emit("err", spec.transient_error);
     emit("unavail", spec.partition_unavailable);
     emit("kill", spec.thread_kill);
+    emit("crash", spec.process_crash_restart);
     if (!spec.schedule.empty()) {
       if (!first) out << ",";
       out << "scheduled=" << spec.schedule.size();

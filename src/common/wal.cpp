@@ -1,0 +1,246 @@
+#include "common/wal.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+namespace recup::wal {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kSegmentPrefix = "wal-";
+constexpr const char* kSegmentSuffix = ".seg";
+constexpr std::size_t kHeaderBytes = 8;  // u32 length + u32 crc32
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string segment_name(std::uint32_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08u%s", kSegmentPrefix, index,
+                kSegmentSuffix);
+  return buf;
+}
+
+/// Segment indices present under `dir`, sorted ascending. Non-segment files
+/// (e.g. checkpoint.json living next to a journal) are ignored.
+std::vector<std::uint32_t> list_segments(const std::string& dir) {
+  std::vector<std::uint32_t> indices;
+  if (!fs::exists(dir)) return indices;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kSegmentPrefix, 0) != 0) continue;
+    if (name.size() <= std::strlen(kSegmentPrefix) + std::strlen(kSegmentSuffix))
+      continue;
+    if (name.substr(name.size() - std::strlen(kSegmentSuffix)) !=
+        kSegmentSuffix)
+      continue;
+    indices.push_back(static_cast<std::uint32_t>(
+        std::stoul(name.substr(std::strlen(kSegmentPrefix)))));
+  }
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+void encode_u32(char* out, std::uint32_t v) {
+  out[0] = static_cast<char>(v & 0xFF);
+  out[1] = static_cast<char>((v >> 8) & 0xFF);
+  out[2] = static_cast<char>((v >> 16) & 0xFF);
+  out[3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+std::uint32_t decode_u32(const char* in) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[3])) << 24;
+}
+
+/// Scans one segment, invoking `fn` per valid record. Returns the byte
+/// offset of the first invalid frame (== file size when fully valid). When
+/// `last_segment` is false any invalid frame throws.
+std::uint64_t scan_segment(const fs::path& path, bool last_segment,
+                           const std::function<void(std::string_view)>& fn,
+                           ReplayStats* stats) {
+  std::FILE* file = std::fopen(path.string().c_str(), "rb");
+  if (file == nullptr) throw WalError("wal: cannot open " + path.string());
+  std::uint64_t valid_end = 0;
+  std::string payload;
+  char header[kHeaderBytes];
+  const std::uint64_t file_size = fs::file_size(path);
+  for (;;) {
+    const std::size_t got = std::fread(header, 1, kHeaderBytes, file);
+    if (got == 0) break;  // clean end
+    bool torn = got < kHeaderBytes;
+    std::uint32_t length = 0;
+    std::uint32_t expected_crc = 0;
+    if (!torn) {
+      length = decode_u32(header);
+      expected_crc = decode_u32(header + 4);
+      torn = valid_end + kHeaderBytes + length > file_size;
+    }
+    if (!torn) {
+      payload.resize(length);
+      if (length > 0 && std::fread(payload.data(), 1, length, file) != length) {
+        torn = true;
+      } else if (crc32(payload.data(), payload.size()) != expected_crc) {
+        torn = true;
+      }
+    }
+    if (torn) {
+      std::fclose(file);
+      if (!last_segment) {
+        throw WalError("wal: corrupt record mid-log in " + path.string());
+      }
+      if (stats != nullptr) stats->truncated_tail = true;
+      return valid_end;
+    }
+    if (fn) fn(payload);
+    if (stats != nullptr) {
+      stats->records += 1;
+      stats->bytes += payload.size();
+    }
+    valid_end += kHeaderBytes + length;
+  }
+  std::fclose(file);
+  return valid_end;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+WalWriter::WalWriter(std::string dir, WalOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  fs::create_directories(dir_);
+  const auto segments = list_segments(dir_);
+  std::uint32_t index = 0;
+  std::uint64_t size = 0;
+  if (!segments.empty()) {
+    index = segments.back();
+    const fs::path last = fs::path(dir_) / segment_name(index);
+    // Repair: truncate a torn tail so new appends start on a record
+    // boundary. Earlier segments are validated lazily at replay time.
+    const std::uint64_t valid = scan_segment(last, /*last_segment=*/true,
+                                             nullptr, nullptr);
+    if (valid != fs::file_size(last)) fs::resize_file(last, valid);
+    size = valid;
+  }
+  std::lock_guard lock(mutex_);
+  open_segment_locked(index, size);
+}
+
+WalWriter::~WalWriter() {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void WalWriter::open_segment_locked(std::uint32_t index, std::uint64_t size) {
+  if (file_ != nullptr) std::fclose(file_);
+  const fs::path path = fs::path(dir_) / segment_name(index);
+  file_ = std::fopen(path.string().c_str(), "ab");
+  if (file_ == nullptr) throw WalError("wal: cannot open " + path.string());
+  segment_index_ = index;
+  segment_size_ = size;
+}
+
+void WalWriter::rotate_locked() {
+  std::fflush(file_);
+  open_segment_locked(segment_index_ + 1, 0);
+}
+
+void WalWriter::append(std::string_view payload) {
+  std::lock_guard lock(mutex_);
+  if (segment_size_ >= options_.segment_bytes) rotate_locked();
+  char header[kHeaderBytes];
+  encode_u32(header, static_cast<std::uint32_t>(payload.size()));
+  encode_u32(header + 4, crc32(payload.data(), payload.size()));
+  if (std::fwrite(header, 1, kHeaderBytes, file_) != kHeaderBytes ||
+      (!payload.empty() &&
+       std::fwrite(payload.data(), 1, payload.size(), file_) !=
+           payload.size())) {
+    throw WalError("wal: short write to segment in " + dir_);
+  }
+  segment_size_ += kHeaderBytes + payload.size();
+  records_ += 1;
+  bytes_ += payload.size();
+  if (options_.sync == SyncPolicy::kOnAppend) {
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
+  }
+}
+
+void WalWriter::flush() {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void WalWriter::sync() {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
+  }
+}
+
+void WalWriter::reset() {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  for (const std::uint32_t index : list_segments(dir_)) {
+    fs::remove(fs::path(dir_) / segment_name(index));
+  }
+  records_ = 0;
+  bytes_ = 0;
+  open_segment_locked(0, 0);
+}
+
+std::uint64_t WalWriter::records_appended() const {
+  std::lock_guard lock(mutex_);
+  return records_;
+}
+
+std::uint64_t WalWriter::bytes_appended() const {
+  std::lock_guard lock(mutex_);
+  return bytes_;
+}
+
+ReplayStats WalWriter::replay(
+    const std::string& dir,
+    const std::function<void(std::string_view)>& fn) {
+  ReplayStats stats;
+  const auto segments = list_segments(dir);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const fs::path path = fs::path(dir) / segment_name(segments[i]);
+    scan_segment(path, /*last_segment=*/i + 1 == segments.size(), fn, &stats);
+    stats.segments += 1;
+  }
+  return stats;
+}
+
+}  // namespace recup::wal

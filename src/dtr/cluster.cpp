@@ -27,8 +27,14 @@ Cluster::Cluster(ClusterConfig config)
            "suspect_after": 2, "dead_after": 5}
         ]
       })"));
-  broker_ = std::make_unique<mofka::Broker>(services_->yokan("mofka-metadata"),
-                                            services_->warabi("mofka-data"));
+  if (config_.durability_dir.empty()) {
+    broker_ = std::make_unique<mofka::Broker>(
+        services_->yokan("mofka-metadata"), services_->warabi("mofka-data"));
+  } else {
+    broker_ = std::make_unique<mofka::Broker>(
+        services_->yokan("mofka-metadata"), services_->warabi("mofka-data"),
+        mofka::BrokerDurability{config_.durability_dir + "/broker", {}});
+  }
   if (!config_.fault_plan.empty()) {
     injector_ = std::make_shared<chaos::FaultInjector>(config_.fault_plan);
     broker_->set_fault_injector(injector_);
@@ -44,10 +50,20 @@ Cluster::Cluster(ClusterConfig config)
   SchedulerConfig sched_config = config_.scheduler;
   sched_config.work_stealing = config_.wms.work_stealing;
   sched_config.work_stealing_interval = config_.wms.work_stealing_interval_s;
+  // One heartbeat cadence for everything: the platform profile's knob drives
+  // the workers, the SSG membership loop, and the scheduler's lease layer.
+  sched_config.heartbeat_interval = config_.wms.heartbeat_interval_s;
   scheduler_ = std::make_unique<Scheduler>(engine_, *network_, sched_config,
                                            rng_.substream("scheduler"), logs_);
   if (mofka_scheduler_plugin_) {
     scheduler_->add_plugin(mofka_scheduler_plugin_.get());
+  }
+  if (!config_.durability_dir.empty()) {
+    scheduler_->enable_durability(
+        SchedulerDurability{config_.durability_dir + "/scheduler", 0, {}});
+  }
+  if (injector_) {
+    scheduler_->set_fault_injector(injector_.get());
   }
 
   WorkerConfig worker_config = config_.worker;
@@ -156,6 +172,7 @@ RunData Cluster::run(std::vector<TaskGraph> graphs,
 
   done_ = false;
   scheduler_->start_stealing_loop();
+  scheduler_->start_lease_loop();
   membership_loop();
   for (auto& worker : workers_) worker->start_heartbeats();
   if (config_.enable_darshan_streaming) {

@@ -72,6 +72,11 @@ struct ClusterConfig {
   /// (push/pull/flush sites) and on every worker (dtr.worker site). Any
   /// failing run replays from (plan.seed, plan).
   chaos::FaultPlan fault_plan;
+  /// When non-empty, the control plane becomes durable under this
+  /// directory: the broker WALs events/offsets to `<dir>/broker` and the
+  /// scheduler journals + checkpoints to `<dir>/scheduler`. Required for
+  /// the chaos process.{broker,scheduler} crash sites to fire.
+  std::string durability_dir;
   std::uint64_t seed = 42;
 };
 

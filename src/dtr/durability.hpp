@@ -1,0 +1,24 @@
+// JSON round-trip for the scheduler's durable control state: task keys and
+// full task specs (what the checkpoint/journal persists so a restarted
+// scheduler can rebuild its state machine), plus state-name parsing — the
+// inverse of to_string(SchedulerTaskState).
+//
+// Record-type serialization (TransitionRecord etc.) lives in
+// mofka_plugins.hpp; this header covers the spec side that only the
+// durability layer needs.
+#pragma once
+
+#include "dtr/task.hpp"
+#include "json/json.hpp"
+
+namespace recup::dtr {
+
+json::Value to_json(const TaskKey& key);
+TaskKey key_from_json(const json::Value& v);
+
+json::Value to_json(const TaskSpec& spec);
+TaskSpec spec_from_json(const json::Value& v);
+
+SchedulerTaskState scheduler_state_from_string(const std::string& name);
+
+}  // namespace recup::dtr

@@ -1,8 +1,14 @@
 #include "dtr/scheduler.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
+
+#include "dtr/durability.hpp"
+#include "dtr/mofka_plugins.hpp"
 
 namespace recup::dtr {
 
@@ -19,6 +25,7 @@ void Scheduler::add_worker(Worker* worker) {
   workers_.push_back(worker);
   worker_alive_.push_back(true);
   in_flight_.push_back(0);
+  last_heartbeat_.push_back(engine_.now());
   worker->set_completion_callback(
       [this](const TaskKey& key, const TaskRecord& record, bool failed) {
         on_task_finished(key, record, failed);
@@ -47,6 +54,12 @@ void Scheduler::transition(TaskInfo& info, SchedulerTaskState to,
   record.time = engine_.now();
   info.state = to;
   transitions_.push_back(record);
+  if (journal_ && !recovering_) {
+    json::Object o;
+    o["t"] = "transition";
+    o["r"] = to_json(record);
+    journal_append(json::Value(std::move(o)));
+  }
   for (auto* plugin : plugins_) plugin->on_transition(record);
 }
 
@@ -59,6 +72,14 @@ void Scheduler::submit_graph(const TaskGraph& graph, GraphDoneFn on_done) {
   graph_info.name = graph.name();
   graph_info.remaining = graph.size();
   graph_info.on_done = std::move(on_done);
+
+  if (journal_ && !recovering_) {
+    json::Object o;
+    o["t"] = "graph";
+    o["name"] = graph.name();
+    o["size"] = graph.size();
+    journal_append(json::Value(std::move(o)));
+  }
 
   logs_.log(LogLevel::kInfo, "scheduler",
             "Receive graph " + graph.name() + " with " +
@@ -78,6 +99,13 @@ void Scheduler::submit_graph(const TaskGraph& graph, GraphDoneFn on_done) {
     TaskInfo& info = it->second;
     info.spec = spec;
     info.graph = graph.name();
+    if (journal_ && !recovering_) {
+      json::Object o;
+      o["t"] = "spec";
+      o["graph"] = graph.name();
+      o["spec"] = to_json(spec);
+      journal_append(json::Value(std::move(o)));
+    }
   }
   for (const auto& [key, spec] : graph.tasks()) {
     TaskInfo& info = tasks_.at(key);
@@ -270,6 +298,12 @@ void Scheduler::on_task_finished(const TaskKey& key, const TaskRecord& record,
   completed.retries = info.retries;
   info.who_has.insert(record.worker);
   task_records_.push_back(completed);
+  if (journal_ && !recovering_) {
+    json::Object o;
+    o["t"] = "task";
+    o["r"] = to_json(completed);
+    journal_append(json::Value(std::move(o)));
+  }
   transition(info, SchedulerTaskState::kMemory, "task-finished");
 
   // Update per-prefix duration statistics.
@@ -301,12 +335,31 @@ void Scheduler::on_task_finished(const TaskKey& key, const TaskRecord& record,
   drain_queue();
 
   auto& graph = graphs_.at(info.graph);
-  if (--graph.remaining == 0 && graph.on_done) {
-    logs_.log(LogLevel::kInfo, "scheduler", "Graph " + graph.name + " done");
+  if (--graph.remaining == 0) graph_completed(graph);
+}
+
+void Scheduler::graph_completed(GraphInfo& graph) {
+  logs_.log(LogLevel::kInfo, "scheduler", "Graph " + graph.name + " done");
+  graph.done_fired = true;
+  if (graph.on_done) {
     // Fire once: recovery recomputation may re-count completions later.
     GraphDoneFn on_done = std::move(graph.on_done);
     graph.on_done = nullptr;
     on_done(graph.name);
+  }
+  // A graph boundary is the natural quiescent point: snapshot the control
+  // state so a restart replays at most one graph's worth of journal.
+  if (journal_ && !recovering_) checkpoint();
+  // Process-crash fault site. The crash is deferred one event so the
+  // current call stack (possibly deep inside on_task_finished) unwinds over
+  // valid state; at a graph boundary no other event precedes it.
+  if (injector_ != nullptr && journal_ != nullptr && !recovering_) {
+    const auto fault = injector_->decide(chaos::sites::kSchedulerProcess);
+    if (fault.action == chaos::FaultAction::kProcessCrashRestart) {
+      engine_.schedule_after(0.0, [this] {
+        if (!stopped_) crash_and_recover();
+      });
+    }
   }
 }
 
@@ -435,6 +488,12 @@ void Scheduler::stealing_round() {
     steal.estimated_transfer_cost = transfer;
     steal.estimated_compute_cost = compute;
     steals_.push_back(steal);
+    if (journal_ && !recovering_) {
+      json::Object o;
+      o["t"] = "steal";
+      o["r"] = to_json(steal);
+      journal_append(json::Value(std::move(o)));
+    }
     for (auto* plugin : plugins_) plugin->on_steal(steal);
     logs_.log(LogLevel::kInfo, "scheduler",
               "steal " + key.to_string() + " from " + victim->address() +
@@ -447,7 +506,35 @@ void Scheduler::stealing_round() {
 }
 
 void Scheduler::heartbeat(WorkerId worker) {
-  (void)worker;  // membership health handled by the SSG group in Cluster
+  if (worker < last_heartbeat_.size()) {
+    last_heartbeat_[worker] = engine_.now();
+  }
+}
+
+void Scheduler::start_lease_loop() {
+  if (!config_.lease_liveness || stopped_) return;
+  engine_.schedule_after(config_.heartbeat_interval, [this] {
+    if (stopped_) return;
+    lease_round();
+    start_lease_loop();
+  });
+}
+
+void Scheduler::lease_round() {
+  // Lease expiry catches workers that stopped making progress without ever
+  // emitting a death notification (hung event loop, network partition). The
+  // reclaim path is the same idempotent handler SSG death detection feeds,
+  // so double detection is harmless.
+  const Duration expiry = config_.heartbeat_interval * config_.lease_misses;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!worker_alive_[i]) continue;
+    if (engine_.now() - last_heartbeat_[i] <= expiry) continue;
+    ++lease_expirations_;
+    logs_.log(LogLevel::kError, "scheduler",
+              "lease expired for " + workers_[i]->address() + " (no heartbeat for " +
+                  std::to_string(engine_.now() - last_heartbeat_[i]) + "s)");
+    on_worker_failed(static_cast<WorkerId>(i));
+  }
 }
 
 void Scheduler::recompute_lost(TaskInfo& info) {
@@ -491,16 +578,18 @@ void Scheduler::dead_letter(TaskInfo& info, const std::string& reason) {
   warning.time = engine_.now();
   warning.message = "task " + info.spec.key.to_string() + ": " + reason;
   warnings_.push_back(warning);
+  if (journal_ && !recovering_) {
+    json::Object o;
+    o["t"] = "warning";
+    o["r"] = to_json(warning);
+    journal_append(json::Value(std::move(o)));
+  }
   for (auto* plugin : plugins_) plugin->on_warning(warning);
   logs_.log(LogLevel::kError, "scheduler", "dead-letter " + warning.message);
   // Terminal failure still counts towards graph completion so runs finish;
   // dependents remain blocked forever by design.
   auto& graph = graphs_.at(info.graph);
-  if (--graph.remaining == 0 && graph.on_done) {
-    GraphDoneFn on_done = std::move(graph.on_done);
-    graph.on_done = nullptr;
-    on_done(graph.name);
-  }
+  if (--graph.remaining == 0) graph_completed(graph);
 }
 
 void Scheduler::requeue_after_failure(TaskInfo& info) {
@@ -562,6 +651,399 @@ void Scheduler::on_worker_failed(WorkerId worker) {
     }
   }
   drain_queue();
+}
+
+void Scheduler::enable_durability(SchedulerDurability durability) {
+  journal_ = std::make_unique<wal::WalWriter>(durability.dir, durability.wal);
+  // Resume-aware: the journal may already hold records from a previous
+  // process (checkpoint positions index into the full journal, so the count
+  // must be total, not per-session).
+  const wal::ReplayStats stats =
+      wal::WalWriter::replay(durability.dir, [](std::string_view) {});
+  journal_records_ = stats.records;
+  durability_ = std::move(durability);
+}
+
+void Scheduler::journal_append(const json::Value& record) {
+  journal_->append(record.dump());
+  ++journal_records_;
+  if (durability_->checkpoint_every > 0 && !recovering_ &&
+      journal_records_ % durability_->checkpoint_every == 0) {
+    checkpoint();
+  }
+}
+
+void Scheduler::checkpoint() {
+  if (!durability_) return;
+  // The checkpoint's journal position must never exceed what is readable
+  // from disk, or recovery would replay pre-checkpoint records twice.
+  journal_->flush();
+
+  json::Object o;
+  o["journal_records"] = journal_records_;
+  o["rr_counter"] = rr_counter_;
+  o["erred"] = erred_;
+  json::Array prefixes;
+  for (const auto& [prefix, stat] : prefix_durations_) {
+    json::Object p;
+    p["prefix"] = prefix;
+    p["sum"] = stat.first;
+    p["count"] = stat.second;
+    prefixes.push_back(json::Value(std::move(p)));
+  }
+  o["prefix_durations"] = std::move(prefixes);
+  json::Array graphs;
+  for (const auto& [name, graph] : graphs_) {
+    json::Object g;
+    g["name"] = name;
+    g["remaining"] = graph.remaining;
+    g["done_fired"] = graph.done_fired;
+    graphs.push_back(json::Value(std::move(g)));
+  }
+  o["graphs"] = std::move(graphs);
+  json::Array tasks;
+  for (const auto& [key, info] : tasks_) {
+    json::Object t;
+    t["key"] = to_json(key);
+    t["graph"] = info.graph;
+    t["state"] = to_string(info.state);
+    t["retries"] = static_cast<std::int64_t>(info.retries);
+    t["resubmissions"] = static_cast<std::int64_t>(info.resubmissions);
+    t["remaining_dependents"] = info.remaining_dependents;
+    json::Array who;
+    for (const WorkerId holder : info.who_has) {
+      who.push_back(json::Value(static_cast<std::int64_t>(holder)));
+    }
+    t["who_has"] = std::move(who);
+    tasks.push_back(json::Value(std::move(t)));
+  }
+  o["tasks"] = std::move(tasks);
+  json::Array queued;
+  for (const TaskKey& key : queued_) queued.push_back(to_json(key));
+  o["queued"] = std::move(queued);
+
+  // Atomic replace: a crash mid-checkpoint leaves the previous snapshot.
+  const auto dir = std::filesystem::path(durability_->dir);
+  const auto tmp = dir / "checkpoint.tmp";
+  const auto final_path = dir / "checkpoint.json";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << json::Value(std::move(o)).dump();
+  }
+  std::filesystem::rename(tmp, final_path);
+}
+
+void Scheduler::recover() {
+  if (!durability_) {
+    throw std::logic_error("Scheduler::recover without durability enabled");
+  }
+  recovering_ = true;
+
+  // Checkpoint, if one exists, grounds the control state; the journal
+  // suffix past it is replayed on top.
+  json::Value cp;
+  bool have_cp = false;
+  const auto cp_path =
+      std::filesystem::path(durability_->dir) / "checkpoint.json";
+  if (std::filesystem::exists(cp_path)) {
+    std::ifstream in(cp_path, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    cp = json::parse(text);
+    have_cp = true;
+  }
+  const std::size_t cp_records =
+      have_cp ? static_cast<std::size_t>(cp.get_int("journal_records", 0)) : 0;
+
+  std::vector<json::Value> records;
+  wal::WalWriter::replay(durability_->dir, [&records](std::string_view payload) {
+    records.push_back(json::parse(payload));
+  });
+  journal_records_ = records.size();
+  if (cp_records > records.size()) {
+    throw wal::WalError("scheduler checkpoint is ahead of the journal (" +
+                        std::to_string(cp_records) + " > " +
+                        std::to_string(records.size()) + " records)");
+  }
+
+  // Pass 1 (whole journal): record vectors are full-history provenance, and
+  // task specs / dependents are structural, so both rebuild from record 0.
+  std::vector<TaskKey> spec_order;
+  for (const json::Value& rec : records) {
+    const std::string type = rec.get_string("t", "");
+    if (type == "graph") {
+      const std::string name = rec.get_string("name", "");
+      GraphInfo& graph = graphs_[name];
+      graph.name = name;
+    } else if (type == "spec") {
+      TaskSpec spec = spec_from_json(rec.at("spec"));
+      const TaskKey key = spec.key;
+      TaskInfo& info = tasks_[key];
+      info.spec = std::move(spec);
+      info.graph = rec.get_string("graph", "");
+      spec_order.push_back(key);
+    } else if (type == "transition") {
+      transitions_.push_back(transition_from_json(rec.at("r")));
+    } else if (type == "task") {
+      task_records_.push_back(task_from_json(rec.at("r")));
+    } else if (type == "steal") {
+      steals_.push_back(steal_from_json(rec.at("r")));
+    } else if (type == "warning") {
+      warnings_.push_back(warning_from_json(rec.at("r")));
+    }
+  }
+  // Dependent registration follows journal order, which is submission
+  // order, so release refcount replay below sees the original ordering.
+  for (const TaskKey& key : spec_order) {
+    TaskInfo& info = tasks_.at(key);
+    for (const TaskKey& dep : info.spec.dependencies) {
+      tasks_.at(dep).dependents.push_back(key);
+    }
+  }
+
+  // Apply the checkpointed control state.
+  std::vector<TaskKey> queued_cp;
+  if (have_cp) {
+    rr_counter_ = static_cast<std::size_t>(cp.get_int("rr_counter", 0));
+    erred_ = static_cast<std::uint64_t>(cp.get_int("erred", 0));
+    if (cp.contains("prefix_durations")) {
+      for (const json::Value& p : cp.at("prefix_durations").as_array()) {
+        prefix_durations_[p.get_string("prefix", "")] = {
+            p.get_double("sum", 0.0),
+            static_cast<std::uint64_t>(p.get_int("count", 0))};
+      }
+    }
+    if (cp.contains("graphs")) {
+      for (const json::Value& g : cp.at("graphs").as_array()) {
+        GraphInfo& graph = graphs_[g.get_string("name", "")];
+        graph.name = g.get_string("name", "");
+        graph.remaining = static_cast<std::size_t>(g.get_int("remaining", 0));
+        graph.done_fired = g.get_bool("done_fired", false);
+      }
+    }
+    if (cp.contains("tasks")) {
+      for (const json::Value& t : cp.at("tasks").as_array()) {
+        const TaskKey key = key_from_json(t.at("key"));
+        const auto it = tasks_.find(key);
+        if (it == tasks_.end()) continue;
+        TaskInfo& info = it->second;
+        info.state = scheduler_state_from_string(
+            t.get_string("state", "released"));
+        info.retries = static_cast<std::uint32_t>(t.get_int("retries", 0));
+        info.resubmissions =
+            static_cast<std::uint32_t>(t.get_int("resubmissions", 0));
+        info.remaining_dependents =
+            static_cast<std::size_t>(t.get_int("remaining_dependents", 0));
+      }
+    }
+    if (cp.contains("queued")) {
+      for (const json::Value& q : cp.at("queued").as_array()) {
+        queued_cp.push_back(key_from_json(q));
+      }
+    }
+  }
+
+  // Pass 2 (journal suffix past the checkpoint): replay control-state
+  // deltas — states from transitions, counters from their stimuli,
+  // release refcounts from spec registration and task completion.
+  std::vector<TaskKey> queued_post;
+  for (std::size_t i = cp_records; i < records.size(); ++i) {
+    const json::Value& rec = records[i];
+    const std::string type = rec.get_string("t", "");
+    if (type == "transition") {
+      const TransitionRecord tr = transition_from_json(rec.at("r"));
+      const auto it = tasks_.find(tr.key);
+      if (it == tasks_.end()) continue;
+      TaskInfo& info = it->second;
+      info.state = scheduler_state_from_string(tr.to_state);
+      if (tr.stimulus == "retry") ++info.retries;
+      if (tr.stimulus == "worker-failed") ++info.resubmissions;
+      if (tr.stimulus == "unrecoverable") ++erred_;
+      if (info.state == SchedulerTaskState::kQueued) {
+        queued_post.push_back(tr.key);
+      }
+      if (info.state == SchedulerTaskState::kMemory &&
+          tr.stimulus == "task-finished") {
+        for (const TaskKey& dep : info.spec.dependencies) {
+          const auto dep_it = tasks_.find(dep);
+          if (dep_it != tasks_.end() &&
+              dep_it->second.remaining_dependents > 0) {
+            --dep_it->second.remaining_dependents;
+          }
+        }
+      }
+    } else if (type == "spec") {
+      const TaskKey key = key_from_json(rec.at("spec").at("key"));
+      for (const TaskKey& dep : tasks_.at(key).spec.dependencies) {
+        const auto dep_it = tasks_.find(dep);
+        if (dep_it != tasks_.end()) ++dep_it->second.remaining_dependents;
+      }
+    } else if (type == "task") {
+      const TaskRecord tr = task_from_json(rec.at("r"));
+      auto& [sum, count] = prefix_durations_[tr.key.prefix()];
+      sum += tr.end_time - tr.start_time;
+      ++count;
+    } else if (type == "warning") {
+      if (rec.at("r").get_string("kind", "") == "dead_letter") ++erred_;
+    }
+  }
+
+  // Reconcile against the workers that survived the crash: they are the
+  // ground truth for replica placement and still-executing tasks.
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    worker_alive_[i] = workers_[i]->alive();
+    in_flight_[i] = 0;
+    last_heartbeat_[i] = engine_.now();  // fresh leases after restart
+  }
+  std::vector<TaskKey> orphaned;
+  for (auto& [key, info] : tasks_) {
+    info.assigned = nullptr;
+    info.who_has.clear();
+    if (info.state == SchedulerTaskState::kMemory) {
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        if (worker_alive_[i] && workers_[i]->has_data(key)) {
+          info.who_has.insert(static_cast<WorkerId>(i));
+        }
+      }
+    } else if (info.state == SchedulerTaskState::kProcessing) {
+      // Re-adopt the task if a surviving worker is still executing it;
+      // otherwise it died with its worker (or the assignment was lost with
+      // our process) and must be re-dispatched.
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        if (worker_alive_[i] && workers_[i]->has_task(key)) {
+          info.assigned = workers_[i];
+          ++in_flight_[i];
+          break;
+        }
+      }
+      if (info.assigned == nullptr) orphaned.push_back(key);
+    }
+  }
+  for (auto& [key, info] : tasks_) {
+    if (info.state != SchedulerTaskState::kWaiting) continue;
+    info.waiting_on = 0;
+    for (const TaskKey& dep : info.spec.dependencies) {
+      const auto dep_it = tasks_.find(dep);
+      if (dep_it == tasks_.end()) continue;
+      const TaskInfo& dep_info = dep_it->second;
+      if (dep_info.state == SchedulerTaskState::kMemory &&
+          !dep_info.who_has.empty()) {
+        continue;
+      }
+      ++info.waiting_on;
+    }
+  }
+  // Queue order: checkpointed order first, then post-checkpoint arrivals,
+  // keeping only tasks still queued (and each at most once).
+  queued_.clear();
+  std::set<TaskKey> enqueued;
+  const auto enqueue_if_current = [this, &enqueued](const TaskKey& key) {
+    const auto it = tasks_.find(key);
+    if (it == tasks_.end()) return;
+    if (it->second.state != SchedulerTaskState::kQueued) return;
+    if (!enqueued.insert(key).second) return;
+    queued_.push_back(key);
+  };
+  for (const TaskKey& key : queued_cp) enqueue_if_current(key);
+  for (const TaskKey& key : queued_post) enqueue_if_current(key);
+  // Graph accounting from first principles: every task not terminal counts.
+  for (auto& [name, graph] : graphs_) graph.remaining = 0;
+  for (const auto& [key, info] : tasks_) {
+    if (info.state != SchedulerTaskState::kMemory &&
+        info.state != SchedulerTaskState::kErred &&
+        info.state != SchedulerTaskState::kReleased &&
+        info.state != SchedulerTaskState::kForgotten) {
+      ++graphs_.at(info.graph).remaining;
+    }
+  }
+  for (auto& [name, graph] : graphs_) {
+    // A drained graph completed before the crash; its on_done already fired
+    // in the previous process, so never re-fire it here.
+    if (graph.remaining == 0) graph.done_fired = true;
+  }
+
+  recovering_ = false;
+  ++recoveries_;
+  logs_.log(LogLevel::kInfo, "scheduler",
+            "recovered from " + durability_->dir + ": " +
+                std::to_string(records.size()) + " journal records (" +
+                std::to_string(cp_records) + " checkpointed), " +
+                std::to_string(tasks_.size()) + " tasks, " +
+                std::to_string(orphaned.size()) + " orphaned");
+
+  // Post-recovery fixups run through the normal (journaled, plugin-visible)
+  // paths: these are new decisions of the restarted scheduler, not replay.
+  for (const TaskKey& key : orphaned) {
+    TaskInfo& info = tasks_.at(key);
+    if (info.state != SchedulerTaskState::kProcessing) continue;
+    transition(info, SchedulerTaskState::kWaiting, "scheduler-restart");
+    info.waiting_on = 0;
+    for (const TaskKey& dep : info.spec.dependencies) {
+      const auto dep_it = tasks_.find(dep);
+      if (dep_it == tasks_.end()) continue;
+      TaskInfo& dep_info = dep_it->second;
+      if (dep_info.state == SchedulerTaskState::kMemory) {
+        if (!dep_info.who_has.empty()) continue;
+        recompute_lost(dep_info);
+      }
+      if (dep_info.state == SchedulerTaskState::kMemory &&
+          !dep_info.who_has.empty()) {
+        continue;
+      }
+      ++info.waiting_on;
+    }
+    if (info.waiting_on == 0) dispatch(info, "scheduler-restart");
+  }
+  for (auto& [key, info] : tasks_) {
+    if (info.state == SchedulerTaskState::kMemory && info.who_has.empty() &&
+        info.remaining_dependents > 0) {
+      recompute_lost(info);
+    }
+  }
+  for (auto& [key, info] : tasks_) {
+    if (info.state == SchedulerTaskState::kWaiting && info.waiting_on == 0) {
+      dispatch(info, "scheduler-restart");
+    }
+  }
+  drain_queue();
+  checkpoint();
+}
+
+void Scheduler::crash_and_recover() {
+  if (!journal_) {
+    throw std::logic_error("Scheduler::crash_and_recover requires durability");
+  }
+  logs_.log(LogLevel::kError, "scheduler",
+            "simulated process crash (restarting from " + durability_->dir +
+                ")");
+  // What a real crash would leave on disk: whatever the journal had pushed
+  // to the OS. flush() models the page cache surviving the process.
+  journal_->flush();
+  tasks_.clear();
+  graphs_.clear();
+  queued_.clear();
+  transitions_.clear();
+  task_records_.clear();
+  steals_.clear();
+  warnings_.clear();
+  prefix_durations_.clear();
+  erred_ = 0;
+  rr_counter_ = 0;
+  journal_records_ = 0;
+  std::fill(in_flight_.begin(), in_flight_.end(), 0);
+  recover();
+}
+
+void Scheduler::set_graph_done(const std::string& graph, GraphDoneFn on_done) {
+  const auto it = graphs_.find(graph);
+  if (it == graphs_.end()) {
+    throw std::invalid_argument("set_graph_done: unknown graph " + graph);
+  }
+  if (it->second.done_fired) {
+    if (on_done) on_done(graph);
+    return;
+  }
+  it->second.on_done = std::move(on_done);
 }
 
 bool Scheduler::in_memory(const TaskKey& key) const {

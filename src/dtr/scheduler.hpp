@@ -11,13 +11,18 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "chaos/fault.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "common/wal.hpp"
 #include "dtr/plugins.hpp"
 #include "dtr/records.hpp"
+#include "json/json.hpp"
 #include "dtr/task.hpp"
 #include "dtr/worker.hpp"
 #include "platform/network.hpp"
@@ -49,6 +54,32 @@ struct SchedulerConfig {
   /// locality (fewer transfers, possibly worse balance) — one of the design
   /// knobs the ablation bench sweeps.
   double locality_bias = 20.0;
+  /// Expected worker heartbeat period. Cluster wires this from the platform
+  /// profile's wms.heartbeat_interval_s so the lease layer and the workers
+  /// agree on one cadence.
+  Duration heartbeat_interval = 0.5;
+  /// A worker's lease expires after missing this many heartbeat intervals;
+  /// its in-flight tasks are then reclaimed exactly as on a death
+  /// notification. Deliberately slower than SSG suspicion (so explicit death
+  /// detection wins when available) — the lease is the backstop for hung or
+  /// partitioned workers that never emit a death notification.
+  double lease_misses = 12.0;
+  /// Master switch for lease-based liveness (the loop still has to be
+  /// started with start_lease_loop()).
+  bool lease_liveness = true;
+};
+
+/// Durable-state configuration for the scheduler. `dir` receives a
+/// segmented journal WAL (every transition / spec / record, append-only)
+/// plus `checkpoint.json` snapshots of the control state. A restarted
+/// scheduler replays checkpoint + journal suffix and reconciles against the
+/// workers that survived it.
+struct SchedulerDurability {
+  std::string dir;
+  /// Also checkpoint every N journal records (0 = only at graph
+  /// completions).
+  std::size_t checkpoint_every = 0;
+  wal::WalOptions wal;
 };
 
 class Scheduler {
@@ -94,8 +125,43 @@ class Scheduler {
 
   void add_plugin(SchedulerPlugin* plugin) { plugins_.push_back(plugin); }
   void start_stealing_loop();
+  /// Records a worker heartbeat (lease renewal).
   void heartbeat(WorkerId worker);
+  /// Starts the periodic lease check; workers whose lease expired are
+  /// treated as failed (on_worker_failed). Opt-in, like the stealing loop.
+  void start_lease_loop();
+  [[nodiscard]] std::uint64_t lease_expirations() const {
+    return lease_expirations_;
+  }
   void stop() { stopped_ = true; }
+
+  // --- Durability --------------------------------------------------------------
+  /// Opens (or resumes) the journal WAL under durability.dir. Call before
+  /// submitting graphs; to resume an existing journal, call recover() after
+  /// workers are registered.
+  void enable_durability(SchedulerDurability durability);
+  [[nodiscard]] bool durable() const { return journal_ != nullptr; }
+  /// Atomically snapshots the control state to checkpoint.json. Also runs
+  /// automatically at every graph completion and (optionally) every
+  /// checkpoint_every journal records.
+  void checkpoint();
+  /// Rebuilds state from checkpoint + journal, then reconciles with live
+  /// workers: tasks still executing on a surviving worker are re-adopted,
+  /// the rest are re-dispatched with a "scheduler-restart" stimulus.
+  void recover();
+  /// Simulated process crash + restart from on-disk state. The object stays
+  /// in place so worker/client references survive (they would reconnect to
+  /// the restarted process in a real deployment). Graph-done callbacks are
+  /// lost with the process; reattach with set_graph_done if needed.
+  void crash_and_recover();
+  /// Reattaches a graph-completion callback after recovery; fires
+  /// immediately when the graph already completed.
+  void set_graph_done(const std::string& graph, GraphDoneFn on_done);
+  /// Consulted at graph completions for chaos::sites::kSchedulerProcess.
+  void set_fault_injector(chaos::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
 
   /// Fault handling (driven by SSG fault detection): removes the worker
   /// from scheduling, purges its replicas, re-dispatches its in-flight
@@ -125,6 +191,7 @@ class Scheduler {
     std::string name;
     std::size_t remaining = 0;
     GraphDoneFn on_done;  ///< cleared after firing (recovery may re-count)
+    bool done_fired = false;
   };
 
   void transition(TaskInfo& info, SchedulerTaskState to,
@@ -156,6 +223,13 @@ class Scheduler {
   bool requeue_if_deps_lost(TaskInfo& info);
   void drain_queue();
   void stealing_round();
+  void lease_round();
+  /// Completion bookkeeping shared by on_task_finished and dead_letter:
+  /// fires on_done once, checkpoints, and consults the process-crash fault
+  /// site.
+  void graph_completed(GraphInfo& graph);
+  /// Appends one journal record (and maybe auto-checkpoints).
+  void journal_append(const json::Value& record);
   [[nodiscard]] Duration transfer_cost_estimate(const TaskInfo& info,
                                                 const Worker& worker) const;
   [[nodiscard]] Duration compute_estimate(const TaskInfo& info) const;
@@ -188,6 +262,18 @@ class Scheduler {
   std::uint64_t erred_ = 0;
   bool stopped_ = false;
   std::size_t rr_counter_ = 0;  ///< round-robin seed for cost ties
+
+  // Leases.
+  std::vector<TimePoint> last_heartbeat_;
+  std::uint64_t lease_expirations_ = 0;
+
+  // Durability.
+  std::optional<SchedulerDurability> durability_;
+  std::unique_ptr<wal::WalWriter> journal_;
+  std::size_t journal_records_ = 0;
+  bool recovering_ = false;  ///< suppresses journal + plugin re-emission
+  std::uint64_t recoveries_ = 0;
+  chaos::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace recup::dtr

@@ -66,6 +66,7 @@ void Worker::assign_task(const TaskSpec& spec, const std::string& graph,
   exec->record.received_time = engine_.now();
   exec->record.stolen = was_stolen;
   exec->record.dependencies = spec.dependencies;
+  inflight_.insert(spec.key);
   transition(*exec, WorkerTaskState::kReceived, "compute-task");
 
   if (exec->missing_deps.empty()) {
@@ -149,6 +150,7 @@ bool Worker::try_release_ready_task(const TaskKey& key) {
     if ((*it)->spec.key == key) {
       transition(**it, WorkerTaskState::kReceived, "steal-release");
       ready_.erase(it);
+      inflight_.erase(key);
       return true;
     }
   }
@@ -344,6 +346,7 @@ void Worker::finish_task(const ExecPtr& exec, bool failed) {
   exec->record.end_time = engine_.now();
   lane_busy_[exec->lane] = false;
   --executing_;
+  inflight_.erase(exec->spec.key);
 
   if (failed) {
     transition(*exec, WorkerTaskState::kError, "task-erred");
@@ -520,6 +523,7 @@ void Worker::kill() {
   memory_bytes_ = 0;
   ready_.clear();
   fetching_.clear();
+  inflight_.clear();
   logs_.log(LogLevel::kError, address_, "worker process died");
 }
 

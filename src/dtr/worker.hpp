@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "chaos/fault.hpp"
@@ -103,6 +104,13 @@ class Worker {
   /// Attempts to remove a not-yet-started task (work stealing). Succeeds
   /// only while the task sits in the ready queue.
   bool try_release_ready_task(const TaskKey& key);
+
+  /// True while the task is anywhere in this worker's pipeline (received,
+  /// fetching deps, ready, or executing). A restarted scheduler uses this to
+  /// re-adopt in-flight work instead of re-dispatching it.
+  [[nodiscard]] bool has_task(const TaskKey& key) const {
+    return inflight_.count(key) != 0;
+  }
 
   /// Tasks ready or executing (Dask's occupancy proxy for decide_worker).
   [[nodiscard]] std::size_t processing_count() const;
@@ -218,6 +226,8 @@ class Worker {
   /// need it (Dask's gather_dep dedup).
   std::map<TaskKey, std::vector<ExecPtr>> fetching_;
   std::size_t executing_ = 0;
+  /// Keys of tasks assigned but not yet finished (or released to a thief).
+  std::set<TaskKey> inflight_;
   std::map<TaskKey, DataEntry> data_;  // distributed memory: key -> entry
   std::uint64_t next_insert_order_ = 0;
   std::uint64_t spill_counter_ = 0;

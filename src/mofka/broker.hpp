@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "chaos/fault.hpp"
+#include "common/wal.hpp"
 #include "json/json.hpp"
 #include "mochi/warabi.hpp"
 #include "mochi/yokan.hpp"
@@ -57,6 +58,16 @@ struct TopicConfig {
   PartitionSelector selector;        ///< optional; default round-robin
 };
 
+/// Write-ahead-log configuration. With a non-empty `dir` every topic
+/// creation, accepted append (post-dedup), and consumer-group offset commit
+/// is framed into the WAL before the ack returns, so a crashed broker
+/// rebuilds partitions, sequence-dedup state, and committed offsets with
+/// identical offsets on restart.
+struct BrokerDurability {
+  std::string dir;  ///< empty => in-memory only (no WAL)
+  wal::WalOptions wal;
+};
+
 struct TopicStats {
   std::uint64_t events = 0;
   std::uint64_t batches = 0;
@@ -78,8 +89,18 @@ struct AppendResult {
 class Broker {
  public:
   Broker(mochi::KeyValueStore& metadata_store, mochi::BlobStore& data_store);
+  /// Durable broker: replays any existing WAL under `durability.dir` into
+  /// the stores before serving (a broker "rebuilt from disk").
+  Broker(mochi::KeyValueStore& metadata_store, mochi::BlobStore& data_store,
+         BrokerDurability durability);
 
   void create_topic(const std::string& name, TopicConfig config = {});
+  /// Reattaches the non-serializable parts of a topic's configuration
+  /// (validator, partition selector) after a recovery rebuilt the topic
+  /// from the WAL — the analog of services re-registering their hooks when
+  /// a restarted broker comes back up.
+  void configure_topic(const std::string& name, Validator validator,
+                       PartitionSelector selector = nullptr);
   [[nodiscard]] bool topic_exists(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> topic_names() const;
   [[nodiscard]] PartitionIndex partition_count(const std::string& topic) const;
@@ -123,6 +144,17 @@ class Broker {
                                          const std::string& group,
                                          PartitionIndex partition) const;
 
+  /// Simulates a broker process crash + restart in place: wipes all
+  /// in-memory topic state and the broker-owned KV/blob entries, then
+  /// replays the WAL. Validators/selectors survive (a restarted broker
+  /// re-registers them at startup). Without durability this is total data
+  /// loss — deliberately observable, so lossy configurations fail oracles.
+  void crash_and_recover();
+  [[nodiscard]] bool durable() const { return wal_ != nullptr; }
+  [[nodiscard]] std::uint64_t recoveries() const;
+  /// WAL bytes appended so far (0 when not durable).
+  [[nodiscard]] std::uint64_t wal_bytes() const;
+
  private:
   /// Sequence window retained per (topic, partition, producer) for
   /// duplicate-offset resolution. Must exceed any producer's in-flight
@@ -148,11 +180,24 @@ class Broker {
                                             PartitionIndex partition,
                                             EventId offset);
 
+  // WAL record appliers (lock held, no re-logging). The WAL holds only
+  // post-dedup appends, so replay re-inserts unconditionally and re-seeds
+  // the sequence trackers from the "_pid"/"_seq" stamps in the metadata.
+  void wal_apply(std::string_view record);
+  void apply_create_topic(const std::string& name, PartitionIndex partitions);
+  void apply_append(const std::string& topic, PartitionIndex partition,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        events);
+  void replay_wal_locked();
+
   mochi::KeyValueStore& metadata_store_;
   mochi::BlobStore& data_store_;
+  BrokerDurability durability_;
+  std::unique_ptr<wal::WalWriter> wal_;
   mutable std::mutex mutex_;
   std::map<std::string, Topic> topics_;
   std::shared_ptr<chaos::FaultInjector> injector_;
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace recup::mofka

@@ -88,6 +88,11 @@ bool Consumer::drained() const {
   return true;
 }
 
+void Consumer::seek(PartitionIndex partition, EventId offset) {
+  next_offset_.at(partition) = offset;
+  delivered_.at(partition) = SequenceTracker{};
+}
+
 void Consumer::commit() {
   for (PartitionIndex p = 0; p < next_offset_.size(); ++p) {
     broker_.commit_offset(topic_, group_, p, next_offset_[p]);

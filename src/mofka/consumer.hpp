@@ -63,6 +63,18 @@ class Consumer {
   /// Persists this consumer's position for its group.
   void commit();
 
+  /// Repositions one partition (crash-recovery cursor restore). Resets the
+  /// partition's delivery-dedup tracker: events from `offset` on are new
+  /// deliveries for the restarted consumer.
+  void seek(PartitionIndex partition, EventId offset);
+  /// Next offset to be pulled from a partition.
+  [[nodiscard]] EventId position(PartitionIndex partition) const {
+    return next_offset_.at(partition);
+  }
+  [[nodiscard]] PartitionIndex partitions() const {
+    return static_cast<PartitionIndex>(next_offset_.size());
+  }
+
   /// True when every partition has been pulled up to the broker's current
   /// end. Distinguishes "genuinely drained" from "pull() returned nullopt
   /// because a fault hid the next event".

@@ -9,11 +9,16 @@ std::atomic<std::uint64_t> g_next_pid{1};
 }  // namespace
 
 std::chrono::microseconds retry_backoff(std::size_t attempt,
-                                        const ProducerConfig& config) {
+                                        std::chrono::microseconds base,
+                                        std::chrono::microseconds max) {
   const std::uint64_t shift = attempt < 16 ? attempt : 16;
-  const auto backoff = std::chrono::microseconds(
-      config.backoff_base.count() << shift);
-  return backoff < config.backoff_max ? backoff : config.backoff_max;
+  const auto backoff = std::chrono::microseconds(base.count() << shift);
+  return backoff < max ? backoff : max;
+}
+
+std::chrono::microseconds retry_backoff(std::size_t attempt,
+                                        const ProducerConfig& config) {
+  return retry_backoff(attempt, config.backoff_base, config.backoff_max);
 }
 
 Producer::Producer(Broker& broker, std::string topic, ProducerConfig config)

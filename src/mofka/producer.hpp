@@ -47,6 +47,11 @@ struct ProducerConfig {
 };
 
 /// Backoff before retry `attempt` (0-based): min(base * 2^attempt, max).
+/// Reused outside the producer (e.g. the query client) so every transient
+/// retry in the system shares one clamped-exponential policy.
+std::chrono::microseconds retry_backoff(std::size_t attempt,
+                                        std::chrono::microseconds base,
+                                        std::chrono::microseconds max);
 std::chrono::microseconds retry_backoff(std::size_t attempt,
                                         const ProducerConfig& config);
 

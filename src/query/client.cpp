@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <future>
+#include <thread>
 #include <utility>
 
+#include "mofka/producer.hpp"
 #include "query/ir.hpp"
 #include "query/wire.hpp"
 
@@ -13,7 +15,11 @@ QueryClient::QueryClient(QueryServer& server)
     : QueryClient(server, Config{}) {}
 
 QueryClient::QueryClient(QueryServer& server, Config config)
-    : server_(server), config_(config) {}
+    : resolver_([&server]() -> QueryServer& { return server; }),
+      config_(config) {}
+
+QueryClient::QueryClient(ServerResolver resolver, Config config)
+    : resolver_(std::move(resolver)), config_(config) {}
 
 QueryResponse QueryClient::query(const json::Value& query_doc) {
   return roundtrip(query_doc, /*explain=*/false);
@@ -38,13 +44,32 @@ QueryResponse QueryClient::explain(const Query& q) {
 }
 
 QueryResponse QueryClient::roundtrip(json::Value query_doc, bool explain) {
+  QueryResponse out = attempt(query_doc, explain);
+  // Bounded re-submission on responses the server marked retryable
+  // (overload backpressure, a restart window). Each attempt re-resolves the
+  // server and frames a fresh id, so the retry is a new request, not a
+  // duplicate of a possibly half-handled one.
+  for (std::size_t retry = 0;
+       retry < config_.max_retries && !out.ok &&
+       out.raw.get_bool("transient", false);
+       ++retry) {
+    std::this_thread::sleep_for(mofka::retry_backoff(
+        retry, config_.backoff_base, config_.backoff_max));
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    out = attempt(query_doc, explain);
+  }
+  return out;
+}
+
+QueryResponse QueryClient::attempt(const json::Value& query_doc,
+                                   bool explain) {
   json::Object request;
   request["id"] = next_id_.fetch_add(1);
-  request["query"] = std::move(query_doc);
+  request["query"] = query_doc;
   if (explain) request["explain"] = true;
   if (config_.timeout_ms > 0.0) request["timeout_ms"] = config_.timeout_ms;
 
-  std::future<json::Value> future = server_.submit(std::move(request));
+  std::future<json::Value> future = resolver_().submit(std::move(request));
   QueryResponse out;
   if (config_.timeout_ms > 0.0) {
     const auto status = future.wait_for(

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "analysis/dataframe.hpp"
@@ -36,10 +38,23 @@ class QueryClient {
     /// forwarded as the request's "timeout_ms" so the server can drop the
     /// request if it expires while queued.
     double timeout_ms = 0.0;
+    /// Re-submissions after a response marked "transient" (overload, server
+    /// restarting). 0 keeps the original fail-fast behaviour. Each attempt
+    /// frames a fresh request id and re-resolves the server, so a
+    /// restarting QueryServer is not client-visible.
+    std::size_t max_retries = 0;
+    std::chrono::microseconds backoff_base{200};
+    std::chrono::microseconds backoff_max{5000};
   };
+
+  /// Resolves the server anew on every attempt — the handle a real client
+  /// would get from service discovery, where a restart changes the
+  /// endpoint behind a stable name.
+  using ServerResolver = std::function<QueryServer&()>;
 
   explicit QueryClient(QueryServer& server);  // default Config
   QueryClient(QueryServer& server, Config config);
+  QueryClient(ServerResolver resolver, Config config);
 
   /// Executes a query given as parsed JSON, IR, or JSON text.
   QueryResponse query(const json::Value& query_doc);
@@ -50,12 +65,19 @@ class QueryClient {
   QueryResponse explain(const json::Value& query_doc);
   QueryResponse explain(const Query& query);
 
+  /// Transient-error retries performed so far (across all calls).
+  [[nodiscard]] std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
  private:
   QueryResponse roundtrip(json::Value query_doc, bool explain);
+  QueryResponse attempt(const json::Value& query_doc, bool explain);
 
-  QueryServer& server_;
+  ServerResolver resolver_;
   Config config_;
   std::atomic<std::int64_t> next_id_{1};
+  std::atomic<std::uint64_t> retries_{0};
 };
 
 }  // namespace recup::query

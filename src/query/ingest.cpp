@@ -32,10 +32,15 @@ void canonicalize(dtr::RunData& run) {
   canonical_sort(run.steals);
 }
 
+constexpr std::array<const char*, 5> kTopics = {
+    "wms_transitions", "wms_tasks", "wms_comms", "wms_warnings",
+    "wms_cluster"};
+
 }  // namespace
 
 LiveIngestor::LiveIngestor(mofka::Broker& broker, StoreCatalog& catalog,
-                           std::string consumer_group)
+                           std::string consumer_group,
+                           std::string durable_dir)
     : broker_(broker),
       catalog_(catalog),
       group_(std::move(consumer_group)),
@@ -43,12 +48,86 @@ LiveIngestor::LiveIngestor(mofka::Broker& broker, StoreCatalog& catalog,
       tasks_(broker, "wms_tasks", group_),
       comms_(broker, "wms_comms", group_),
       warnings_(broker, "wms_warnings", group_),
-      cluster_(broker, "wms_cluster", group_) {}
+      cluster_(broker, "wms_cluster", group_) {
+  if (!durable_dir.empty()) {
+    cursor_wal_ = std::make_unique<wal::WalWriter>(durable_dir);
+    std::lock_guard lock(mutex_);
+    restore_cursors_locked();
+  }
+}
 
 LiveIngestor::~LiveIngestor() { stop(); }
 
+std::array<mofka::Consumer*, 5> LiveIngestor::consumers_locked() {
+  return {&transitions_, &tasks_, &comms_, &warnings_, &cluster_};
+}
+
+void LiveIngestor::restore_cursors_locked() {
+  // Only the last cursor record matters: it names the positions as of the
+  // most recent successful publish.
+  json::Value cursors;
+  if (cursor_wal_) {
+    wal::WalWriter::replay(cursor_wal_->dir(),
+                           [&cursors](std::string_view payload) {
+                             cursors = json::parse(payload);
+                           });
+  }
+  const auto consumers = consumers_locked();
+  for (std::size_t i = 0; i < consumers.size(); ++i) {
+    mofka::Consumer* consumer = consumers[i];
+    for (mofka::PartitionIndex p = 0; p < consumer->partitions(); ++p) {
+      mofka::EventId target = broker_.committed_offset(kTopics[i], group_, p);
+      if (cursors.is_object() && cursors.contains(kTopics[i]) &&
+          p < cursors.at(kTopics[i]).size()) {
+        target = std::max(
+            target, static_cast<mofka::EventId>(
+                        cursors.at(kTopics[i]).at(p).as_int()));
+      }
+      consumer->seek(p, target);
+    }
+  }
+}
+
+void LiveIngestor::log_cursors_locked() {
+  if (!cursor_wal_) return;
+  json::Object o;
+  const auto consumers = consumers_locked();
+  for (std::size_t i = 0; i < consumers.size(); ++i) {
+    json::Array positions;
+    for (mofka::PartitionIndex p = 0; p < consumers[i]->partitions(); ++p) {
+      positions.push_back(
+          json::Value(static_cast<std::int64_t>(consumers[i]->position(p))));
+    }
+    o[kTopics[i]] = std::move(positions);
+  }
+  cursor_wal_->append(json::Value(std::move(o)).dump());
+  cursor_wal_->flush();
+}
+
+void LiveIngestor::crash_restore_locked() {
+  // A process crash loses everything consumed-but-unpublished; the
+  // restarted ingestor re-tails from the durable cursors, so the eventual
+  // published run contains the same record set.
+  ++recoveries_;
+  pending_ = dtr::RunData{};
+  pending_count_ = 0;
+  restore_cursors_locked();
+}
+
+std::uint64_t LiveIngestor::recoveries() const {
+  std::lock_guard lock(mutex_);
+  return recoveries_;
+}
+
 std::size_t LiveIngestor::poll() {
   std::lock_guard lock(mutex_);
+  if (injector_) {
+    const auto fault = injector_->decide(chaos::sites::kIngestorProcess);
+    if (fault.action == chaos::FaultAction::kProcessCrashRestart) {
+      crash_restore_locked();
+      return 0;
+    }
+  }
   return poll_locked();
 }
 
@@ -86,6 +165,15 @@ Epoch LiveIngestor::publish(dtr::RunMetadata meta) {
   dtr::RunData run;
   {
     std::lock_guard lock(mutex_);
+    if (injector_) {
+      const auto fault = injector_->decide(chaos::sites::kIngestorProcess);
+      if (fault.action == chaos::FaultAction::kProcessCrashRestart) {
+        // Crash at publish entry: drop the pending run and re-tail below —
+        // the drain loop re-pulls everything, so the published run is the
+        // same one the fault-free process would have produced.
+        crash_restore_locked();
+      }
+    }
     // Drain fully: a single pass can return early when injected pull
     // faults transiently hide events, so loop until every consumer has
     // caught up with its partitions.
@@ -115,6 +203,7 @@ Epoch LiveIngestor::publish(dtr::RunMetadata meta) {
     comms_.commit();
     warnings_.commit();
     cluster_.commit();
+    log_cursors_locked();
     if (added) stats_.runs_published += 1;
   }
   return catalog_.epoch();

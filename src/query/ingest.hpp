@@ -13,6 +13,7 @@
 // complete.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -22,6 +23,8 @@
 #include <thread>
 
 #include "analysis/readers.hpp"
+#include "chaos/fault.hpp"
+#include "common/wal.hpp"
 #include "mofka/broker.hpp"
 #include "mofka/consumer.hpp"
 #include "query/catalog.hpp"
@@ -36,8 +39,14 @@ struct IngestStats {
 
 class LiveIngestor {
  public:
+  /// `durable_dir`, when non-empty, receives a small cursor WAL: every
+  /// publish records the consumers' positions after their offsets commit,
+  /// and a restarted (or crashed) ingestor seeks each partition to
+  /// max(broker-committed, recorded) — resuming exactly where ingestion
+  /// stopped even if the broker lost the commit.
   LiveIngestor(mofka::Broker& broker, StoreCatalog& catalog,
-               std::string consumer_group = "recup_query_ingest");
+               std::string consumer_group = "recup_query_ingest",
+               std::string durable_dir = "");
   ~LiveIngestor();
 
   LiveIngestor(const LiveIngestor&) = delete;
@@ -60,8 +69,22 @@ class LiveIngestor {
   /// Events consumed but not yet published.
   [[nodiscard]] std::size_t pending_events() const;
 
+  /// Chaos hook: poll()/publish() consult chaos::sites::kIngestorProcess;
+  /// an injected process crash drops the pending run and restores cursors
+  /// from the WAL + broker commits (the restarted process re-tails).
+  void set_fault_injector(std::shared_ptr<chaos::FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
+  [[nodiscard]] std::uint64_t recoveries() const;
+
  private:
   std::size_t poll_locked();
+  /// Simulated process crash: volatile pending state dies, cursors restore.
+  void crash_restore_locked();
+  /// Seeks every consumer partition to max(broker committed, WAL cursor).
+  void restore_cursors_locked();
+  void log_cursors_locked();
+  [[nodiscard]] std::array<mofka::Consumer*, 5> consumers_locked();
 
   mofka::Broker& broker_;
   StoreCatalog& catalog_;
@@ -76,6 +99,9 @@ class LiveIngestor {
   dtr::RunData pending_;
   std::size_t pending_count_ = 0;
   IngestStats stats_;
+  std::unique_ptr<wal::WalWriter> cursor_wal_;
+  std::shared_ptr<chaos::FaultInjector> injector_;
+  std::uint64_t recoveries_ = 0;
 
   std::thread tail_thread_;
   std::mutex tail_mutex_;

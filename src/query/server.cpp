@@ -40,11 +40,13 @@ void QueryServer::shutdown() {
 }
 
 json::Value QueryServer::error_response(const json::Value& doc,
-                                        const std::string& what) {
+                                        const std::string& what,
+                                        bool transient) {
   json::Object response;
   echo_id(doc, response);
   response["ok"] = false;
   response["error"] = what;
+  if (transient) response["transient"] = true;
   response["epoch"] = catalog_.epoch();
   return response;
 }
@@ -69,7 +71,7 @@ std::future<json::Value> QueryServer::submit(json::Value request) {
   if (!running_.load()) {
     rejected_shutdown_.fetch_add(1);
     item.promise.set_value(
-        error_response(item.doc, "server is shut down"));
+        error_response(item.doc, "server is shut down", /*transient=*/true));
     return future;
   }
   json::Value doc_copy = item.doc;  // try_push consumes the request
@@ -79,12 +81,14 @@ std::future<json::Value> QueryServer::submit(json::Value request) {
       std::promise<json::Value> rejected;
       future = rejected.get_future();
       rejected.set_value(error_response(
-          doc_copy, "server overloaded: request queue full (backpressure)"));
+          doc_copy, "server overloaded: request queue full (backpressure)",
+          /*transient=*/true));
     } else {
       rejected_shutdown_.fetch_add(1);
       std::promise<json::Value> rejected;
       future = rejected.get_future();
-      rejected.set_value(error_response(doc_copy, "server is shut down"));
+      rejected.set_value(
+          error_response(doc_copy, "server is shut down", /*transient=*/true));
     }
     return future;
   }

@@ -78,7 +78,10 @@ class QueryServer {
 
   void worker_loop();
   json::Value handle(const json::Value& doc);
-  json::Value error_response(const json::Value& doc, const std::string& what);
+  /// `transient` marks errors a client may retry (overload, shutdown during
+  /// a restart window): the response carries "transient": true.
+  json::Value error_response(const json::Value& doc, const std::string& what,
+                             bool transient = false);
 
   StoreCatalog& catalog_;
   ServerConfig config_;

@@ -1,0 +1,788 @@
+// Durable-control-plane tests: the segmented WAL primitive, the WAL-backed
+// Mofka broker, scheduler checkpoint/restart, lease-based worker liveness,
+// durable ingestor cursors, and the crash-recovery oracle.
+//
+// The headline oracle: a full workload -> Mofka -> LiveIngestor pipeline
+// whose *processes* are attacked by a FaultPlan (broker crash mid-append,
+// scheduler crash at a graph boundary, ingestor crash mid-poll) must
+// produce byte-identical PERFRECUP views to the same run without crashes —
+// WAL replay, checkpoint + journal recovery, and cursor restoration
+// together make whole-process restarts invisible to provenance consumers.
+// A non-durable broker under the same crash is demonstrably total loss,
+// proving the oracle can detect missing durability.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/fault.hpp"
+#include "common/wal.hpp"
+#include "dtr/cluster.hpp"
+#include "dtr/mofka_plugins.hpp"
+#include "dtr_fixture.hpp"
+#include "mochi/bedrock.hpp"
+#include "mofka/broker.hpp"
+#include "mofka/consumer.hpp"
+#include "mofka/producer.hpp"
+#include "query/catalog.hpp"
+#include "query/client.hpp"
+#include "query/ingest.hpp"
+#include "query/server.hpp"
+
+namespace recup {
+namespace {
+
+using query::LiveIngestor;
+using query::StoreCatalog;
+using query::ViewId;
+
+/// Unique per-test scratch directory (ctest runs each test in its own
+/// process, so the pid disambiguates concurrent tests sharing a tag).
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_((std::filesystem::temp_directory_path() /
+               ("recup_recovery_" + tag + "_" +
+                std::to_string(static_cast<long>(::getpid()))))
+                  .string()) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<std::string> replay_all(const std::string& dir,
+                                    wal::ReplayStats* stats = nullptr) {
+  std::vector<std::string> records;
+  const wal::ReplayStats s = wal::WalWriter::replay(
+      dir, [&](std::string_view payload) { records.emplace_back(payload); });
+  if (stats) *stats = s;
+  return records;
+}
+
+std::string last_segment_path(const std::string& dir) {
+  std::string best;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0 &&
+        (best.empty() ||
+         name > std::filesystem::path(best).filename().string())) {
+      best = entry.path().string();
+    }
+  }
+  return best;
+}
+
+std::string first_segment_path(const std::string& dir) {
+  std::string best;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0 &&
+        (best.empty() ||
+         name < std::filesystem::path(best).filename().string())) {
+      best = entry.path().string();
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// WAL primitive.
+
+TEST(Wal, Crc32MatchesTheStandardCheckValue) {
+  const char* check = "123456789";
+  EXPECT_EQ(wal::crc32(check, 9), 0xCBF43926u);
+  // Chaining via the seed equals one pass over the concatenation.
+  const std::uint32_t head = wal::crc32(check, 4);
+  EXPECT_EQ(wal::crc32(check + 4, 5, head), 0xCBF43926u);
+}
+
+TEST(Wal, RoundTripsBinaryRecordsInOrder) {
+  TempDir dir("wal_roundtrip");
+  std::vector<std::string> expected;
+  expected.push_back(std::string("hello"));
+  expected.push_back(std::string());  // empty record
+  expected.push_back(std::string("bin\0ary\xff", 8));
+  expected.push_back(std::string(1000, 'x'));
+  {
+    wal::WalWriter writer(dir.str());
+    for (const auto& record : expected) writer.append(record);
+    EXPECT_EQ(writer.records_appended(), expected.size());
+  }
+  wal::ReplayStats stats;
+  const std::vector<std::string> got = replay_all(dir.str(), &stats);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(stats.records, expected.size());
+  EXPECT_FALSE(stats.truncated_tail);
+}
+
+TEST(Wal, RotatesSegmentsAndReplaysAcrossThem) {
+  TempDir dir("wal_rotate");
+  std::vector<std::string> expected;
+  {
+    wal::WalOptions options;
+    options.segment_bytes = 64;  // ~2 records per segment
+    wal::WalWriter writer(dir.str(), options);
+    for (int i = 0; i < 20; ++i) {
+      expected.push_back("record-" + std::to_string(i) + "-payloadpayload");
+      writer.append(expected.back());
+    }
+  }
+  wal::ReplayStats stats;
+  EXPECT_EQ(replay_all(dir.str(), &stats), expected);
+  EXPECT_GE(stats.segments, 2u);
+  EXPECT_EQ(stats.records, 20u);
+}
+
+TEST(Wal, TornTailIsTruncatedAndTheLogResumes) {
+  TempDir dir("wal_torn");
+  {
+    wal::WalWriter writer(dir.str());
+    writer.append("one");
+    writer.append("two");
+  }
+  {
+    // A crash mid-append: a frame header promising more bytes than exist.
+    std::ofstream out(last_segment_path(dir.str()),
+                      std::ios::binary | std::ios::app);
+    const std::uint32_t length = 100;
+    const std::uint32_t crc = 0;
+    out.write(reinterpret_cast<const char*>(&length), sizeof(length));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out.write("abc", 3);
+  }
+  wal::ReplayStats stats;
+  EXPECT_EQ(replay_all(dir.str(), &stats),
+            (std::vector<std::string>{"one", "two"}));
+  EXPECT_TRUE(stats.truncated_tail);
+
+  // Reopening repairs the tail and continues after the last valid record.
+  {
+    wal::WalWriter resumed(dir.str());
+    resumed.append("three");
+  }
+  EXPECT_EQ(replay_all(dir.str(), &stats),
+            (std::vector<std::string>{"one", "two", "three"}));
+  EXPECT_FALSE(stats.truncated_tail);
+}
+
+TEST(Wal, MidLogCorruptionThrowsInsteadOfSilentLoss) {
+  TempDir dir("wal_corrupt");
+  {
+    wal::WalOptions options;
+    options.segment_bytes = 64;
+    wal::WalWriter writer(dir.str(), options);
+    for (int i = 0; i < 8; ++i) {
+      writer.append("corruptible-payload-" + std::to_string(i));
+    }
+  }
+  wal::ReplayStats stats;
+  ASSERT_GE(replay_all(dir.str(), &stats).size(), 8u);
+  ASSERT_GE(stats.segments, 2u);
+  {
+    // Flip one payload byte in the *first* segment: not a crash artifact.
+    std::fstream file(first_segment_path(dir.str()),
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(10);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0xFF);
+    file.seekp(10);
+    file.write(&byte, 1);
+  }
+  EXPECT_THROW(replay_all(dir.str()), wal::WalError);
+}
+
+TEST(Wal, ResetStartsAnEmptyLog) {
+  TempDir dir("wal_reset");
+  wal::WalWriter writer(dir.str());
+  writer.append("doomed");
+  writer.reset();
+  EXPECT_EQ(replay_all(dir.str()).size(), 0u);
+  writer.append("fresh");
+  writer.flush();
+  EXPECT_EQ(replay_all(dir.str()), (std::vector<std::string>{"fresh"}));
+}
+
+// ---------------------------------------------------------------------------
+// WAL-backed broker.
+
+json::Value numbered(int i) {
+  json::Object o;
+  o["i"] = static_cast<std::int64_t>(i);
+  return json::Value(std::move(o));
+}
+
+json::Value stamped(int i, std::uint64_t pid, std::uint64_t seq) {
+  json::Object o;
+  o["i"] = static_cast<std::int64_t>(i);
+  o["_pid"] = pid;
+  o["_seq"] = seq;
+  return json::Value(std::move(o));
+}
+
+TEST(BrokerWal, RebuildsFromDiskWithIdenticalOffsets) {
+  TempDir dir("broker_rebuild");
+  {
+    mochi::KeyValueStore kv;
+    mochi::BlobStore blobs;
+    mofka::Broker broker(kv, blobs, {dir.str(), {}});
+    EXPECT_TRUE(broker.durable());
+    broker.create_topic("t", {2, nullptr, nullptr});
+    std::vector<std::pair<json::Value, std::string>> p0;
+    for (int i = 0; i < 10; ++i) p0.emplace_back(numbered(i), "d" + std::to_string(i));
+    broker.append_batch("t", 0, p0);
+    std::vector<std::pair<json::Value, std::string>> p1;
+    for (int i = 0; i < 5; ++i) p1.emplace_back(numbered(100 + i), "");
+    broker.append_batch("t", 1, p1);
+    broker.commit_offset("t", "grp", 0, 7);
+    EXPECT_GT(broker.wal_bytes(), 0u);
+  }
+  // A cold restart: fresh stores, same directory.
+  mochi::KeyValueStore kv;
+  mochi::BlobStore blobs;
+  mofka::Broker rebuilt(kv, blobs, {dir.str(), {}});
+  ASSERT_TRUE(rebuilt.topic_exists("t"));
+  EXPECT_EQ(rebuilt.partition_count("t"), 2u);
+  EXPECT_EQ(rebuilt.partition_size("t", 0), 10u);
+  EXPECT_EQ(rebuilt.partition_size("t", 1), 5u);
+  EXPECT_EQ(rebuilt.committed_offset("t", "grp", 0), 7u);
+  for (int i = 0; i < 10; ++i) {
+    const auto event = rebuilt.fetch("t", 0, static_cast<mofka::EventId>(i));
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->metadata.at("i").as_int(), i);
+  }
+}
+
+TEST(BrokerWal, CrashRecoveryPreservesOffsetsAndAbsorbsRetries) {
+  TempDir dir("broker_crash");
+  mochi::KeyValueStore kv;
+  mochi::BlobStore blobs;
+  mofka::Broker broker(kv, blobs, {dir.str(), {}});
+  broker.create_topic("t", {});
+  std::vector<std::pair<json::Value, std::string>> batch;
+  for (int i = 0; i < 12; ++i) batch.emplace_back(stamped(i, 7, i), "");
+  const mofka::AppendResult first = broker.append_batch("t", 0, batch);
+  EXPECT_EQ(first.duplicates, 0u);
+
+  broker.crash_and_recover();
+  EXPECT_EQ(broker.recoveries(), 1u);
+  EXPECT_EQ(broker.partition_size("t", 0), 12u);
+
+  // A producer re-sending the same batch after the restart (its ack was
+  // lost in the crash) must be absorbed with the original offsets: the
+  // sequence-dedup state was rebuilt from the WAL, so retry-across-restart
+  // is still exactly-once.
+  const mofka::AppendResult retried = broker.append_batch("t", 0, batch);
+  EXPECT_EQ(retried.duplicates, batch.size());
+  EXPECT_EQ(retried.offsets, first.offsets);
+  EXPECT_EQ(broker.partition_size("t", 0), 12u);
+  EXPECT_EQ(broker.topic_stats("t").duplicates_absorbed, batch.size());
+}
+
+TEST(BrokerWal, NonDurableCrashIsObservableTotalLoss) {
+  mochi::KeyValueStore kv;
+  mochi::BlobStore blobs;
+  mofka::Broker broker(kv, blobs);
+  EXPECT_FALSE(broker.durable());
+  EXPECT_EQ(broker.wal_bytes(), 0u);
+  broker.create_topic("t", {});
+  broker.append_batch("t", 0, {{numbered(1), "data"}});
+  broker.crash_and_recover();
+  EXPECT_EQ(broker.recoveries(), 1u);
+  EXPECT_FALSE(broker.topic_exists("t"));
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler checkpoint/restart.
+
+template <typename Records>
+std::string dump_records(const Records& records) {
+  std::string out;
+  for (const auto& record : records) {
+    out += dtr::to_json(record).dump();
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(SchedulerDurable, ColdRestartRebuildsFullHistoryFromJournal) {
+  TempDir dir("sched_cold");
+  std::string transitions_a;
+  std::string tasks_a;
+  {
+    dtr::testing::MiniCluster a;
+    a.scheduler.enable_durability({dir.str(), 0, {}});
+    ASSERT_TRUE(a.run_graph(dtr::testing::diamond_graph()));
+    transitions_a = dump_records(a.scheduler.transitions());
+    tasks_a = dump_records(a.scheduler.task_records());
+    ASSERT_FALSE(transitions_a.empty());
+  }
+  // A brand-new scheduler process over the same directory: the journal is
+  // full-history provenance, so the records come back byte-identical.
+  dtr::testing::MiniCluster b;
+  b.scheduler.enable_durability({dir.str(), 0, {}});
+  b.scheduler.recover();
+  b.engine.run();
+  EXPECT_EQ(b.scheduler.recoveries(), 1u);
+  EXPECT_EQ(b.scheduler.tasks_total(), 4u);
+  EXPECT_TRUE(b.scheduler.in_memory({"sink-abc123", 0}));
+  EXPECT_EQ(dump_records(b.scheduler.transitions()), transitions_a);
+  EXPECT_EQ(dump_records(b.scheduler.task_records()), tasks_a);
+}
+
+TEST(SchedulerDurable, MidRunCrashRecoversAndCompletesTheGraph) {
+  TempDir dir("sched_midrun");
+  dtr::testing::MiniCluster mini;
+  mini.scheduler.enable_durability({dir.str(), 0, {}});
+  bool done = false;
+  const auto finish = [&](const std::string&) {
+    done = true;
+    mini.scheduler.stop();
+  };
+  mini.scheduler.submit_graph(dtr::testing::diamond_graph(0.05), finish);
+  // Crash while the source task is processing on a (surviving) worker. The
+  // graph-done callback dies with the process; recovery re-adopts the
+  // in-flight task and set_graph_done re-attaches the callback.
+  mini.engine.schedule_after(0.02, [&] {
+    mini.scheduler.crash_and_recover();
+    mini.scheduler.set_graph_done("diamond", finish);
+  });
+  mini.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(mini.scheduler.recoveries(), 1u);
+  EXPECT_EQ(mini.scheduler.tasks_total(), 4u);
+  EXPECT_TRUE(mini.scheduler.in_memory({"sink-abc123", 0}));
+  // Every diamond task produced at least one completion record.
+  std::set<std::string> completed;
+  for (const auto& record : mini.scheduler.task_records()) {
+    completed.insert(record.key.to_string());
+  }
+  EXPECT_EQ(completed.size(), 4u);
+}
+
+TEST(SchedulerDurable, SetGraphDoneFiresImmediatelyWhenAlreadyComplete) {
+  TempDir dir("sched_done");
+  dtr::testing::MiniCluster mini;
+  mini.scheduler.enable_durability({dir.str(), 0, {}});
+  ASSERT_TRUE(mini.run_graph(dtr::testing::independent_graph(4)));
+  bool fired = false;
+  mini.scheduler.set_graph_done("independent",
+                                [&](const std::string&) { fired = true; });
+  EXPECT_TRUE(fired);
+  EXPECT_THROW(mini.scheduler.set_graph_done("no-such-graph", nullptr),
+               std::exception);
+}
+
+// ---------------------------------------------------------------------------
+// Lease-based worker liveness: a worker that dies *silently* (no SSG death
+// notification in the MiniCluster) stops heartbeating; its lease expires
+// and the scheduler reclaims its in-flight tasks.
+
+TEST(SchedulerLease, ExpiredLeaseReclaimsTasksFromAHungWorker) {
+  dtr::SchedulerConfig scheduler_config;
+  scheduler_config.work_stealing = false;  // isolate the lease path
+  scheduler_config.heartbeat_interval = 0.05;
+  scheduler_config.lease_misses = 4.0;
+  dtr::WorkerConfig worker_config;
+  worker_config.heartbeat_interval = 0.05;
+  dtr::testing::MiniCluster mini(2, 2, 2, worker_config, scheduler_config);
+
+  bool done = false;
+  mini.scheduler.submit_graph(
+      dtr::testing::independent_graph(8, /*compute=*/0.5),
+      [&](const std::string&) {
+        done = true;
+        mini.scheduler.stop();
+        for (auto& worker : mini.workers) worker->stop();
+      });
+  for (auto& worker : mini.workers) worker->start_heartbeats();
+  mini.scheduler.start_lease_loop();
+  // Silent death at t=0.1: heartbeats cease, but nobody tells the
+  // scheduler. Only the lease can notice.
+  mini.engine.schedule_after(0.1, [&] { mini.workers[0]->kill(); });
+  mini.engine.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_GE(mini.scheduler.lease_expirations(), 1u);
+  EXPECT_FALSE(mini.scheduler.worker_alive(0));
+  EXPECT_EQ(mini.scheduler.erred_tasks(), 0u);
+  std::set<std::string> completed;
+  for (const auto& record : mini.scheduler.task_records()) {
+    completed.insert(record.key.to_string());
+  }
+  EXPECT_EQ(completed.size(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Durable ingestor cursors.
+
+dtr::RunData produce_synthetic_run(mofka::Broker& broker,
+                                   const std::string& workflow, int n) {
+  dtr::RunData run;
+  run.meta.workflow = workflow;
+  run.meta.run_index = 0;
+  for (int i = 0; i < n; ++i) {
+    dtr::TaskRecord t;
+    t.key = {"job-" + workflow, i};
+    t.graph = "g0";
+    t.prefix = "ingest";
+    t.worker = static_cast<dtr::WorkerId>(i % 2);
+    t.start_time = i;
+    t.end_time = i + 0.5;
+    run.tasks.push_back(t);
+  }
+  dtr::WarningRecord w;
+  w.kind = "gc_collection";
+  w.location = "worker-0";
+  w.time = 0.25;
+  run.warnings.push_back(w);
+
+  mofka::ProducerConfig config;
+  config.batch_size = 8;
+  config.background_flush = false;
+  mofka::Producer tasks(broker, "wms_tasks", config);
+  mofka::Producer warnings(broker, "wms_warnings", config);
+  for (const auto& r : run.tasks) tasks.push(dtr::to_json(r));
+  for (const auto& r : run.warnings) warnings.push(dtr::to_json(r));
+  tasks.flush();
+  warnings.flush();
+  return run;
+}
+
+TEST(IngestDurable, CursorWalSurvivesLossOfBrokerCommits) {
+  TempDir dir("ingest_cursor");
+  mochi::KeyValueStore kv;
+  mochi::BlobStore blobs;
+  mofka::Broker broker(kv, blobs);
+  dtr::create_wms_topics(broker);
+  const dtr::RunData run1 = produce_synthetic_run(broker, "r1", 12);
+  StoreCatalog cat1;
+  {
+    LiveIngestor a(broker, cat1, "g", dir.str());
+    a.publish(run1.meta);  // commits offsets and logs cursors to the WAL
+  }
+  const dtr::RunData run2 = produce_synthetic_run(broker, "r2", 7);
+
+  // A restarted ingestor whose broker-side commits are gone (simulated by
+  // a fresh consumer group) still resumes from the WAL cursors: run1's
+  // events are not re-consumed into run2.
+  StoreCatalog cat2;
+  LiveIngestor b(broker, cat2, "g_lost", dir.str());
+  b.publish(run2.meta);
+  {
+    const StoreCatalog::Snapshot snap = cat2.snapshot();
+    EXPECT_EQ(snap.frame(ViewId::kTasks, {"r2", 0})->rows(), 7u);
+  }
+
+  // Control: the same restart *without* the cursor WAL replays everything
+  // from offset zero and misattributes run1's records to run2.
+  StoreCatalog cat3;
+  LiveIngestor c(broker, cat3, "g_lost_no_wal");
+  c.publish(run2.meta);
+  {
+    const StoreCatalog::Snapshot snap = cat3.snapshot();
+    EXPECT_EQ(snap.frame(ViewId::kTasks, {"r2", 0})->rows(), 19u);
+  }
+}
+
+TEST(IngestDurable, InjectedProcessCrashRestoresCursorsAndRepolls) {
+  TempDir dir("ingest_crash");
+  mochi::KeyValueStore kv;
+  mochi::BlobStore blobs;
+  mofka::Broker broker(kv, blobs);
+  dtr::create_wms_topics(broker);
+  const dtr::RunData run = produce_synthetic_run(broker, "crashy", 12);
+
+  StoreCatalog catalog;
+  LiveIngestor ingestor(broker, catalog, "g", dir.str());
+  chaos::FaultPlan plan;
+  plan.seed = 404;
+  plan.sites[chaos::sites::kIngestorProcess].schedule.push_back(
+      {1, chaos::FaultAction::kProcessCrashRestart});
+  ingestor.set_fault_injector(std::make_shared<chaos::FaultInjector>(plan));
+
+  // The first poll crashes: pending events die with the process, cursors
+  // restore, and the re-poll delivers everything — nothing was committed
+  // before the crash, so nothing is lost.
+  EXPECT_EQ(ingestor.poll(), 0u);
+  EXPECT_EQ(ingestor.recoveries(), 1u);
+  ingestor.publish(run.meta);
+  const StoreCatalog::Snapshot snap = catalog.snapshot();
+  EXPECT_EQ(snap.frame(ViewId::kTasks, {"crashy", 0})->rows(),
+            run.tasks.size());
+  EXPECT_EQ(snap.frame(ViewId::kWarnings, {"crashy", 0})->rows(),
+            run.warnings.size());
+}
+
+// ---------------------------------------------------------------------------
+// The crash-recovery oracle: process crashes anywhere in the durable
+// control plane must not change any view by a single byte.
+
+std::vector<dtr::TaskGraph> workload() {
+  dtr::TaskGraph g1("produce");
+  for (int i = 0; i < 12; ++i) {
+    dtr::TaskSpec t;
+    t.key = {"produce-ca11", i};
+    t.work.compute = 0.02;
+    t.work.output_bytes = 1 << 20;
+    g1.add_task(t);
+  }
+  dtr::TaskGraph g2("consume");
+  for (int i = 0; i < 12; ++i) {
+    dtr::TaskSpec t;
+    t.key = {"consume-fe55", i};
+    t.dependencies.push_back({"produce-ca11", i});
+    t.work.compute = 0.02;
+    t.work.output_bytes = 1 << 10;
+    g2.add_task(t);
+  }
+  std::vector<dtr::TaskGraph> graphs;
+  graphs.push_back(std::move(g1));
+  graphs.push_back(std::move(g2));
+  return graphs;
+}
+
+std::string fingerprint(const analysis::DataFrame& frame) {
+  std::string out;
+  for (const auto& name : frame.column_names()) {
+    out += name;
+    out += ',';
+  }
+  out += '\n';
+  for (std::size_t row = 0; row < frame.rows(); ++row) {
+    for (std::size_t c = 0; c < frame.width(); ++c) {
+      out += frame.col(c).display(row);
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+struct DurableResult {
+  std::size_t direct_tasks = 0;
+  std::map<std::string, std::string> views;
+  std::uint64_t faults = 0;
+  std::uint64_t broker_recoveries = 0;
+  std::uint64_t scheduler_recoveries = 0;
+  std::uint64_t ingestor_recoveries = 0;
+};
+
+DurableResult run_durable_pipeline(std::uint64_t cluster_seed,
+                                   const chaos::FaultPlan& plan,
+                                   const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  dtr::ClusterConfig config;
+  config.job.nodes = 2;
+  config.job.workers_per_node = 2;
+  config.job.threads_per_worker = 2;
+  config.seed = cluster_seed;
+  config.enable_gpuprof = false;
+  config.fault_plan = plan;
+  config.producer.batch_size = 16;  // more append batches, more crash sites
+  config.producer.max_retries = 32;
+  config.durability_dir = dir;
+
+  dtr::Cluster cluster(config);
+  const dtr::RunData direct = cluster.run(workload(), "durable", 0);
+
+  StoreCatalog catalog;
+  LiveIngestor ingestor(cluster.broker(), catalog, "recup_query_ingest",
+                        dir + "/ingest");
+  if (cluster.fault_injector()) {
+    ingestor.set_fault_injector(cluster.fault_injector());
+  }
+  ingestor.publish(direct.meta);
+
+  DurableResult result;
+  result.direct_tasks = direct.tasks.size();
+  const StoreCatalog::Snapshot snap = catalog.snapshot();
+  const prov::RunId id{"durable", 0};
+  for (const ViewId view : {ViewId::kTasks, ViewId::kTransitions,
+                            ViewId::kComms, ViewId::kWarnings,
+                            ViewId::kSteals}) {
+    result.views[query::view_name(view)] = fingerprint(*snap.frame(view, id));
+  }
+  if (cluster.fault_injector()) {
+    result.faults = cluster.fault_injector()->faults_injected();
+  }
+  result.broker_recoveries = cluster.broker().recoveries();
+  result.scheduler_recoveries = cluster.scheduler().recoveries();
+  result.ingestor_recoveries = ingestor.recoveries();
+  return result;
+}
+
+/// Crashes every durable component: the broker probabilistically per append
+/// batch, the scheduler deterministically at the first graph boundary, the
+/// ingestor on its first poll (plus probabilistically afterwards).
+chaos::FaultPlan crash_everything_plan(std::uint64_t seed) {
+  chaos::FaultPlan plan;
+  plan.seed = seed;
+  plan.sites[chaos::sites::kBrokerProcess].process_crash_restart = 0.05;
+  plan.sites[chaos::sites::kSchedulerProcess].schedule.push_back(
+      {1, chaos::FaultAction::kProcessCrashRestart});
+  chaos::SiteSpec& ingest = plan.sites[chaos::sites::kIngestorProcess];
+  ingest.schedule.push_back({1, chaos::FaultAction::kProcessCrashRestart});
+  ingest.process_crash_restart = 0.05;
+  return plan;
+}
+
+class CrashRecoveryOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashRecoveryOracle, ViewsIdenticalAcrossProcessCrashes) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const chaos::FaultPlan plan = crash_everything_plan(7000 + seed);
+  TempDir dir("oracle_" + std::to_string(seed));
+
+  const DurableResult baseline =
+      run_durable_pipeline(seed, chaos::FaultPlan{}, dir.str() + "/base");
+  const DurableResult crashed =
+      run_durable_pipeline(seed, plan, dir.str() + "/fault");
+
+  // The plan really crashed processes...
+  EXPECT_GT(crashed.faults, 0u) << plan.describe();
+  EXPECT_GE(crashed.scheduler_recoveries, 1u);
+  EXPECT_GE(crashed.ingestor_recoveries, 1u);
+  EXPECT_EQ(baseline.scheduler_recoveries + baseline.broker_recoveries +
+                baseline.ingestor_recoveries,
+            0u);
+  // ...the workflow was unperturbed...
+  EXPECT_EQ(crashed.direct_tasks, baseline.direct_tasks);
+  // ...and every view survived byte-identical.
+  ASSERT_EQ(crashed.views.size(), baseline.views.size());
+  for (const auto& [name, expected] : baseline.views) {
+    const auto it = crashed.views.find(name);
+    ASSERT_NE(it, crashed.views.end()) << name;
+    EXPECT_EQ(it->second, expected)
+        << "view '" << name << "' diverged under " << plan.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashRecoveryOracle, ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------------
+// Dead-letter flow-through: a task the chaos of the cluster dead-letters is
+// queryable as a warnings-view row through the full query service.
+
+TEST(DeadLetterQuery, DeadLetteredTaskAppearsInTheWarningsView) {
+  dtr::ClusterConfig config;
+  config.job.nodes = 1;
+  config.job.workers_per_node = 2;
+  config.job.threads_per_worker = 2;
+  config.seed = 11;
+  config.enable_gpuprof = false;
+  config.scheduler.max_retries = 1;
+
+  dtr::TaskGraph graph("doomed");
+  dtr::TaskSpec bad;
+  bad.key = {"doomed-aa11", 0};
+  bad.work.compute = 0.01;
+  bad.work.failure_probability = 1.0;  // fails every attempt
+  graph.add_task(bad);
+  for (int i = 1; i <= 4; ++i) {
+    dtr::TaskSpec ok;
+    ok.key = {"fine-bb22", i};
+    ok.work.compute = 0.01;
+    graph.add_task(ok);
+  }
+
+  dtr::Cluster cluster(config);
+  const dtr::RunData run = cluster.run({graph}, "deadletter", 0);
+  ASSERT_GE(cluster.scheduler().erred_tasks(), 1u);
+
+  StoreCatalog catalog;
+  LiveIngestor ingestor(cluster.broker(), catalog);
+  ingestor.publish(run.meta);
+
+  query::QueryServer server(catalog);
+  query::QueryClient client(server);
+  const query::QueryResponse response = client.query(std::string(
+      R"({"from": "warnings",
+          "where": [{"col": "kind", "op": "==", "value": "dead_letter"}]})"));
+  ASSERT_TRUE(response.ok) << response.error;
+  ASSERT_GE(response.frame.rows(), 1u);
+  // The row names the doomed task.
+  bool named = false;
+  for (std::size_t c = 0; c < response.frame.width(); ++c) {
+    for (std::size_t r = 0; r < response.frame.rows(); ++r) {
+      if (response.frame.col(c).display(r).find("doomed-aa11") !=
+          std::string::npos) {
+        named = true;
+      }
+    }
+  }
+  EXPECT_TRUE(named);
+}
+
+// ---------------------------------------------------------------------------
+// QueryClient transient retry: a client resolving the server through a
+// discovery hook rides out a restart; without retries the same error is
+// surfaced (marked transient) instead.
+
+TEST(QueryRetry, ClientRetriesAcrossAServerRestart) {
+  StoreCatalog catalog;
+  dtr::RunData run;
+  run.meta.workflow = "W";
+  run.meta.run_index = 0;
+  dtr::TaskRecord t;
+  t.key = {"t-aaaa", 0};
+  t.graph = "g";
+  t.prefix = "t";
+  t.worker = 0;
+  t.start_time = 0.0;
+  t.end_time = 1.0;
+  run.tasks.push_back(t);
+  catalog.add_run(run);
+
+  query::QueryServer dead(catalog);
+  dead.shutdown();
+  query::QueryServer live(catalog);
+
+  // Fail-fast control: no retries, the shutdown error comes back marked
+  // retryable.
+  {
+    query::QueryClient client(dead);
+    const query::QueryResponse response =
+        client.query(std::string(R"({"from": "tasks"})"));
+    EXPECT_FALSE(response.ok);
+    EXPECT_TRUE(response.raw.get_bool("transient", false));
+    EXPECT_EQ(client.retries(), 0u);
+  }
+
+  // Discovery resolves the dead server first, the restarted one on retry.
+  std::atomic<int> resolutions{0};
+  query::QueryClient::Config config;
+  config.max_retries = 3;
+  query::QueryClient client(
+      [&]() -> query::QueryServer& {
+        return resolutions.fetch_add(1) == 0 ? dead : live;
+      },
+      config);
+  const query::QueryResponse response =
+      client.query(std::string(R"({"from": "tasks"})"));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.frame.rows(), 1u);
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_GE(resolutions.load(), 2);
+}
+
+}  // namespace
+}  // namespace recup

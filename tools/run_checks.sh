@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Full check pipeline: the tier-1 verify line (build + ctest) followed by an
-# AddressSanitizer + UndefinedBehaviorSanitizer test pass (RECUP_SANITIZE)
-# and a ThreadSanitizer pass (RECUP_TSAN) over the concurrency-heavy
-# subsystems (mofka delivery, chaos pipeline, query service).
+# Full check pipeline: the tier-1 verify line (build + ctest), the 10-seed
+# crash-recovery oracle, then an AddressSanitizer + UndefinedBehaviorSanitizer
+# test pass (RECUP_SANITIZE) and a ThreadSanitizer pass (RECUP_TSAN) over the
+# concurrency-heavy subsystems (mofka delivery, chaos pipeline, query
+# service, durability/recovery).
 #
 # Usage: tools/run_checks.sh [--skip-sanitize] [--skip-tsan]
 set -euo pipefail
@@ -20,10 +21,22 @@ for arg in "$@"; do
   esac
 done
 
+# Per-test watchdog: a hung recovery loop (missed lease, stuck replay)
+# should fail that one test, not wedge the whole pipeline.
+ctest_timeout=300
+
 echo "== tier-1 verify: build + ctest =="
 cmake -B build -S .
 cmake --build build -j
-(cd build && ctest --output-on-failure -j"$(nproc)")
+(cd build && ctest --output-on-failure -j"$(nproc)" --timeout "$ctest_timeout")
+
+echo "== crash-recovery oracle: 10-seed byte-identity check =="
+# The durability stack end to end: WAL-backed broker, scheduler
+# checkpoint/journal restart, and durable ingest cursors under injected
+# process crashes. Every seed must reproduce the fault-free views exactly.
+./build/tests/test_recovery \
+  --gtest_filter='CrashRecoveryOracle/*:SchedulerLease.*' >/dev/null
+echo "crash-recovery oracle passed"
 
 if [[ "$skip_sanitize" == 1 ]]; then
   echo "== sanitizer pass skipped (--skip-sanitize) =="
@@ -36,7 +49,7 @@ cmake -B build-asan -S . -DRECUP_SANITIZE=ON -DRECUP_BUILD_BENCH=OFF \
 cmake --build build-asan -j
 (cd build-asan && \
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
-  ctest --output-on-failure -j"$(nproc)")
+  ctest --output-on-failure -j"$(nproc)" --timeout "$ctest_timeout")
 
 echo "== sanitized query service: concurrent smoke + short bench =="
 # The query server/ingestor are the most concurrency-heavy code in the repo;
@@ -48,6 +61,8 @@ ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   --gtest_filter='QueryIngestTest.*:QueryServer.*' >/dev/null
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ./build-asan/tools/recup_query --synthetic 2 --bench 4 10 >/dev/null
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tests/test_recovery >/dev/null
 
 if [[ "$skip_tsan" == 1 ]]; then
   echo "== TSan pass skipped (--skip-tsan) =="
@@ -66,5 +81,6 @@ TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_mofka >/dev/null
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_chaos >/dev/null
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_query \
   --gtest_filter='QueryIngestTest.*:QueryServer.*' >/dev/null
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_recovery >/dev/null
 
 echo "== all checks passed (${repo_root}) =="
