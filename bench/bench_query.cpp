@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "dtr/mofka_plugins.hpp"
 #include "mochi/bedrock.hpp"
 #include "mofka/broker.hpp"
 #include "mofka/producer.hpp"
@@ -86,6 +87,39 @@ double ingest_events_per_s(const std::string& wal_dir, int events) {
   return static_cast<double>(events) / elapsed.count();
 }
 
+/// Wire-size ratio of JSON text to binary frames for real provenance event
+/// metadata: pushes the events through a binary-wire producer, then
+/// compares the frame bytes the broker received against the JSON dump of
+/// the exact same (sequence-stamped) events it stored.
+double event_wire_ratio(const std::vector<json::Value>& events,
+                        std::uint64_t* json_bytes_out,
+                        std::uint64_t* wire_bytes_out) {
+  mochi::KeyValueStore kv;
+  mochi::BlobStore blobs;
+  mofka::Broker broker(kv, blobs);
+  broker.create_topic("events", {2, nullptr, nullptr});
+  mofka::ProducerConfig config;
+  config.batch_size = 256;
+  config.background_flush = false;
+  mofka::Producer producer(broker, "events", config);
+  for (const json::Value& metadata : events) producer.push(metadata);
+  producer.flush();
+  std::uint64_t json_bytes = 0;
+  for (mofka::PartitionIndex p = 0; p < 2; ++p) {
+    const mofka::EventId n = broker.partition_size("events", p);
+    for (mofka::EventId off = 0; off < n; ++off) {
+      json_bytes += broker.fetch("events", p, off)->metadata.dump().size();
+    }
+  }
+  const mofka::TopicStats stats = broker.topic_stats("events");
+  if (json_bytes_out != nullptr) *json_bytes_out = json_bytes;
+  if (wire_bytes_out != nullptr) *wire_bytes_out = stats.bytes_wire;
+  return stats.bytes_wire > 0
+             ? static_cast<double>(json_bytes) /
+                   static_cast<double>(stats.bytes_wire)
+             : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -103,9 +137,16 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr, "executing ImageProcessing run for the store ...\n");
+  dtr::RunData run =
+      workloads::execute(workloads::make_workload("ImageProcessing", seed), 0);
+  // Snapshot realistic event metadata for the wire-size measurement before
+  // the catalog takes the run.
+  std::vector<json::Value> wire_events;
+  wire_events.reserve(run.transitions.size() + run.tasks.size());
+  for (const auto& t : run.transitions) wire_events.push_back(dtr::to_json(t));
+  for (const auto& t : run.tasks) wire_events.push_back(dtr::to_json(t));
   query::StoreCatalog catalog;
-  catalog.add_run(workloads::execute(
-      workloads::make_workload("ImageProcessing", seed), 0));
+  catalog.add_run(std::move(run));
 
   json::Array latency_rows;
   json::Array throughput_rows;
@@ -135,6 +176,8 @@ int main(int argc, char** argv) {
     const double cached_ms = median_ms(std::move(cached));
     std::printf("%s,%.3f,%.4f,%.1f\n", shape.name, cold.elapsed_ms, cached_ms,
                 cached_ms > 0.0 ? cold.elapsed_ms / cached_ms : 0.0);
+    bench::add_headline(std::string("cold_") + shape.name + "_ms",
+                        cold.elapsed_ms, "ms", /*higher_is_better=*/false);
     json::Object row;
     row["shape"] = shape.name;
     row["cold_ms"] = cold.elapsed_ms;
@@ -182,6 +225,10 @@ int main(int argc, char** argv) {
     const double qps =
         static_cast<double>(clients) * queries / elapsed.count();
     std::printf("%d,%.0f,%.3f\n", clients, qps, hit_rate);
+    if (clients == max_clients) {
+      bench::add_headline("qps_max_clients", qps, "queries/s",
+                          /*higher_is_better=*/true);
+    }
     json::Object row;
     row["clients"] = static_cast<std::int64_t>(clients);
     row["qps"] = qps;
@@ -211,10 +258,36 @@ int main(int argc, char** argv) {
   ingest["memory_events_per_s"] = memory_rate;
   ingest["wal_events_per_s"] = wal_rate;
   ingest["wal_overhead_pct"] = overhead;
+  bench::add_headline("ingest_memory_events_per_s", memory_rate, "events/s",
+                      /*higher_is_better=*/true);
+  bench::add_headline("ingest_wal_events_per_s", wal_rate, "events/s",
+                      /*higher_is_better=*/true);
+
+  // Event wire size: binary session frames vs the JSON text of the same
+  // provenance events (the ImageProcessing run's transition + task
+  // records). The ISSUE target is a >= 3x reduction.
+  std::uint64_t json_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+  const double ratio = event_wire_ratio(wire_events, &json_bytes, &wire_bytes);
+  std::printf(
+      "\nevent_wire,events,json_bytes,wire_bytes,ratio\n"
+      "image_processing,%zu,%llu,%llu,%.2f\n",
+      wire_events.size(), static_cast<unsigned long long>(json_bytes),
+      static_cast<unsigned long long>(wire_bytes), ratio);
+  bench::add_headline("event_wire_json_over_binary", ratio, "x",
+                      /*higher_is_better=*/true);
+
+  json::Object wire;
+  wire["events"] = static_cast<std::int64_t>(wire_events.size());
+  wire["json_bytes"] = static_cast<std::int64_t>(json_bytes);
+  wire["wire_bytes"] = static_cast<std::int64_t>(wire_bytes);
+  wire["ratio"] = ratio;
+
   json::Object extra;
   extra["latency"] = std::move(latency_rows);
   extra["throughput"] = std::move(throughput_rows);
   extra["ingest"] = std::move(ingest);
+  extra["event_wire"] = std::move(wire);
   bench::write_bench_json("query", std::move(extra));
   return 0;
 }

@@ -2,6 +2,7 @@
 // CSV output directory) and run execution with progress reporting.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,7 +29,20 @@ struct Options {
   std::uint64_t seed = 42;
 };
 
+/// Start-of-bench timestamp for the automatic wall-time headline. Pinned
+/// by the first caller (parse_options), read by write_bench_json.
+inline std::chrono::steady_clock::time_point& bench_start() {
+  static auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+/// Pins bench_start() during static initialization, so the wall-time
+/// headline is meaningful even in benches with hand-rolled mains that never
+/// call parse_options.
+inline const auto bench_start_pin = bench_start();
+
 inline Options parse_options(int argc, char** argv) {
+  bench_start();
   Options opt;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--paper-runs") == 0) {
@@ -82,11 +96,33 @@ inline void write_csv(const Options& opt, const std::string& file,
   std::fprintf(stderr, "  wrote %s\n", path.c_str());
 }
 
+/// Headline metrics registered so far (see add_headline).
+inline json::Array& headlines() {
+  static json::Array rows;
+  return rows;
+}
+
+/// Registers one headline metric under a *stable* key: every entry is a
+/// {name, value, unit, higher_is_better} row in the bench summary, and
+/// tools/bench_trajectory matches entries across commits by `name` — so
+/// renaming a headline breaks its history. `higher_is_better` gives the
+/// regression check its direction (qps up = good, latency up = bad).
+inline void add_headline(const std::string& name, double value,
+                         const std::string& unit, bool higher_is_better) {
+  json::Object row;
+  row["name"] = name;
+  row["value"] = value;
+  row["unit"] = unit;
+  row["higher_is_better"] = higher_is_better;
+  headlines().emplace_back(std::move(row));
+}
+
 /// Machine-readable run summary: every bench binary drops a
 /// `BENCH_<name>.json` into the working directory on success, so CI (and
 /// tools/run_checks.sh) can assert a bench actually completed and pick up
 /// its headline numbers without parsing stdout. `extra` merges additional
-/// bench-specific metrics into the document.
+/// bench-specific metrics into the document; headlines registered via
+/// add_headline land under "headlines".
 inline void write_bench_json(const std::string& name,
                              json::Object extra = {}) {
   json::Object doc;
@@ -95,6 +131,13 @@ inline void write_bench_json(const std::string& name,
   json::Array outputs;
   for (const auto& file : generated_files()) outputs.emplace_back(file);
   doc["outputs"] = std::move(outputs);
+  // Every bench gets at least its end-to-end wall time as a headline, so
+  // the whole suite participates in the perf trajectory.
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - bench_start();
+  add_headline(name + "_wall_s", wall.count(), "s",
+               /*higher_is_better=*/false);
+  doc["headlines"] = headlines();
   for (auto& [key, value] : extra) doc[key] = std::move(value);
   const std::string path = "BENCH_" + name + ".json";
   std::ofstream out(path, std::ios::trunc);

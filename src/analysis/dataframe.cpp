@@ -10,13 +10,106 @@
 #include <unordered_set>
 
 #include "common/csv.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 
 namespace recup::analysis {
 
 Column::Column(std::string name, ColumnType type)
-    : name_(std::move(name)), type_(type) {}
+    : name_(std::move(name)), type_(type) {
+  if (type_ == ColumnType::kString) {
+    dict_ = std::make_shared<std::vector<std::string>>();
+  }
+}
+
+Column::Column(const Column& other)
+    : name_(other.name_),
+      type_(other.type_),
+      ints_(other.ints_),
+      doubles_(other.doubles_),
+      codes_(other.codes_),
+      dict_(other.dict_) {}  // dictionary shared; cloned on first mutation
+
+Column& Column::operator=(const Column& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  type_ = other.type_;
+  ints_ = other.ints_;
+  doubles_ = other.doubles_;
+  codes_ = other.codes_;
+  dict_ = other.dict_;
+  lookup_.clear();
+  lookup_entries_ = 0;
+  return *this;
+}
+
+void Column::ensure_unique_dict() {
+  if (dict_.use_count() > 1) {
+    dict_ = std::make_shared<std::vector<std::string>>(*dict_);
+    lookup_.clear();
+    lookup_entries_ = 0;
+  }
+}
+
+namespace {
+constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+}
+
+void Column::rebuild_lookup() {
+  const std::size_t n = dict_->size();
+  std::size_t cap = 16;
+  while (cap < (n + 1) * 2) cap <<= 1;
+  lookup_.assign(cap, kEmptySlot);
+  const std::size_t mask = cap - 1;
+  for (std::uint32_t id = 0; id < n; ++id) {
+    std::size_t i = std::hash<std::string_view>{}((*dict_)[id]) & mask;
+    while (lookup_[i] != kEmptySlot) i = (i + 1) & mask;
+    lookup_[i] = id;
+  }
+  lookup_entries_ = n;
+}
+
+template <typename Make>
+std::uint32_t Column::intern_impl(std::string_view v, Make&& make) {
+  ensure_unique_dict();
+  if (lookup_entries_ != dict_->size() ||
+      (lookup_entries_ + 1) * 2 > lookup_.size()) {
+    rebuild_lookup();
+  }
+  const std::size_t mask = lookup_.size() - 1;
+  std::size_t i = std::hash<std::string_view>{}(v) & mask;
+  while (lookup_[i] != kEmptySlot) {
+    if ((*dict_)[lookup_[i]] == v) return lookup_[i];
+    i = (i + 1) & mask;
+  }
+  const auto id = static_cast<std::uint32_t>(dict_->size());
+  lookup_[i] = id;
+  ++lookup_entries_;
+  dict_->push_back(make());
+  return id;
+}
+
+std::uint32_t Column::intern(std::string v) {
+  return intern_impl(v, [&]() -> std::string&& { return std::move(v); });
+}
+
+std::uint32_t Column::intern_view(std::string_view v) {
+  return intern_impl(v, [&] { return std::string(v); });
+}
+
+Column Column::from_dict(std::string name, std::vector<std::string> dict,
+                         std::vector<std::uint32_t> codes) {
+  for (const std::uint32_t code : codes) {
+    if (code >= dict.size()) {
+      throw DataFrameError("from_dict: code out of dictionary range");
+    }
+  }
+  Column col(std::move(name), ColumnType::kString);
+  *col.dict_ = std::move(dict);
+  col.codes_ = std::move(codes);
+  return col;
+}
 
 std::size_t Column::size() const {
   switch (type_) {
@@ -25,7 +118,7 @@ std::size_t Column::size() const {
     case ColumnType::kDouble:
       return doubles_.size();
     case ColumnType::kString:
-      return strings_.size();
+      return codes_.size();
   }
   return 0;
 }
@@ -39,7 +132,7 @@ void Column::reserve(std::size_t n) {
       doubles_.reserve(n);
       break;
     case ColumnType::kString:
-      strings_.reserve(n);
+      codes_.reserve(n);
       break;
   }
 }
@@ -64,44 +157,123 @@ void Column::push(Cell cell) {
       throw DataFrameError("column '" + name_ + "' expects double");
     case ColumnType::kString:
       if (auto* s = std::get_if<std::string>(&cell)) {
-        strings_.push_back(std::move(*s));
+        codes_.push_back(intern(std::move(*s)));
         return;
       }
       throw DataFrameError("column '" + name_ + "' expects string");
   }
 }
 
+void Column::push_i64(std::int64_t v) {
+  switch (type_) {
+    case ColumnType::kInt64:
+      ints_.push_back(v);
+      return;
+    case ColumnType::kDouble:
+      doubles_.push_back(static_cast<double>(v));
+      return;
+    case ColumnType::kString:
+      break;
+  }
+  throw DataFrameError("column '" + name_ + "' expects int64");
+}
+
+void Column::push_f64(double v) {
+  if (type_ != ColumnType::kDouble) {
+    throw DataFrameError("column '" + name_ + "' expects double");
+  }
+  doubles_.push_back(v);
+}
+
+void Column::push_str(std::string v) {
+  if (type_ != ColumnType::kString) {
+    throw DataFrameError("column '" + name_ + "' expects string");
+  }
+  codes_.push_back(intern(std::move(v)));
+}
+
 void Column::gather(const Column& src, const std::vector<std::size_t>& rows) {
+  // Pre-size then index so morsels can fill disjoint slices in parallel.
   if (type_ == ColumnType::kDouble && src.type_ == ColumnType::kInt64) {
-    doubles_.reserve(doubles_.size() + rows.size());
-    for (const std::size_t r : rows) {
-      doubles_.push_back(r == kMissingRow ? 0.0
-                                          : static_cast<double>(src.ints_[r]));
-    }
+    const std::size_t base = doubles_.size();
+    doubles_.resize(base + rows.size());
+    parallel::for_morsels(
+        rows.size(), [&](std::size_t, std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            const std::size_t r = rows[i];
+            doubles_[base + i] =
+                r == kMissingRow ? 0.0 : static_cast<double>(src.ints_[r]);
+          }
+        });
     return;
   }
   if (type_ != src.type_) {
     throw DataFrameError("gather type mismatch into column '" + name_ + "'");
   }
   switch (type_) {
-    case ColumnType::kInt64:
-      ints_.reserve(ints_.size() + rows.size());
+    case ColumnType::kInt64: {
+      const std::size_t base = ints_.size();
+      ints_.resize(base + rows.size());
+      parallel::for_morsels(
+          rows.size(), [&](std::size_t, std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+              const std::size_t r = rows[i];
+              ints_[base + i] = r == kMissingRow ? 0 : src.ints_[r];
+            }
+          });
+      break;
+    }
+    case ColumnType::kDouble: {
+      const std::size_t base = doubles_.size();
+      doubles_.resize(base + rows.size());
+      parallel::for_morsels(
+          rows.size(), [&](std::size_t, std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+              const std::size_t r = rows[i];
+              doubles_[base + i] = r == kMissingRow ? 0.0 : src.doubles_[r];
+            }
+          });
+      break;
+    }
+    case ColumnType::kString: {
+      const std::size_t base = codes_.size();
+      bool missing = false;
       for (const std::size_t r : rows) {
-        ints_.push_back(r == kMissingRow ? 0 : src.ints_[r]);
+        if (r == kMissingRow) {
+          missing = true;
+          break;
+        }
+      }
+      codes_.resize(base + rows.size());
+      if (base == 0 && dict_->empty() && !missing) {
+        // Fresh column: adopt the source dictionary wholesale (shared,
+        // copy-on-write) and shuffle only the 4-byte codes.
+        dict_ = src.dict_;
+        lookup_.clear();
+        lookup_entries_ = 0;
+        parallel::for_morsels(
+            rows.size(), [&](std::size_t, std::size_t b, std::size_t e) {
+              for (std::size_t i = b; i < e; ++i) {
+                codes_[i] = src.codes_[rows[i]];
+              }
+            });
+      } else {
+        std::vector<std::uint32_t> remap(src.dict_->size());
+        for (std::size_t i = 0; i < remap.size(); ++i) {
+          remap[i] = intern_view((*src.dict_)[i]);
+        }
+        const std::uint32_t empty_code = missing ? intern(std::string()) : 0;
+        parallel::for_morsels(
+            rows.size(), [&](std::size_t, std::size_t b, std::size_t e) {
+              for (std::size_t i = b; i < e; ++i) {
+                const std::size_t r = rows[i];
+                codes_[base + i] =
+                    r == kMissingRow ? empty_code : remap[src.codes_[r]];
+              }
+            });
       }
       break;
-    case ColumnType::kDouble:
-      doubles_.reserve(doubles_.size() + rows.size());
-      for (const std::size_t r : rows) {
-        doubles_.push_back(r == kMissingRow ? 0.0 : src.doubles_[r]);
-      }
-      break;
-    case ColumnType::kString:
-      strings_.reserve(strings_.size() + rows.size());
-      for (const std::size_t r : rows) {
-        strings_.push_back(r == kMissingRow ? std::string() : src.strings_[r]);
-      }
-      break;
+    }
   }
 }
 
@@ -129,8 +301,22 @@ void Column::append_slice(const Column& src, std::size_t begin,
                       src.doubles_.begin() + end);
       break;
     case ColumnType::kString:
-      strings_.insert(strings_.end(), src.strings_.begin() + begin,
-                      src.strings_.begin() + end);
+      if (codes_.empty() && dict_->empty()) {
+        dict_ = src.dict_;
+        lookup_.clear();
+        lookup_entries_ = 0;
+        codes_.insert(codes_.end(), src.codes_.begin() + begin,
+                      src.codes_.begin() + end);
+      } else {
+        std::vector<std::uint32_t> remap(src.dict_->size());
+        for (std::size_t i = 0; i < remap.size(); ++i) {
+          remap[i] = intern_view((*src.dict_)[i]);
+        }
+        codes_.reserve(codes_.size() + (end - begin));
+        for (std::size_t r = begin; r < end; ++r) {
+          codes_.push_back(remap[src.codes_[r]]);
+        }
+      }
       break;
   }
 }
@@ -158,7 +344,7 @@ const std::string& Column::str(std::size_t row) const {
   if (type_ != ColumnType::kString) {
     throw DataFrameError("column '" + name_ + "' is not string");
   }
-  return strings_.at(row);
+  return (*dict_)[codes_.at(row)];
 }
 
 std::string Column::display(std::size_t row) const {
@@ -174,7 +360,7 @@ std::string Column::display(std::size_t row) const {
       return std::string(buf, res.ptr);
     }
     case ColumnType::kString:
-      return strings_.at(row);
+      return (*dict_)[codes_.at(row)];
   }
   return {};
 }
@@ -186,7 +372,7 @@ Cell Column::cell(std::size_t row) const {
     case ColumnType::kDouble:
       return doubles_.at(row);
     case ColumnType::kString:
-      return strings_.at(row);
+      return (*dict_)[codes_.at(row)];
   }
   return std::int64_t{0};
 }
@@ -221,11 +407,18 @@ const std::vector<double>& Column::doubles() const {
   return doubles_;
 }
 
-const std::vector<std::string>& Column::strings() const {
+const std::vector<std::uint32_t>& Column::codes() const {
   if (type_ != ColumnType::kString) {
     throw DataFrameError("column '" + name_ + "' is not string");
   }
-  return strings_;
+  return codes_;
+}
+
+const std::vector<std::string>& Column::dict() const {
+  if (type_ != ColumnType::kString) {
+    throw DataFrameError("column '" + name_ + "' is not string");
+  }
+  return *dict_;
 }
 
 // --- Typed composite-key machinery -------------------------------------------
@@ -241,6 +434,12 @@ enum class KeyKind { kInt, kFloat, kStr };
 struct KeyCol {
   const Column* col = nullptr;
   KeyKind kind = KeyKind::kInt;
+  /// Hash / compare string keys by dictionary code instead of value.
+  /// Valid only when both sides of every probe are the same column
+  /// (group_by, distinct): within one column, code equality is value
+  /// equality. Cross-frame probes (join, asof) must stay value-based
+  /// because each frame has its own dictionary.
+  bool code_keys = false;
 };
 
 KeyKind kind_of(ColumnType type) {
@@ -307,7 +506,10 @@ std::uint64_t hash_row(const std::vector<KeyCol>& cols, std::size_t row) {
         break;
       case KeyKind::kStr:
         h = hash_combine(
-            h, std::hash<std::string_view>{}(kc.col->strings()[row]));
+            h, kc.code_keys
+                   ? mix_u64(kc.col->codes()[row])
+                   : std::hash<std::string_view>{}(
+                         kc.col->dict()[kc.col->codes()[row]]));
         break;
     }
   }
@@ -329,12 +531,16 @@ bool rows_equal(const std::vector<KeyCol>& a_cols, std::size_t a_row,
           return false;
         }
         break;
-      case KeyKind::kStr:
-        if (a_cols[i].col->strings()[a_row] !=
-            b_cols[i].col->strings()[b_row]) {
+      case KeyKind::kStr: {
+        const Column& a = *a_cols[i].col;
+        const Column& b = *b_cols[i].col;
+        if (a_cols[i].code_keys) {
+          if (a.codes()[a_row] != b.codes()[b_row]) return false;
+        } else if (a.dict()[a.codes()[a_row]] != b.dict()[b.codes()[b_row]]) {
           return false;
         }
         break;
+      }
     }
   }
   return true;
@@ -369,8 +575,9 @@ bool row_key_less(const std::vector<KeyCol>& cols, std::size_t a,
         break;
       }
       case KeyKind::kStr: {
-        const auto& v = kc.col->strings();
-        if (v[a] != v[b]) return v[a] < v[b];
+        const auto& d = kc.col->dict();
+        const auto& codes = kc.col->codes();
+        if (codes[a] != codes[b]) return d[codes[a]] < d[codes[b]];
         break;
       }
     }
@@ -512,6 +719,48 @@ void DataFrame::add_row(std::vector<Cell> cells) {
   ++rows_;
 }
 
+DataFrame DataFrame::from_columns(std::vector<Column> columns) {
+  DataFrame out;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0 && columns[i].size() != columns[0].size()) {
+      throw DataFrameError("from_columns length mismatch in '" +
+                           columns[i].name() + "'");
+    }
+    if (out.by_name_.count(columns[i].name()) != 0) {
+      throw DataFrameError("duplicate column '" + columns[i].name() + "'");
+    }
+    out.by_name_[columns[i].name()] = i;
+  }
+  out.rows_ = columns.empty() ? 0 : columns[0].size();
+  out.columns_ = std::move(columns);
+  return out;
+}
+
+void DataFrame::add_const_column(const std::string& name, ColumnType type,
+                                 const Cell& value) {
+  if (by_name_.count(name) != 0) {
+    throw DataFrameError("duplicate column '" + name + "'");
+  }
+  by_name_[name] = columns_.size();
+  columns_.emplace_back(name, type);
+  Column& added = columns_.back();
+  added.reserve(rows_);
+  switch (type) {
+    case ColumnType::kInt64:
+      added.ints_.assign(rows_, std::get<std::int64_t>(value));
+      break;
+    case ColumnType::kDouble:
+      added.doubles_.assign(
+          rows_, std::holds_alternative<std::int64_t>(value)
+                     ? static_cast<double>(std::get<std::int64_t>(value))
+                     : std::get<double>(value));
+      break;
+    case ColumnType::kString:
+      added.codes_.assign(rows_, added.intern(std::get<std::string>(value)));
+      break;
+  }
+}
+
 DataFrame DataFrame::take(const std::vector<std::size_t>& rows) const {
   DataFrame out(schema());
   for (std::size_t i = 0; i < columns_.size(); ++i) {
@@ -528,6 +777,47 @@ DataFrame DataFrame::filter(
   for (std::size_t r = 0; r < rows_; ++r) {
     if (pred(*this, r)) rows.push_back(r);
   }
+  return take(rows);
+}
+
+DataFrame DataFrame::filter_mask(const std::vector<char>& keep) const {
+  if (keep.size() != rows_) {
+    throw DataFrameError("filter_mask size mismatch");
+  }
+  // Branch-free selection build: unconditionally store the row index, then
+  // advance the cursor by 0 or 1. Morsels count matches in parallel, an
+  // exclusive scan assigns each morsel its output slice, and the fill pass
+  // writes disjoint ranges — output order stays ascending by row.
+  const std::size_t morsels = parallel::morsel_count(rows_);
+  std::vector<std::size_t> counts(morsels, 0);
+  parallel::for_morsels(rows_,
+                        [&](std::size_t m, std::size_t b, std::size_t e) {
+                          std::size_t n = 0;
+                          for (std::size_t r = b; r < e; ++r) {
+                            n += static_cast<std::size_t>(keep[r] != 0);
+                          }
+                          counts[m] = n;
+                        });
+  std::size_t total = 0;
+  for (std::size_t m = 0; m < morsels; ++m) {
+    const std::size_t n = counts[m];
+    counts[m] = total;
+    total += n;
+  }
+  std::vector<std::size_t> rows(total);
+  parallel::for_morsels(
+      rows_, [&](std::size_t m, std::size_t b, std::size_t e) {
+        // Local scratch: the unconditional store runs one slot past the
+        // last match, which must not spill into the neighbor's slice.
+        std::vector<std::size_t> local(e - b);
+        std::size_t k = 0;
+        for (std::size_t r = b; r < e; ++r) {
+          local[k] = r;
+          k += static_cast<std::size_t>(keep[r] != 0);
+        }
+        std::copy(local.begin(), local.begin() + static_cast<std::ptrdiff_t>(k),
+                  rows.begin() + static_cast<std::ptrdiff_t>(counts[m]));
+      });
   return take(rows);
 }
 
@@ -555,8 +845,20 @@ DataFrame DataFrame::sort_by(const std::string& column, bool ascending) const {
       break;
     }
     case ColumnType::kString: {
-      const auto& v = key.strings();
-      order([&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+      // Rank the (small) dictionary lexicographically once, then the
+      // per-row comparator is two integer loads — no string compares in
+      // the O(n log n) sort.
+      const auto& d = key.dict();
+      const auto& codes = key.codes();
+      std::vector<std::uint32_t> by_lex(d.size());
+      std::iota(by_lex.begin(), by_lex.end(), 0);
+      std::sort(by_lex.begin(), by_lex.end(),
+                [&](std::uint32_t a, std::uint32_t b) { return d[a] < d[b]; });
+      std::vector<std::uint32_t> rank(d.size());
+      for (std::uint32_t i = 0; i < by_lex.size(); ++i) rank[by_lex[i]] = i;
+      order([&](std::size_t a, std::size_t b) {
+        return rank[codes[a]] < rank[codes[b]];
+      });
       break;
     }
   }
@@ -607,7 +909,7 @@ DataFrame DataFrame::group_by(const std::vector<std::string>& keys,
   key_cols.reserve(keys.size());
   for (const auto& key : keys) {
     const Column& c = columns_[index_of(key)];
-    key_cols.push_back({&c, kind_of(c.type())});
+    key_cols.push_back({&c, kind_of(c.type()), /*code_keys=*/true});
   }
 
   // Pass 1: map every row to a dense group id via the typed-key hash table.
@@ -682,53 +984,91 @@ DataFrame DataFrame::group_by(const std::vector<std::string>& keys,
     }
     if (agg.op == Agg::kCountDistinct) {
       dst.ints_.reserve(n_groups);
-      for (const std::size_t g : order) {
-        const std::size_t* begin = flat.data() + offsets[g];
-        const std::size_t* end = flat.data() + offsets[g + 1];
-        std::size_t distinct = 0;
-        switch (src.type()) {
-          case ColumnType::kInt64: {
-            std::unordered_set<std::int64_t> seen;
-            for (const std::size_t* r = begin; r != end; ++r) {
-              seen.insert(src.ints()[*r]);
+      // One epoch-stamped open-addressing set sized for the largest group,
+      // reused across every group: "clearing" is an epoch bump, so there is
+      // no per-group allocation or rehash (the old per-group unordered_set
+      // dominated the cold count_distinct profile).
+      std::size_t max_group = 0;
+      for (std::size_t g = 0; g < n_groups; ++g) {
+        max_group = std::max(max_group, offsets[g + 1] - offsets[g]);
+      }
+      std::size_t cap = 16;
+      while (cap < max_group * 2) cap <<= 1;
+      const std::size_t mask = cap - 1;
+      std::vector<std::uint32_t> stamp(cap, 0);
+      std::vector<std::size_t> slot_row(cap, 0);
+      std::uint32_t epoch = 0;
+      const auto count_group = [&](const std::size_t* begin,
+                                   const std::size_t* end, auto&& hash_of,
+                                   auto&& equal) {
+        ++epoch;
+        std::int64_t distinct = 0;
+        for (const std::size_t* r = begin; r != end; ++r) {
+          std::size_t i = hash_of(*r) & mask;
+          for (;;) {
+            if (stamp[i] != epoch) {
+              stamp[i] = epoch;
+              slot_row[i] = *r;
+              ++distinct;
+              break;
             }
-            distinct = seen.size();
-            break;
-          }
-          case ColumnType::kDouble: {
-            std::unordered_set<std::uint64_t> seen;
-            for (const std::size_t* r = begin; r != end; ++r) {
-              seen.insert(f64_key_bits(src.doubles()[*r]));
-            }
-            distinct = seen.size();
-            break;
-          }
-          case ColumnType::kString: {
-            std::unordered_set<std::string_view> seen;
-            for (const std::size_t* r = begin; r != end; ++r) {
-              seen.insert(src.strings()[*r]);
-            }
-            distinct = seen.size();
-            break;
+            if (equal(slot_row[i], *r)) break;
+            i = (i + 1) & mask;
           }
         }
-        dst.ints_.push_back(static_cast<std::int64_t>(distinct));
+        return distinct;
+      };
+      const auto run_groups = [&](auto&& hash_of, auto&& equal) {
+        for (const std::size_t g : order) {
+          dst.ints_.push_back(count_group(flat.data() + offsets[g],
+                                          flat.data() + offsets[g + 1],
+                                          hash_of, equal));
+        }
+      };
+      switch (src.type()) {
+        case ColumnType::kInt64: {
+          const auto& v = src.ints();
+          run_groups(
+              [&](std::size_t r) {
+                return mix_u64(static_cast<std::uint64_t>(v[r]));
+              },
+              [&](std::size_t a, std::size_t b) { return v[a] == v[b]; });
+          break;
+        }
+        case ColumnType::kDouble: {
+          const auto& v = src.doubles();
+          run_groups(
+              [&](std::size_t r) { return mix_u64(f64_key_bits(v[r])); },
+              [&](std::size_t a, std::size_t b) {
+                return f64_key_bits(v[a]) == f64_key_bits(v[b]);
+              });
+          break;
+        }
+        case ColumnType::kString: {
+          // Distinct codes == distinct values within one column, so the
+          // set runs on 32-bit integers without touching string bytes.
+          const auto& v = src.codes();
+          run_groups([&](std::size_t r) { return mix_u64(v[r]); },
+                     [&](std::size_t a, std::size_t b) { return v[a] == v[b]; });
+          break;
+        }
       }
       continue;
     }
     if ((agg.op == Agg::kMin || agg.op == Agg::kMax) &&
         src.type() == ColumnType::kString) {
-      dst.strings_.reserve(n_groups);
-      const auto& values = src.strings();
+      dst.reserve(n_groups);
+      const auto& d = src.dict();
+      const auto& codes = src.codes();
       for (const std::size_t g : order) {
         const std::size_t* begin = flat.data() + offsets[g];
         const std::size_t* end = flat.data() + offsets[g + 1];
-        const std::string* best = &values[*begin];
+        const std::string* best = &d[codes[*begin]];
         for (const std::size_t* r = begin + 1; r != end; ++r) {
-          const std::string& v = values[*r];
+          const std::string& v = d[codes[*r]];
           if (agg.op == Agg::kMin ? v < *best : v > *best) best = &v;
         }
-        dst.strings_.push_back(*best);
+        dst.push_str(*best);
       }
       continue;
     }
@@ -999,9 +1339,43 @@ DataFrame DataFrame::concat(const DataFrame& other) const {
   return out;
 }
 
+namespace {
+
+/// Morsel-parallel reduce over a numeric column without materializing a
+/// widened copy. Partials land in a slot per morsel and combine in morsel
+/// order, so results are bit-identical at any worker count.
+template <typename Reduce>
+double reduce_numeric(const Column& c, double init, Reduce&& reduce) {
+  const std::size_t n = c.size();
+  const std::size_t morsels = parallel::morsel_count(n);
+  std::vector<double> partial(morsels, init);
+  if (c.type() == ColumnType::kInt64) {
+    const auto& v = c.ints();
+    parallel::for_morsels(n, [&](std::size_t m, std::size_t b, std::size_t e) {
+      double acc = init;
+      for (std::size_t r = b; r < e; ++r) {
+        acc = reduce(acc, static_cast<double>(v[r]));
+      }
+      partial[m] = acc;
+    });
+  } else {
+    const auto& v = c.doubles();  // throws for string columns
+    parallel::for_morsels(n, [&](std::size_t m, std::size_t b, std::size_t e) {
+      double acc = init;
+      for (std::size_t r = b; r < e; ++r) acc = reduce(acc, v[r]);
+      partial[m] = acc;
+    });
+  }
+  double acc = init;
+  for (const double p : partial) acc = reduce(acc, p);
+  return acc;
+}
+
+}  // namespace
+
 double DataFrame::sum(const std::string& column) const {
-  const auto values = col(column).numeric();
-  return std::accumulate(values.begin(), values.end(), 0.0);
+  return reduce_numeric(col(column), 0.0,
+                        [](double a, double b) { return a + b; });
 }
 
 double DataFrame::mean(const std::string& column) const {
@@ -1010,20 +1384,24 @@ double DataFrame::mean(const std::string& column) const {
 }
 
 double DataFrame::min(const std::string& column) const {
-  const auto values = col(column).numeric();
-  if (values.empty()) throw DataFrameError("min of empty column");
-  return *std::min_element(values.begin(), values.end());
+  const Column& c = col(column);
+  if (c.size() == 0) throw DataFrameError("min of empty column");
+  const double first = c.f64(0);
+  return reduce_numeric(c, first,
+                        [](double a, double b) { return b < a ? b : a; });
 }
 
 double DataFrame::max(const std::string& column) const {
-  const auto values = col(column).numeric();
-  if (values.empty()) throw DataFrameError("max of empty column");
-  return *std::max_element(values.begin(), values.end());
+  const Column& c = col(column);
+  if (c.size() == 0) throw DataFrameError("max of empty column");
+  const double first = c.f64(0);
+  return reduce_numeric(c, first,
+                        [](double a, double b) { return b > a ? b : a; });
 }
 
 std::vector<std::string> DataFrame::distinct(const std::string& column) const {
   const Column& c = col(column);
-  std::vector<KeyCol> key_cols{{&c, kind_of(c.type())}};
+  std::vector<KeyCol> key_cols{{&c, kind_of(c.type()), /*code_keys=*/true}};
   RowKeyTable table(key_cols, rows_);
   std::vector<std::size_t> heads;
   std::vector<std::string> out;
@@ -1127,7 +1505,7 @@ DataFrame DataFrame::from_csv(const std::string& text) {
           break;
         }
         case ColumnType::kString:
-          dst.strings_.push_back(rows[r][c]);
+          dst.codes_.push_back(dst.intern(rows[r][c]));
           break;
       }
     }

@@ -18,9 +18,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -35,9 +37,21 @@ class DataFrameError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// String columns are dictionary-encoded: rows hold 32-bit codes into a
+/// per-column dictionary of distinct values. Appending a repeated value
+/// costs a hash probe plus a 4-byte push instead of a heap string copy,
+/// row moves (filter / sort / join gathers) shuffle codes, and kernels
+/// that only need equality (group-by, count_distinct, string filters)
+/// work on the codes without touching string bytes. The dictionary is
+/// shared copy-on-write between columns, so select / take / gather of a
+/// string column never duplicates the distinct values.
 class Column {
  public:
   Column(std::string name, ColumnType type);
+  Column(const Column& other);
+  Column& operator=(const Column& other);
+  Column(Column&&) = default;
+  Column& operator=(Column&&) = default;
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] ColumnType type() const { return type_; }
@@ -45,6 +59,12 @@ class Column {
 
   void reserve(std::size_t n);
   void push(Cell cell);  ///< type-checked append (int widens to double)
+
+  // Typed appends for bulk frame construction: no Cell boxing, no per-row
+  // variant dispatch. push_i64 widens onto double columns like push().
+  void push_i64(std::int64_t v);
+  void push_f64(double v);
+  void push_str(std::string v);
 
   /// Appends src[row] for every index in `rows` (typed block gather; no
   /// per-row variant boxing). Indices equal to kMissingRow append the
@@ -70,16 +90,44 @@ class Column {
   // Raw typed views for hot loops; only valid for the matching type().
   [[nodiscard]] const std::vector<std::int64_t>& ints() const;
   [[nodiscard]] const std::vector<double>& doubles() const;
-  [[nodiscard]] const std::vector<std::string>& strings() const;
+  /// Per-row dictionary codes of a string column; value of row r is
+  /// dict()[codes()[r]].
+  [[nodiscard]] const std::vector<std::uint32_t>& codes() const;
+  /// Distinct values of a string column, indexed by code.
+  [[nodiscard]] const std::vector<std::string>& dict() const;
+
+  /// Builds a string column directly from its dictionary representation
+  /// (the inverse of codes()/dict(), used by the binary result frames).
+  /// Every code must index into `dict`; entries should be distinct — a
+  /// duplicate wastes a slot but stays readable.
+  static Column from_dict(std::string name, std::vector<std::string> dict,
+                          std::vector<std::uint32_t> codes);
 
  private:
   friend class DataFrame;
+
+  /// Code of `v` in the dictionary, interning it if unseen. Clones a
+  /// shared dictionary first (copy-on-write) and rebuilds the lookup
+  /// table lazily when it is out of step with the dictionary.
+  std::uint32_t intern(std::string v);
+  std::uint32_t intern_view(std::string_view v);
+  template <typename Make>
+  std::uint32_t intern_impl(std::string_view v, Make&& make);
+  void ensure_unique_dict();
+  void rebuild_lookup();
 
   std::string name_;
   ColumnType type_;
   std::vector<std::int64_t> ints_;
   std::vector<double> doubles_;
-  std::vector<std::string> strings_;
+  std::vector<std::uint32_t> codes_;
+  std::shared_ptr<std::vector<std::string>> dict_;
+  /// value -> code acceleration: flat open-addressing slots holding
+  /// codes (string keys live in the dictionary itself). Lazily rebuilt;
+  /// intentionally not copied with the column (copies are usually
+  /// read-only, and a later intern rebuilds).
+  std::vector<std::uint32_t> lookup_;
+  std::size_t lookup_entries_ = 0;
 };
 
 /// Aggregation operators for group_by. kMin/kMax accept string columns
@@ -134,9 +182,25 @@ class DataFrame {
   /// Appends one row; cells must match the schema order.
   void add_row(std::vector<Cell> cells);
 
+  /// Builds a frame by adopting fully-populated columns (all the same
+  /// length). The fast path for view materialization: readers fill each
+  /// column with typed push_* calls, column-major, and hand them over —
+  /// no per-row Cell boxing anywhere.
+  static DataFrame from_columns(std::vector<Column> columns);
+
+  /// Appends a column holding `value` in every row, in place (no frame
+  /// copy — with_column copies every existing column).
+  void add_const_column(const std::string& name, ColumnType type,
+                        const Cell& value);
+
   // --- Relational operations (all return new frames) -----------------------
   [[nodiscard]] DataFrame filter(
       const std::function<bool(const DataFrame&, std::size_t)>& pred) const;
+  /// Keeps rows where keep[r] != 0 (keep.size() must equal rows()). The
+  /// selection-vector fast path: a branch-free pass turns the byte mask
+  /// into row indices, then whole typed columns are gathered — no per-row
+  /// predicate callback.
+  [[nodiscard]] DataFrame filter_mask(const std::vector<char>& keep) const;
   [[nodiscard]] DataFrame sort_by(const std::string& column,
                                   bool ascending = true) const;
   [[nodiscard]] DataFrame select(const std::vector<std::string>& names) const;

@@ -5,82 +5,132 @@
 
 namespace recup::analysis {
 
+// The big frames (tasks, transitions, dxt segments) are on the cold-query
+// path: the first query per view pays materialization. They build
+// column-major with typed pushes — no per-row Cell vector, no variant
+// dispatch — which is several times faster than add_row.
 DataFrame tasks_frame(const dtr::RunData& run) {
-  DataFrame df({{"key", ColumnType::kString},
-                {"graph", ColumnType::kString},
-                {"prefix", ColumnType::kString},
-                {"worker", ColumnType::kInt64},
-                {"worker_address", ColumnType::kString},
-                {"thread_id", ColumnType::kInt64},
-                {"lane", ColumnType::kInt64},
-                {"received_time", ColumnType::kDouble},
-                {"ready_time", ColumnType::kDouble},
-                {"start_time", ColumnType::kDouble},
-                {"end_time", ColumnType::kDouble},
-                {"duration", ColumnType::kDouble},
-                {"compute_time", ColumnType::kDouble},
-                {"io_time", ColumnType::kDouble},
-                {"output_bytes", ColumnType::kInt64},
-                {"output_mb", ColumnType::kDouble},
-                {"bytes_read", ColumnType::kInt64},
-                {"bytes_written", ColumnType::kInt64},
-                {"retries", ColumnType::kInt64},
-                {"stolen", ColumnType::kInt64},
-                {"n_dependencies", ColumnType::kInt64}});
-  df.reserve(run.tasks.size());
-  for (const auto& t : run.tasks) {
-    df.add_row({t.key.to_string(), t.graph, t.prefix,
-                static_cast<std::int64_t>(t.worker), t.worker_address,
-                static_cast<std::int64_t>(t.thread_id),
-                static_cast<std::int64_t>(t.lane), t.received_time,
-                t.ready_time, t.start_time, t.end_time,
-                t.end_time - t.start_time, t.compute_time, t.io_time,
-                static_cast<std::int64_t>(t.output_bytes),
-                static_cast<double>(t.output_bytes) / (1024.0 * 1024.0),
-                static_cast<std::int64_t>(t.bytes_read),
-                static_cast<std::int64_t>(t.bytes_written),
-                static_cast<std::int64_t>(t.retries),
-                static_cast<std::int64_t>(t.stolen ? 1 : 0),
-                static_cast<std::int64_t>(t.dependencies.size())});
+  const std::size_t n = run.tasks.size();
+  Column key("key", ColumnType::kString);
+  Column graph("graph", ColumnType::kString);
+  Column prefix("prefix", ColumnType::kString);
+  Column worker("worker", ColumnType::kInt64);
+  Column worker_address("worker_address", ColumnType::kString);
+  Column thread_id("thread_id", ColumnType::kInt64);
+  Column lane("lane", ColumnType::kInt64);
+  Column received_time("received_time", ColumnType::kDouble);
+  Column ready_time("ready_time", ColumnType::kDouble);
+  Column start_time("start_time", ColumnType::kDouble);
+  Column end_time("end_time", ColumnType::kDouble);
+  Column duration("duration", ColumnType::kDouble);
+  Column compute_time("compute_time", ColumnType::kDouble);
+  Column io_time("io_time", ColumnType::kDouble);
+  Column output_bytes("output_bytes", ColumnType::kInt64);
+  Column output_mb("output_mb", ColumnType::kDouble);
+  Column bytes_read("bytes_read", ColumnType::kInt64);
+  Column bytes_written("bytes_written", ColumnType::kInt64);
+  Column retries("retries", ColumnType::kInt64);
+  Column stolen("stolen", ColumnType::kInt64);
+  Column n_dependencies("n_dependencies", ColumnType::kInt64);
+  for (Column* c : {&key, &graph, &prefix, &worker, &worker_address,
+                    &thread_id, &lane, &received_time, &ready_time,
+                    &start_time, &end_time, &duration, &compute_time,
+                    &io_time, &output_bytes, &output_mb, &bytes_read,
+                    &bytes_written, &retries, &stolen, &n_dependencies}) {
+    c->reserve(n);
   }
-  return df;
+  for (const auto& t : run.tasks) {
+    key.push_str(t.key.to_string());
+    graph.push_str(t.graph);
+    prefix.push_str(t.prefix);
+    worker.push_i64(static_cast<std::int64_t>(t.worker));
+    worker_address.push_str(t.worker_address);
+    thread_id.push_i64(static_cast<std::int64_t>(t.thread_id));
+    lane.push_i64(static_cast<std::int64_t>(t.lane));
+    received_time.push_f64(t.received_time);
+    ready_time.push_f64(t.ready_time);
+    start_time.push_f64(t.start_time);
+    end_time.push_f64(t.end_time);
+    duration.push_f64(t.end_time - t.start_time);
+    compute_time.push_f64(t.compute_time);
+    io_time.push_f64(t.io_time);
+    output_bytes.push_i64(static_cast<std::int64_t>(t.output_bytes));
+    output_mb.push_f64(static_cast<double>(t.output_bytes) /
+                       (1024.0 * 1024.0));
+    bytes_read.push_i64(static_cast<std::int64_t>(t.bytes_read));
+    bytes_written.push_i64(static_cast<std::int64_t>(t.bytes_written));
+    retries.push_i64(static_cast<std::int64_t>(t.retries));
+    stolen.push_i64(t.stolen ? 1 : 0);
+    n_dependencies.push_i64(static_cast<std::int64_t>(t.dependencies.size()));
+  }
+  return DataFrame::from_columns(
+      {std::move(key), std::move(graph), std::move(prefix), std::move(worker),
+       std::move(worker_address), std::move(thread_id), std::move(lane),
+       std::move(received_time), std::move(ready_time), std::move(start_time),
+       std::move(end_time), std::move(duration), std::move(compute_time),
+       std::move(io_time), std::move(output_bytes), std::move(output_mb),
+       std::move(bytes_read), std::move(bytes_written), std::move(retries),
+       std::move(stolen), std::move(n_dependencies)});
 }
 
 DataFrame transitions_frame(const dtr::RunData& run) {
-  DataFrame df({{"key", ColumnType::kString},
-                {"graph", ColumnType::kString},
-                {"from", ColumnType::kString},
-                {"to", ColumnType::kString},
-                {"stimulus", ColumnType::kString},
-                {"location", ColumnType::kString},
-                {"time", ColumnType::kDouble}});
-  df.reserve(run.transitions.size());
-  for (const auto& t : run.transitions) {
-    df.add_row({t.key.to_string(), t.graph, t.from_state, t.to_state,
-                t.stimulus, t.location, t.time});
+  const std::size_t n = run.transitions.size();
+  Column key("key", ColumnType::kString);
+  Column graph("graph", ColumnType::kString);
+  Column from("from", ColumnType::kString);
+  Column to("to", ColumnType::kString);
+  Column stimulus("stimulus", ColumnType::kString);
+  Column location("location", ColumnType::kString);
+  Column time("time", ColumnType::kDouble);
+  for (Column* c :
+       {&key, &graph, &from, &to, &stimulus, &location, &time}) {
+    c->reserve(n);
   }
-  return df;
+  for (const auto& t : run.transitions) {
+    key.push_str(t.key.to_string());
+    graph.push_str(t.graph);
+    from.push_str(t.from_state);
+    to.push_str(t.to_state);
+    stimulus.push_str(t.stimulus);
+    location.push_str(t.location);
+    time.push_f64(t.time);
+  }
+  return DataFrame::from_columns(
+      {std::move(key), std::move(graph), std::move(from), std::move(to),
+       std::move(stimulus), std::move(location), std::move(time)});
 }
 
 DataFrame comms_frame(const dtr::RunData& run) {
-  DataFrame df({{"key", ColumnType::kString},
-                {"source", ColumnType::kInt64},
-                {"destination", ColumnType::kInt64},
-                {"bytes", ColumnType::kInt64},
-                {"start", ColumnType::kDouble},
-                {"end", ColumnType::kDouble},
-                {"duration", ColumnType::kDouble},
-                {"cross_node", ColumnType::kInt64},
-                {"cold_connection", ColumnType::kInt64}});
-  df.reserve(run.comms.size());
-  for (const auto& c : run.comms) {
-    df.add_row({c.key.to_string(), static_cast<std::int64_t>(c.source),
-                static_cast<std::int64_t>(c.destination),
-                static_cast<std::int64_t>(c.bytes), c.start, c.end,
-                c.duration(), static_cast<std::int64_t>(c.cross_node ? 1 : 0),
-                static_cast<std::int64_t>(c.cold_connection ? 1 : 0)});
+  const std::size_t n = run.comms.size();
+  Column key("key", ColumnType::kString);
+  Column source("source", ColumnType::kInt64);
+  Column destination("destination", ColumnType::kInt64);
+  Column bytes("bytes", ColumnType::kInt64);
+  Column start("start", ColumnType::kDouble);
+  Column end("end", ColumnType::kDouble);
+  Column duration("duration", ColumnType::kDouble);
+  Column cross_node("cross_node", ColumnType::kInt64);
+  Column cold_connection("cold_connection", ColumnType::kInt64);
+  for (Column* c : {&key, &source, &destination, &bytes, &start, &end,
+                    &duration, &cross_node, &cold_connection}) {
+    c->reserve(n);
   }
-  return df;
+  for (const auto& c : run.comms) {
+    key.push_str(c.key.to_string());
+    source.push_i64(static_cast<std::int64_t>(c.source));
+    destination.push_i64(static_cast<std::int64_t>(c.destination));
+    bytes.push_i64(static_cast<std::int64_t>(c.bytes));
+    start.push_f64(c.start);
+    end.push_f64(c.end);
+    duration.push_f64(c.duration());
+    cross_node.push_i64(c.cross_node ? 1 : 0);
+    cold_connection.push_i64(c.cold_connection ? 1 : 0);
+  }
+  return DataFrame::from_columns(
+      {std::move(key), std::move(source), std::move(destination),
+       std::move(bytes), std::move(start), std::move(end),
+       std::move(duration), std::move(cross_node),
+       std::move(cold_connection)});
 }
 
 DataFrame warnings_frame(const dtr::RunData& run) {
@@ -113,34 +163,44 @@ DataFrame steals_frame(const dtr::RunData& run) {
 }
 
 DataFrame dxt_frame(const std::vector<darshan::LogFile>& logs) {
-  DataFrame df({{"hostname", ColumnType::kString},
-                {"process", ColumnType::kInt64},
-                {"thread_id", ColumnType::kInt64},
-                {"file", ColumnType::kString},
-                {"op", ColumnType::kString},
-                {"offset", ColumnType::kInt64},
-                {"length", ColumnType::kInt64},
-                {"start", ColumnType::kDouble},
-                {"end", ColumnType::kDouble},
-                {"duration", ColumnType::kDouble}});
   std::size_t n_segments = 0;
   for (const auto& log : logs) {
     for (const auto& rec : log.dxt) n_segments += rec.segments.size();
   }
-  df.reserve(n_segments);
+  Column hostname("hostname", ColumnType::kString);
+  Column process("process", ColumnType::kInt64);
+  Column thread_id("thread_id", ColumnType::kInt64);
+  Column file("file", ColumnType::kString);
+  Column op("op", ColumnType::kString);
+  Column offset("offset", ColumnType::kInt64);
+  Column length("length", ColumnType::kInt64);
+  Column start("start", ColumnType::kDouble);
+  Column end("end", ColumnType::kDouble);
+  Column duration("duration", ColumnType::kDouble);
+  for (Column* c : {&hostname, &process, &thread_id, &file, &op, &offset,
+                    &length, &start, &end, &duration}) {
+    c->reserve(n_segments);
+  }
   for (const auto& log : logs) {
     for (const auto& rec : log.dxt) {
       for (const auto& seg : rec.segments) {
-        df.add_row({rec.hostname, static_cast<std::int64_t>(rec.process_id),
-                    static_cast<std::int64_t>(seg.thread_id), rec.file_path,
-                    seg.op == darshan::IoOp::kRead ? "read" : "write",
-                    static_cast<std::int64_t>(seg.offset),
-                    static_cast<std::int64_t>(seg.length), seg.start, seg.end,
-                    seg.end - seg.start});
+        hostname.push_str(rec.hostname);
+        process.push_i64(static_cast<std::int64_t>(rec.process_id));
+        thread_id.push_i64(static_cast<std::int64_t>(seg.thread_id));
+        file.push_str(rec.file_path);
+        op.push_str(seg.op == darshan::IoOp::kRead ? "read" : "write");
+        offset.push_i64(static_cast<std::int64_t>(seg.offset));
+        length.push_i64(static_cast<std::int64_t>(seg.length));
+        start.push_f64(seg.start);
+        end.push_f64(seg.end);
+        duration.push_f64(seg.end - seg.start);
       }
     }
   }
-  return df;
+  return DataFrame::from_columns(
+      {std::move(hostname), std::move(process), std::move(thread_id),
+       std::move(file), std::move(op), std::move(offset), std::move(length),
+       std::move(start), std::move(end), std::move(duration)});
 }
 
 DataFrame posix_frame(const std::vector<darshan::LogFile>& logs) {

@@ -7,46 +7,65 @@
 namespace recup::analysis {
 
 DataFrame task_io_frame(const dtr::RunData& run) {
-  // Left side: one row per DXT segment.
-  DataFrame segments({{"file", ColumnType::kString},
-                      {"op", ColumnType::kString},
-                      {"length", ColumnType::kInt64},
-                      {"start", ColumnType::kDouble},
-                      {"end", ColumnType::kDouble},
-                      {"duration", ColumnType::kDouble},
-                      {"worker", ColumnType::kInt64},
-                      {"thread_id", ColumnType::kInt64}});
+  // Left side: one row per DXT segment (typed pushes — this runs on the
+  // cold-query path when the task_io view first materializes).
   std::size_t n_segments = 0;
   for (const auto& log : run.darshan_logs) {
     for (const auto& rec : log.dxt) n_segments += rec.segments.size();
   }
-  segments.reserve(n_segments);
+  Column seg_file("file", ColumnType::kString);
+  Column seg_op("op", ColumnType::kString);
+  Column seg_length("length", ColumnType::kInt64);
+  Column seg_start("start", ColumnType::kDouble);
+  Column seg_end("end", ColumnType::kDouble);
+  Column seg_duration("duration", ColumnType::kDouble);
+  Column seg_worker("worker", ColumnType::kInt64);
+  Column seg_thread("thread_id", ColumnType::kInt64);
+  for (Column* c : {&seg_file, &seg_op, &seg_length, &seg_start, &seg_end,
+                    &seg_duration, &seg_worker, &seg_thread}) {
+    c->reserve(n_segments);
+  }
   for (const auto& log : run.darshan_logs) {
     for (const auto& rec : log.dxt) {
       for (const auto& seg : rec.segments) {
-        segments.add_row(
-            {rec.file_path, seg.op == darshan::IoOp::kRead ? "read" : "write",
-             static_cast<std::int64_t>(seg.length), seg.start, seg.end,
-             seg.end - seg.start, static_cast<std::int64_t>(rec.process_id),
-             static_cast<std::int64_t>(seg.thread_id)});
+        seg_file.push_str(rec.file_path);
+        seg_op.push_str(seg.op == darshan::IoOp::kRead ? "read" : "write");
+        seg_length.push_i64(static_cast<std::int64_t>(seg.length));
+        seg_start.push_f64(seg.start);
+        seg_end.push_f64(seg.end);
+        seg_duration.push_f64(seg.end - seg.start);
+        seg_worker.push_i64(static_cast<std::int64_t>(rec.process_id));
+        seg_thread.push_i64(static_cast<std::int64_t>(seg.thread_id));
       }
     }
   }
+  DataFrame segments = DataFrame::from_columns(
+      {std::move(seg_file), std::move(seg_op), std::move(seg_length),
+       std::move(seg_start), std::move(seg_end), std::move(seg_duration),
+       std::move(seg_worker), std::move(seg_thread)});
 
   // Right side: one row per task with its execution window.
-  DataFrame tasks({{"task_key", ColumnType::kString},
-                   {"prefix", ColumnType::kString},
-                   {"worker", ColumnType::kInt64},
-                   {"thread_id", ColumnType::kInt64},
-                   {"task_start", ColumnType::kDouble},
-                   {"task_end", ColumnType::kDouble}});
-  tasks.reserve(run.tasks.size());
-  for (const auto& task : run.tasks) {
-    tasks.add_row({task.key.to_string(), task.prefix,
-                   static_cast<std::int64_t>(task.worker),
-                   static_cast<std::int64_t>(task.thread_id), task.start_time,
-                   task.end_time});
+  Column task_key("task_key", ColumnType::kString);
+  Column task_prefix("prefix", ColumnType::kString);
+  Column task_worker("worker", ColumnType::kInt64);
+  Column task_thread("thread_id", ColumnType::kInt64);
+  Column task_start("task_start", ColumnType::kDouble);
+  Column task_end("task_end", ColumnType::kDouble);
+  for (Column* c : {&task_key, &task_prefix, &task_worker, &task_thread,
+                    &task_start, &task_end}) {
+    c->reserve(run.tasks.size());
   }
+  for (const auto& task : run.tasks) {
+    task_key.push_str(task.key.to_string());
+    task_prefix.push_str(task.prefix);
+    task_worker.push_i64(static_cast<std::int64_t>(task.worker));
+    task_thread.push_i64(static_cast<std::int64_t>(task.thread_id));
+    task_start.push_f64(task.start_time);
+    task_end.push_f64(task.end_time);
+  }
+  DataFrame tasks = DataFrame::from_columns(
+      {std::move(task_key), std::move(task_prefix), std::move(task_worker),
+       std::move(task_thread), std::move(task_start), std::move(task_end)});
 
   // The paper's fusion (§III-D): each segment joins the task whose
   // execution window it started in, matching on the shared (worker
@@ -67,10 +86,10 @@ DataFrame task_io_frame(const dtr::RunData& run) {
 
 std::vector<AttributedIo> attribute_io(const dtr::RunData& run) {
   const DataFrame df = task_io_frame(run);
-  const auto& task_key = df.col("task_key").strings();
-  const auto& prefix = df.col("prefix").strings();
-  const auto& file = df.col("file").strings();
-  const auto& op = df.col("op").strings();
+  const Column& task_key = df.col("task_key");
+  const Column& prefix = df.col("prefix");
+  const Column& file = df.col("file");
+  const Column& op = df.col("op");
   const auto& length = df.col("length").ints();
   const auto& start = df.col("start").doubles();
   const auto& end = df.col("end").doubles();
@@ -80,10 +99,10 @@ std::vector<AttributedIo> attribute_io(const dtr::RunData& run) {
   out.reserve(df.rows());
   for (std::size_t r = 0; r < df.rows(); ++r) {
     AttributedIo io;
-    io.task_key = task_key[r];
-    io.prefix = prefix[r];
-    io.file = file[r];
-    io.op = op[r];
+    io.task_key = task_key.str(r);
+    io.prefix = prefix.str(r);
+    io.file = file.str(r);
+    io.op = op.str(r);
     io.length = static_cast<std::uint64_t>(length[r]);
     io.start = start[r];
     io.end = end[r];

@@ -1,0 +1,143 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace recup::parallel {
+
+namespace {
+
+std::size_t detect_worker_count() {
+  if (const char* env = std::getenv("RECUP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return v > 64 ? 64 : static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+// One fan-out. Owns a copy of the body and its own ticket/done counters, so
+// a straggler worker that wakes late can only over-draw tickets on its own
+// (already finished) job — never steal a morsel from the next one.
+struct Job {
+  std::function<void(std::size_t, std::size_t, std::size_t)> body;
+  std::size_t n = 0;
+  std::size_t morsel_rows = 0;
+  std::size_t morsels = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void work() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= morsels) return;
+      const std::size_t begin = i * morsel_rows;
+      const std::size_t end = begin + morsel_rows > n ? n : begin + morsel_rows;
+      try {
+        body(i, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      done.fetch_add(1, std::memory_order_release);
+    }
+  }
+};
+
+// Lazily-started, process-lifetime pool. Never destroyed: workers park in a
+// condition-variable wait at exit, which is cheaper and safer than racing
+// static destructors against in-flight queries.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool* pool = new Pool(worker_count());
+    return *pool;
+  }
+
+  void run(const std::shared_ptr<Job>& job) {
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = job;
+      ++generation_;
+    }
+    cv_.notify_all();
+    job->work();
+    // Out of tickets; wait for stragglers so caller-side output buffers
+    // stay valid for the whole job.
+    while (job->done.load(std::memory_order_acquire) < job->morsels)
+      std::this_thread::yield();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_.reset();
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  explicit Pool(std::size_t workers) {
+    for (std::size_t i = 0; i + 1 < workers; ++i)
+      threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        job = job_;
+      }
+      if (job) job->work();
+    }
+  }
+
+  std::mutex run_mutex_;  // one job at a time
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t generation_ = 0;
+  std::shared_ptr<Job> job_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace
+
+std::size_t worker_count() {
+  static const std::size_t count = detect_worker_count();
+  return count;
+}
+
+void for_morsels(std::size_t n, std::size_t morsel_rows,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)>& body) {
+  if (n == 0) return;
+  if (morsel_rows == 0) morsel_rows = kDefaultMorselRows;
+  const std::size_t morsels = morsel_count(n, morsel_rows);
+  if (worker_count() == 1 || morsels == 1 || n < kMinParallelRows) {
+    for (std::size_t i = 0; i < morsels; ++i) {
+      const std::size_t begin = i * morsel_rows;
+      const std::size_t end = begin + morsel_rows > n ? n : begin + morsel_rows;
+      body(i, begin, end);
+    }
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->body = body;
+  job->n = n;
+  job->morsel_rows = morsel_rows;
+  job->morsels = morsels;
+  Pool::instance().run(job);
+}
+
+}  // namespace recup::parallel

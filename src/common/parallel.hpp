@@ -1,0 +1,53 @@
+// Morsel-style intra-query parallelism for the columnar kernels (paper
+// motivation: the runtime-overhead line of work in PAPERS.md — keep the
+// data plane busy, not the coordinator). A query operator splits its row
+// range into fixed-size morsels and a small shared worker pool executes
+// them; the caller thread participates, so a 1-worker configuration is an
+// ordinary loop with zero thread traffic.
+//
+// Determinism: morsel boundaries depend only on (n, morsel_rows), never on
+// the worker count, and `body` receives the morsel index — so a kernel that
+// wants reproducible floating-point results accumulates into a slot per
+// morsel and combines slots in morsel order after the loop. The same
+// byte-identical output falls out whether RECUP_THREADS is 1 or 16.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace recup::parallel {
+
+/// Workers used by for_morsels: RECUP_THREADS env var when set (clamped to
+/// [1, 64]), else std::thread::hardware_concurrency(). Cached on first use.
+[[nodiscard]] std::size_t worker_count();
+
+/// Default rows per morsel: big enough to amortize dispatch, small enough
+/// to balance skewed work.
+inline constexpr std::size_t kDefaultMorselRows = 16 * 1024;
+
+/// Minimum rows before fan-out is worth the wakeups; below it (or with one
+/// worker) the caller runs every morsel inline, same boundaries.
+inline constexpr std::size_t kMinParallelRows = 32 * 1024;
+
+/// Invokes body(morsel_index, begin, end) for every morsel covering [0, n).
+/// Bodies run concurrently and must not throw; each morsel is executed
+/// exactly once. Blocks until all morsels complete. Safe to call from one
+/// operator at a time per process (calls serialize internally).
+void for_morsels(std::size_t n, std::size_t morsel_rows,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)>& body);
+
+inline void for_morsels(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  for_morsels(n, kDefaultMorselRows, body);
+}
+
+/// Number of morsels for_morsels will use for n rows (for sizing slot
+/// vectors before the loop).
+[[nodiscard]] inline std::size_t morsel_count(
+    std::size_t n, std::size_t morsel_rows = kDefaultMorselRows) {
+  return n == 0 ? 0 : (n + morsel_rows - 1) / morsel_rows;
+}
+
+}  // namespace recup::parallel

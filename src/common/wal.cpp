@@ -154,8 +154,13 @@ WalWriter::WalWriter(std::string dir, WalOptions options)
 }
 
 WalWriter::~WalWriter() {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
+  wait_no_leader(lock);
   if (file_ != nullptr) std::fclose(file_);
+}
+
+void WalWriter::wait_no_leader(std::unique_lock<std::mutex>& lock) {
+  while (sync_leader_active_) sync_cv_.wait(lock);
 }
 
 void WalWriter::open_segment_locked(std::uint32_t index, std::uint64_t size) {
@@ -169,12 +174,23 @@ void WalWriter::open_segment_locked(std::uint32_t index, std::uint64_t size) {
 
 void WalWriter::rotate_locked() {
   std::fflush(file_);
+  if (options_.sync == SyncPolicy::kOnAppend) {
+    // Everything appended so far lives in the segment being retired; make
+    // it durable before it is closed, since later group-commit fsyncs only
+    // cover the new segment.
+    ::fsync(::fileno(file_));
+    ++fsyncs_;
+    synced_records_ = records_;
+  }
   open_segment_locked(segment_index_ + 1, 0);
 }
 
 void WalWriter::append(std::string_view payload) {
-  std::lock_guard lock(mutex_);
-  if (segment_size_ >= options_.segment_bytes) rotate_locked();
+  std::unique_lock lock(mutex_);
+  if (segment_size_ >= options_.segment_bytes) {
+    wait_no_leader(lock);  // a leader fsyncs file_ with the lock released
+    rotate_locked();
+  }
   char header[kHeaderBytes];
   encode_u32(header, static_cast<std::uint32_t>(payload.size()));
   encode_u32(header + 4, crc32(payload.data(), payload.size()));
@@ -187,10 +203,31 @@ void WalWriter::append(std::string_view payload) {
   segment_size_ += kHeaderBytes + payload.size();
   records_ += 1;
   bytes_ += payload.size();
-  if (options_.sync == SyncPolicy::kOnAppend) {
-    std::fflush(file_);
-    ::fsync(::fileno(file_));
+  if (options_.sync != SyncPolicy::kOnAppend) return;
+
+  // Group commit: my record is number `mine`; return once some fsync has
+  // covered it. The first uncovered appender becomes leader and fsyncs for
+  // everyone written ahead of it; the rest wait on the covered watermark.
+  const std::uint64_t mine = records_;
+  for (;;) {
+    if (synced_records_ >= mine) return;
+    if (!sync_leader_active_) break;
+    sync_cv_.wait(lock);
   }
+  sync_leader_active_ = true;
+  const std::uint64_t cover = records_;
+  std::FILE* file = file_;
+  lock.unlock();
+  // stdio FILE operations are thread-safe, so concurrent followers may
+  // keep fwriting while the leader flushes; records past `cover` are not
+  // claimed durable.
+  std::fflush(file);
+  ::fsync(::fileno(file));
+  lock.lock();
+  ++fsyncs_;
+  if (cover > synced_records_) synced_records_ = cover;
+  sync_leader_active_ = false;
+  sync_cv_.notify_all();
 }
 
 void WalWriter::flush() {
@@ -203,11 +240,14 @@ void WalWriter::sync() {
   if (file_ != nullptr) {
     std::fflush(file_);
     ::fsync(::fileno(file_));
+    ++fsyncs_;
+    synced_records_ = records_;
   }
 }
 
 void WalWriter::reset() {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
+  wait_no_leader(lock);
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
@@ -217,6 +257,7 @@ void WalWriter::reset() {
   }
   records_ = 0;
   bytes_ = 0;
+  synced_records_ = 0;
   open_segment_locked(0, 0);
 }
 
@@ -228,6 +269,11 @@ std::uint64_t WalWriter::records_appended() const {
 std::uint64_t WalWriter::bytes_appended() const {
   std::lock_guard lock(mutex_);
   return bytes_;
+}
+
+std::uint64_t WalWriter::fsyncs_issued() const {
+  std::lock_guard lock(mutex_);
+  return fsyncs_;
 }
 
 ReplayStats WalWriter::replay(

@@ -9,6 +9,7 @@
 
 #include "dtr/durability.hpp"
 #include "dtr/mofka_plugins.hpp"
+#include "wire/codec.hpp"
 
 namespace recup::dtr {
 
@@ -665,7 +666,7 @@ void Scheduler::enable_durability(SchedulerDurability durability) {
 }
 
 void Scheduler::journal_append(const json::Value& record) {
-  journal_->append(record.dump());
+  journal_->append(wire::encode_value(record));
   ++journal_records_;
   if (durability_->checkpoint_every > 0 && !recovering_ &&
       journal_records_ % durability_->checkpoint_every == 0) {
@@ -756,8 +757,11 @@ void Scheduler::recover() {
       have_cp ? static_cast<std::size_t>(cp.get_int("journal_records", 0)) : 0;
 
   std::vector<json::Value> records;
+  // Journals written before the binary codec hold JSON text; the first
+  // byte tells them apart, so old journals keep replaying.
   wal::WalWriter::replay(durability_->dir, [&records](std::string_view payload) {
-    records.push_back(json::parse(payload));
+    records.push_back(wire::looks_binary(payload) ? wire::decode_value(payload)
+                                                  : json::parse(payload));
   });
   journal_records_ = records.size();
   if (cp_records > records.size()) {

@@ -1,5 +1,6 @@
 #include "dtr/task.hpp"
 
+#include <charconv>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -7,7 +8,18 @@ namespace recup::dtr {
 
 std::string TaskKey::to_string() const {
   if (index < 0) return group;
-  return "('" + group + "', " + std::to_string(index) + ")";
+  // Single-allocation format; this runs once per row when views
+  // materialize, so the operator+ temporary chain was measurable.
+  char digits[24];
+  const auto res = std::to_chars(digits, digits + sizeof(digits), index);
+  std::string out;
+  out.reserve(group.size() + 8 + static_cast<std::size_t>(res.ptr - digits));
+  out += "('";
+  out += group;
+  out += "', ";
+  out.append(digits, res.ptr);
+  out += ')';
+  return out;
 }
 
 std::string TaskKey::prefix() const {

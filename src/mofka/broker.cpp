@@ -5,6 +5,8 @@
 #include <cstring>
 #include <thread>
 
+#include "mofka/wire.hpp"
+
 namespace recup::mofka {
 
 namespace {
@@ -58,6 +60,15 @@ struct RecordReader {
     return out;
   }
 };
+
+/// Stored metadata is binary-tagged (wire::encode_value) for new appends
+/// but may be JSON text in WALs and stores written before the binary
+/// format existed; the first byte disambiguates (binary tags are < 0x20,
+/// JSON text starts with a printable character).
+json::Value parse_metadata(std::string_view serialized) {
+  return wire::looks_binary(serialized) ? wire::decode_value(serialized)
+                                        : json::parse(serialized);
+}
 
 }  // namespace
 
@@ -139,7 +150,7 @@ void Broker::apply_append(
   if (it == topics_.end()) throw MofkaError("mofka: WAL batch for unknown topic");
   Topic& t = it->second;
   for (const auto& [serialized, data] : events) {
-    const json::Value metadata = json::parse(serialized);
+    const json::Value metadata = parse_metadata(serialized);
     ProducerSeqState* pstate = nullptr;
     std::uint64_t seq = 0;
     if (metadata.is_object() && metadata.contains("_pid") &&
@@ -189,6 +200,13 @@ void Broker::crash_and_recover() {
     metadata_store_.erase(key);
   }
   topics_.clear();
+  {
+    // Producer wire sessions die with the process; a producer whose
+    // session outlived the restart gets WireSessionError on its next
+    // frame and re-encodes self-contained.
+    std::lock_guard sessions_lock(sessions_mutex_);
+    sessions_.clear();
+  }
   if (wal_ == nullptr) return;  // non-durable: the data is simply lost
   // The restart: rebuild everything from the log, then reattach hooks.
   wal_->flush();
@@ -373,7 +391,7 @@ AppendResult Broker::append_batch(
         }
       }
       const EventId offset = t.next_offset[partition]++;
-      const std::string serialized = metadata.dump();
+      const std::string serialized = wire::encode_value(metadata);
       // Metadata in yokan, payload in warabi, linked by region id order.
       metadata_store_.put(meta_key(topic, partition, offset), serialized);
       t.data_regions[partition].push_back(data_store_.create_sealed(data));
@@ -409,6 +427,39 @@ AppendResult Broker::append_batch(
     throw chaos::TransientFault("mofka: injected ack loss after append");
   }
   return result;
+}
+
+AppendResult Broker::append_frame(const std::string& topic,
+                                  PartitionIndex partition,
+                                  std::uint64_t session,
+                                  std::string_view frame) {
+  std::vector<std::pair<json::Value, std::string>> events;
+  {
+    // Decode before fault injection so a frame whose ack is lost still
+    // teaches the session dictionary: the retried identical bytes then
+    // decode cleanly (str-defs carry explicit ids and re-apply
+    // idempotently) and sequence dedup absorbs the events.
+    std::lock_guard lock(sessions_mutex_);
+    wire::StreamDecoder& decoder = sessions_[session];
+    try {
+      events = decode_event_frame(decoder, frame);
+    } catch (const wire::WireError& e) {
+      // A ref into state this broker lacks, or a malformed frame: either
+      // way the session is unusable. Drop it so the producer's re-encoded
+      // batch starts from a fresh dictionary.
+      sessions_.erase(session);
+      throw WireSessionError(std::string("mofka: wire session reset: ") +
+                             e.what());
+    }
+  }
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = topics_.find(topic);
+    if (it != topics_.end()) it->second.stats.bytes_wire += frame.size();
+  }
+  // sessions_mutex_ is released before append_batch: the injected
+  // kBrokerProcess crash path re-acquires it in crash_and_recover.
+  return append_batch(topic, partition, events);
 }
 
 PartitionIndex Broker::select_partition(const std::string& topic,
@@ -466,7 +517,7 @@ std::optional<Event> Broker::fetch(
   event.topic = topic;
   event.partition = partition;
   event.id = offset;
-  event.metadata = json::parse(*serialized);
+  event.metadata = parse_metadata(*serialized);
   DataSelection sel;
   if (selection) sel = selection(event.metadata);
   if (sel.fetch) {

@@ -31,12 +31,23 @@
 #include "mochi/yokan.hpp"
 #include "mofka/event.hpp"
 #include "mofka/sequence.hpp"
+#include "wire/codec.hpp"
 
 namespace recup::mofka {
 
 class MofkaError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// A binary frame referenced dictionary state this broker does not have —
+/// typically the producer's session outlived a broker restart that wiped
+/// the per-session decoder. Not retryable with the same bytes: the
+/// producer must reset its encoder session and re-encode the batch
+/// self-contained.
+class WireSessionError : public MofkaError {
+ public:
+  using MofkaError::MofkaError;
 };
 
 /// Offset reported for a duplicate whose original offset has been pruned
@@ -73,6 +84,10 @@ struct TopicStats {
   std::uint64_t batches = 0;
   std::uint64_t bytes_metadata = 0;
   std::uint64_t bytes_data = 0;
+  /// Frame bytes received through append_frame (the binary push path).
+  /// Comparing against the events' JSON text sizes measures the wire
+  /// savings of the tagged encoding plus session interning.
+  std::uint64_t bytes_wire = 0;
   /// Re-sent events absorbed by sequence dedup (retries whose original
   /// append succeeded but whose ack was lost).
   std::uint64_t duplicates_absorbed = 0;
@@ -122,6 +137,21 @@ class Broker {
   AppendResult append_batch(
       const std::string& topic, PartitionIndex partition,
       const std::vector<std::pair<json::Value, std::string>>& events);
+
+  /// Binary push path: appends a batch encoded by mofka::encode_event_frame
+  /// under the producer's wire session. Frames of one session must arrive
+  /// in encode order (the producer serializes same-partition flushes);
+  /// retrying a frame's identical bytes is safe because dictionary
+  /// definitions apply idempotently. Decoding happens before fault
+  /// injection, so a frame whose ack is lost still teaches the session
+  /// dictionary and the retry resolves its refs. Throws WireSessionError
+  /// when the frame references session state this broker lacks (restart
+  /// wiped it) — reset the encoder session and re-encode, don't retry the
+  /// same bytes. Delivery semantics are otherwise identical to
+  /// append_batch.
+  AppendResult append_frame(const std::string& topic,
+                            PartitionIndex partition, std::uint64_t session,
+                            std::string_view frame);
 
   /// Chooses a partition for the given metadata via the topic's selector.
   [[nodiscard]] PartitionIndex select_partition(const std::string& topic,
@@ -196,6 +226,12 @@ class Broker {
   std::unique_ptr<wal::WalWriter> wal_;
   mutable std::mutex mutex_;
   std::map<std::string, Topic> topics_;
+  /// Per-producer-session stream decoders for append_frame. Guarded by
+  /// its own mutex (frames decode before the broker lock is taken);
+  /// wiped by crash_and_recover, which is what surfaces WireSessionError
+  /// to producers whose sessions outlived the restart.
+  std::map<std::uint64_t, wire::StreamDecoder> sessions_;
+  mutable std::mutex sessions_mutex_;
   std::shared_ptr<chaos::FaultInjector> injector_;
   std::uint64_t recoveries_ = 0;
 };

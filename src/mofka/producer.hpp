@@ -22,6 +22,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -44,6 +45,11 @@ struct ProducerConfig {
   std::chrono::microseconds backoff_max{2000};
   /// Bound on buffered + unacked events before push() forces a flush.
   std::size_t max_in_flight = 1024;
+  /// Push batches as binary wire frames (Broker::append_frame) with one
+  /// interning encoder session per partition. False falls back to JSON
+  /// append_batch — the debug/interop path; delivery semantics are
+  /// identical either way.
+  bool binary_wire = true;
 };
 
 /// Backoff before retry `attempt` (0-based): min(base * 2^attempt, max).
@@ -98,6 +104,15 @@ class Producer {
     std::promise<EventId> promise;
   };
 
+  /// One binary-wire session per partition. The mutex is held across
+  /// encode + every retry of a frame, so the session's frames reach the
+  /// broker in encode order (a codec requirement) and a retry re-sends
+  /// the identical bytes (which the broker decodes idempotently).
+  struct WireSession {
+    std::mutex mutex;
+    wire::StreamEncoder encoder;
+  };
+
   /// Flushes one partition's pending events. Caller must NOT hold the lock
   /// and must have incremented flushing_ when extracting the batch.
   void flush_partition(PartitionIndex partition,
@@ -113,6 +128,7 @@ class Producer {
   std::condition_variable flush_done_;
   std::vector<std::vector<PendingEvent>> pending_;  // per partition
   std::vector<std::uint64_t> next_seq_;             // per partition
+  std::vector<std::unique_ptr<WireSession>> wire_;  // per partition
   std::size_t inflight_ = 0;   ///< buffered + unacked events
   std::size_t flushing_ = 0;   ///< batches currently being appended
   ProducerStats stats_;

@@ -1,0 +1,43 @@
+#include "mofka/wire.hpp"
+
+namespace recup::mofka {
+
+std::string encode_event_frame(
+    wire::StreamEncoder& encoder,
+    const std::vector<std::pair<json::Value, std::string>>& events) {
+  std::string out;
+  wire::put_varint(out, events.size());
+  for (const auto& [metadata, data] : events) {
+    encoder.encode(metadata, out);
+    wire::put_varint(out, data.size());
+    out.append(data);
+  }
+  return out;
+}
+
+std::vector<std::pair<json::Value, std::string>> decode_event_frame(
+    wire::StreamDecoder& decoder, std::string_view frame) {
+  std::size_t pos = 0;
+  const std::uint64_t count = wire::get_varint(frame, pos);
+  if (count > frame.size() - pos) {
+    throw wire::WireError("event frame count exceeds frame size");
+  }
+  std::vector<std::pair<json::Value, std::string>> events;
+  events.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    json::Value metadata = decoder.decode(frame, pos);
+    const std::uint64_t n = wire::get_varint(frame, pos);
+    if (n > frame.size() - pos) {
+      throw wire::WireError("event frame data truncated");
+    }
+    events.emplace_back(std::move(metadata),
+                        std::string(frame.substr(pos, n)));
+    pos += n;
+  }
+  if (pos != frame.size()) {
+    throw wire::WireError("trailing bytes after event frame");
+  }
+  return events;
+}
+
+}  // namespace recup::mofka

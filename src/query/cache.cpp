@@ -17,8 +17,11 @@ std::size_t approx_frame_bytes(const analysis::DataFrame& frame) {
         bytes += col.size() * sizeof(double);
         break;
       case analysis::ColumnType::kString:
-        bytes += col.size() * sizeof(std::string);
-        for (const std::string& s : col.strings()) bytes += s.capacity();
+        // Dictionary-encoded: 4-byte codes per row plus the distinct
+        // values (the dictionary may be shared; charge it to each holder).
+        bytes += col.size() * sizeof(std::uint32_t);
+        bytes += col.dict().size() * sizeof(std::string);
+        for (const std::string& s : col.dict()) bytes += s.capacity();
         break;
     }
   }

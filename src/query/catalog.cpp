@@ -109,18 +109,11 @@ std::shared_ptr<const analysis::DataFrame> StoreCatalog::Snapshot::frame(
   // duplicate is dropped.
   const dtr::RunData& run = catalog_.store_.run(id);
   analysis::DataFrame base = base_frame(view, run);
-  const std::string workflow = id.workflow;
-  const auto run_index = static_cast<std::int64_t>(id.run_index);
-  base = base.with_column(
-      "workflow", analysis::ColumnType::kString,
-      [&](const analysis::DataFrame&, std::size_t) -> analysis::Cell {
-        return workflow;
-      });
-  base = base.with_column(
-      "run", analysis::ColumnType::kInt64,
-      [&](const analysis::DataFrame&, std::size_t) -> analysis::Cell {
-        return run_index;
-      });
+  // In place: with_column would copy every existing column per call.
+  base.add_const_column("workflow", analysis::ColumnType::kString,
+                        analysis::Cell(id.workflow));
+  base.add_const_column("run", analysis::ColumnType::kInt64,
+                        analysis::Cell(static_cast<std::int64_t>(id.run_index)));
   auto built = std::make_shared<const analysis::DataFrame>(std::move(base));
   std::lock_guard guard(catalog_.frames_mutex_);
   const auto [it, inserted] = catalog_.frames_.emplace(key, built);

@@ -5,6 +5,7 @@
 
 #include "dtr/darshan_bridge.hpp"
 #include "dtr/mofka_plugins.hpp"
+#include "wire/codec.hpp"
 
 namespace recup::query {
 
@@ -69,7 +70,9 @@ void LiveIngestor::restore_cursors_locked() {
   if (cursor_wal_) {
     wal::WalWriter::replay(cursor_wal_->dir(),
                            [&cursors](std::string_view payload) {
-                             cursors = json::parse(payload);
+                             cursors = wire::looks_binary(payload)
+                                           ? wire::decode_value(payload)
+                                           : json::parse(payload);
                            });
   }
   const auto consumers = consumers_locked();
@@ -100,7 +103,7 @@ void LiveIngestor::log_cursors_locked() {
     }
     o[kTopics[i]] = std::move(positions);
   }
-  cursor_wal_->append(json::Value(std::move(o)).dump());
+  cursor_wal_->append(wire::encode_value(json::Value(std::move(o))));
   cursor_wal_->flush();
 }
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "common/parallel.hpp"
+
 namespace recup::query {
 
 namespace {
@@ -40,10 +42,16 @@ std::string predicates_display(const std::vector<Predicate>& preds) {
 template <typename T, typename U>
 void narrow_mask(const std::vector<T>& values, U rhs, CmpOp op,
                  std::vector<char>& keep) {
+  // Branch-free AND into the mask (keep holds 0/1), morsel-parallel; the
+  // typed inner loop auto-vectorizes for int64/double columns.
   const auto apply = [&](auto cmp) {
-    for (std::size_t r = 0; r < values.size(); ++r) {
-      if (keep[r] != 0 && !cmp(values[r], rhs)) keep[r] = 0;
-    }
+    parallel::for_morsels(
+        values.size(), [&](std::size_t, std::size_t b, std::size_t e) {
+          for (std::size_t r = b; r < e; ++r) {
+            keep[r] = static_cast<char>(keep[r] &
+                                        static_cast<char>(cmp(values[r], rhs)));
+          }
+        });
   };
   switch (op) {
     case CmpOp::kEq:
@@ -85,16 +93,46 @@ void narrow_mask_one(const DataFrame& frame, const Predicate& p,
         throw QueryError("predicate on string column '" + p.column +
                          "' needs a string value");
       }
-      const auto& values = col->strings();
-      if (p.op == CmpOp::kContains) {
-        for (std::size_t r = 0; r < values.size(); ++r) {
-          if (keep[r] != 0 && values[r].find(*rhs) == std::string::npos) {
-            keep[r] = 0;
-          }
+      // Dictionary-encoded: evaluate the predicate once per distinct
+      // value, then the per-row pass is a branch-free table lookup over
+      // the 4-byte codes — string bytes are touched O(dict), not O(rows).
+      const auto& dict = col->dict();
+      const auto& codes = col->codes();
+      std::vector<char> match(dict.size());
+      for (std::size_t i = 0; i < dict.size(); ++i) {
+        const std::string& v = dict[i];
+        bool m = false;
+        switch (p.op) {
+          case CmpOp::kEq:
+            m = v == *rhs;
+            break;
+          case CmpOp::kNe:
+            m = v != *rhs;
+            break;
+          case CmpOp::kLt:
+            m = v < *rhs;
+            break;
+          case CmpOp::kLe:
+            m = v <= *rhs;
+            break;
+          case CmpOp::kGt:
+            m = v > *rhs;
+            break;
+          case CmpOp::kGe:
+            m = v >= *rhs;
+            break;
+          case CmpOp::kContains:
+            m = v.find(*rhs) != std::string::npos;
+            break;
         }
-      } else {
-        narrow_mask(values, *rhs, p.op, keep);
+        match[i] = static_cast<char>(m);
       }
+      parallel::for_morsels(
+          codes.size(), [&](std::size_t, std::size_t b, std::size_t e) {
+            for (std::size_t r = b; r < e; ++r) {
+              keep[r] = static_cast<char>(keep[r] & match[codes[r]]);
+            }
+          });
       break;
     }
     case ColumnType::kInt64: {
@@ -225,9 +263,7 @@ DataFrame apply_predicates(const DataFrame& frame,
   if (preds.empty()) return frame;
   std::vector<char> keep(frame.rows(), 1);
   for (const Predicate& p : preds) narrow_mask_one(frame, p, keep);
-  return frame.filter([&keep](const DataFrame&, std::size_t r) {
-    return keep[r] != 0;
-  });
+  return frame.filter_mask(keep);
 }
 
 Plan plan_query(const Query& query, const StoreCatalog::Snapshot& snapshot) {

@@ -9,6 +9,7 @@
 #include "mofka/broker.hpp"
 #include "mofka/consumer.hpp"
 #include "mofka/producer.hpp"
+#include "mofka/wire.hpp"
 
 namespace recup::mofka {
 namespace {
@@ -257,6 +258,121 @@ TEST_F(MofkaTest, FetchOutOfRangeReturnsNullopt) {
 TEST_F(MofkaTest, EmptyBatchRejected) {
   broker_.create_topic("t");
   EXPECT_THROW(broker_.append_batch("t", 0, {}), MofkaError);
+}
+
+// --- Binary wire path -------------------------------------------------------
+
+TEST_F(MofkaTest, EventFrameRoundTripsAndShrinksWithInterning) {
+  wire::StreamEncoder encoder;
+  wire::StreamDecoder decoder;
+  std::vector<std::pair<json::Value, std::string>> events;
+  for (int i = 0; i < 4; ++i) {
+    json::Object o;
+    o["task_state"] = std::string("TASK_COMPLETED");
+    o["worker"] = std::string("nid004512");
+    o["seq"] = i;
+    events.emplace_back(json::Value(std::move(o)), "payload" + std::to_string(i));
+  }
+  const std::string f1 = encode_event_frame(encoder, events);
+  const std::string f2 = encode_event_frame(encoder, events);
+  EXPECT_EQ(decode_event_frame(decoder, f1), events);
+  EXPECT_EQ(decode_event_frame(decoder, f2), events);
+  // Second frame ships dictionary refs for the repeated keys/values.
+  EXPECT_LT(f2.size(), f1.size());
+  // Retried delivery of the same bytes decodes idempotently.
+  EXPECT_EQ(decode_event_frame(decoder, f2), events);
+}
+
+TEST_F(MofkaTest, AppendFrameStoresEventsAndCountsWireBytes) {
+  broker_.create_topic("t");
+  wire::StreamEncoder encoder;
+  std::vector<std::pair<json::Value, std::string>> events;
+  for (int i = 0; i < 3; ++i) events.emplace_back(meta(i), "d" + std::to_string(i));
+  const std::string frame = encode_event_frame(encoder, events);
+  const AppendResult ack = broker_.append_frame("t", 0, /*session=*/1, frame);
+  ASSERT_EQ(ack.offsets.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    const auto event = broker_.fetch("t", 0, static_cast<EventId>(i));
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->metadata.at("i").as_int(), i);
+    EXPECT_EQ(event->data, "d" + std::to_string(i));
+  }
+  EXPECT_EQ(broker_.topic_stats("t").bytes_wire, frame.size());
+}
+
+TEST_F(MofkaTest, MalformedFrameRejected) {
+  broker_.create_topic("t");
+  EXPECT_THROW(broker_.append_frame("t", 0, 1, "\x08garbage"),
+               WireSessionError);
+  // The poisoned session state was discarded: a clean frame on the same
+  // session id decodes fine afterwards.
+  wire::StreamEncoder encoder;
+  const std::string frame = encode_event_frame(encoder, {{meta(0), "d"}});
+  EXPECT_EQ(broker_.append_frame("t", 0, 1, frame).offsets.size(), 1u);
+}
+
+TEST_F(MofkaTest, BrokerRestartWipesWireSessions) {
+  broker_.create_topic("t");
+  wire::StreamEncoder encoder;
+  json::Object o;
+  o["shared_key_name"] = std::string("shared_value_text");
+  const json::Value metadata(std::move(o));
+  // Frame 1 sights the strings, frame 2 defines them, frame 3 is refs-only.
+  (void)broker_.append_frame("t", 0, 7, encode_event_frame(encoder, {{metadata, ""}}));
+  (void)broker_.append_frame("t", 0, 7, encode_event_frame(encoder, {{metadata, ""}}));
+  broker_.crash_and_recover();
+  // The restarted broker lost the session dictionary; an interned frame is
+  // undecodable and must surface as WireSessionError (not TransientFault —
+  // retrying the same bytes can never succeed).
+  EXPECT_THROW((void)broker_.append_frame("t", 0, 7,
+                                          encode_event_frame(encoder, {{metadata, ""}})),
+               WireSessionError);
+  // Recovery path: reset the encoder session and re-encode self-contained.
+  // (This broker is non-durable, so the restart also dropped the topic.)
+  broker_.create_topic("t");
+  wire::StreamEncoder fresh;
+  const AppendResult ack =
+      broker_.append_frame("t", 0, 7, encode_event_frame(fresh, {{metadata, ""}}));
+  EXPECT_EQ(ack.offsets.size(), 1u);
+}
+
+TEST_F(MofkaTest, BinaryProducerMatchesJsonProducerAndSavesWireBytes) {
+  broker_.create_topic("bin");
+  broker_.create_topic("json");
+  ProducerConfig binary_config{8, std::chrono::milliseconds(5), false};
+  binary_config.binary_wire = true;
+  ProducerConfig json_config = binary_config;
+  json_config.binary_wire = false;
+  Producer binary_producer(broker_, "bin", binary_config);
+  Producer json_producer(broker_, "json", json_config);
+  std::uint64_t json_text_bytes = 0;
+  for (int i = 0; i < 64; ++i) {
+    json::Object o;
+    o["task_state"] = std::string("TASK_RUNNING");
+    o["worker"] = std::string("nid004512");
+    o["i"] = i;
+    const json::Value metadata(std::move(o));
+    json_text_bytes += metadata.dump().size();
+    binary_producer.push(metadata, "data");
+    json_producer.push(metadata, "data");
+  }
+  binary_producer.flush();
+  json_producer.flush();
+  // Same events land regardless of transport. (Full metadata equality
+  // cannot hold: each producer stamps its own _pid/_seq for dedup.)
+  for (int i = 0; i < 64; ++i) {
+    const auto a = broker_.fetch("bin", 0, static_cast<EventId>(i));
+    const auto b = broker_.fetch("json", 0, static_cast<EventId>(i));
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(a->metadata.at("i"), b->metadata.at("i"));
+    EXPECT_EQ(a->metadata.at("task_state"), b->metadata.at("task_state"));
+    EXPECT_EQ(a->metadata.at("worker"), b->metadata.at("worker"));
+    EXPECT_EQ(a->data, b->data);
+  }
+  const TopicStats stats = broker_.topic_stats("bin");
+  EXPECT_GT(stats.bytes_wire, 0u);
+  EXPECT_LT(stats.bytes_wire, json_text_bytes);
+  EXPECT_EQ(broker_.topic_stats("json").bytes_wire, 0u);
 }
 
 }  // namespace

@@ -26,6 +26,7 @@
 namespace recup::query {
 namespace {
 
+using analysis::Column;
 using analysis::ColumnType;
 using analysis::DataFrame;
 
@@ -432,6 +433,54 @@ TEST(QueryWire, FrameRoundTrip) {
   EXPECT_THROW(frame_from_json(json::parse("[]")), QueryError);
 }
 
+TEST(QueryWire, BinaryFrameRoundTrip) {
+  DataFrame df({{"name", ColumnType::kString},
+                {"count", ColumnType::kInt64},
+                {"score", ColumnType::kDouble}});
+  df.add_row({"alpha", std::int64_t{1}, 0.25});
+  df.add_row({"beta", std::int64_t{-7}, 1e9});
+  df.add_row({"alpha", std::int64_t{1} << 40, -0.0});
+  const std::string bytes = frame_to_binary(df);
+  const DataFrame back = frame_from_binary(bytes);
+  ASSERT_EQ(back.rows(), 3u);
+  ASSERT_EQ(back.width(), 3u);
+  EXPECT_EQ(back.col("name").str(0), "alpha");
+  EXPECT_EQ(back.col("name").str(2), "alpha");
+  EXPECT_EQ(back.col("count").i64(2), std::int64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(back.col("score").f64(1), 1e9);
+  // Repeated strings ship once (dictionary), so binary beats the JSON text.
+  EXPECT_LT(bytes.size(), frame_to_json(df).dump().size());
+  // Zero-row frames keep their schema.
+  DataFrame empty({{"only", ColumnType::kDouble}});
+  const DataFrame empty_back = frame_from_binary(frame_to_binary(empty));
+  EXPECT_EQ(empty_back.rows(), 0u);
+  EXPECT_EQ(empty_back.width(), 1u);
+  EXPECT_EQ(empty_back.col("only").type(), ColumnType::kDouble);
+}
+
+TEST(QueryWire, BinaryFrameRejectsCorruptInput) {
+  DataFrame df({{"k", ColumnType::kString}, {"v", ColumnType::kInt64}});
+  df.add_row({"x", std::int64_t{5}});
+  const std::string bytes = frame_to_binary(df);
+  // Every truncation fails loudly rather than yielding a partial frame.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW((void)frame_from_binary(bytes.substr(0, cut)), QueryError)
+        << "prefix " << cut;
+  }
+  // Trailing garbage is rejected too.
+  EXPECT_THROW((void)frame_from_binary(bytes + "!"), QueryError);
+  EXPECT_THROW((void)frame_from_binary("not a frame"), QueryError);
+}
+
+TEST(QueryWire, FromDictValidatesCodes) {
+  const Column col = Column::from_dict("states", {"DONE", "FAILED"},
+                                       {0, 1, 1, 0});
+  ASSERT_EQ(col.size(), 4u);
+  EXPECT_EQ(col.str(2), "FAILED");
+  EXPECT_THROW((void)Column::from_dict("bad", {"only"}, {0, 1}),
+               analysis::DataFrameError);
+}
+
 // ---------------------------------------------------------------------------
 // Server + client
 
@@ -471,6 +520,43 @@ TEST(QueryServer, ExecutesAndCachesWithEpochTags) {
   EXPECT_EQ(stats.accepted, 4u);
   EXPECT_EQ(stats.completed, 4u);
   EXPECT_EQ(stats.cache.hits, 1u);
+}
+
+TEST(QueryServer, NegotiatesBinaryResultsAndFallsBackToJson) {
+  StoreCatalog catalog;
+  catalog.add_run(make_run("A", 0));
+  QueryServer server(catalog);
+
+  json::Object request;
+  request["id"] = 1;
+  request["query"] = json::parse(
+      R"({"from": "tasks", "group_by": ["prefix"],
+          "aggregates": [{"col": "duration", "op": "mean", "as": "m"}],
+          "order_by": {"col": "prefix"}})");
+  // Default (no "accept") stays on the JSON result for old clients.
+  const json::Value json_response =
+      server.submit(json::Value(json::Object(request))).get();
+  ASSERT_TRUE(json_response.get_bool("ok", false)) << json_response.dump();
+  EXPECT_TRUE(json_response.contains("result"));
+  EXPECT_FALSE(json_response.contains("result_bin"));
+
+  // "accept": "binary" switches the payload to the columnar frame.
+  request["id"] = 2;
+  request["accept"] = std::string("binary");
+  const json::Value bin_response =
+      server.submit(json::Value(std::move(request))).get();
+  ASSERT_TRUE(bin_response.get_bool("ok", false)) << bin_response.dump();
+  EXPECT_FALSE(bin_response.contains("result"));
+  ASSERT_TRUE(bin_response.contains("result_bin"));
+  const DataFrame via_binary =
+      frame_from_binary(bin_response.at("result_bin").as_string());
+  const DataFrame via_json = frame_from_json(json_response.at("result"));
+  ASSERT_EQ(via_binary.rows(), via_json.rows());
+  ASSERT_EQ(via_binary.width(), via_json.width());
+  for (std::size_t r = 0; r < via_binary.rows(); ++r) {
+    EXPECT_EQ(via_binary.col("prefix").str(r), via_json.col("prefix").str(r));
+    EXPECT_DOUBLE_EQ(via_binary.col("m").f64(r), via_json.col("m").f64(r));
+  }
 }
 
 TEST(QueryServer, ErrorsComeBackAsResponses) {

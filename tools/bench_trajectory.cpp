@@ -1,0 +1,218 @@
+// Perf-trajectory tracker over the bench suite's BENCH_*.json summaries.
+//
+// Every bench binary drops stable headline metrics ({name, value, unit,
+// higher_is_better}) into its summary file; this tool folds them into a
+// committed trajectory file and gates regressions against it:
+//
+//   bench_trajectory record --trajectory bench_out/trajectory.json
+//       [--label vN] BENCH_query.json [BENCH_overhead.json ...]
+//     appends one trajectory entry holding every headline found.
+//
+//   bench_trajectory check --trajectory bench_out/trajectory.json
+//       [--threshold 15] BENCH_query.json [...]
+//     compares current headlines against the most recent trajectory entry,
+//     direction-aware (a qps drop and a latency rise are both regressions),
+//     prints a delta table, and exits 1 if any metric regressed by more
+//     than the threshold percentage. Headlines absent from the baseline
+//     are reported as new and never fail the check.
+//
+// The trajectory file is meant to be committed alongside bench_out/ CSVs,
+// so each PR's headline numbers are compared against the previous PR's.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+using recup::json::Array;
+using recup::json::Object;
+using recup::json::Value;
+
+namespace {
+
+struct Headline {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  bool higher_is_better = false;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_trajectory: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Headlines of one BENCH_<name>.json summary (empty if it has none).
+std::vector<Headline> load_headlines(const std::string& path) {
+  const Value doc = recup::json::parse(read_file(path));
+  std::vector<Headline> out;
+  if (!doc.is_object() || !doc.contains("headlines")) return out;
+  for (const Value& row : doc.at("headlines").as_array()) {
+    Headline h;
+    h.name = row.get_string("name", "");
+    h.value = row.get_double("value", 0.0);
+    h.unit = row.get_string("unit", "");
+    h.higher_is_better = row.get_bool("higher_is_better", false);
+    if (!h.name.empty()) out.push_back(std::move(h));
+  }
+  return out;
+}
+
+Value load_trajectory(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Object fresh;
+    fresh["entries"] = Array{};
+    return fresh;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return recup::json::parse(buf.str());
+}
+
+int cmd_record(const std::string& trajectory_path, const std::string& label,
+               const std::vector<std::string>& summaries) {
+  Value doc = load_trajectory(trajectory_path);
+  Array headline_rows;
+  for (const std::string& path : summaries) {
+    for (const Headline& h : load_headlines(path)) {
+      Object row;
+      row["name"] = h.name;
+      row["value"] = h.value;
+      row["unit"] = h.unit;
+      row["higher_is_better"] = h.higher_is_better;
+      headline_rows.emplace_back(std::move(row));
+    }
+  }
+  if (headline_rows.empty()) {
+    std::fprintf(stderr, "bench_trajectory: no headlines found, recording "
+                         "nothing\n");
+    return 2;
+  }
+  Object entry;
+  entry["label"] = label;
+  entry["headlines"] = std::move(headline_rows);
+  Object out = doc.as_object();
+  Array entries =
+      out.count("entries") != 0 ? out["entries"].as_array() : Array{};
+  entries.emplace_back(std::move(entry));
+  const std::size_t count = entries.size();
+  out["entries"] = std::move(entries);
+  std::ofstream file(trajectory_path, std::ios::trunc);
+  file << Value(std::move(out)).dump(2) << "\n";
+  std::printf("recorded trajectory entry %zu (%s) to %s\n", count,
+              label.c_str(), trajectory_path.c_str());
+  return 0;
+}
+
+int cmd_check(const std::string& trajectory_path, double threshold_pct,
+              const std::vector<std::string>& summaries) {
+  const Value doc = load_trajectory(trajectory_path);
+  const Array& entries = doc.at("entries").as_array();
+  if (entries.empty()) {
+    std::fprintf(stderr,
+                 "bench_trajectory: %s has no entries; record a baseline "
+                 "first\n",
+                 trajectory_path.c_str());
+    return 2;
+  }
+  std::map<std::string, Headline> baseline;
+  for (const Value& row : entries.back().at("headlines").as_array()) {
+    Headline h;
+    h.name = row.get_string("name", "");
+    h.value = row.get_double("value", 0.0);
+    h.unit = row.get_string("unit", "");
+    h.higher_is_better = row.get_bool("higher_is_better", false);
+    baseline[h.name] = std::move(h);
+  }
+
+  int regressions = 0;
+  std::size_t compared = 0;
+  std::printf("%-44s %12s %12s %9s\n", "metric", "baseline", "current",
+              "delta");
+  for (const std::string& path : summaries) {
+    for (const Headline& h : load_headlines(path)) {
+      const auto it = baseline.find(h.name);
+      if (it == baseline.end()) {
+        std::printf("%-44s %12s %12.4g %9s\n", h.name.c_str(), "-", h.value,
+                    "new");
+        continue;
+      }
+      ++compared;
+      const Headline& base = it->second;
+      // Positive delta = regression, regardless of direction.
+      double delta_pct = 0.0;
+      if (base.value != 0.0) {
+        delta_pct = (h.value - base.value) / base.value * 100.0;
+        if (base.higher_is_better) delta_pct = -delta_pct;
+      }
+      const bool fail = delta_pct > threshold_pct;
+      std::printf("%-44s %12.4g %12.4g %+8.1f%%%s\n", h.name.c_str(),
+                  base.value, h.value, delta_pct,
+                  fail ? "  REGRESSION" : "");
+      if (fail) ++regressions;
+    }
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "bench_trajectory: no current headline matched the "
+                         "baseline\n");
+    return 2;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_trajectory: %d metric(s) regressed more than "
+                 "%.0f%%\n",
+                 regressions, threshold_pct);
+    return 1;
+  }
+  std::printf("trajectory check passed (%zu metrics within %.0f%%)\n",
+              compared, threshold_pct);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s record|check --trajectory FILE [--label L] "
+                 "[--threshold PCT] BENCH_*.json...\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[1];
+  std::string trajectory_path = "bench_out/trajectory.json";
+  std::string label = "run";
+  double threshold_pct = 15.0;
+  std::vector<std::string> summaries;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trajectory") == 0 && i + 1 < argc) {
+      trajectory_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold_pct = std::atof(argv[++i]);
+    } else {
+      summaries.emplace_back(argv[i]);
+    }
+  }
+  if (summaries.empty()) {
+    std::fprintf(stderr, "bench_trajectory: no BENCH_*.json inputs given\n");
+    return 2;
+  }
+  if (mode == "record") return cmd_record(trajectory_path, label, summaries);
+  if (mode == "check") return cmd_check(trajectory_path, threshold_pct,
+                                        summaries);
+  std::fprintf(stderr, "bench_trajectory: unknown mode '%s'\n", mode.c_str());
+  return 2;
+}

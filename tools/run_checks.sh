@@ -5,7 +5,7 @@
 # concurrency-heavy subsystems (mofka delivery, chaos pipeline, query
 # service, durability/recovery).
 #
-# Usage: tools/run_checks.sh [--skip-sanitize] [--skip-tsan]
+# Usage: tools/run_checks.sh [--skip-sanitize] [--skip-tsan] [--skip-bench]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,10 +13,12 @@ repo_root=$(pwd)
 
 skip_sanitize=0
 skip_tsan=0
+skip_bench=0
 for arg in "$@"; do
   case "$arg" in
     --skip-sanitize) skip_sanitize=1 ;;
     --skip-tsan) skip_tsan=1 ;;
+    --skip-bench) skip_bench=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -37,6 +39,26 @@ echo "== crash-recovery oracle: 10-seed byte-identity check =="
 ./build/tests/test_recovery \
   --gtest_filter='CrashRecoveryOracle/*:SchedulerLease.*' >/dev/null
 echo "crash-recovery oracle passed"
+
+if [[ "$skip_bench" == 1 ]]; then
+  echo "== perf trajectory skipped (--skip-bench) =="
+else
+  echo "== perf trajectory: bench_query headlines vs committed baseline =="
+  # Re-run the query bench and compare its headline metrics (cold query
+  # latencies, wire compression ratio, ingest rates) against the last entry
+  # in bench_out/trajectory.json. Any metric more than 15% worse —
+  # direction-aware — fails the pipeline. After an intentional perf change,
+  # refresh the baseline with:
+  #   build/tools/bench_trajectory record --trajectory bench_out/trajectory.json \
+  #     --label <pr-tag> BENCH_query.json
+  bench_dir=$(mktemp -d "${TMPDIR:-/tmp}/recup_checks_bench.XXXXXX")
+  (cd "$bench_dir" && "$repo_root/build/bench/bench_query" --out "$bench_dir/out" \
+    >/dev/null 2>&1)
+  ./build/tools/bench_trajectory check \
+    --trajectory bench_out/trajectory.json --threshold 15 \
+    "$bench_dir/BENCH_query.json"
+  rm -rf "$bench_dir"
+fi
 
 if [[ "$skip_sanitize" == 1 ]]; then
   echo "== sanitizer pass skipped (--skip-sanitize) =="
@@ -64,6 +86,13 @@ ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ./build-asan/tests/test_recovery >/dev/null
 
+echo "== sanitized wire codec: round-trip + corrupt-frame suite =="
+# The binary codec parses untrusted bytes (truncated frames, corrupt tags,
+# lying length prefixes); run its property suite under ASan/UBSan where an
+# out-of-bounds read or overflow actually traps.
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tests/test_wire >/dev/null
+
 if [[ "$skip_tsan" == 1 ]]; then
   echo "== TSan pass skipped (--skip-tsan) =="
   exit 0
@@ -82,5 +111,11 @@ TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_chaos >/dev/null
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_query \
   --gtest_filter='QueryIngestTest.*:QueryServer.*' >/dev/null
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_recovery >/dev/null
+# Parallel-kernel smoke: force the morsel pool to multiple workers so the
+# columnar scan/aggregate fan-outs actually race under TSan.
+RECUP_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
+  ./build-tsan/tests/test_dataframe >/dev/null
+RECUP_THREADS=4 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_query \
+  --gtest_filter='QueryExec.*:QueryWire.*' >/dev/null
 
 echo "== all checks passed (${repo_root}) =="
