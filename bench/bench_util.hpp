@@ -107,13 +107,20 @@ inline json::Array& headlines() {
 /// tools/bench_trajectory matches entries across commits by `name` — so
 /// renaming a headline breaks its history. `higher_is_better` gives the
 /// regression check its direction (qps up = good, latency up = bad).
+/// `noise_pct` > 0 widens this one metric's regression gate to that
+/// percentage when it exceeds the global threshold — for metrics whose
+/// honest run-to-run jitter on a shared box (microsecond tail latencies)
+/// is wider than the default gate, while still catching order-of-magnitude
+/// regressions.
 inline void add_headline(const std::string& name, double value,
-                         const std::string& unit, bool higher_is_better) {
+                         const std::string& unit, bool higher_is_better,
+                         double noise_pct = 0.0) {
   json::Object row;
   row["name"] = name;
   row["value"] = value;
   row["unit"] = unit;
   row["higher_is_better"] = higher_is_better;
+  if (noise_pct > 0.0) row["noise_pct"] = noise_pct;
   headlines().emplace_back(std::move(row));
 }
 

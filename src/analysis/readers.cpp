@@ -32,11 +32,14 @@ DataFrame tasks_frame(const dtr::RunData& run) {
   Column retries("retries", ColumnType::kInt64);
   Column stolen("stolen", ColumnType::kInt64);
   Column n_dependencies("n_dependencies", ColumnType::kInt64);
+  Column bytes_oob("bytes_oob", ColumnType::kInt64);
+  Column bytes_inline("bytes_inline", ColumnType::kInt64);
   for (Column* c : {&key, &graph, &prefix, &worker, &worker_address,
                     &thread_id, &lane, &received_time, &ready_time,
                     &start_time, &end_time, &duration, &compute_time,
                     &io_time, &output_bytes, &output_mb, &bytes_read,
-                    &bytes_written, &retries, &stolen, &n_dependencies}) {
+                    &bytes_written, &retries, &stolen, &n_dependencies,
+                    &bytes_oob, &bytes_inline}) {
     c->reserve(n);
   }
   for (const auto& t : run.tasks) {
@@ -62,6 +65,8 @@ DataFrame tasks_frame(const dtr::RunData& run) {
     retries.push_i64(static_cast<std::int64_t>(t.retries));
     stolen.push_i64(t.stolen ? 1 : 0);
     n_dependencies.push_i64(static_cast<std::int64_t>(t.dependencies.size()));
+    bytes_oob.push_i64(static_cast<std::int64_t>(t.bytes_oob));
+    bytes_inline.push_i64(static_cast<std::int64_t>(t.bytes_inline));
   }
   return DataFrame::from_columns(
       {std::move(key), std::move(graph), std::move(prefix), std::move(worker),
@@ -70,7 +75,8 @@ DataFrame tasks_frame(const dtr::RunData& run) {
        std::move(end_time), std::move(duration), std::move(compute_time),
        std::move(io_time), std::move(output_bytes), std::move(output_mb),
        std::move(bytes_read), std::move(bytes_written), std::move(retries),
-       std::move(stolen), std::move(n_dependencies)});
+       std::move(stolen), std::move(n_dependencies), std::move(bytes_oob),
+       std::move(bytes_inline)});
 }
 
 DataFrame transitions_frame(const dtr::RunData& run) {
@@ -111,8 +117,9 @@ DataFrame comms_frame(const dtr::RunData& run) {
   Column duration("duration", ColumnType::kDouble);
   Column cross_node("cross_node", ColumnType::kInt64);
   Column cold_connection("cold_connection", ColumnType::kInt64);
+  Column oob("oob", ColumnType::kInt64);
   for (Column* c : {&key, &source, &destination, &bytes, &start, &end,
-                    &duration, &cross_node, &cold_connection}) {
+                    &duration, &cross_node, &cold_connection, &oob}) {
     c->reserve(n);
   }
   for (const auto& c : run.comms) {
@@ -125,12 +132,13 @@ DataFrame comms_frame(const dtr::RunData& run) {
     duration.push_f64(c.duration());
     cross_node.push_i64(c.cross_node ? 1 : 0);
     cold_connection.push_i64(c.cold_connection ? 1 : 0);
+    oob.push_i64(c.oob ? 1 : 0);
   }
   return DataFrame::from_columns(
       {std::move(key), std::move(source), std::move(destination),
        std::move(bytes), std::move(start), std::move(end),
        std::move(duration), std::move(cross_node),
-       std::move(cold_connection)});
+       std::move(cold_connection), std::move(oob)});
 }
 
 DataFrame warnings_frame(const dtr::RunData& run) {

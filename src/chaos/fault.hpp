@@ -128,6 +128,15 @@ struct FaultPlan {
   /// plan attacks only the provenance transport.
   static FaultPlan randomized_transport(std::uint64_t seed,
                                         double intensity = 0.05);
+
+  /// A plan attacking the out-of-band data plane: wire-level fetch faults
+  /// (drop/truncate/transient) on sites::kDatastoreFetch plus forced
+  /// evictions on sites::kDatastoreEvict, each with per-action probability
+  /// ~`intensity`. Like randomized_transport, the workflow itself is left
+  /// unperturbed — the plan stresses the data plane's retry/validation and
+  /// eviction/spill machinery.
+  static FaultPlan randomized_datastore(std::uint64_t seed,
+                                        double intensity = 0.05);
 };
 
 /// Canonical site names used by the instrumented layers.
@@ -142,6 +151,16 @@ inline constexpr const char* kDtrWorker = "dtr.worker";
 inline constexpr const char* kBrokerProcess = "process.broker";
 inline constexpr const char* kSchedulerProcess = "process.scheduler";
 inline constexpr const char* kIngestorProcess = "process.ingestor";
+/// Out-of-band data plane (recup::datastore). kDatastoreFetch is consulted
+/// per wire-level fetch attempt (partition = source shard): drop-like
+/// actions lose the frame, reorder truncates it in transit — both absorbed
+/// by the datastore's bounded wire retries, with fingerprint validation
+/// guaranteeing a corrupted payload is never installed. kDatastoreEvict is
+/// consulted after each publish/replica install (partition = shard): any
+/// fault force-evicts that shard's LRU unpinned region (a demotion when a
+/// spill tier exists, a real replica loss when not).
+inline constexpr const char* kDatastoreFetch = "datastore.fetch";
+inline constexpr const char* kDatastoreEvict = "datastore.evict";
 }  // namespace sites
 
 /// Executes a FaultPlan. Thread-safe; per-site decision streams are

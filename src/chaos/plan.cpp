@@ -153,4 +153,26 @@ FaultPlan FaultPlan::randomized_transport(std::uint64_t seed,
   return plan;
 }
 
+FaultPlan FaultPlan::randomized_datastore(std::uint64_t seed,
+                                          double intensity) {
+  RngStream rng = RngStream(seed).substream("chaos-datastore-plan");
+  const auto jitter = [&rng, intensity] {
+    return intensity * rng.uniform(0.5, 1.5);
+  };
+  FaultPlan plan;
+  plan.seed = seed;
+
+  SiteSpec fetch;
+  fetch.drop = jitter();             // request/response frame lost
+  fetch.reorder = jitter();          // response truncated in transit
+  fetch.transient_error = jitter();  // source shard transiently refuses
+  plan.sites[sites::kDatastoreFetch] = fetch;
+
+  SiteSpec evict;
+  evict.transient_error = jitter();  // any action forces one eviction
+  plan.sites[sites::kDatastoreEvict] = evict;
+
+  return plan;
+}
+
 }  // namespace recup::chaos

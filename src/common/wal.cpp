@@ -6,6 +6,7 @@
 #include <array>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <vector>
 
 namespace recup::wal {
@@ -16,7 +17,42 @@ namespace fs = std::filesystem;
 
 constexpr const char* kSegmentPrefix = "wal-";
 constexpr const char* kSegmentSuffix = ".seg";
+constexpr const char* kCompactedMarker = "wal-compacted";
 constexpr std::size_t kHeaderBytes = 8;  // u32 length + u32 crc32
+
+/// Compaction watermark: every segment with index < boundary was (or is
+/// about to be) deleted; `records` is the cumulative record count those
+/// segments held. Written atomically *before* deletion, so stale segments
+/// surviving a crash mid-compaction are skipped on replay instead of
+/// misaligning the suffix.
+struct CompactionMarker {
+  std::uint32_t boundary = 0;
+  std::uint64_t records = 0;
+};
+
+CompactionMarker read_marker(const std::string& dir) {
+  CompactionMarker marker;
+  std::ifstream in(fs::path(dir) / kCompactedMarker);
+  if (in) {
+    std::uint32_t boundary = 0;
+    std::uint64_t records = 0;
+    if (in >> boundary >> records) {
+      marker.boundary = boundary;
+      marker.records = records;
+    }
+  }
+  return marker;
+}
+
+void write_marker(const std::string& dir, const CompactionMarker& marker) {
+  const fs::path tmp = fs::path(dir) / (std::string(kCompactedMarker) + ".tmp");
+  const fs::path final_path = fs::path(dir) / kCompactedMarker;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << marker.boundary << ' ' << marker.records << '\n';
+  }
+  fs::rename(tmp, final_path);
+}
 
 std::array<std::uint32_t, 256> make_crc_table() {
   std::array<std::uint32_t, 256> table{};
@@ -255,10 +291,43 @@ void WalWriter::reset() {
   for (const std::uint32_t index : list_segments(dir_)) {
     fs::remove(fs::path(dir_) / segment_name(index));
   }
+  fs::remove(fs::path(dir_) / kCompactedMarker);
   records_ = 0;
   bytes_ = 0;
   synced_records_ = 0;
   open_segment_locked(0, 0);
+}
+
+std::uint64_t WalWriter::compact(std::uint64_t first_needed_record) {
+  std::unique_lock lock(mutex_);
+  wait_no_leader(lock);
+  CompactionMarker marker = read_marker(dir_);
+  const auto segments = list_segments(dir_);
+  std::uint64_t dropped = 0;
+  std::uint32_t new_boundary = marker.boundary;
+  for (const std::uint32_t index : segments) {
+    if (index < marker.boundary) continue;  // stale: re-deleted below
+    if (index == segment_index_) break;  // never touch the active segment
+    const fs::path path = fs::path(dir_) / segment_name(index);
+    ReplayStats stats;
+    // Sealed segments must be fully valid; a torn frame here is storage
+    // corruption and scan_segment throws rather than letting compaction
+    // silently discard records.
+    scan_segment(path, /*last_segment=*/false, nullptr, &stats);
+    if (marker.records + dropped + stats.records > first_needed_record) break;
+    dropped += stats.records;
+    new_boundary = index + 1;
+  }
+  if (new_boundary > marker.boundary) {
+    marker.boundary = new_boundary;
+    marker.records += dropped;
+    write_marker(dir_, marker);  // durable before any segment disappears
+  }
+  for (const std::uint32_t index : segments) {
+    if (index >= marker.boundary) break;
+    fs::remove(fs::path(dir_) / segment_name(index));
+  }
+  return dropped;
 }
 
 std::uint64_t WalWriter::records_appended() const {
@@ -280,8 +349,11 @@ ReplayStats WalWriter::replay(
     const std::string& dir,
     const std::function<void(std::string_view)>& fn) {
   ReplayStats stats;
+  const CompactionMarker marker = read_marker(dir);
+  stats.compacted_records = marker.records;
   const auto segments = list_segments(dir);
   for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i] < marker.boundary) continue;  // compacted (maybe stale)
     const fs::path path = fs::path(dir) / segment_name(segments[i]);
     scan_segment(path, /*last_segment=*/i + 1 == segments.size(), fn, &stats);
     stats.segments += 1;

@@ -54,6 +54,10 @@ struct ReplayStats {
   std::uint64_t records = 0;
   std::uint64_t segments = 0;
   std::uint64_t bytes = 0;  ///< payload bytes delivered
+  /// Records removed by prefix compaction before the first replayed one
+  /// (from the "wal-compacted" marker): the first replayed record's index
+  /// in the *full* log, so compacted_records + records = total appended.
+  std::uint64_t compacted_records = 0;
   /// True when a torn record was truncated from the last segment.
   bool truncated_tail = false;
 };
@@ -79,6 +83,17 @@ class WalWriter {
   /// Deletes every segment and starts an empty log (checkpoint compaction:
   /// callers snapshot their state elsewhere first).
   void reset();
+
+  /// Prefix compaction: deletes leading whole segments whose records all
+  /// precede `first_needed_record` — an index into the *full* log. A
+  /// segment is only deleted when every record in it is redundant; the
+  /// active (last) segment is never deleted. Returns the number of records
+  /// newly dropped. Crash-safe: a "wal-compacted" marker (atomic rename,
+  /// written before any deletion) records the new segment boundary and the
+  /// cumulative dropped-record count, and replay() skips stale segments
+  /// below the boundary — so a crash mid-deletion can never double-count
+  /// or misalign the surviving suffix.
+  std::uint64_t compact(std::uint64_t first_needed_record);
 
   [[nodiscard]] const std::string& dir() const { return dir_; }
   [[nodiscard]] std::uint64_t records_appended() const;

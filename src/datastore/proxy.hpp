@@ -1,0 +1,39 @@
+// recup::datastore proxy handles — pass-by-reference task results.
+//
+// A Proxy is what the control plane carries instead of a bulk payload once a
+// task result crosses DataStoreConfig::inline_threshold: the locality of the
+// owning store shard, the warabi region holding the bytes, the logical
+// payload size, and a content fingerprint the consumer verifies after every
+// fetch (a truncated or corrupted transfer can therefore never be silently
+// installed as dependency data). This mirrors the ProxyStore design the
+// paper's related work draws on: the scheduler path moves O(40 B) handles
+// while the data plane moves the real bytes peer-to-peer.
+#pragma once
+
+#include <cstdint>
+
+#include "mochi/warabi.hpp"
+
+namespace recup::datastore {
+
+/// A store shard is co-located with one worker and shares its id.
+using ShardId = std::uint32_t;
+
+struct Proxy {
+  ShardId shard = 0;               ///< owning shard (pinned copy lives here)
+  std::uint32_t node = 0;          ///< node hosting the owning shard
+  mochi::RegionId region = 0;      ///< warabi region on the owning shard
+  std::uint64_t size = 0;          ///< logical payload bytes
+  std::uint64_t fingerprint = 0;   ///< fnv1a64 of the canonical payload
+
+  /// A default-constructed Proxy means "no out-of-band data" (inline path).
+  [[nodiscard]] bool valid() const { return region != 0; }
+
+  friend bool operator==(const Proxy& a, const Proxy& b) {
+    return a.shard == b.shard && a.node == b.node && a.region == b.region &&
+           a.size == b.size && a.fingerprint == b.fingerprint;
+  }
+  friend bool operator!=(const Proxy& a, const Proxy& b) { return !(a == b); }
+};
+
+}  // namespace recup::datastore

@@ -59,11 +59,17 @@ Cluster::Cluster(ClusterConfig config)
     scheduler_->add_plugin(mofka_scheduler_plugin_.get());
   }
   if (!config_.durability_dir.empty()) {
-    scheduler_->enable_durability(
-        SchedulerDurability{config_.durability_dir + "/scheduler", 0, {}});
+    SchedulerDurability sched_durability;
+    sched_durability.dir = config_.durability_dir + "/scheduler";
+    scheduler_->enable_durability(std::move(sched_durability));
   }
   if (injector_) {
     scheduler_->set_fault_injector(injector_.get());
+  }
+  if (config_.datastore.enabled) {
+    datastore_ = std::make_unique<datastore::DataStore>(config_.datastore,
+                                                        injector_.get());
+    scheduler_->set_datastore(datastore_.get());
   }
 
   WorkerConfig worker_config = config_.worker;
@@ -112,6 +118,10 @@ Cluster::Cluster(ClusterConfig config)
     }
     if (injector_) {
       worker->set_fault_injector(injector_);
+    }
+    if (datastore_) {
+      datastore_->add_shard(static_cast<datastore::ShardId>(i), node);
+      worker->set_datastore(datastore_.get());
     }
     scheduler_->add_worker(worker.get());
     worker_members_.push_back(group.join(address));
@@ -272,6 +282,29 @@ RunData Cluster::run(std::vector<TaskGraph> graphs,
   environment["job"] = config_.job.to_json();
   environment["wms_config"] = config_.wms.to_json();
   environment["mochi_config"] = services_->config();
+  if (datastore_) {
+    const datastore::DataStoreStats ds = datastore_->stats();
+    json::Object d;
+    d["inline_threshold"] = config_.datastore.inline_threshold;
+    d["publishes"] = ds.publishes;
+    d["republishes"] = ds.republishes;
+    d["ownership_transfers"] = ds.ownership_transfers;
+    d["repins"] = ds.repins;
+    d["lost_entries"] = ds.lost_entries;
+    d["oob_results"] = ds.oob_results;
+    d["inline_results"] = ds.inline_results;
+    d["oob_bytes"] = ds.oob_bytes;
+    d["inline_bytes"] = ds.inline_bytes;
+    d["proxy_wire_bytes"] = ds.proxy_wire_bytes;
+    d["fetches"] = ds.fetches;
+    d["fetch_retries"] = ds.fetch_retries;
+    d["fetch_failures"] = ds.fetch_failures;
+    d["validation_failures"] = ds.validation_failures;
+    d["replicas_added"] = ds.replicas_added;
+    d["replica_drops"] = ds.replica_drops;
+    d["fetch_wire_bytes"] = ds.fetch_wire_bytes;
+    environment["datastore"] = json::Value(std::move(d));
+  }
   run.environment = json::Value(std::move(environment));
   return run;
 }

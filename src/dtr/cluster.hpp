@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "chaos/fault.hpp"
+#include "datastore/store.hpp"
 #include "dtr/client.hpp"
 #include "dtr/darshan_bridge.hpp"
 #include "dtr/mofka_plugins.hpp"
@@ -77,6 +78,11 @@ struct ClusterConfig {
   /// scheduler journals + checkpoints to `<dir>/scheduler`. Required for
   /// the chaos process.{broker,scheduler} crash sites to fire.
   std::string durability_dir;
+  /// Out-of-band data plane (recup::datastore): one store shard per worker;
+  /// results >= datastore.inline_threshold travel the control plane as
+  /// proxies and move peer-to-peer instead. Set datastore.enabled = false
+  /// for the pre-datastore inline-only path.
+  datastore::DataStoreConfig datastore;
   std::uint64_t seed = 42;
 };
 
@@ -104,6 +110,8 @@ class Cluster {
     return injector_;
   }
   mochi::Group& worker_group() { return services_->ssg("workers"); }
+  /// Non-null only when config.datastore.enabled (the default).
+  datastore::DataStore* datastore() { return datastore_.get(); }
   /// Non-null only when enable_darshan_streaming is set.
   DarshanMofkaBridge* darshan_bridge() { return bridge_.get(); }
 
@@ -131,6 +139,7 @@ class Cluster {
   std::unique_ptr<mochi::ServiceHandle> services_;
   std::unique_ptr<mofka::Broker> broker_;
   std::shared_ptr<chaos::FaultInjector> injector_;
+  std::unique_ptr<datastore::DataStore> datastore_;
   std::unique_ptr<gpuprof::GpuSet> gpus_;
   std::unique_ptr<gpuprof::Collector> gpu_collector_;
   std::unique_ptr<DarshanMofkaBridge> bridge_;

@@ -79,6 +79,8 @@ json::Value to_json(const TaskRecord& r) {
   o["output_bytes"] = r.output_bytes;
   o["bytes_read"] = r.bytes_read;
   o["bytes_written"] = r.bytes_written;
+  o["bytes_oob"] = r.bytes_oob;
+  o["bytes_inline"] = r.bytes_inline;
   o["retries"] = static_cast<std::int64_t>(r.retries);
   o["stolen"] = r.stolen;
   json::Array deps;
@@ -107,6 +109,9 @@ TaskRecord task_from_json(const json::Value& v) {
   r.bytes_read = static_cast<std::uint64_t>(v.at("bytes_read").as_int());
   r.bytes_written =
       static_cast<std::uint64_t>(v.at("bytes_written").as_int());
+  // Defaulted: records journaled before the out-of-band data plane.
+  r.bytes_oob = static_cast<std::uint64_t>(v.get_int("bytes_oob", 0));
+  r.bytes_inline = static_cast<std::uint64_t>(v.get_int("bytes_inline", 0));
   r.retries = static_cast<std::uint32_t>(v.at("retries").as_int());
   r.stolen = v.at("stolen").as_bool();
   if (v.contains("dependencies")) {
@@ -129,6 +134,7 @@ json::Value to_json(const CommRecord& r) {
   o["end"] = r.end;
   o["cross_node"] = r.cross_node;
   o["cold_connection"] = r.cold_connection;
+  o["oob"] = r.oob;
   return json::Value(std::move(o));
 }
 
@@ -144,6 +150,7 @@ CommRecord comm_from_json(const json::Value& v) {
   r.end = v.at("end").as_double();
   r.cross_node = v.at("cross_node").as_bool();
   r.cold_connection = v.at("cold_connection").as_bool();
+  r.oob = v.get_bool("oob", false);
   return r;
 }
 

@@ -50,7 +50,7 @@ void write_run_dir(const RunData& run, const std::string& dir) {
     out << "key,graph,prefix,worker,worker_address,thread_id,lane,"
            "received_time,ready_time,start_time,end_time,compute_time,"
            "io_time,gpu_time,output_bytes,bytes_read,bytes_written,retries,"
-           "stolen,dependencies\n";
+           "stolen,dependencies,bytes_oob,bytes_inline\n";
     for (const auto& t : run.tasks) {
       std::string deps;
       for (const auto& dep : t.dependencies) {
@@ -66,7 +66,9 @@ void write_run_dir(const RunData& run, const std::string& dir) {
                       std::to_string(t.output_bytes),
                       std::to_string(t.bytes_read),
                       std::to_string(t.bytes_written),
-                      std::to_string(t.retries), t.stolen ? "1" : "0", deps})
+                      std::to_string(t.retries), t.stolen ? "1" : "0", deps,
+                      std::to_string(t.bytes_oob),
+                      std::to_string(t.bytes_inline)})
           << "\n";
     }
     write_text(base / "tasks.csv", out.str());
@@ -86,13 +88,13 @@ void write_run_dir(const RunData& run, const std::string& dir) {
   {
     std::ostringstream out;
     out << "key,source,destination,source_address,destination_address,bytes,"
-           "start,end,cross_node,cold_connection\n";
+           "start,end,cross_node,cold_connection,oob\n";
     for (const auto& c : run.comms) {
       out << csv_row({c.key.to_string(), std::to_string(c.source),
                       std::to_string(c.destination), c.source_address,
                       c.destination_address, std::to_string(c.bytes),
                       num(c.start), num(c.end), c.cross_node ? "1" : "0",
-                      c.cold_connection ? "1" : "0"})
+                      c.cold_connection ? "1" : "0", c.oob ? "1" : "0"})
           << "\n";
     }
     write_text(base / "comms.csv", out.str());
@@ -252,6 +254,9 @@ RunData read_run_dir(const std::string& dir) {
         t.dependencies.push_back(std::move(dep));
       }
     }
+    // Appended after `dependencies`; absent in pre-datastore exports.
+    if (r.size() > 20) t.bytes_oob = std::stoull(r.at(20));
+    if (r.size() > 21) t.bytes_inline = std::stoull(r.at(21));
     run.tasks.push_back(std::move(t));
   }
 
@@ -279,6 +284,7 @@ RunData read_run_dir(const std::string& dir) {
     c.end = std::stod(r.at(7));
     c.cross_node = r.at(8) == "1";
     c.cold_connection = r.at(9) == "1";
+    if (r.size() > 10) c.oob = r.at(10) == "1";
     run.comms.push_back(std::move(c));
   }
 

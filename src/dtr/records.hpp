@@ -49,6 +49,12 @@ struct TaskRecord {
   std::uint64_t output_bytes = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  /// Out-of-band vs inline split of the result (recup::datastore): at most
+  /// one is nonzero. bytes_oob = the result went to the local store shard
+  /// and the control plane carried only a proxy handle; bytes_inline = the
+  /// result rode the scheduler path as before.
+  std::uint64_t bytes_oob = 0;
+  std::uint64_t bytes_inline = 0;
   std::uint32_t retries = 0;
   bool stolen = false;  ///< executed on a worker other than first assignment
   std::vector<TaskKey> dependencies;  ///< full lineage input (Figure 8)
@@ -67,6 +73,9 @@ struct CommRecord {
   TimePoint end = 0.0;
   bool cross_node = false;
   bool cold_connection = false;
+  /// True when the payload moved over the out-of-band data plane (proxy
+  /// fetch) rather than the inline gather_dep path.
+  bool oob = false;
 
   [[nodiscard]] Duration duration() const { return end - start; }
 };

@@ -32,6 +32,10 @@ void Scheduler::add_worker(Worker* worker) {
         on_task_finished(key, record, failed);
       });
   worker->set_heartbeat_callback([this](WorkerId id) { heartbeat(id); });
+  worker->set_missing_dep_callback(
+      [this](const TaskKey& key, WorkerId requester, WorkerId failed_holder) {
+        on_missing_dep(key, requester, failed_holder);
+      });
   worker->set_replica_callback([this](const TaskKey& key, WorkerId id) {
     const auto it = tasks_.find(key);
     if (it != tasks_.end()) it->second.who_has.insert(id);
@@ -100,6 +104,7 @@ void Scheduler::submit_graph(const TaskGraph& graph, GraphDoneFn on_done) {
     TaskInfo& info = it->second;
     info.spec = spec;
     info.graph = graph.name();
+    spec_order_.push_back(key);
     if (journal_ && !recovering_) {
       json::Object o;
       o["t"] = "spec";
@@ -254,8 +259,17 @@ void Scheduler::send_to_worker(TaskInfo& info, Worker* worker,
         holder = candidate;
       }
     }
-    deps.push_back(DepLocation{dep, holder, workers_.at(holder)->node(),
-                               dep_info.spec.work.output_bytes});
+    DepLocation loc{dep, holder, workers_.at(holder)->node(),
+                    dep_info.spec.work.output_bytes, /*oob=*/false, {}};
+    // Results published to the datastore travel by reference: the worker
+    // gets a proxy and pulls the payload from the holder's shard directly.
+    if (datastore_ != nullptr) {
+      if (const auto proxy = datastore_->proxy_for(dep.to_string())) {
+        loc.oob = true;
+        loc.proxy = *proxy;
+      }
+    }
+    deps.push_back(loc);
   }
 
   const TaskSpec spec = info.spec;
@@ -311,6 +325,17 @@ void Scheduler::on_task_finished(const TaskKey& key, const TaskRecord& record,
   auto& [sum, count] = prefix_durations_[key.prefix()];
   sum += record.end_time - record.start_time;
   ++count;
+
+  // Workers parked on a failed proxy fetch for this key (every replica had
+  // died) can now pull the recomputed result from the new holder.
+  const auto waiters = pending_fetch_waiters_.find(key);
+  if (waiters != pending_fetch_waiters_.end()) {
+    for (const WorkerId waiter : waiters->second) {
+      if (waiter >= workers_.size() || !worker_alive_[waiter]) continue;
+      schedule_refetch(key, record.worker, workers_.at(waiter));
+    }
+    pending_fetch_waiters_.erase(waiters);
+  }
 
   // Unblock dependents.
   for (const auto& dependent_key : info.dependents) {
@@ -378,6 +403,8 @@ void Scheduler::maybe_release(TaskInfo& info) {
                            [worker, key] { worker->drop_data(key); });
   }
   info.who_has.clear();
+  // Unpin and drop the out-of-band copies alongside the worker replicas.
+  if (datastore_ != nullptr) datastore_->release(key.to_string());
 }
 
 bool Scheduler::requeue_if_deps_lost(TaskInfo& info) {
@@ -441,6 +468,68 @@ void Scheduler::drain_queue() {
     } else {
       queued_.push_back(key);
     }
+  }
+}
+
+void Scheduler::schedule_refetch(const TaskKey& key, WorkerId holder,
+                                 Worker* requester) {
+  const auto it = tasks_.find(key);
+  if (it == tasks_.end()) return;
+  DepLocation loc{key, holder, workers_.at(holder)->node(),
+                  it->second.spec.work.output_bytes, /*oob=*/false, {}};
+  if (datastore_ != nullptr) {
+    if (const auto proxy = datastore_->proxy_for(key.to_string())) {
+      loc.oob = true;
+      loc.proxy = *proxy;
+    }
+  }
+  engine_.schedule_after(config_.control_latency,
+                         [requester, loc] { requester->refetch_dep(loc); });
+}
+
+void Scheduler::on_missing_dep(const TaskKey& key, WorkerId requester,
+                               WorkerId failed_holder) {
+  const auto it = tasks_.find(key);
+  if (it == tasks_.end()) return;
+  TaskInfo& info = it->second;
+  // The failed holder's copy is unusable (evicted, lost, or its worker
+  // died): stop routing fetches at it.
+  info.who_has.erase(failed_holder);
+  if (datastore_ != nullptr) {
+    datastore_->drop_replica(key.to_string(), failed_holder);
+  }
+  logs_.log(LogLevel::kError, "scheduler",
+            "missing dep " + key.to_string() + ": " +
+                workers_.at(requester)->address() + " could not fetch from " +
+                workers_.at(failed_holder)->address());
+  if (requester >= workers_.size() || !worker_alive_[requester]) return;
+  Worker* req = workers_.at(requester);
+
+  // Redirect to the nearest surviving replica, if any.
+  WorkerId fallback = 0;
+  Duration best = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (const WorkerId candidate : info.who_has) {
+    if (!worker_alive_[candidate]) continue;
+    const Duration est =
+        network_.estimate(workers_.at(candidate)->node(), req->node(),
+                          info.spec.work.output_bytes);
+    if (est < best) {
+      best = est;
+      fallback = candidate;
+      found = true;
+    }
+  }
+  if (found) {
+    schedule_refetch(key, fallback, req);
+    return;
+  }
+  // No replica survives: park the requester until the result is
+  // recomputed, and push the key through the normal lost-key path.
+  pending_fetch_waiters_[key].insert(requester);
+  if (info.state == SchedulerTaskState::kMemory) {
+    info.who_has.clear();
+    recompute_lost(info);
   }
 }
 
@@ -626,6 +715,12 @@ void Scheduler::on_worker_failed(WorkerId worker) {
   worker_alive_[worker] = false;
   Worker* dead = workers_[worker];
   in_flight_[worker] = 0;
+  // Ownership transfer on worker death: entries owned by the dead shard
+  // re-pin to a surviving replica; entries with no survivor are dropped
+  // from the store and recomputed below like any other lost result.
+  // Idempotent with Worker::kill()'s own kill_shard call — lease expiry
+  // reaches here without the worker ever being told it died.
+  if (datastore_ != nullptr) datastore_->kill_shard(worker);
   logs_.log(LogLevel::kError, "scheduler",
             "Remove worker " + dead->address() + " (failed)");
   for (auto* plugin : plugins_) {
@@ -661,7 +756,7 @@ void Scheduler::enable_durability(SchedulerDurability durability) {
   // must be total, not per-session).
   const wal::ReplayStats stats =
       wal::WalWriter::replay(durability.dir, [](std::string_view) {});
-  journal_records_ = stats.records;
+  journal_records_ = stats.compacted_records + stats.records;
   durability_ = std::move(durability);
 }
 
@@ -722,6 +817,21 @@ void Scheduler::checkpoint() {
   json::Array queued;
   for (const TaskKey& key : queued_) queued.push_back(to_json(key));
   o["queued"] = std::move(queued);
+  if (durability_->compact_on_checkpoint) {
+    // Compaction deletes the journal prefix holding the spec records, so a
+    // compacting checkpoint must carry every spec itself (in submission
+    // order: dependent registration at recovery relies on it).
+    json::Array specs;
+    for (const TaskKey& key : spec_order_) {
+      const auto it = tasks_.find(key);
+      if (it == tasks_.end()) continue;
+      json::Object s;
+      s["graph"] = it->second.graph;
+      s["spec"] = to_json(it->second.spec);
+      specs.push_back(json::Value(std::move(s)));
+    }
+    o["specs"] = std::move(specs);
+  }
 
   // Atomic replace: a crash mid-checkpoint leaves the previous snapshot.
   const auto dir = std::filesystem::path(durability_->dir);
@@ -732,6 +842,14 @@ void Scheduler::checkpoint() {
     out << json::Value(std::move(o)).dump();
   }
   std::filesystem::rename(tmp, final_path);
+
+  // Journal compaction bounded by checkpoint age: every record the snapshot
+  // covers is redundant for recovery, so whole leading segments below that
+  // watermark can go. Runs after the atomic rename — a crash in between
+  // still has the old checkpoint and the uncompacted journal.
+  if (durability_->compact_on_checkpoint) {
+    journal_->compact(journal_records_);
+  }
 }
 
 void Scheduler::recover() {
@@ -759,20 +877,45 @@ void Scheduler::recover() {
   std::vector<json::Value> records;
   // Journals written before the binary codec hold JSON text; the first
   // byte tells them apart, so old journals keep replaying.
-  wal::WalWriter::replay(durability_->dir, [&records](std::string_view payload) {
-    records.push_back(wire::looks_binary(payload) ? wire::decode_value(payload)
-                                                  : json::parse(payload));
-  });
-  journal_records_ = records.size();
-  if (cp_records > records.size()) {
+  const wal::ReplayStats replay_stats = wal::WalWriter::replay(
+      durability_->dir, [&records](std::string_view payload) {
+        records.push_back(wire::looks_binary(payload)
+                              ? wire::decode_value(payload)
+                              : json::parse(payload));
+      });
+  // Checkpoint positions index the *full* journal; a compacted prefix
+  // shifts every surviving record down by `compacted` local slots.
+  const std::size_t compacted =
+      static_cast<std::size_t>(replay_stats.compacted_records);
+  journal_records_ = compacted + records.size();
+  if (cp_records > journal_records_) {
     throw wal::WalError("scheduler checkpoint is ahead of the journal (" +
                         std::to_string(cp_records) + " > " +
-                        std::to_string(records.size()) + " records)");
+                        std::to_string(journal_records_) + " records)");
+  }
+  if (cp_records < compacted) {
+    throw wal::WalError(
+        "journal compacted past the checkpoint (" + std::to_string(compacted) +
+        " > " + std::to_string(cp_records) +
+        " records): specs before the snapshot are unrecoverable");
   }
 
-  // Pass 1 (whole journal): record vectors are full-history provenance, and
-  // task specs / dependents are structural, so both rebuild from record 0.
+  // Pass 1 (surviving journal): record vectors are full-history provenance,
+  // and task specs / dependents are structural, so both rebuild from the
+  // oldest surviving record. A compacting checkpoint carries the specs its
+  // compacted prefix used to hold — load those first (they precede every
+  // surviving journal spec in submission order).
   std::vector<TaskKey> spec_order;
+  if (have_cp && cp.contains("specs")) {
+    for (const json::Value& s : cp.at("specs").as_array()) {
+      TaskSpec spec = spec_from_json(s.at("spec"));
+      const TaskKey key = spec.key;
+      TaskInfo& info = tasks_[key];
+      info.spec = std::move(spec);
+      info.graph = s.get_string("graph", "");
+      spec_order.push_back(key);
+    }
+  }
   for (const json::Value& rec : records) {
     const std::string type = rec.get_string("t", "");
     if (type == "graph") {
@@ -782,6 +925,7 @@ void Scheduler::recover() {
     } else if (type == "spec") {
       TaskSpec spec = spec_from_json(rec.at("spec"));
       const TaskKey key = spec.key;
+      if (tasks_.count(key) != 0) continue;  // already in checkpoint specs
       TaskInfo& info = tasks_[key];
       info.spec = std::move(spec);
       info.graph = rec.get_string("graph", "");
@@ -804,6 +948,7 @@ void Scheduler::recover() {
       tasks_.at(dep).dependents.push_back(key);
     }
   }
+  spec_order_ = std::move(spec_order);
 
   // Apply the checkpointed control state.
   std::vector<TaskKey> queued_cp;
@@ -850,8 +995,9 @@ void Scheduler::recover() {
   // Pass 2 (journal suffix past the checkpoint): replay control-state
   // deltas — states from transitions, counters from their stimuli,
   // release refcounts from spec registration and task completion.
+  // cp_records indexes the full log; `records` starts `compacted` in.
   std::vector<TaskKey> queued_post;
-  for (std::size_t i = cp_records; i < records.size(); ++i) {
+  for (std::size_t i = cp_records - compacted; i < records.size(); ++i) {
     const json::Value& rec = records[i];
     const std::string type = rec.get_string("t", "");
     if (type == "transition") {
@@ -1004,6 +1150,23 @@ void Scheduler::recover() {
       recompute_lost(info);
     }
   }
+  // Proxy fetches whose requester was parked as a waiter died with our
+  // process's waiter table. Re-register every stalled fetch whose data is
+  // not available; fetches with an alive replica are left alone — their
+  // transfer events survived the scheduler restart and will complete.
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!worker_alive_[i]) continue;
+    for (const TaskKey& key : workers_[i]->pending_fetch_keys()) {
+      const auto it = tasks_.find(key);
+      if (it == tasks_.end()) continue;
+      TaskInfo& info = it->second;
+      if (info.state == SchedulerTaskState::kMemory && !info.who_has.empty()) {
+        continue;
+      }
+      pending_fetch_waiters_[key].insert(static_cast<WorkerId>(i));
+      if (info.state == SchedulerTaskState::kMemory) recompute_lost(info);
+    }
+  }
   for (auto& [key, info] : tasks_) {
     if (info.state == SchedulerTaskState::kWaiting && info.waiting_on == 0) {
       dispatch(info, "scheduler-restart");
@@ -1034,6 +1197,8 @@ void Scheduler::crash_and_recover() {
   erred_ = 0;
   rr_counter_ = 0;
   journal_records_ = 0;
+  spec_order_.clear();
+  pending_fetch_waiters_.clear();
   std::fill(in_flight_.begin(), in_flight_.end(), 0);
   recover();
 }

@@ -18,6 +18,7 @@
 
 #include "chaos/fault.hpp"
 #include "common/log.hpp"
+#include "datastore/store.hpp"
 #include "common/rng.hpp"
 #include "common/wal.hpp"
 #include "dtr/plugins.hpp"
@@ -79,6 +80,13 @@ struct SchedulerDurability {
   /// Also checkpoint every N journal records (0 = only at graph
   /// completions).
   std::size_t checkpoint_every = 0;
+  /// Journal compaction bounded by checkpoint age: after each durable
+  /// checkpoint, delete whole leading journal segments whose records are
+  /// all covered by the snapshot. The checkpoint then carries the task
+  /// specs (normally replayed from the journal prefix) so recovery stays
+  /// self-contained. Off by default — full-history replay keeps the
+  /// journal a complete provenance log.
+  bool compact_on_checkpoint = false;
   wal::WalOptions wal;
 };
 
@@ -163,6 +171,19 @@ class Scheduler {
   }
   [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
 
+  // --- Out-of-band data plane ---------------------------------------------
+  /// Attaches the datastore (recup::datastore): send_to_worker resolves
+  /// result proxies for dependencies, releases drop store entries, and
+  /// worker deaths re-pin ownership to surviving replicas.
+  void set_datastore(datastore::DataStore* store) { datastore_ = store; }
+  /// Worker-reported failed proxy fetch: `requester` could not pull `key`
+  /// from `failed_holder`. The scheduler purges the failed replica and
+  /// redirects the fetch to the nearest surviving replica, or — when no
+  /// replica survives — parks the requester as a fetch waiter and
+  /// recomputes the result through the normal lost-key recovery path.
+  void on_missing_dep(const TaskKey& key, WorkerId requester,
+                      WorkerId failed_holder);
+
   /// Fault handling (driven by SSG fault detection): removes the worker
   /// from scheduling, purges its replicas, re-dispatches its in-flight
   /// tasks, and recomputes results whose only copy died with it — Dask's
@@ -222,6 +243,11 @@ class Scheduler {
   /// dependency's replicas all died while it sat in the queue.
   bool requeue_if_deps_lost(TaskInfo& info);
   void drain_queue();
+  /// Builds a DepLocation for `key` held by `holder` (attaching a proxy
+  /// when the result lives in the datastore) and, after control_latency,
+  /// tells `requester` to retry the fetch.
+  void schedule_refetch(const TaskKey& key, WorkerId holder,
+                        Worker* requester);
   void stealing_round();
   void lease_round();
   /// Completion bookkeeping shared by on_task_finished and dead_letter:
@@ -270,10 +296,22 @@ class Scheduler {
   // Durability.
   std::optional<SchedulerDurability> durability_;
   std::unique_ptr<wal::WalWriter> journal_;
+  /// Full-log journal record count, *including* compacted-away records —
+  /// checkpoint suffix offsets index the full log and must stay stable
+  /// across compactions (the WAL's own marker reports the compacted count).
   std::size_t journal_records_ = 0;
+  /// Task specs in submission order — replayed into compacting checkpoints
+  /// so a truncated journal still reproduces every spec.
+  std::vector<TaskKey> spec_order_;
   bool recovering_ = false;  ///< suppresses journal + plugin re-emission
   std::uint64_t recoveries_ = 0;
   chaos::FaultInjector* injector_ = nullptr;
+
+  // Out-of-band data plane.
+  datastore::DataStore* datastore_ = nullptr;
+  /// Workers blocked on a proxy fetch for a key with no surviving replica;
+  /// drained (redirected to the recomputed result) by on_task_finished.
+  std::map<TaskKey, std::set<WorkerId>> pending_fetch_waiters_;
 };
 
 }  // namespace recup::dtr

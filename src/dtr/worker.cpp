@@ -98,32 +98,67 @@ void Worker::gather_deps(const ExecPtr& exec) {
     enqueue_ready(exec, "deps-local");
     return;
   }
-  for (const auto& dep : to_fetch) {
-    const platform::Endpoint source{dep.node_of_holder, dep.holder};
-    const platform::Endpoint destination{node_, id_};
-    network_.transfer(
-        source, destination, dep.bytes,
-        [this, dep](const platform::TransferResult& r) {
-          CommRecord comm;
-          comm.key = dep.key;
-          comm.source = dep.holder;
-          comm.destination = id_;
-          comm.source_address = "worker-" + std::to_string(dep.holder);
-          comm.destination_address = address_;
-          comm.bytes = dep.bytes;
-          comm.start = r.start;
-          comm.end = r.end;
-          comm.cross_node = r.cross_node;
-          comm.cold_connection = r.cold_connection;
-          transfers_.push_back(comm);
-          for (auto* plugin : plugins_) plugin->on_incoming_transfer(comm);
-          // Fetched dependency now lives in local memory too (replication);
-          // tell the scheduler so future placements can use this copy.
-          put_data(dep.key, dep.bytes);
-          if (on_replica_) on_replica_(dep.key, id_);
-          fetch_complete(dep.key);
-        });
-  }
+  for (const auto& dep : to_fetch) issue_fetch(dep);
+}
+
+void Worker::issue_fetch(const DepLocation& dep) {
+  const platform::Endpoint source{dep.node_of_holder, dep.holder};
+  const platform::Endpoint destination{node_, id_};
+  network_.transfer(
+      source, destination, dep.bytes,
+      [this, dep](const platform::TransferResult& r) {
+        CommRecord comm;
+        comm.key = dep.key;
+        comm.source = dep.holder;
+        comm.destination = id_;
+        comm.source_address = "worker-" + std::to_string(dep.holder);
+        comm.destination_address = address_;
+        comm.bytes = dep.bytes;
+        comm.start = r.start;
+        comm.end = r.end;
+        comm.cross_node = r.cross_node;
+        comm.cold_connection = r.cold_connection;
+        comm.oob = dep.oob;
+        if (dep.oob && datastore_ != nullptr) {
+          // The network carried the bytes; the datastore layer now
+          // validates them against the proxy (size + fingerprint) before
+          // anything is installed. Failure means the payload was
+          // unusable — report the missing dep instead of completing it.
+          if (killed_) return;
+          const datastore::FetchStatus status =
+              datastore_->fetch(dep.key.to_string(), dep.holder, id_);
+          if (status != datastore::FetchStatus::kOk) {
+            transfers_.push_back(comm);
+            for (auto* plugin : plugins_) plugin->on_incoming_transfer(comm);
+            logs_.log(LogLevel::kWarning, address_,
+                      "oob fetch of " + dep.key.to_string() + " from worker-" +
+                          std::to_string(dep.holder) + " failed (" +
+                          datastore::to_string(status) + ")");
+            if (on_missing_dep_) on_missing_dep_(dep.key, id_, dep.holder);
+            return;
+          }
+        }
+        transfers_.push_back(comm);
+        for (auto* plugin : plugins_) plugin->on_incoming_transfer(comm);
+        // Fetched dependency now lives in local memory too (replication);
+        // tell the scheduler so future placements can use this copy.
+        put_data(dep.key, dep.bytes);
+        if (on_replica_) on_replica_(dep.key, id_);
+        fetch_complete(dep.key);
+      });
+}
+
+void Worker::refetch_dep(const DepLocation& dep) {
+  if (killed_ || stopped_) return;
+  if (fetching_.count(dep.key) == 0) return;  // nobody waits on it anymore
+  issue_fetch(dep);
+}
+
+std::vector<TaskKey> Worker::pending_fetch_keys() const {
+  std::vector<TaskKey> out;
+  out.reserve(fetching_.size());
+  for (const auto& [key, waiters] : fetching_) out.push_back(key);
+  return out;
 }
 
 void Worker::fetch_complete(const TaskKey& key) {
@@ -355,6 +390,19 @@ void Worker::finish_task(const ExecPtr& exec, bool failed) {
   } else {
     transition(*exec, WorkerTaskState::kInMemory, "task-finished");
     put_data(exec->spec.key, exec->spec.work.output_bytes);
+    if (datastore_ != nullptr &&
+        datastore_->oob(exec->spec.work.output_bytes)) {
+      // The result goes out-of-band: sealed + pinned in this worker's store
+      // shard; the completion message to the scheduler carries a proxy.
+      datastore_->publish(exec->spec.key.to_string(), id_,
+                          exec->spec.work.output_bytes);
+      exec->record.bytes_oob = exec->spec.work.output_bytes;
+    } else {
+      if (datastore_ != nullptr) {
+        datastore_->note_inline(exec->spec.work.output_bytes);
+      }
+      exec->record.bytes_inline = exec->spec.work.output_bytes;
+    }
     // Transient allocations feed the GC model.
     gc_accumulated_ += exec->spec.work.scratch_bytes;
     maybe_collect_garbage();
@@ -524,6 +572,10 @@ void Worker::kill() {
   ready_.clear();
   fetching_.clear();
   inflight_.clear();
+  // The co-located store shard dies with the process: in-flight peer
+  // fetches against it fail validation immediately instead of waiting for
+  // failure detection.
+  if (datastore_ != nullptr) datastore_->kill_shard(id_);
   logs_.log(LogLevel::kError, address_, "worker process died");
 }
 

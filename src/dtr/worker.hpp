@@ -21,6 +21,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "darshan/runtime.hpp"
+#include "datastore/store.hpp"
 #include "dtr/plugins.hpp"
 #include "gpuprof/collector.hpp"
 #include "gpuprof/gpu.hpp"
@@ -71,6 +72,11 @@ struct DepLocation {
   WorkerId holder = 0;
   platform::NodeId node_of_holder = 0;
   std::uint64_t bytes = 0;
+  /// Out-of-band dependency: the payload lives in the datastore and the
+  /// fetch resolves `proxy` (validating size + fingerprint) instead of
+  /// trusting the inline transfer.
+  bool oob = false;
+  datastore::Proxy proxy;
 };
 
 class Worker {
@@ -83,6 +89,13 @@ class Worker {
   /// Notifies the scheduler that this worker now holds a replica of a key
   /// (Dask's add-keys message after gather_dep).
   using ReplicaFn = std::function<void(const TaskKey&, WorkerId)>;
+  /// Reports that an out-of-band fetch of `key` from `failed_holder` could
+  /// not be validated (dead shard / evicted region / exhausted wire
+  /// retries). The scheduler answers with refetch_dep from a surviving
+  /// replica, or recomputes the producer and refetches once it lands.
+  using MissingDepFn =
+      std::function<void(const TaskKey&, WorkerId requester,
+                         WorkerId failed_holder)>;
 
   Worker(sim::Engine& engine, platform::Network& network, Vfs& vfs,
          WorkerId id, platform::NodeId node, std::string address,
@@ -112,6 +125,14 @@ class Worker {
     return inflight_.count(key) != 0;
   }
 
+  /// Re-issues an in-flight fetch against a different holder after the
+  /// scheduler resolved a missing-dep report. No-op when the key is no
+  /// longer being waited on.
+  void refetch_dep(const DepLocation& dep);
+  /// Keys with fetches outstanding (waiting tasks attached). A restarted
+  /// scheduler uses this to restart fetches whose answer died with it.
+  [[nodiscard]] std::vector<TaskKey> pending_fetch_keys() const;
+
   /// Tasks ready or executing (Dask's occupancy proxy for decide_worker).
   [[nodiscard]] std::size_t processing_count() const;
   [[nodiscard]] std::size_t ready_count() const { return ready_.size(); }
@@ -133,6 +154,13 @@ class Worker {
   void set_completion_callback(CompletionFn fn) { on_finished_ = std::move(fn); }
   void set_heartbeat_callback(HeartbeatFn fn) { on_heartbeat_ = std::move(fn); }
   void set_replica_callback(ReplicaFn fn) { on_replica_ = std::move(fn); }
+  void set_missing_dep_callback(MissingDepFn fn) {
+    on_missing_dep_ = std::move(fn);
+  }
+  /// Attaches the out-of-band data plane. Results >= its inline_threshold
+  /// are published to this worker's shard on completion and gather_deps
+  /// resolves proxy-tagged dependencies through validated peer fetches.
+  void set_datastore(datastore::DataStore* store) { datastore_ = store; }
   /// Attaches the node's shared GPU devices and the NSIGHT-analog
   /// collector; tasks with kernel specs then execute them on-device.
   void set_gpus(gpuprof::GpuSet* gpus, gpuprof::Collector* collector) {
@@ -181,6 +209,9 @@ class Worker {
 
   void transition(Exec& exec, WorkerTaskState to, const std::string& stimulus);
   void gather_deps(const ExecPtr& exec);
+  /// Issues the network transfer for one dependency and, for oob deps, the
+  /// validated datastore fetch when the bytes land.
+  void issue_fetch(const DepLocation& dep);
   void fetch_complete(const TaskKey& key);
   void enqueue_ready(const ExecPtr& exec, const std::string& stimulus);
   void maybe_start_tasks();
@@ -243,6 +274,8 @@ class Worker {
   CompletionFn on_finished_;
   HeartbeatFn on_heartbeat_;
   ReplicaFn on_replica_;
+  MissingDepFn on_missing_dep_;
+  datastore::DataStore* datastore_ = nullptr;
   std::shared_ptr<chaos::FaultInjector> injector_;
   gpuprof::GpuSet* gpus_ = nullptr;
   gpuprof::Collector* gpu_collector_ = nullptr;

@@ -74,6 +74,20 @@ std::int64_t get_zigzag(std::string_view bytes, std::size_t& pos) {
   return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
 }
 
+void put_fixed64(std::string& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.append(b, 8);
+}
+
+std::uint64_t get_fixed64(std::string_view bytes, std::size_t& pos) {
+  const std::string_view raw = need_bytes(bytes, pos, 8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | static_cast<std::uint8_t>(raw[i]);
+  return v;
+}
+
 // --- Self-contained values --------------------------------------------------
 
 void encode_value(const json::Value& v, std::string& out) {

@@ -82,6 +82,13 @@ void put_zigzag(std::string& out, std::int64_t v);
 [[nodiscard]] std::int64_t get_zigzag(std::string_view bytes,
                                       std::size_t& pos);
 
+/// Fixed-width 64-bit little-endian integer. Used where the value has no
+/// small-number bias a varint could exploit — content fingerprints and
+/// other hash-like payloads (recup::datastore proxies).
+void put_fixed64(std::string& out, std::uint64_t v);
+[[nodiscard]] std::uint64_t get_fixed64(std::string_view bytes,
+                                        std::size_t& pos);
+
 // --- Self-contained values (no session state) -------------------------------
 /// Appends the binary encoding of `v` to `out`, never interning strings.
 void encode_value(const json::Value& v, std::string& out);

@@ -19,7 +19,8 @@ Workload make_workload(const std::string& name, std::uint64_t seed) {
   throw std::invalid_argument("unknown workload: " + name);
 }
 
-dtr::RunData execute(const Workload& workload, std::uint32_t run_index) {
+dtr::RunData execute(const Workload& workload, std::uint32_t run_index,
+                     datastore::DataStoreStats* datastore_stats) {
   // Each run perturbs the seed the way resubmitting the same job lands on a
   // different allocation / system state.
   dtr::ClusterConfig config = workload.cluster;
@@ -30,7 +31,13 @@ dtr::RunData execute(const Workload& workload, std::uint32_t run_index) {
   if (workload.prepare) workload.prepare(cluster.vfs());
   RngStream graph_rng(config.seed ^ fnv1a64("graphs"));
   auto graphs = workload.build_graphs(graph_rng);
-  return cluster.run(std::move(graphs), workload.name, run_index);
+  dtr::RunData run = cluster.run(std::move(graphs), workload.name, run_index);
+  if (datastore_stats != nullptr) {
+    *datastore_stats = cluster.datastore() != nullptr
+                           ? cluster.datastore()->stats()
+                           : datastore::DataStoreStats{};
+  }
+  return run;
 }
 
 std::vector<dtr::RunData> execute_runs(const Workload& workload,

@@ -26,7 +26,11 @@ struct Workload {
 
 /// Runs one instance of a workload; `run_index` perturbs the seed so
 /// repeated runs vary like repeated submissions of the same job.
-dtr::RunData execute(const Workload& workload, std::uint32_t run_index);
+/// `datastore_stats`, when non-null, receives the cluster's out-of-band
+/// data-plane counters (zeroes when config.datastore.enabled is false) —
+/// the cluster itself dies with this call, so the stats must be copied out.
+dtr::RunData execute(const Workload& workload, std::uint32_t run_index,
+                     datastore::DataStoreStats* datastore_stats = nullptr);
 
 /// Runs `count` repetitions (run_index 0..count-1).
 std::vector<dtr::RunData> execute_runs(const Workload& workload,

@@ -206,6 +206,68 @@ TEST(FaultTolerance, WorkerDeathMidFlushLosesNoProvenance) {
             run.comms.size());
 }
 
+TEST(FaultTolerance, ProxyOwnerDeathMidGatherFallsBackOrRecomputes) {
+  // Out-of-band results whose owner dies while consumers are still
+  // gathering dependencies: each affected consumer must either be
+  // redirected to a surviving replica or wait for a recompute — and no
+  // truncated payload may ever be installed as dependency data.
+  Cluster cluster(ft_config(99));
+  ASSERT_NE(cluster.datastore(), nullptr);  // enabled by default
+  TaskGraph g1("producers");
+  for (int i = 0; i < 8; ++i) {
+    TaskSpec t;
+    t.key = {"produce-aa77", i};
+    // Staggered completions spread the consumers' gather window across the
+    // kill time below.
+    t.work.compute = 0.5 + 1.5 * i;
+    t.work.output_bytes = 8 << 20;  // >= threshold: travels as a proxy
+    g1.add_task(t);
+  }
+  TaskGraph g2("consumers");
+  for (int i = 0; i < 6; ++i) {
+    TaskSpec t;
+    t.key = {"consume-bb88", i};
+    for (int d = 0; d < 8; ++d) t.dependencies.push_back({"produce-aa77", d});
+    t.work.compute = 4.0;
+    t.work.output_bytes = 1024;
+    g2.add_task(t);
+  }
+  // Worker 1 dies while the last producers finish and the consumers gather
+  // their eight proxies.
+  cluster.fail_worker_at(1, 13.0);
+  const RunData run = cluster.run({g1, g2}, "proxy-death", 0);
+
+  std::size_t consumers_done = 0;
+  for (const auto& t : run.tasks) {
+    if (t.prefix == "consume") ++consumers_done;
+  }
+  EXPECT_EQ(consumers_done, 6u);
+  EXPECT_EQ(cluster.scheduler().erred_tasks(), 0u);
+  // The failure actually touched the data plane: the dead shard's copies
+  // were lost (forcing recompute), re-pinned to a replica, or dropped.
+  const datastore::DataStoreStats ds = cluster.datastore()->stats();
+  EXPECT_GT(ds.lost_entries + ds.repins + ds.replica_drops, 0u);
+  bool recovered = false;
+  for (const auto& tr : run.transitions) {
+    if (tr.stimulus == "recompute" || tr.stimulus == "worker-failed") {
+      recovered = true;
+    }
+  }
+  EXPECT_TRUE(recovered);
+  // The hard guarantee: every installed dependency passed size+fingerprint
+  // validation — a truncated or corrupt payload was never handed to a task.
+  EXPECT_EQ(ds.validation_failures, 0u);
+  EXPECT_EQ(ds.fetch_failures, 0u);
+  // Out-of-band gathers happened (this workload's producers are all above
+  // the inline threshold).
+  EXPECT_GT(ds.fetches, 0u);
+  std::size_t oob_comms = 0;
+  for (const auto& c : run.comms) {
+    if (c.oob) ++oob_comms;
+  }
+  EXPECT_GT(oob_comms, 0u);
+}
+
 TEST(FaultTolerance, FailureOfIdleWorkerIsHarmless) {
   Cluster cluster(ft_config(66));
   TaskGraph g("tiny");

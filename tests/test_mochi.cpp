@@ -135,6 +135,54 @@ TEST(Warabi, StatsTrackBytes) {
   EXPECT_EQ(stats.creates, 1u);
 }
 
+// Regression pin for the locking contract documented in warabi.hpp: every
+// public call serializes on the store's single internal mutex, so a read of
+// an *unsealed* region concurrent with appends to it is a prefix-consistent
+// snapshot — a whole number of appended records, never a torn one. Any
+// change to the locking scheme (sharding the mutex, lock-free reads) must
+// keep this hammer green under TSan.
+TEST(Warabi, BlobStoreLockingContract) {
+  BlobStore store;
+  const RegionId open = store.create();
+  // Records are runs of one repeated letter; a torn read would surface as a
+  // run whose length is not a multiple of the record size.
+  constexpr std::size_t kRecordSize = 64;
+  constexpr int kRecords = 400;
+
+  std::thread appender([&] {
+    for (int i = 0; i < kRecords; ++i) {
+      store.append(open, std::string(kRecordSize, static_cast<char>(
+                                                      'a' + (i % 2))));
+    }
+    store.seal(open);
+  });
+
+  std::uint64_t snapshots = 0;
+  for (;;) {
+    const std::string snapshot = store.read(open);
+    ++snapshots;
+    // Prefix consistency: a whole number of records, and each record run is
+    // intact (no interleaving or tearing within a record boundary).
+    ASSERT_EQ(snapshot.size() % kRecordSize, 0u);
+    for (std::size_t r = 0; r + kRecordSize <= snapshot.size();
+         r += kRecordSize) {
+      const char expected = static_cast<char>('a' + (r / kRecordSize) % 2);
+      ASSERT_EQ(snapshot[r], expected) << "record " << r / kRecordSize;
+      ASSERT_EQ(snapshot[r + kRecordSize - 1], expected)
+          << "record " << r / kRecordSize;
+    }
+    if (snapshot.size() == kRecordSize * kRecords && store.sealed(open)) break;
+  }
+  appender.join();
+  EXPECT_GT(snapshots, 0u);
+  EXPECT_EQ(store.read(open).size(), kRecordSize * kRecords);
+
+  // Multi-call atomicity is *not* promised for open regions: only sealing
+  // freezes the region (further appends throw), after which any sequence of
+  // reads is trivially consistent.
+  EXPECT_THROW(store.append(open, "late"), std::logic_error);
+}
+
 TEST(Ssg, JoinLeaveMembership) {
   Group group("g");
   const MemberId a = group.join("addr-a");

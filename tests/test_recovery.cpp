@@ -287,6 +287,90 @@ TEST(Wal, ResetStartsAnEmptyLog) {
   EXPECT_EQ(replay_all(dir.str()), (std::vector<std::string>{"fresh"}));
 }
 
+TEST(Wal, CompactDropsWholeCoveredSegmentsOnly) {
+  TempDir dir("wal_compact");
+  std::vector<std::string> expected;
+  wal::WalOptions options;
+  options.segment_bytes = 64;  // 2-3 records per segment
+  wal::WalWriter writer(dir.str(), options);
+  for (int i = 0; i < 20; ++i) {
+    expected.push_back("record-" + std::to_string(i) + "-payloadpayload");
+    writer.append(expected.back());
+  }
+  writer.flush();
+
+  // Nothing below record 0 is droppable.
+  EXPECT_EQ(writer.compact(0), 0u);
+  EXPECT_EQ(replay_all(dir.str()), expected);
+
+  // Compacting up to record 10 deletes only whole segments whose records
+  // all precede it; the survivors replay as an aligned suffix.
+  const std::uint64_t dropped = writer.compact(10);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_LE(dropped, 10u);
+  EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir.str()) /
+                                      "wal-compacted"));
+  EXPECT_NE(std::filesystem::path(first_segment_path(dir.str())).filename(),
+            "wal-00000000.seg");
+  wal::ReplayStats stats;
+  const std::vector<std::string> suffix = replay_all(dir.str(), &stats);
+  EXPECT_EQ(stats.compacted_records, dropped);
+  ASSERT_EQ(suffix.size(), expected.size() - dropped);
+  for (std::size_t i = 0; i < suffix.size(); ++i) {
+    EXPECT_EQ(suffix[i], expected[dropped + i]) << i;
+  }
+  // A watermark at or below the current one is a no-op.
+  EXPECT_EQ(writer.compact(dropped), 0u);
+
+  // Compacting "everything" still never touches the active segment: the
+  // log remains appendable and the tail replays.
+  writer.compact(writer.records_appended());
+  EXPECT_FALSE(first_segment_path(dir.str()).empty());
+  writer.append("after-compact");
+  writer.flush();
+  const std::vector<std::string> tail = replay_all(dir.str(), &stats);
+  ASSERT_FALSE(tail.empty());
+  EXPECT_EQ(tail.back(), "after-compact");
+  EXPECT_EQ(stats.compacted_records + stats.records, 21u);
+}
+
+TEST(Wal, CompactionMarkerMakesCrashMidDeletionInvisible) {
+  TempDir dir("wal_compact_crash");
+  std::vector<std::string> expected;
+  wal::WalOptions options;
+  options.segment_bytes = 64;
+  std::uint64_t dropped = 0;
+  {
+    wal::WalWriter writer(dir.str(), options);
+    for (int i = 0; i < 16; ++i) {
+      expected.push_back("record-" + std::to_string(i) + "-payloadpayload");
+      writer.append(expected.back());
+    }
+    dropped = writer.compact(8);
+    ASSERT_GT(dropped, 0u);
+  }
+  // Crash mid-deletion: the marker was durably renamed into place *before*
+  // any segment was unlinked, so a stale segment below the boundary can
+  // reappear — here with garbage contents that would throw if scanned.
+  {
+    std::ofstream stale(std::filesystem::path(dir.str()) / "wal-00000000.seg",
+                        std::ios::binary | std::ios::trunc);
+    stale << "not a valid wal segment at all";
+  }
+  wal::ReplayStats stats;
+  const std::vector<std::string> suffix = replay_all(dir.str(), &stats);
+  EXPECT_EQ(stats.compacted_records, dropped);
+  ASSERT_EQ(suffix.size(), expected.size() - dropped);
+  EXPECT_EQ(suffix.front(), expected[dropped]);
+
+  // A writer reopened over the same directory resumes past the stale
+  // segment as well.
+  wal::WalWriter resumed(dir.str(), options);
+  resumed.append("post-crash");
+  resumed.flush();
+  EXPECT_EQ(replay_all(dir.str(), &stats).back(), "post-crash");
+}
+
 // ---------------------------------------------------------------------------
 // WAL-backed broker.
 
@@ -395,7 +479,7 @@ TEST(SchedulerDurable, ColdRestartRebuildsFullHistoryFromJournal) {
   std::string tasks_a;
   {
     dtr::testing::MiniCluster a;
-    a.scheduler.enable_durability({dir.str(), 0, {}});
+    a.scheduler.enable_durability({dir.str(), 0, false, {}});
     ASSERT_TRUE(a.run_graph(dtr::testing::diamond_graph()));
     transitions_a = dump_records(a.scheduler.transitions());
     tasks_a = dump_records(a.scheduler.task_records());
@@ -404,7 +488,7 @@ TEST(SchedulerDurable, ColdRestartRebuildsFullHistoryFromJournal) {
   // A brand-new scheduler process over the same directory: the journal is
   // full-history provenance, so the records come back byte-identical.
   dtr::testing::MiniCluster b;
-  b.scheduler.enable_durability({dir.str(), 0, {}});
+  b.scheduler.enable_durability({dir.str(), 0, false, {}});
   b.scheduler.recover();
   b.engine.run();
   EXPECT_EQ(b.scheduler.recoveries(), 1u);
@@ -417,7 +501,7 @@ TEST(SchedulerDurable, ColdRestartRebuildsFullHistoryFromJournal) {
 TEST(SchedulerDurable, MidRunCrashRecoversAndCompletesTheGraph) {
   TempDir dir("sched_midrun");
   dtr::testing::MiniCluster mini;
-  mini.scheduler.enable_durability({dir.str(), 0, {}});
+  mini.scheduler.enable_durability({dir.str(), 0, false, {}});
   bool done = false;
   const auto finish = [&](const std::string&) {
     done = true;
@@ -447,7 +531,7 @@ TEST(SchedulerDurable, MidRunCrashRecoversAndCompletesTheGraph) {
 TEST(SchedulerDurable, SetGraphDoneFiresImmediatelyWhenAlreadyComplete) {
   TempDir dir("sched_done");
   dtr::testing::MiniCluster mini;
-  mini.scheduler.enable_durability({dir.str(), 0, {}});
+  mini.scheduler.enable_durability({dir.str(), 0, false, {}});
   ASSERT_TRUE(mini.run_graph(dtr::testing::independent_graph(4)));
   bool fired = false;
   mini.scheduler.set_graph_done("independent",
@@ -455,6 +539,94 @@ TEST(SchedulerDurable, SetGraphDoneFiresImmediatelyWhenAlreadyComplete) {
   EXPECT_TRUE(fired);
   EXPECT_THROW(mini.scheduler.set_graph_done("no-such-graph", nullptr),
                std::exception);
+}
+
+TEST(SchedulerDurable, CompactingCheckpointBoundsTheJournalAndStillRecovers) {
+  TempDir dir("sched_compact");
+  dtr::SchedulerDurability durability;
+  durability.dir = dir.str();
+  durability.checkpoint_every = 16;
+  durability.compact_on_checkpoint = true;
+  durability.wal.segment_bytes = 1024;  // a handful of records per segment
+  {
+    dtr::testing::MiniCluster a;
+    a.scheduler.enable_durability(durability);
+    int done = 0;
+    const auto on_done = [&](const std::string&) {
+      if (++done == 2) a.scheduler.stop();
+    };
+    a.scheduler.submit_graph(dtr::testing::diamond_graph(), on_done);
+    a.scheduler.submit_graph(dtr::testing::independent_graph(16), on_done);
+    a.scheduler.start_stealing_loop();
+    a.engine.run();
+    ASSERT_EQ(done, 2);
+  }
+  // Compaction bounded by checkpoint age really ran: the boundary marker is
+  // on disk, leading segments are gone, and replay reports the dropped
+  // prefix so full-log positions stay stable.
+  EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir.str()) /
+                                      "wal-compacted"));
+  EXPECT_NE(std::filesystem::path(first_segment_path(dir.str())).filename(),
+            "wal-00000000.seg");
+  wal::ReplayStats stats;
+  replay_all(dir.str(), &stats);
+  EXPECT_GT(stats.compacted_records, 0u);
+
+  // A cold restart over the truncated journal: the compacting checkpoint
+  // carries every task spec its deleted prefix used to hold, so recovery is
+  // self-contained — full control state, every result in memory.
+  dtr::testing::MiniCluster b;
+  b.scheduler.enable_durability(durability);
+  b.scheduler.recover();
+  b.engine.run();
+  EXPECT_EQ(b.scheduler.recoveries(), 1u);
+  EXPECT_EQ(b.scheduler.tasks_total(), 20u);
+  EXPECT_TRUE(b.scheduler.in_memory({"sink-abc123", 0}));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(b.scheduler.in_memory({"embarrassing-def456", i})) << i;
+  }
+  // The recovered scheduler is live: a brand-new graph still completes.
+  dtr::TaskGraph extra("post-recovery");
+  for (int i = 0; i < 4; ++i) {
+    dtr::TaskSpec t;
+    t.key = {"post-ff77", i};
+    t.work.compute = 0.01;
+    t.work.output_bytes = 2048;
+    extra.add_task(t);
+  }
+  EXPECT_TRUE(b.run_graph(extra));
+}
+
+TEST(SchedulerDurable, MidRunCrashWithCompactionCompletesTheGraph) {
+  // The aggressive configuration: checkpoint every few records, compact on
+  // every checkpoint, tiny segments — then crash mid-run. Recovery must
+  // stitch the spec-carrying checkpoint to the surviving journal suffix.
+  TempDir dir("sched_compact_crash");
+  dtr::SchedulerDurability durability;
+  durability.dir = dir.str();
+  durability.checkpoint_every = 4;
+  durability.compact_on_checkpoint = true;
+  durability.wal.segment_bytes = 256;
+  dtr::testing::MiniCluster mini;
+  mini.scheduler.enable_durability(durability);
+  bool done = false;
+  const auto finish = [&](const std::string&) {
+    done = true;
+    mini.scheduler.stop();
+  };
+  mini.scheduler.submit_graph(dtr::testing::diamond_graph(0.05), finish);
+  mini.engine.schedule_after(0.02, [&] {
+    mini.scheduler.crash_and_recover();
+    mini.scheduler.set_graph_done("diamond", finish);
+  });
+  mini.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(mini.scheduler.recoveries(), 1u);
+  EXPECT_EQ(mini.scheduler.tasks_total(), 4u);
+  EXPECT_TRUE(mini.scheduler.in_memory({"sink-abc123", 0}));
+  wal::ReplayStats stats;
+  replay_all(dir.str(), &stats);
+  EXPECT_GT(stats.compacted_records, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@
 //
 // The trajectory file is meant to be committed alongside bench_out/ CSVs,
 // so each PR's headline numbers are compared against the previous PR's.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,6 +40,7 @@ struct Headline {
   double value = 0.0;
   std::string unit;
   bool higher_is_better = false;
+  double noise_pct = 0.0;  // per-metric gate widening (0 = global threshold)
 };
 
 std::string read_file(const std::string& path) {
@@ -63,6 +65,7 @@ std::vector<Headline> load_headlines(const std::string& path) {
     h.value = row.get_double("value", 0.0);
     h.unit = row.get_string("unit", "");
     h.higher_is_better = row.get_bool("higher_is_better", false);
+    h.noise_pct = row.get_double("noise_pct", 0.0);
     if (!h.name.empty()) out.push_back(std::move(h));
   }
   return out;
@@ -91,6 +94,7 @@ int cmd_record(const std::string& trajectory_path, const std::string& label,
       row["value"] = h.value;
       row["unit"] = h.unit;
       row["higher_is_better"] = h.higher_is_better;
+      if (h.noise_pct > 0.0) row["noise_pct"] = h.noise_pct;
       headline_rows.emplace_back(std::move(row));
     }
   }
@@ -133,6 +137,7 @@ int cmd_check(const std::string& trajectory_path, double threshold_pct,
     h.value = row.get_double("value", 0.0);
     h.unit = row.get_string("unit", "");
     h.higher_is_better = row.get_bool("higher_is_better", false);
+    h.noise_pct = row.get_double("noise_pct", 0.0);
     baseline[h.name] = std::move(h);
   }
 
@@ -156,7 +161,12 @@ int cmd_check(const std::string& trajectory_path, double threshold_pct,
         delta_pct = (h.value - base.value) / base.value * 100.0;
         if (base.higher_is_better) delta_pct = -delta_pct;
       }
-      const bool fail = delta_pct > threshold_pct;
+      // A metric may declare an honest noise band wider than the global
+      // gate (microsecond tails on a shared box); the wider of the two
+      // wins, taken from either side so re-recording keeps it sticky.
+      const double gate_pct =
+          std::max({threshold_pct, h.noise_pct, base.noise_pct});
+      const bool fail = delta_pct > gate_pct;
       std::printf("%-44s %12.4g %12.4g %+8.1f%%%s\n", h.name.c_str(),
                   base.value, h.value, delta_pct,
                   fail ? "  REGRESSION" : "");
@@ -170,8 +180,8 @@ int cmd_check(const std::string& trajectory_path, double threshold_pct,
   }
   if (regressions > 0) {
     std::fprintf(stderr,
-                 "bench_trajectory: %d metric(s) regressed more than "
-                 "%.0f%%\n",
+                 "bench_trajectory: %d metric(s) regressed past their "
+                 "gate (global %.0f%%)\n",
                  regressions, threshold_pct);
     return 1;
   }

@@ -37,8 +37,16 @@ echo "== crash-recovery oracle: 10-seed byte-identity check =="
 # checkpoint/journal restart, and durable ingest cursors under injected
 # process crashes. Every seed must reproduce the fault-free views exactly.
 ./build/tests/test_recovery \
-  --gtest_filter='CrashRecoveryOracle/*:SchedulerLease.*' >/dev/null
+  --gtest_filter='*CrashRecoveryOracle*:SchedulerLease.*' >/dev/null
 echo "crash-recovery oracle passed"
+
+echo "== datastore chaos oracle: 10-seed byte-identity under data-plane faults =="
+# The out-of-band data plane under randomized fetch-frame drops/truncations
+# and forced evictions: wire retries + fingerprint validation must keep
+# every provenance view byte-identical to the fault-free run.
+./build/tests/test_datastore \
+  --gtest_filter='*DatastoreChaosOracle*:DataStoreCluster.*' >/dev/null
+echo "datastore chaos oracle passed"
 
 if [[ "$skip_bench" == 1 ]]; then
   echo "== perf trajectory skipped (--skip-bench) =="
@@ -54,9 +62,11 @@ else
   bench_dir=$(mktemp -d "${TMPDIR:-/tmp}/recup_checks_bench.XXXXXX")
   (cd "$bench_dir" && "$repo_root/build/bench/bench_query" --out "$bench_dir/out" \
     >/dev/null 2>&1)
+  (cd "$bench_dir" && "$repo_root/build/bench/bench_datastore" \
+    --out "$bench_dir/out" >/dev/null 2>&1)
   ./build/tools/bench_trajectory check \
     --trajectory bench_out/trajectory.json --threshold 15 \
-    "$bench_dir/BENCH_query.json"
+    "$bench_dir/BENCH_query.json" "$bench_dir/BENCH_datastore.json"
   rm -rf "$bench_dir"
 fi
 
@@ -86,6 +96,16 @@ ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ./build-asan/tests/test_recovery >/dev/null
 
+echo "== sanitized datastore: blob spill/eviction + concurrent store smoke =="
+# The datastore moves raw payload bytes through warabi regions, spill files,
+# and wire frames — exactly where an off-by-one read corrupts silently. The
+# concurrency smoke (real publisher/fetcher/evictor threads) and the
+# BlobStore locking-contract hammer run under ASan/UBSan explicitly.
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tests/test_datastore >/dev/null
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tests/test_mochi --gtest_filter='Warabi.*' >/dev/null
+
 echo "== sanitized wire codec: round-trip + corrupt-frame suite =="
 # The binary codec parses untrusted bytes (truncated frames, corrupt tags,
 # lying length prefixes); run its property suite under ASan/UBSan where an
@@ -111,6 +131,12 @@ TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_chaos >/dev/null
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_query \
   --gtest_filter='QueryIngestTest.*:QueryServer.*' >/dev/null
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_recovery >/dev/null
+# The datastore's mutex discipline (single store mutex + per-shard BlobStore
+# mutexes) and the warabi locking contract, under real racing threads.
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_datastore \
+  --gtest_filter='DataStoreConcurrency.*:WarabiCapacity.*' >/dev/null
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_mochi \
+  --gtest_filter='Warabi.*' >/dev/null
 # Parallel-kernel smoke: force the morsel pool to multiple workers so the
 # columnar scan/aggregate fan-outs actually race under TSan.
 RECUP_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
