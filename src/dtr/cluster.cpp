@@ -127,6 +127,9 @@ Cluster::Cluster(ClusterConfig config)
     worker_members_.push_back(group.join(address));
     workers_.push_back(std::move(worker));
   }
+  // All workers registered: build the foreman tier (no-op when
+  // scheduler.foremen == 0).
+  scheduler_->finalize_topology();
 
   // SSG fault detection feeds the scheduler's recovery path: when the group
   // declares a member dead, the matching worker is failed over.

@@ -1,0 +1,177 @@
+#include "dtr/foreman.hpp"
+
+#include "dtr/scheduler.hpp"
+
+namespace recup::dtr {
+
+Foreman::Foreman(sim::Engine& engine, Scheduler& root, std::uint32_t id,
+                 Duration window, Duration control_latency,
+                 Duration heartbeat_interval, Duration lease_expiry,
+                 LogCollector& logs)
+    : engine_(engine),
+      root_(root),
+      id_(id),
+      window_(window),
+      control_latency_(control_latency),
+      heartbeat_interval_(heartbeat_interval),
+      lease_expiry_(lease_expiry),
+      logs_(logs) {}
+
+void Foreman::adopt_worker(Worker* worker) {
+  pool_.push_back(worker);
+  pool_by_id_[worker->id()] = worker;
+  last_beat_[worker->id()] = engine_.now();
+  worker->set_completion_callback(
+      [this](const TaskKey& key, const TaskRecord& record, bool failed) {
+        on_completion(key, record, failed);
+      });
+  worker->set_heartbeat_callback([this](WorkerId id) { on_heartbeat(id); });
+  worker->set_replica_callback(
+      [this](const TaskKey& key, WorkerId id) { on_replica(key, id); });
+  worker->set_missing_dep_callback(
+      [this](const TaskKey& key, WorkerId requester, WorkerId failed_holder) {
+        on_missing_dep(key, requester, failed_holder);
+      });
+  // In the aggregation mode completions sit in this foreman's buffer for up
+  // to a window; the worker holds them until acked so a foreman death can
+  // replay the tail.
+  worker->set_ack_tracking(window_ > 0.0);
+}
+
+void Foreman::deliver(Worker* worker, const TaskSpec& spec,
+                      const std::string& graph,
+                      const std::vector<DepLocation>& deps, bool stolen) {
+  engine_.schedule_after(control_latency_,
+                         [this, worker, spec, graph, deps, stolen] {
+                           if (!alive_) return;  // died with the message queued
+                           ++deliveries_;
+                           worker->assign_task(spec, graph, deps, stolen);
+                         });
+}
+
+void Foreman::forward(IntakeEvent event) {
+  if (!alive_) return;
+  if (window_ <= 0.0) {
+    // Synchronous relay: the root applies the report at the same virtual
+    // instant the flat topology would — provenance stays byte-identical.
+    ++events_forwarded_;
+    root_.enqueue_event(std::move(event));
+    root_.pump_intake();
+    return;
+  }
+  buffer_.push_back(std::move(event));
+  schedule_flush();
+}
+
+void Foreman::schedule_flush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  engine_.schedule_after(window_, [this] { flush(); });
+}
+
+void Foreman::flush() {
+  flush_scheduled_ = false;
+  if (!alive_ || buffer_.empty()) return;
+  ++batches_flushed_;
+  std::map<WorkerId, std::size_t> completions;
+  for (IntakeEvent& event : buffer_) {
+    if (event.kind == IntakeKind::kCompletion) {
+      ++completions[event.record.worker];
+    }
+    ++events_forwarded_;
+    root_.enqueue_event(std::move(event));
+  }
+  buffer_.clear();
+  // Completions are safely upstream: release the workers' replay copies.
+  for (const auto& [worker, count] : completions) {
+    const auto it = pool_by_id_.find(worker);
+    if (it != pool_by_id_.end()) it->second->ack_completions(count);
+  }
+  root_.pump_intake();
+}
+
+void Foreman::on_completion(const TaskKey& key, const TaskRecord& record,
+                            bool failed) {
+  IntakeEvent event;
+  event.kind = IntakeKind::kCompletion;
+  event.key = key;
+  event.record = record;
+  event.failed = failed;
+  event.worker = record.worker;
+  forward(std::move(event));
+}
+
+void Foreman::on_heartbeat(WorkerId worker) {
+  if (!alive_) return;  // beats to a dead foreman are lost, as on a wire
+  ++heartbeats_absorbed_;
+  last_beat_[worker] = engine_.now();
+}
+
+void Foreman::on_replica(const TaskKey& key, WorkerId worker) {
+  IntakeEvent event;
+  event.kind = IntakeKind::kReplicaAdded;
+  event.key = key;
+  event.worker = worker;
+  forward(std::move(event));
+}
+
+void Foreman::on_missing_dep(const TaskKey& key, WorkerId requester,
+                             WorkerId failed_holder) {
+  IntakeEvent event;
+  event.kind = IntakeKind::kMissingDep;
+  event.key = key;
+  event.worker = requester;
+  event.failed_holder = failed_holder;
+  forward(std::move(event));
+}
+
+void Foreman::start_liveness_loops() {
+  if (liveness_started_ || !alive_) return;
+  liveness_started_ = true;
+  schedule_liveness_round();
+}
+
+void Foreman::schedule_liveness_round() {
+  engine_.schedule_after(heartbeat_interval_, [this] {
+    if (!alive_ || root_.stopped()) return;
+    liveness_round();
+    schedule_liveness_round();
+  });
+}
+
+void Foreman::liveness_round() {
+  // One aggregate beat upstream proves this foreman (and implicitly its
+  // lease bookkeeping for the whole pool) is alive.
+  IntakeEvent beat;
+  beat.kind = IntakeKind::kForemanBeat;
+  beat.worker = id_;
+  root_.enqueue_event(std::move(beat));
+  // Pool lease sweep: expired workers are reported upstream; the root runs
+  // the same reclaim path lease expiry takes in the flat topology.
+  for (Worker* worker : pool_) {
+    const WorkerId wid = worker->id();
+    if (!root_.worker_alive(wid)) continue;
+    const auto it = last_beat_.find(wid);
+    if (it == last_beat_.end()) continue;
+    if (engine_.now() - it->second <= lease_expiry_) continue;
+    ++lease_detections_;
+    logs_.log(LogLevel::kError, address(),
+              "lease expired for " + worker->address() +
+                  " (no heartbeat for " +
+                  std::to_string(engine_.now() - it->second) + "s)");
+    IntakeEvent event;
+    event.kind = IntakeKind::kWorkerLeaseExpired;
+    event.worker = wid;
+    root_.enqueue_event(std::move(event));
+  }
+  root_.pump_intake();
+}
+
+void Foreman::kill() {
+  if (!alive_) return;
+  alive_ = false;
+  buffer_.clear();  // un-forwarded reports die with the process
+  logs_.log(LogLevel::kError, address(), "foreman process died");
+}
+
+}  // namespace recup::dtr

@@ -1,0 +1,117 @@
+// Hierarchical foreman tier (cctools work_queue/taskvine-style): a
+// sub-scheduler fronting a pool of workers. The root scheduler talks to F
+// foremen instead of W workers — foremen relay dispatches downstream,
+// absorb pool heartbeats (forwarding one aggregate liveness beat), detect
+// pool lease expiries locally, and forward completions upstream either
+// synchronously (window = 0, provenance byte-identical to the flat
+// topology) or coalesced into aggregation windows (window > 0, the
+// throughput mode; workers then retain completions until the foreman acks
+// them, so a foreman death replays the unacked tail instead of losing it).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "dtr/intake.hpp"
+#include "dtr/records.hpp"
+#include "dtr/task.hpp"
+#include "dtr/worker.hpp"
+#include "sim/engine.hpp"
+
+namespace recup::dtr {
+
+class Scheduler;
+
+class Foreman {
+ public:
+  Foreman(sim::Engine& engine, Scheduler& root, std::uint32_t id,
+          Duration window, Duration control_latency,
+          Duration heartbeat_interval, Duration lease_expiry,
+          LogCollector& logs);
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] const std::vector<Worker*>& pool() const { return pool_; }
+  [[nodiscard]] std::string address() const {
+    return "foreman-" + std::to_string(id_);
+  }
+
+  /// Takes responsibility for a worker: rewires its report callbacks to
+  /// this foreman and starts a fresh local lease. Also used to re-home a
+  /// dead foreman's pool onto a survivor.
+  void adopt_worker(Worker* worker);
+
+  /// Dispatch path root -> foreman -> worker. The assignment is applied
+  /// after the same control-message hop the flat topology pays; a foreman
+  /// that died while the message was in its inbox drops it (the root's
+  /// foreman-lease reclaim re-dispatches the task).
+  void deliver(Worker* worker, const TaskSpec& spec, const std::string& graph,
+               const std::vector<DepLocation>& deps, bool stolen);
+
+  /// Starts the periodic liveness round: one upstream foreman beat plus a
+  /// pool lease sweep per heartbeat interval.
+  void start_liveness_loops();
+
+  /// Simulated foreman process death. Buffered (un-forwarded) reports die
+  /// with it; workers keep their unacked completions for replay.
+  void kill();
+
+  // Upward-facing report sinks (wired into pool workers' callbacks).
+  void on_completion(const TaskKey& key, const TaskRecord& record,
+                     bool failed);
+  void on_heartbeat(WorkerId worker);
+  void on_replica(const TaskKey& key, WorkerId worker);
+  void on_missing_dep(const TaskKey& key, WorkerId requester,
+                      WorkerId failed_holder);
+
+  [[nodiscard]] std::uint64_t events_forwarded() const {
+    return events_forwarded_;
+  }
+  [[nodiscard]] std::uint64_t batches_flushed() const {
+    return batches_flushed_;
+  }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t heartbeats_absorbed() const {
+    return heartbeats_absorbed_;
+  }
+  [[nodiscard]] std::uint64_t lease_detections() const {
+    return lease_detections_;
+  }
+
+ private:
+  void forward(IntakeEvent event);
+  void schedule_flush();
+  void flush();
+  void liveness_round();
+  void schedule_liveness_round();
+
+  sim::Engine& engine_;
+  Scheduler& root_;
+  const std::uint32_t id_;
+  const Duration window_;
+  const Duration control_latency_;
+  const Duration heartbeat_interval_;
+  const Duration lease_expiry_;
+  LogCollector& logs_;
+
+  bool alive_ = true;
+  bool liveness_started_ = false;
+  std::vector<Worker*> pool_;
+  std::map<WorkerId, Worker*> pool_by_id_;
+  std::map<WorkerId, TimePoint> last_beat_;
+
+  // Aggregation window (window_ > 0 only).
+  std::vector<IntakeEvent> buffer_;
+  bool flush_scheduled_ = false;
+
+  std::uint64_t events_forwarded_ = 0;
+  std::uint64_t batches_flushed_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t heartbeats_absorbed_ = 0;
+  std::uint64_t lease_detections_ = 0;
+};
+
+}  // namespace recup::dtr

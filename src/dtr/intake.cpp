@@ -1,0 +1,50 @@
+#include "dtr/intake.hpp"
+
+#include <algorithm>
+
+namespace recup::dtr {
+
+void SchedulerIntake::push(IntakeEvent event) {
+  std::lock_guard lock(mutex_);
+  queue_.push_back(std::move(event));
+  ++stats_.pushed;
+}
+
+std::size_t SchedulerIntake::drain(std::size_t max,
+                                   std::vector<IntakeEvent>& out) {
+  std::lock_guard lock(mutex_);
+  std::size_t taken = 0;
+  while (!queue_.empty() && (max == 0 || taken < max)) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    ++taken;
+  }
+  if (taken > 0) {
+    stats_.drained += taken;
+    ++stats_.batches;
+    stats_.max_batch = std::max(stats_.max_batch, taken);
+  }
+  return taken;
+}
+
+bool SchedulerIntake::empty() const {
+  std::lock_guard lock(mutex_);
+  return queue_.empty();
+}
+
+std::size_t SchedulerIntake::depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+void SchedulerIntake::clear() {
+  std::lock_guard lock(mutex_);
+  queue_.clear();
+}
+
+SchedulerIntake::Stats SchedulerIntake::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace recup::dtr

@@ -1,0 +1,66 @@
+// Batched transition intake. Worker reports (completions, heartbeats,
+// replica adds, failed fetches) and foreman upcalls land in one MPSC-style
+// queue; the scheduler drains them in batches and applies each batch as a
+// single journaled group, amortizing journal frames and plugin fan-out.
+// The queue is mutex-guarded and safe against concurrent producers — in
+// the simulator everything runs on one thread, but the structure is the
+// real-deployment contract and is hammered with real threads under TSan.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "dtr/records.hpp"
+#include "dtr/task.hpp"
+
+namespace recup::dtr {
+
+enum class IntakeKind : std::uint8_t {
+  kCompletion,         ///< worker finished (or failed) a task
+  kHeartbeat,          ///< direct worker lease renewal
+  kReplicaAdded,       ///< worker gained a replica (peer transfer landed)
+  kMissingDep,         ///< worker could not fetch a dependency
+  kWorkerLeaseExpired, ///< a foreman's pool worker missed its lease
+  kForemanBeat,        ///< foreman proves its own liveness upstream
+};
+
+struct IntakeEvent {
+  IntakeKind kind = IntakeKind::kHeartbeat;
+  TaskKey key;        ///< kCompletion / kReplicaAdded / kMissingDep
+  TaskRecord record;  ///< kCompletion payload
+  bool failed = false;
+  /// kHeartbeat / kWorkerLeaseExpired: the worker. kReplicaAdded /
+  /// kMissingDep: the reporting worker. kForemanBeat: the foreman id.
+  std::uint32_t worker = 0;
+  std::uint32_t failed_holder = 0;  ///< kMissingDep
+};
+
+/// Thread-safe intake queue with batch drain. Producers push single
+/// events; the consumer drains up to `max` per batch. Counters are
+/// maintained under the same lock for the bench/test surfaces.
+class SchedulerIntake {
+ public:
+  void push(IntakeEvent event);
+  /// Appends up to `max` events (0 = no cap) to `out`; returns the count.
+  std::size_t drain(std::size_t max, std::vector<IntakeEvent>& out);
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t depth() const;
+  void clear();
+
+  struct Stats {
+    std::uint64_t pushed = 0;
+    std::uint64_t drained = 0;
+    std::uint64_t batches = 0;  ///< non-empty drains
+    std::size_t max_batch = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<IntakeEvent> queue_;
+  Stats stats_;
+};
+
+}  // namespace recup::dtr

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "dtr/durability.hpp"
+#include "dtr/foreman.hpp"
 #include "dtr/mofka_plugins.hpp"
 #include "wire/codec.hpp"
 
@@ -20,30 +21,170 @@ Scheduler::Scheduler(sim::Engine& engine, platform::Network& network,
       network_(network),
       config_(config),
       rng_(rng),
-      logs_(logs) {}
+      logs_(logs),
+      tasks_(config.shards) {}
+
+Scheduler::~Scheduler() = default;
 
 void Scheduler::add_worker(Worker* worker) {
   workers_.push_back(worker);
   worker_alive_.push_back(true);
   in_flight_.push_back(0);
   last_heartbeat_.push_back(engine_.now());
-  worker->set_completion_callback(
-      [this](const TaskKey& key, const TaskRecord& record, bool failed) {
-        on_task_finished(key, record, failed);
-      });
-  worker->set_heartbeat_callback([this](WorkerId id) { heartbeat(id); });
-  worker->set_missing_dep_callback(
-      [this](const TaskKey& key, WorkerId requester, WorkerId failed_holder) {
-        on_missing_dep(key, requester, failed_holder);
-      });
-  worker->set_replica_callback([this](const TaskKey& key, WorkerId id) {
-    const auto it = tasks_.find(key);
-    if (it != tasks_.end()) it->second.who_has.insert(id);
-  });
+  foreman_of_.push_back(nullptr);
+  wire_worker_direct(worker);
   logs_.log(LogLevel::kInfo, "scheduler",
             "Register worker " + worker->address());
   for (auto* plugin : plugins_) {
     plugin->on_worker_added(worker->id(), worker->address(), engine_.now());
+  }
+}
+
+void Scheduler::wire_worker_direct(Worker* worker) {
+  worker->set_ack_tracking(false);
+  if (config_.legacy_intake) {
+    // Compatibility path: reports invoke the handlers directly, exactly the
+    // pre-batching call graph.
+    worker->set_completion_callback(
+        [this](const TaskKey& key, const TaskRecord& record, bool failed) {
+          on_task_finished(key, record, failed);
+        });
+    worker->set_heartbeat_callback([this](WorkerId id) { heartbeat(id); });
+    worker->set_missing_dep_callback(
+        [this](const TaskKey& key, WorkerId requester,
+               WorkerId failed_holder) {
+          on_missing_dep(key, requester, failed_holder);
+        });
+    worker->set_replica_callback([this](const TaskKey& key, WorkerId id) {
+      TaskInfo* info = tasks_.find(key);
+      if (info != nullptr) info->who_has.insert(id);
+    });
+    return;
+  }
+  // Batched path: reports land in the intake queue; the pump applies them
+  // at the same virtual instant (the queue is drained before the engine
+  // advances), so scheduling decisions and provenance are unchanged.
+  worker->set_completion_callback(
+      [this](const TaskKey& key, const TaskRecord& record, bool failed) {
+        IntakeEvent event;
+        event.kind = IntakeKind::kCompletion;
+        event.key = key;
+        event.record = record;
+        event.failed = failed;
+        event.worker = record.worker;
+        enqueue_event(std::move(event));
+        pump_intake();
+      });
+  worker->set_heartbeat_callback([this](WorkerId id) {
+    IntakeEvent event;
+    event.kind = IntakeKind::kHeartbeat;
+    event.worker = id;
+    enqueue_event(std::move(event));
+    pump_intake();
+  });
+  worker->set_missing_dep_callback(
+      [this](const TaskKey& key, WorkerId requester, WorkerId failed_holder) {
+        IntakeEvent event;
+        event.kind = IntakeKind::kMissingDep;
+        event.key = key;
+        event.worker = requester;
+        event.failed_holder = failed_holder;
+        enqueue_event(std::move(event));
+        pump_intake();
+      });
+  worker->set_replica_callback([this](const TaskKey& key, WorkerId id) {
+    IntakeEvent event;
+    event.kind = IntakeKind::kReplicaAdded;
+    event.key = key;
+    event.worker = id;
+    enqueue_event(std::move(event));
+    pump_intake();
+  });
+}
+
+void Scheduler::finalize_topology() {
+  if (topology_finalized_) return;
+  topology_finalized_ = true;
+  if (config_.foremen == 0 || config_.legacy_intake || workers_.empty()) {
+    return;
+  }
+  const std::size_t count =
+      std::min<std::size_t>(config_.foremen, workers_.size());
+  // Contiguous pools: worker order across pools equals global worker order,
+  // so per-pool sweeps visit workers in the same order flat sweeps do.
+  const std::size_t pool_size = (workers_.size() + count - 1) / count;
+  last_foreman_beat_.assign(count, engine_.now());
+  foreman_failed_.assign(count, false);
+  for (std::size_t f = 0; f < count; ++f) {
+    foremen_.push_back(std::make_unique<Foreman>(
+        engine_, *this, static_cast<std::uint32_t>(f), config_.foreman_window,
+        config_.control_latency, config_.heartbeat_interval,
+        config_.lease_expiry(), logs_));
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Foreman* foreman = foremen_[i / pool_size].get();
+    foreman_of_[i] = foreman;
+    foreman->adopt_worker(workers_[i]);
+  }
+  logs_.log(LogLevel::kInfo, "scheduler",
+            "hierarchical tier: " + std::to_string(count) + " foremen over " +
+                std::to_string(workers_.size()) + " workers");
+}
+
+void Scheduler::enqueue_event(IntakeEvent event) {
+  intake_.push(std::move(event));
+}
+
+void Scheduler::pump_intake() {
+  if (pumping_) return;  // reentrant: the running pump drains what we queued
+  pumping_ = true;
+  std::vector<IntakeEvent> batch;
+  while (true) {
+    batch.clear();
+    if (intake_.drain(config_.intake_batch_max, batch) == 0) break;
+    for (auto* plugin : plugins_) plugin->on_batch_begin(batch.size());
+    begin_journal_group();
+    for (const IntakeEvent& event : batch) apply_event(event);
+    end_journal_group();
+    for (auto* plugin : plugins_) plugin->on_batch_end();
+  }
+  pumping_ = false;
+}
+
+void Scheduler::apply_event(const IntakeEvent& event) {
+  switch (event.kind) {
+    case IntakeKind::kCompletion:
+      on_task_finished(event.key, event.record, event.failed);
+      break;
+    case IntakeKind::kHeartbeat:
+      heartbeat(event.worker);
+      break;
+    case IntakeKind::kReplicaAdded: {
+      TaskInfo* info = tasks_.find(event.key);
+      if (info != nullptr) info->who_has.insert(event.worker);
+      break;
+    }
+    case IntakeKind::kMissingDep:
+      on_missing_dep(event.key, event.worker, event.failed_holder);
+      break;
+    case IntakeKind::kWorkerLeaseExpired: {
+      // A foreman swept its pool and found this worker silent; the root
+      // runs the same reclaim path its own lease loop uses.
+      if (event.worker >= workers_.size() || !worker_alive_[event.worker]) {
+        break;
+      }
+      ++lease_expirations_;
+      logs_.log(LogLevel::kError, "scheduler",
+                "lease expired for " + workers_[event.worker]->address() +
+                    " (reported by its foreman)");
+      on_worker_failed(event.worker);
+      break;
+    }
+    case IntakeKind::kForemanBeat:
+      if (event.worker < last_foreman_beat_.size()) {
+        last_foreman_beat_[event.worker] = engine_.now();
+      }
+      break;
   }
 }
 
@@ -69,10 +210,22 @@ void Scheduler::transition(TaskInfo& info, SchedulerTaskState to,
 }
 
 void Scheduler::submit_graph(const TaskGraph& graph, GraphDoneFn on_done) {
+  finalize_topology();
   if (graphs_.count(graph.name()) != 0) {
     throw std::invalid_argument("graph name already submitted: " +
                                 graph.name());
   }
+  // The whole submission journals as one batch group; the scope balances
+  // the group across the validation throws below.
+  struct JournalGroupScope {
+    Scheduler& scheduler;
+    explicit JournalGroupScope(Scheduler& s) : scheduler(s) {
+      scheduler.begin_journal_group();
+    }
+    ~JournalGroupScope() { scheduler.end_journal_group(); }
+  };
+  JournalGroupScope group(*this);
+
   GraphInfo& graph_info = graphs_[graph.name()];
   graph_info.name = graph.name();
   graph_info.remaining = graph.size();
@@ -97,13 +250,12 @@ void Scheduler::submit_graph(const TaskGraph& graph, GraphDoneFn on_done) {
   // both in-graph tasks and results of earlier graphs already in memory.
   std::vector<TaskKey> runnable;
   for (const auto& [key, spec] : graph.tasks()) {
-    auto [it, inserted] = tasks_.emplace(key, TaskInfo{});
+    auto [info, inserted] = tasks_.try_emplace(key);
     if (!inserted) {
       throw std::invalid_argument("task key resubmitted: " + key.to_string());
     }
-    TaskInfo& info = it->second;
-    info.spec = spec;
-    info.graph = graph.name();
+    info->spec = spec;
+    info->graph = graph.name();
     spec_order_.push_back(key);
     if (journal_ && !recovering_) {
       json::Object o;
@@ -116,26 +268,25 @@ void Scheduler::submit_graph(const TaskGraph& graph, GraphDoneFn on_done) {
   for (const auto& [key, spec] : graph.tasks()) {
     TaskInfo& info = tasks_.at(key);
     for (const auto& dep : spec.dependencies) {
-      const auto dep_it = tasks_.find(dep);
-      if (dep_it == tasks_.end()) {
+      TaskInfo* dep_info = tasks_.find(dep);
+      if (dep_info == nullptr) {
         throw std::invalid_argument("dependency never submitted: " +
                                     dep.to_string());
       }
-      TaskInfo& dep_info = dep_it->second;
-      if (dep_info.state == SchedulerTaskState::kForgotten) {
+      if (dep_info->state == SchedulerTaskState::kForgotten) {
         throw std::invalid_argument(
             "dependency was already released (mark it non-releasable): " +
             dep.to_string());
       }
-      dep_info.dependents.push_back(key);
-      ++dep_info.remaining_dependents;
-      if (dep_info.state == SchedulerTaskState::kMemory) {
-        if (!dep_info.who_has.empty()) continue;
+      dep_info->dependents.push_back(key);
+      ++dep_info->remaining_dependents;
+      if (dep_info->state == SchedulerTaskState::kMemory) {
+        if (!dep_info->who_has.empty()) continue;
         // The result survived in name only: every replica died with its
         // worker before this graph arrived (and with no dependents yet, the
         // failure handler had no reason to recompute it then). Rebuild it
         // now that someone needs it.
-        recompute_lost(dep_info);
+        recompute_lost(*dep_info);
       }
       ++info.waiting_on;
     }
@@ -158,17 +309,17 @@ Duration Scheduler::transfer_cost_estimate(const TaskInfo& info,
                                            const Worker& worker) const {
   Duration cost = 0.0;
   for (const auto& dep : info.spec.dependencies) {
-    const auto it = tasks_.find(dep);
-    if (it == tasks_.end()) continue;
-    const TaskInfo& dep_info = it->second;
-    if (dep_info.who_has.count(worker.id()) != 0) continue;
-    if (dep_info.who_has.empty()) continue;
+    const TaskInfo* dep_info = tasks_.find(dep);
+    if (dep_info == nullptr) continue;
+    if (dep_info->who_has.count(worker.id()) != 0) continue;
+    if (dep_info->who_has.empty()) continue;
     // Nearest replica.
     Duration best = std::numeric_limits<double>::infinity();
-    for (const WorkerId holder : dep_info.who_has) {
+    for (const WorkerId holder : dep_info->who_has) {
       const Worker* held = workers_.at(holder);
-      best = std::min(best, network_.estimate(held->node(), worker.node(),
-                                              dep_info.spec.work.output_bytes));
+      best = std::min(best,
+                      network_.estimate(held->node(), worker.node(),
+                                        dep_info->spec.work.output_bytes));
     }
     cost += best;
   }
@@ -187,18 +338,64 @@ Worker* Scheduler::decide_worker(const TaskInfo& info) {
   // Score = expected dep-transfer cost + occupancy penalty. The occupancy
   // penalty uses the observed mean duration of each worker's queue depth,
   // matching Dask's occupancy-based tie-breaking.
+  //
+  // Per-dependency replica sets are hoisted out of the per-worker scan, and
+  // the compute estimate (pure during the scan) is evaluated once. The
+  // floating-point evaluation order inside the scan is unchanged, so the
+  // hoisted form picks the identical worker.
+  struct DepTransfer {
+    const std::set<WorkerId>* who_has;
+    std::uint64_t bytes;
+  };
+  std::vector<DepTransfer> dep_transfers;
+  dep_transfers.reserve(info.spec.dependencies.size());
+  for (const auto& dep : info.spec.dependencies) {
+    const TaskInfo* dep_info = tasks_.find(dep);
+    if (dep_info == nullptr || dep_info->who_has.empty()) continue;
+    dep_transfers.push_back(
+        {&dep_info->who_has, dep_info->spec.work.output_bytes});
+  }
+  const double est = compute_estimate(info);
   Worker* best = nullptr;
   double best_score = std::numeric_limits<double>::infinity();
   const std::size_t offset = rr_counter_++;
+  if (dep_transfers.empty()) {
+    // No remote-replica dependencies: the transfer term is identically zero
+    // for every worker (0.0 * bias + occ * est == occ * est), so the scan
+    // reduces to pure occupancy.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const std::size_t index = (i + offset) % workers_.size();
+      if (!worker_alive_[index]) continue;
+      Worker* worker = workers_[index];
+      const double occupancy = static_cast<double>(in_flight_[index]) /
+                               static_cast<double>(worker->nthreads());
+      const double score = occupancy * est;
+      if (score < best_score) {
+        best_score = score;
+        best = worker;
+      }
+    }
+    return best;
+  }
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     const std::size_t index = (i + offset) % workers_.size();
     if (!worker_alive_[index]) continue;
     Worker* worker = workers_[index];
+    Duration cost = 0.0;
+    for (const DepTransfer& dep : dep_transfers) {
+      if (dep.who_has->count(worker->id()) != 0) continue;
+      Duration dep_best = std::numeric_limits<double>::infinity();
+      for (const WorkerId holder : *dep.who_has) {
+        const Worker* held = workers_.at(holder);
+        dep_best = std::min(
+            dep_best, network_.estimate(held->node(), worker->node(),
+                                        dep.bytes));
+      }
+      cost += dep_best;
+    }
     const double occupancy = static_cast<double>(in_flight_[index]) /
                              static_cast<double>(worker->nthreads());
-    const double score =
-        transfer_cost_estimate(info, *worker) * config_.locality_bias +
-        occupancy * compute_estimate(info);
+    const double score = cost * config_.locality_bias + occupancy * est;
     if (score < best_score) {
       best_score = score;
       best = worker;
@@ -238,29 +435,28 @@ void Scheduler::send_to_worker(TaskInfo& info, Worker* worker,
   // Locations of dependencies the worker must gather from peers.
   std::vector<DepLocation> deps;
   for (const auto& dep : info.spec.dependencies) {
-    const auto it = tasks_.find(dep);
-    if (it == tasks_.end()) continue;
-    const TaskInfo& dep_info = it->second;
-    if (dep_info.who_has.count(worker->id()) != 0) continue;
-    if (dep_info.who_has.empty()) {
+    const TaskInfo* dep_info = tasks_.find(dep);
+    if (dep_info == nullptr) continue;
+    if (dep_info->who_has.count(worker->id()) != 0) continue;
+    if (dep_info->who_has.empty()) {
       throw std::logic_error("dispatching task with unmet dependency " +
                              dep.to_string() + " [stimulus=" + stimulus +
                              " stolen=" + (stolen ? "1" : "0") + "]");
     }
     // Nearest replica serves the transfer.
-    WorkerId holder = *dep_info.who_has.begin();
+    WorkerId holder = *dep_info->who_has.begin();
     Duration best = std::numeric_limits<double>::infinity();
-    for (const WorkerId candidate : dep_info.who_has) {
+    for (const WorkerId candidate : dep_info->who_has) {
       const Duration est =
           network_.estimate(workers_.at(candidate)->node(), worker->node(),
-                            dep_info.spec.work.output_bytes);
+                            dep_info->spec.work.output_bytes);
       if (est < best) {
         best = est;
         holder = candidate;
       }
     }
     DepLocation loc{dep, holder, workers_.at(holder)->node(),
-                    dep_info.spec.work.output_bytes, /*oob=*/false, {}};
+                    dep_info->spec.work.output_bytes, /*oob=*/false, {}};
     // Results published to the datastore travel by reference: the worker
     // gets a proxy and pulls the payload from the holder's shard directly.
     if (datastore_ != nullptr) {
@@ -274,6 +470,16 @@ void Scheduler::send_to_worker(TaskInfo& info, Worker* worker,
 
   const TaskSpec spec = info.spec;
   const std::string graph = info.graph;
+  // Route through the worker's foreman when the tier exists. The foreman
+  // applies the same control-latency hop; a foreman that died with the
+  // message queued drops it, and the root's foreman-lease reclaim
+  // re-dispatches the task.
+  Foreman* via = worker->id() < foreman_of_.size() ? foreman_of_[worker->id()]
+                                                   : nullptr;
+  if (via != nullptr) {
+    via->deliver(worker, spec, graph, deps, stolen);
+    return;
+  }
   engine_.schedule_after(config_.control_latency,
                          [worker, spec, graph, deps, stolen] {
                            worker->assign_task(spec, graph, deps, stolen);
@@ -282,9 +488,9 @@ void Scheduler::send_to_worker(TaskInfo& info, Worker* worker,
 
 void Scheduler::on_task_finished(const TaskKey& key, const TaskRecord& record,
                                  bool failed) {
-  auto it = tasks_.find(key);
-  if (it == tasks_.end()) return;
-  TaskInfo& info = it->second;
+  TaskInfo* found = tasks_.find(key);
+  if (found == nullptr) return;
+  TaskInfo& info = *found;
   // Stale completion from a worker that lost the assignment (failure
   // recovery re-dispatched the task elsewhere).
   if (info.assigned != nullptr && info.assigned->id() != record.worker) {
@@ -337,24 +543,32 @@ void Scheduler::on_task_finished(const TaskKey& key, const TaskRecord& record,
     pending_fetch_waiters_.erase(waiters);
   }
 
-  // Unblock dependents.
+  // Unblock dependents. The incremental waiting_on counter can drift low:
+  // recompute_lost pulls an already-counted-done dependency back out of
+  // memory without reaching into waiting dependents' counters. Dispatch
+  // therefore recounts from ground truth — a zero counter is a trigger to
+  // check, not proof of readiness.
   for (const auto& dependent_key : info.dependents) {
     TaskInfo& dependent = tasks_.at(dependent_key);
     if (dependent.waiting_on == 0) continue;  // already released (retry path)
     if (--dependent.waiting_on == 0) {
-      dispatch(dependent, "task-finished");
+      const std::size_t unmet = unmet_dependencies(dependent);
+      if (unmet == 0) {
+        dispatch(dependent, "task-finished");
+      } else {
+        dependent.waiting_on = unmet;
+      }
     }
   }
 
   // Reference-counted release of this task's own dependencies.
   for (const auto& dep_key : info.spec.dependencies) {
-    const auto dep_it = tasks_.find(dep_key);
-    if (dep_it == tasks_.end()) continue;
-    TaskInfo& dep_info = dep_it->second;
-    if (dep_info.remaining_dependents > 0) {
-      --dep_info.remaining_dependents;
+    TaskInfo* dep_info = tasks_.find(dep_key);
+    if (dep_info == nullptr) continue;
+    if (dep_info->remaining_dependents > 0) {
+      --dep_info->remaining_dependents;
     }
-    maybe_release(dep_info);
+    maybe_release(*dep_info);
   }
 
   // Workers freed capacity: reconsider the scheduler queue.
@@ -389,6 +603,20 @@ void Scheduler::graph_completed(GraphInfo& graph) {
   }
 }
 
+std::size_t Scheduler::unmet_dependencies(const TaskInfo& info) const {
+  std::size_t unmet = 0;
+  for (const auto& dep : info.spec.dependencies) {
+    const TaskInfo* dep_info = tasks_.find(dep);
+    if (dep_info == nullptr) continue;  // external (validated in memory)
+    if (dep_info->state == SchedulerTaskState::kMemory &&
+        !dep_info->who_has.empty()) {
+      continue;
+    }
+    ++unmet;
+  }
+  return unmet;
+}
+
 void Scheduler::maybe_release(TaskInfo& info) {
   if (!info.spec.work.releasable) return;
   if (info.state != SchedulerTaskState::kMemory) return;
@@ -410,11 +638,10 @@ void Scheduler::maybe_release(TaskInfo& info) {
 bool Scheduler::requeue_if_deps_lost(TaskInfo& info) {
   bool lost = false;
   for (const auto& dep : info.spec.dependencies) {
-    const auto dep_it = tasks_.find(dep);
-    if (dep_it == tasks_.end()) continue;
-    const TaskInfo& dep_info = dep_it->second;
-    if (dep_info.state == SchedulerTaskState::kMemory &&
-        !dep_info.who_has.empty()) {
+    const TaskInfo* dep_info = tasks_.find(dep);
+    if (dep_info == nullptr) continue;
+    if (dep_info->state == SchedulerTaskState::kMemory &&
+        !dep_info->who_has.empty()) {
       continue;
     }
     lost = true;
@@ -429,15 +656,14 @@ bool Scheduler::requeue_if_deps_lost(TaskInfo& info) {
   transition(info, SchedulerTaskState::kWaiting, "lost-dependency");
   info.waiting_on = 0;
   for (const auto& dep : info.spec.dependencies) {
-    const auto dep_it = tasks_.find(dep);
-    if (dep_it == tasks_.end()) continue;
-    TaskInfo& dep_info = dep_it->second;
-    if (dep_info.state == SchedulerTaskState::kMemory) {
-      if (!dep_info.who_has.empty()) continue;
-      recompute_lost(dep_info);
+    TaskInfo* dep_info = tasks_.find(dep);
+    if (dep_info == nullptr) continue;
+    if (dep_info->state == SchedulerTaskState::kMemory) {
+      if (!dep_info->who_has.empty()) continue;
+      recompute_lost(*dep_info);
     }
-    if (dep_info.state == SchedulerTaskState::kMemory &&
-        !dep_info.who_has.empty()) {
+    if (dep_info->state == SchedulerTaskState::kMemory &&
+        !dep_info->who_has.empty()) {
       continue;
     }
     ++info.waiting_on;
@@ -473,10 +699,10 @@ void Scheduler::drain_queue() {
 
 void Scheduler::schedule_refetch(const TaskKey& key, WorkerId holder,
                                  Worker* requester) {
-  const auto it = tasks_.find(key);
-  if (it == tasks_.end()) return;
+  const TaskInfo* info = tasks_.find(key);
+  if (info == nullptr) return;
   DepLocation loc{key, holder, workers_.at(holder)->node(),
-                  it->second.spec.work.output_bytes, /*oob=*/false, {}};
+                  info->spec.work.output_bytes, /*oob=*/false, {}};
   if (datastore_ != nullptr) {
     if (const auto proxy = datastore_->proxy_for(key.to_string())) {
       loc.oob = true;
@@ -489,9 +715,9 @@ void Scheduler::schedule_refetch(const TaskKey& key, WorkerId holder,
 
 void Scheduler::on_missing_dep(const TaskKey& key, WorkerId requester,
                                WorkerId failed_holder) {
-  const auto it = tasks_.find(key);
-  if (it == tasks_.end()) return;
-  TaskInfo& info = it->second;
+  TaskInfo* found = tasks_.find(key);
+  if (found == nullptr) return;
+  TaskInfo& info = *found;
   // The failed holder's copy is unusable (evicted, lost, or its worker
   // died): stop routing fetches at it.
   info.who_has.erase(failed_holder);
@@ -508,7 +734,7 @@ void Scheduler::on_missing_dep(const TaskKey& key, WorkerId requester,
   // Redirect to the nearest surviving replica, if any.
   WorkerId fallback = 0;
   Duration best = std::numeric_limits<double>::infinity();
-  bool found = false;
+  bool found_replica = false;
   for (const WorkerId candidate : info.who_has) {
     if (!worker_alive_[candidate]) continue;
     const Duration est =
@@ -517,10 +743,10 @@ void Scheduler::on_missing_dep(const TaskKey& key, WorkerId requester,
     if (est < best) {
       best = est;
       fallback = candidate;
-      found = true;
+      found_replica = true;
     }
   }
-  if (found) {
+  if (found_replica) {
     schedule_refetch(key, fallback, req);
     return;
   }
@@ -535,6 +761,7 @@ void Scheduler::on_missing_dep(const TaskKey& key, WorkerId requester,
 
 void Scheduler::start_stealing_loop() {
   if (!config_.work_stealing || stopped_) return;
+  finalize_topology();
   engine_.schedule_after(config_.work_stealing_interval, [this] {
     if (stopped_) return;
     stealing_round();
@@ -543,14 +770,28 @@ void Scheduler::start_stealing_loop() {
 }
 
 void Scheduler::stealing_round() {
+  if (config_.foreman_autonomy && !foremen_.empty()) {
+    // Pool-local balancing: each foreman's pool steals internally, cutting
+    // the O(W^2) global sweep to O(pool^2) per pool. Victim choice changes,
+    // so this mode is conformance-checked rather than byte-compared.
+    for (const auto& foreman : foremen_) {
+      if (foreman->alive()) pool_stealing_round(foreman->pool());
+    }
+    return;
+  }
+  pool_stealing_round(workers_);
+}
+
+void Scheduler::pool_stealing_round(const std::vector<Worker*>& pool) {
+  begin_journal_group();
   // Idle thieves pull ready tasks from saturated victims when the task's
   // estimated compute dominates the data movement it would cause.
-  for (Worker* thief : workers_) {
+  for (Worker* thief : pool) {
     if (!worker_alive_[thief->id()]) continue;
     if (in_flight_[thief->id()] >= thief->nthreads()) continue;
     Worker* victim = nullptr;
     std::size_t victim_backlog = 0;
-    for (Worker* candidate : workers_) {
+    for (Worker* candidate : pool) {
       if (candidate == thief) continue;
       if (!worker_alive_[candidate->id()]) continue;
       const std::size_t backlog = candidate->ready_count();
@@ -593,6 +834,7 @@ void Scheduler::stealing_round() {
     // transition with the "steal" stimulus and the new assignment).
     send_to_worker(info, thief, "steal", /*stolen=*/true);
   }
+  end_journal_group();
 }
 
 void Scheduler::heartbeat(WorkerId worker) {
@@ -603,6 +845,10 @@ void Scheduler::heartbeat(WorkerId worker) {
 
 void Scheduler::start_lease_loop() {
   if (!config_.lease_liveness || stopped_) return;
+  finalize_topology();
+  // Foremen run their own pool lease sweeps and report one aggregate beat
+  // upstream per interval (idempotent across the loop's re-arms).
+  for (const auto& foreman : foremen_) foreman->start_liveness_loops();
   engine_.schedule_after(config_.heartbeat_interval, [this] {
     if (stopped_) return;
     lease_round();
@@ -615,15 +861,27 @@ void Scheduler::lease_round() {
   // emitting a death notification (hung event loop, network partition). The
   // reclaim path is the same idempotent handler SSG death detection feeds,
   // so double detection is harmless.
-  const Duration expiry = config_.heartbeat_interval * config_.lease_misses;
+  const Duration expiry = config_.lease_expiry();
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     if (!worker_alive_[i]) continue;
+    // Pool workers' leases are delegated to their foreman (their heartbeats
+    // never reach the root); the root only watches foreman beats. The
+    // routing entry is reset when a dead foreman's pool is reclaimed.
+    if (foreman_of_[i] != nullptr) continue;
     if (engine_.now() - last_heartbeat_[i] <= expiry) continue;
     ++lease_expirations_;
     logs_.log(LogLevel::kError, "scheduler",
-              "lease expired for " + workers_[i]->address() + " (no heartbeat for " +
+              "lease expired for " + workers_[i]->address() +
+                  " (no heartbeat for " +
                   std::to_string(engine_.now() - last_heartbeat_[i]) + "s)");
     on_worker_failed(static_cast<WorkerId>(i));
+  }
+  // Foreman liveness from missed beats only — the root must not peek at
+  // foreman->alive() (a real root can't), detection comes from silence.
+  for (std::size_t f = 0; f < foremen_.size(); ++f) {
+    if (foreman_failed_[f]) continue;
+    if (engine_.now() - last_foreman_beat_[f] <= expiry) continue;
+    on_foreman_failed(static_cast<std::uint32_t>(f));
   }
 }
 
@@ -634,14 +892,13 @@ void Scheduler::recompute_lost(TaskInfo& info) {
   graphs_.at(info.graph).remaining += 1;
   info.waiting_on = 0;
   for (const auto& dep : info.spec.dependencies) {
-    const auto dep_it = tasks_.find(dep);
-    if (dep_it == tasks_.end()) continue;
-    TaskInfo& dep_info = dep_it->second;
-    if (dep_info.state == SchedulerTaskState::kMemory) {
-      if (!dep_info.who_has.empty()) continue;
-      recompute_lost(dep_info);  // transitively lost
+    TaskInfo* dep_info = tasks_.find(dep);
+    if (dep_info == nullptr) continue;
+    if (dep_info->state == SchedulerTaskState::kMemory) {
+      if (!dep_info->who_has.empty()) continue;
+      recompute_lost(*dep_info);  // transitively lost
     }
-    if (dep_info.state == SchedulerTaskState::kForgotten) {
+    if (dep_info->state == SchedulerTaskState::kForgotten) {
       // A released dependency cannot be rebuilt: terminal error.
       transition(info, SchedulerTaskState::kErred, "unrecoverable");
       ++erred_;
@@ -692,15 +949,14 @@ void Scheduler::requeue_after_failure(TaskInfo& info) {
   transition(info, SchedulerTaskState::kWaiting, "worker-failed");
   info.waiting_on = 0;
   for (const auto& dep : info.spec.dependencies) {
-    const auto dep_it = tasks_.find(dep);
-    if (dep_it == tasks_.end()) continue;
-    TaskInfo& dep_info = dep_it->second;
-    if (dep_info.state == SchedulerTaskState::kMemory) {
-      if (!dep_info.who_has.empty()) continue;
-      recompute_lost(dep_info);
+    TaskInfo* dep_info = tasks_.find(dep);
+    if (dep_info == nullptr) continue;
+    if (dep_info->state == SchedulerTaskState::kMemory) {
+      if (!dep_info->who_has.empty()) continue;
+      recompute_lost(*dep_info);
     }
-    if (dep_info.state == SchedulerTaskState::kMemory &&
-        !dep_info.who_has.empty()) {
+    if (dep_info->state == SchedulerTaskState::kMemory &&
+        !dep_info->who_has.empty()) {
       continue;
     }
     ++info.waiting_on;
@@ -727,41 +983,161 @@ void Scheduler::on_worker_failed(WorkerId worker) {
     plugin->on_worker_removed(worker, dead->address(), engine_.now());
   }
 
-  // Purge the dead worker's replicas everywhere.
-  for (auto& [key, info] : tasks_) {
-    info.who_has.erase(worker);
-  }
+  begin_journal_group();
+  // Purge the dead worker's replicas everywhere (order-independent sweep).
+  tasks_.for_each(
+      [worker](const TaskKey&, TaskInfo& info) { info.who_has.erase(worker); });
   // Re-dispatch its in-flight tasks, then recompute results whose only
-  // copies died with it (only those some dependent still needs).
-  for (auto& [key, info] : tasks_) {
+  // copies died with it (only those some dependent still needs). Both
+  // sweeps bear side effects, so they run in global key order — identical
+  // to the former ordered-map iteration.
+  tasks_.for_each_ordered([this, dead](const TaskKey&, TaskInfo& info) {
     if (info.state == SchedulerTaskState::kProcessing &&
         info.assigned == dead) {
       info.assigned = nullptr;
       requeue_after_failure(info);
     }
-  }
-  for (auto& [key, info] : tasks_) {
+  });
+  tasks_.for_each_ordered([this](const TaskKey&, TaskInfo& info) {
     if (info.state == SchedulerTaskState::kMemory && info.who_has.empty() &&
         info.remaining_dependents > 0) {
       recompute_lost(info);
     }
-  }
+  });
   drain_queue();
+  end_journal_group();
+}
+
+void Scheduler::on_foreman_failed(std::uint32_t foreman) {
+  if (foreman >= foremen_.size() || foreman_failed_[foreman]) return;
+  foreman_failed_[foreman] = true;
+  ++foreman_failures_;
+  Foreman* dead = foremen_[foreman].get();
+  dead->kill();  // idempotent when chaos already killed the process
+  logs_.log(LogLevel::kError, "scheduler",
+            "Remove foreman " + dead->address() +
+                " (missed beats); re-homing its pool");
+
+  // Successor: the next alive foreman in circular order, if any survives;
+  // otherwise the pool reports direct-to-root.
+  Foreman* successor = nullptr;
+  for (std::size_t step = 1; step < foremen_.size(); ++step) {
+    Foreman* candidate = foremen_[(foreman + step) % foremen_.size()].get();
+    if (candidate->alive()) {
+      successor = candidate;
+      break;
+    }
+  }
+  for (Worker* worker : dead->pool()) {
+    const WorkerId wid = worker->id();
+    if (wid >= worker_alive_.size() || !worker_alive_[wid]) continue;
+    if (foreman_of_[wid] != dead) continue;  // already re-homed
+    // Capture the unacked completion tail before rewiring (direct wiring
+    // turns ack tracking off, which clears the retained copies).
+    const auto unacked = worker->unacked_completions();
+    if (successor != nullptr) {
+      successor->adopt_worker(worker);
+      foreman_of_[wid] = successor;
+    } else {
+      wire_worker_direct(worker);
+      foreman_of_[wid] = nullptr;
+      last_heartbeat_[wid] = engine_.now();  // fresh root lease
+    }
+    // Replay reports that died in the foreman's buffer. At-least-once: the
+    // stale-completion guards in on_task_finished dedupe replays of reports
+    // that did make it upstream before the crash.
+    for (const auto& pending : unacked) {
+      IntakeEvent event;
+      event.kind = IntakeKind::kCompletion;
+      event.key = pending.key;
+      event.record = pending.record;
+      event.failed = pending.failed;
+      event.worker = pending.record.worker;
+      enqueue_event(std::move(event));
+    }
+    worker->ack_completions(unacked.size());
+  }
+  pump_intake();
+
+  // Assignments that died in the foreman's inbox: kProcessing tasks routed
+  // to its pool whose worker never received them are re-dispatched.
+  begin_journal_group();
+  std::set<WorkerId> pool_ids;
+  for (const Worker* worker : dead->pool()) pool_ids.insert(worker->id());
+  tasks_.for_each_ordered([&](const TaskKey& key, TaskInfo& info) {
+    if (info.state != SchedulerTaskState::kProcessing) return;
+    if (info.assigned == nullptr) return;
+    const WorkerId wid = info.assigned->id();
+    if (pool_ids.count(wid) == 0) return;
+    if (wid < worker_alive_.size() && worker_alive_[wid] &&
+        info.assigned->has_task(key)) {
+      return;  // the assignment landed and is still executing — leave it
+    }
+    info.assigned = nullptr;
+    if (in_flight_[wid] > 0) --in_flight_[wid];
+    requeue_after_failure(info);
+  });
+  drain_queue();
+  end_journal_group();
 }
 
 void Scheduler::enable_durability(SchedulerDurability durability) {
   journal_ = std::make_unique<wal::WalWriter>(durability.dir, durability.wal);
   // Resume-aware: the journal may already hold records from a previous
-  // process (checkpoint positions index into the full journal, so the count
-  // must be total, not per-session).
-  const wal::ReplayStats stats =
-      wal::WalWriter::replay(durability.dir, [](std::string_view) {});
-  journal_records_ = stats.compacted_records + stats.records;
+  // process. Checkpoint positions index the *logical* record stream (batch
+  // groups expanded); each batch frame carries the logical index of its
+  // first record, so the count re-syncs across compacted prefixes.
+  struct FrameMeta {
+    bool batch = false;
+    std::size_t base = 0;
+    std::size_t count = 1;
+  };
+  std::vector<FrameMeta> metas;
+  const wal::ReplayStats stats = wal::WalWriter::replay(
+      durability.dir, [&metas](std::string_view payload) {
+        const json::Value v = wire::looks_binary(payload)
+                                  ? wire::decode_value(payload)
+                                  : json::parse(payload);
+        FrameMeta meta;
+        if (v.get_string("t", "") == "batch") {
+          meta.batch = true;
+          meta.base = static_cast<std::size_t>(v.get_int("base", 0));
+          meta.count = v.at("recs").as_array().size();
+        }
+        metas.push_back(meta);
+      });
+  std::size_t next = static_cast<std::size_t>(stats.compacted_records);
+  for (const FrameMeta& meta : metas) {
+    if (meta.batch) next = meta.base;
+    next += meta.count;
+  }
+  journal_records_ = next;
+  journal_frames_ =
+      static_cast<std::size_t>(stats.compacted_records) + metas.size();
   durability_ = std::move(durability);
 }
 
 void Scheduler::journal_append(const json::Value& record) {
-  journal_->append(wire::encode_value(record));
+  if (config_.legacy_intake) {
+    // One record per WAL frame, the pre-batching format.
+    journal_->append(wire::encode_value(record));
+    ++journal_frames_;
+  } else if (journal_group_depth_ > 0) {
+    if (journal_group_buffer_.empty()) journal_group_base_ = journal_records_;
+    journal_group_buffer_.push_back(record);
+  } else {
+    // Outside any group, batched mode still writes a (singleton) group so
+    // every frame carries its logical base — recovery re-syncs logical
+    // indices from it after compaction.
+    json::Object o;
+    o["t"] = "batch";
+    o["base"] = journal_records_;
+    json::Array recs;
+    recs.push_back(record);
+    o["recs"] = std::move(recs);
+    journal_->append(wire::encode_value(json::Value(std::move(o))));
+    ++journal_frames_;
+  }
   ++journal_records_;
   if (durability_->checkpoint_every > 0 && !recovering_ &&
       journal_records_ % durability_->checkpoint_every == 0) {
@@ -769,14 +1145,38 @@ void Scheduler::journal_append(const json::Value& record) {
   }
 }
 
+void Scheduler::begin_journal_group() {
+  if (journal_ == nullptr || config_.legacy_intake || recovering_) return;
+  ++journal_group_depth_;
+}
+
+void Scheduler::end_journal_group() {
+  if (journal_group_depth_ == 0) return;
+  if (--journal_group_depth_ == 0) flush_journal_group();
+}
+
+void Scheduler::flush_journal_group() {
+  if (journal_group_buffer_.empty()) return;
+  json::Object o;
+  o["t"] = "batch";
+  o["base"] = journal_group_base_;
+  o["recs"] = std::move(journal_group_buffer_);
+  journal_group_buffer_ = json::Array{};
+  journal_->append(wire::encode_value(json::Value(std::move(o))));
+  ++journal_frames_;
+}
+
 void Scheduler::checkpoint() {
   if (!durability_) return;
-  // The checkpoint's journal position must never exceed what is readable
-  // from disk, or recovery would replay pre-checkpoint records twice.
+  // Snapshots always land on a batch-group boundary: flush the open group
+  // (mid-scope appends then open a fresh group with a new base), then make
+  // sure everything the snapshot's journal position covers is readable.
+  flush_journal_group();
   journal_->flush();
 
   json::Object o;
   o["journal_records"] = journal_records_;
+  o["journal_frames"] = journal_frames_;
   o["rr_counter"] = rr_counter_;
   o["erred"] = erred_;
   json::Array prefixes;
@@ -798,7 +1198,7 @@ void Scheduler::checkpoint() {
   }
   o["graphs"] = std::move(graphs);
   json::Array tasks;
-  for (const auto& [key, info] : tasks_) {
+  tasks_.for_each_ordered([&tasks](const TaskKey& key, const TaskInfo& info) {
     json::Object t;
     t["key"] = to_json(key);
     t["graph"] = info.graph;
@@ -812,7 +1212,7 @@ void Scheduler::checkpoint() {
     }
     t["who_has"] = std::move(who);
     tasks.push_back(json::Value(std::move(t)));
-  }
+  });
   o["tasks"] = std::move(tasks);
   json::Array queued;
   for (const TaskKey& key : queued_) queued.push_back(to_json(key));
@@ -823,11 +1223,11 @@ void Scheduler::checkpoint() {
     // order: dependent registration at recovery relies on it).
     json::Array specs;
     for (const TaskKey& key : spec_order_) {
-      const auto it = tasks_.find(key);
-      if (it == tasks_.end()) continue;
+      const TaskInfo* info = tasks_.find(key);
+      if (info == nullptr) continue;
       json::Object s;
-      s["graph"] = it->second.graph;
-      s["spec"] = to_json(it->second.spec);
+      s["graph"] = info->graph;
+      s["spec"] = to_json(info->spec);
       specs.push_back(json::Value(std::move(s)));
     }
     o["specs"] = std::move(specs);
@@ -845,10 +1245,11 @@ void Scheduler::checkpoint() {
 
   // Journal compaction bounded by checkpoint age: every record the snapshot
   // covers is redundant for recovery, so whole leading segments below that
-  // watermark can go. Runs after the atomic rename — a crash in between
+  // watermark can go. The watermark counts physical frames — what the WAL
+  // actually stores. Runs after the atomic rename — a crash in between
   // still has the old checkpoint and the uncompacted journal.
   if (durability_->compact_on_checkpoint) {
-    journal_->compact(journal_records_);
+    journal_->compact(journal_frames_);
   }
 }
 
@@ -874,30 +1275,61 @@ void Scheduler::recover() {
   const std::size_t cp_records =
       have_cp ? static_cast<std::size_t>(cp.get_int("journal_records", 0)) : 0;
 
-  std::vector<json::Value> records;
   // Journals written before the binary codec hold JSON text; the first
   // byte tells them apart, so old journals keep replaying.
+  std::vector<json::Value> frames;
   const wal::ReplayStats replay_stats = wal::WalWriter::replay(
-      durability_->dir, [&records](std::string_view payload) {
-        records.push_back(wire::looks_binary(payload)
-                              ? wire::decode_value(payload)
-                              : json::parse(payload));
+      durability_->dir, [&frames](std::string_view payload) {
+        frames.push_back(wire::looks_binary(payload)
+                             ? wire::decode_value(payload)
+                             : json::parse(payload));
       });
-  // Checkpoint positions index the *full* journal; a compacted prefix
-  // shifts every surviving record down by `compacted` local slots.
-  const std::size_t compacted =
+  const std::size_t compacted_frames =
       static_cast<std::size_t>(replay_stats.compacted_records);
-  journal_records_ = compacted + records.size();
+
+  // Expand batch groups into the logical record stream. A torn tail drops
+  // whole frames, so a batch group is atomically present or absent — a
+  // crash mid-group can never replay half a batch. Each group frame carries
+  // the logical index of its first record ("base"), which re-syncs logical
+  // positions after compaction; bare frames (legacy journals) advance the
+  // running index by one.
+  std::vector<json::Value> records;
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t next_logical = compacted_frames;
+  std::size_t first_logical = npos;
+  for (json::Value& frame : frames) {
+    if (frame.get_string("t", "") == "batch") {
+      next_logical = static_cast<std::size_t>(
+          frame.get_int("base", static_cast<std::int64_t>(next_logical)));
+      json::Array& recs = frame["recs"].as_array();
+      if (first_logical == npos && !recs.empty()) first_logical = next_logical;
+      for (json::Value& rec : recs) {
+        records.push_back(std::move(rec));
+        ++next_logical;
+      }
+    } else {
+      if (first_logical == npos) first_logical = next_logical;
+      records.push_back(std::move(frame));
+      ++next_logical;
+    }
+  }
+  journal_frames_ = compacted_frames + frames.size();
+  journal_records_ = records.empty()
+                         ? (have_cp ? std::max(cp_records, compacted_frames)
+                                    : compacted_frames)
+                         : next_logical;
+  if (first_logical == npos) first_logical = journal_records_;
   if (cp_records > journal_records_) {
     throw wal::WalError("scheduler checkpoint is ahead of the journal (" +
                         std::to_string(cp_records) + " > " +
                         std::to_string(journal_records_) + " records)");
   }
-  if (cp_records < compacted) {
-    throw wal::WalError(
-        "journal compacted past the checkpoint (" + std::to_string(compacted) +
-        " > " + std::to_string(cp_records) +
-        " records): specs before the snapshot are unrecoverable");
+  if (cp_records < first_logical) {
+    throw wal::WalError("journal compacted past the checkpoint (" +
+                        std::to_string(first_logical) + " > " +
+                        std::to_string(cp_records) +
+                        " records): specs before the snapshot are "
+                        "unrecoverable");
   }
 
   // Pass 1 (surviving journal): record vectors are full-history provenance,
@@ -910,7 +1342,7 @@ void Scheduler::recover() {
     for (const json::Value& s : cp.at("specs").as_array()) {
       TaskSpec spec = spec_from_json(s.at("spec"));
       const TaskKey key = spec.key;
-      TaskInfo& info = tasks_[key];
+      TaskInfo& info = *tasks_.try_emplace(key).first;
       info.spec = std::move(spec);
       info.graph = s.get_string("graph", "");
       spec_order.push_back(key);
@@ -925,8 +1357,8 @@ void Scheduler::recover() {
     } else if (type == "spec") {
       TaskSpec spec = spec_from_json(rec.at("spec"));
       const TaskKey key = spec.key;
-      if (tasks_.count(key) != 0) continue;  // already in checkpoint specs
-      TaskInfo& info = tasks_[key];
+      if (tasks_.contains(key)) continue;  // already in checkpoint specs
+      TaskInfo& info = *tasks_.try_emplace(key).first;
       info.spec = std::move(spec);
       info.graph = rec.get_string("graph", "");
       spec_order.push_back(key);
@@ -973,15 +1405,14 @@ void Scheduler::recover() {
     if (cp.contains("tasks")) {
       for (const json::Value& t : cp.at("tasks").as_array()) {
         const TaskKey key = key_from_json(t.at("key"));
-        const auto it = tasks_.find(key);
-        if (it == tasks_.end()) continue;
-        TaskInfo& info = it->second;
-        info.state = scheduler_state_from_string(
-            t.get_string("state", "released"));
-        info.retries = static_cast<std::uint32_t>(t.get_int("retries", 0));
-        info.resubmissions =
+        TaskInfo* info = tasks_.find(key);
+        if (info == nullptr) continue;
+        info->state =
+            scheduler_state_from_string(t.get_string("state", "released"));
+        info->retries = static_cast<std::uint32_t>(t.get_int("retries", 0));
+        info->resubmissions =
             static_cast<std::uint32_t>(t.get_int("resubmissions", 0));
-        info.remaining_dependents =
+        info->remaining_dependents =
             static_cast<std::size_t>(t.get_int("remaining_dependents", 0));
       }
     }
@@ -995,16 +1426,16 @@ void Scheduler::recover() {
   // Pass 2 (journal suffix past the checkpoint): replay control-state
   // deltas — states from transitions, counters from their stimuli,
   // release refcounts from spec registration and task completion.
-  // cp_records indexes the full log; `records` starts `compacted` in.
+  // cp_records indexes the logical log; `records` starts at first_logical.
   std::vector<TaskKey> queued_post;
-  for (std::size_t i = cp_records - compacted; i < records.size(); ++i) {
+  for (std::size_t i = cp_records - first_logical; i < records.size(); ++i) {
     const json::Value& rec = records[i];
     const std::string type = rec.get_string("t", "");
     if (type == "transition") {
       const TransitionRecord tr = transition_from_json(rec.at("r"));
-      const auto it = tasks_.find(tr.key);
-      if (it == tasks_.end()) continue;
-      TaskInfo& info = it->second;
+      TaskInfo* found = tasks_.find(tr.key);
+      if (found == nullptr) continue;
+      TaskInfo& info = *found;
       info.state = scheduler_state_from_string(tr.to_state);
       if (tr.stimulus == "retry") ++info.retries;
       if (tr.stimulus == "worker-failed") ++info.resubmissions;
@@ -1015,18 +1446,17 @@ void Scheduler::recover() {
       if (info.state == SchedulerTaskState::kMemory &&
           tr.stimulus == "task-finished") {
         for (const TaskKey& dep : info.spec.dependencies) {
-          const auto dep_it = tasks_.find(dep);
-          if (dep_it != tasks_.end() &&
-              dep_it->second.remaining_dependents > 0) {
-            --dep_it->second.remaining_dependents;
+          TaskInfo* dep_info = tasks_.find(dep);
+          if (dep_info != nullptr && dep_info->remaining_dependents > 0) {
+            --dep_info->remaining_dependents;
           }
         }
       }
     } else if (type == "spec") {
       const TaskKey key = key_from_json(rec.at("spec").at("key"));
       for (const TaskKey& dep : tasks_.at(key).spec.dependencies) {
-        const auto dep_it = tasks_.find(dep);
-        if (dep_it != tasks_.end()) ++dep_it->second.remaining_dependents;
+        TaskInfo* dep_info = tasks_.find(dep);
+        if (dep_info != nullptr) ++dep_info->remaining_dependents;
       }
     } else if (type == "task") {
       const TaskRecord tr = task_from_json(rec.at("r"));
@@ -1045,8 +1475,9 @@ void Scheduler::recover() {
     in_flight_[i] = 0;
     last_heartbeat_[i] = engine_.now();  // fresh leases after restart
   }
+  for (TimePoint& beat : last_foreman_beat_) beat = engine_.now();
   std::vector<TaskKey> orphaned;
-  for (auto& [key, info] : tasks_) {
+  tasks_.for_each_ordered([&](const TaskKey& key, TaskInfo& info) {
     info.assigned = nullptr;
     info.who_has.clear();
     if (info.state == SchedulerTaskState::kMemory) {
@@ -1068,29 +1499,28 @@ void Scheduler::recover() {
       }
       if (info.assigned == nullptr) orphaned.push_back(key);
     }
-  }
-  for (auto& [key, info] : tasks_) {
-    if (info.state != SchedulerTaskState::kWaiting) continue;
+  });
+  tasks_.for_each_ordered([this](const TaskKey&, TaskInfo& info) {
+    if (info.state != SchedulerTaskState::kWaiting) return;
     info.waiting_on = 0;
     for (const TaskKey& dep : info.spec.dependencies) {
-      const auto dep_it = tasks_.find(dep);
-      if (dep_it == tasks_.end()) continue;
-      const TaskInfo& dep_info = dep_it->second;
-      if (dep_info.state == SchedulerTaskState::kMemory &&
-          !dep_info.who_has.empty()) {
+      const TaskInfo* dep_info = tasks_.find(dep);
+      if (dep_info == nullptr) continue;
+      if (dep_info->state == SchedulerTaskState::kMemory &&
+          !dep_info->who_has.empty()) {
         continue;
       }
       ++info.waiting_on;
     }
-  }
+  });
   // Queue order: checkpointed order first, then post-checkpoint arrivals,
   // keeping only tasks still queued (and each at most once).
   queued_.clear();
   std::set<TaskKey> enqueued;
   const auto enqueue_if_current = [this, &enqueued](const TaskKey& key) {
-    const auto it = tasks_.find(key);
-    if (it == tasks_.end()) return;
-    if (it->second.state != SchedulerTaskState::kQueued) return;
+    const TaskInfo* info = tasks_.find(key);
+    if (info == nullptr) return;
+    if (info->state != SchedulerTaskState::kQueued) return;
     if (!enqueued.insert(key).second) return;
     queued_.push_back(key);
   };
@@ -1098,14 +1528,14 @@ void Scheduler::recover() {
   for (const TaskKey& key : queued_post) enqueue_if_current(key);
   // Graph accounting from first principles: every task not terminal counts.
   for (auto& [name, graph] : graphs_) graph.remaining = 0;
-  for (const auto& [key, info] : tasks_) {
+  tasks_.for_each([this](const TaskKey&, const TaskInfo& info) {
     if (info.state != SchedulerTaskState::kMemory &&
         info.state != SchedulerTaskState::kErred &&
         info.state != SchedulerTaskState::kReleased &&
         info.state != SchedulerTaskState::kForgotten) {
       ++graphs_.at(info.graph).remaining;
     }
-  }
+  });
   for (auto& [name, graph] : graphs_) {
     // A drained graph completed before the crash; its on_done already fired
     // in the previous process, so never re-fire it here.
@@ -1129,27 +1559,26 @@ void Scheduler::recover() {
     transition(info, SchedulerTaskState::kWaiting, "scheduler-restart");
     info.waiting_on = 0;
     for (const TaskKey& dep : info.spec.dependencies) {
-      const auto dep_it = tasks_.find(dep);
-      if (dep_it == tasks_.end()) continue;
-      TaskInfo& dep_info = dep_it->second;
-      if (dep_info.state == SchedulerTaskState::kMemory) {
-        if (!dep_info.who_has.empty()) continue;
-        recompute_lost(dep_info);
+      TaskInfo* dep_info = tasks_.find(dep);
+      if (dep_info == nullptr) continue;
+      if (dep_info->state == SchedulerTaskState::kMemory) {
+        if (!dep_info->who_has.empty()) continue;
+        recompute_lost(*dep_info);
       }
-      if (dep_info.state == SchedulerTaskState::kMemory &&
-          !dep_info.who_has.empty()) {
+      if (dep_info->state == SchedulerTaskState::kMemory &&
+          !dep_info->who_has.empty()) {
         continue;
       }
       ++info.waiting_on;
     }
     if (info.waiting_on == 0) dispatch(info, "scheduler-restart");
   }
-  for (auto& [key, info] : tasks_) {
+  tasks_.for_each_ordered([this](const TaskKey&, TaskInfo& info) {
     if (info.state == SchedulerTaskState::kMemory && info.who_has.empty() &&
         info.remaining_dependents > 0) {
       recompute_lost(info);
     }
-  }
+  });
   // Proxy fetches whose requester was parked as a waiter died with our
   // process's waiter table. Re-register every stalled fetch whose data is
   // not available; fetches with an alive replica are left alone — their
@@ -1157,21 +1586,21 @@ void Scheduler::recover() {
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     if (!worker_alive_[i]) continue;
     for (const TaskKey& key : workers_[i]->pending_fetch_keys()) {
-      const auto it = tasks_.find(key);
-      if (it == tasks_.end()) continue;
-      TaskInfo& info = it->second;
-      if (info.state == SchedulerTaskState::kMemory && !info.who_has.empty()) {
+      TaskInfo* info = tasks_.find(key);
+      if (info == nullptr) continue;
+      if (info->state == SchedulerTaskState::kMemory &&
+          !info->who_has.empty()) {
         continue;
       }
       pending_fetch_waiters_[key].insert(static_cast<WorkerId>(i));
-      if (info.state == SchedulerTaskState::kMemory) recompute_lost(info);
+      if (info->state == SchedulerTaskState::kMemory) recompute_lost(*info);
     }
   }
-  for (auto& [key, info] : tasks_) {
+  tasks_.for_each_ordered([this](const TaskKey&, TaskInfo& info) {
     if (info.state == SchedulerTaskState::kWaiting && info.waiting_on == 0) {
       dispatch(info, "scheduler-restart");
     }
-  }
+  });
   drain_queue();
   checkpoint();
 }
@@ -1184,7 +1613,9 @@ void Scheduler::crash_and_recover() {
             "simulated process crash (restarting from " + durability_->dir +
                 ")");
   // What a real crash would leave on disk: whatever the journal had pushed
-  // to the OS. flush() models the page cache surviving the process.
+  // to the OS. flush() models the page cache surviving the process. An open
+  // batch group (records buffered in this process's memory) dies with it —
+  // recovery sees the group atomically absent.
   journal_->flush();
   tasks_.clear();
   graphs_.clear();
@@ -1197,6 +1628,10 @@ void Scheduler::crash_and_recover() {
   erred_ = 0;
   rr_counter_ = 0;
   journal_records_ = 0;
+  journal_frames_ = 0;
+  journal_group_depth_ = 0;
+  journal_group_buffer_ = json::Array{};
+  intake_.clear();
   spec_order_.clear();
   pending_fetch_waiters_.clear();
   std::fill(in_flight_.begin(), in_flight_.end(), 0);
@@ -1216,15 +1651,15 @@ void Scheduler::set_graph_done(const std::string& graph, GraphDoneFn on_done) {
 }
 
 bool Scheduler::in_memory(const TaskKey& key) const {
-  const auto it = tasks_.find(key);
-  return it != tasks_.end() && it->second.state == SchedulerTaskState::kMemory;
+  const TaskInfo* info = tasks_.find(key);
+  return info != nullptr && info->state == SchedulerTaskState::kMemory;
 }
 
 std::size_t Scheduler::tasks_in_memory() const {
   std::size_t count = 0;
-  for (const auto& [key, info] : tasks_) {
+  tasks_.for_each([&count](const TaskKey&, const TaskInfo& info) {
     if (info.state == SchedulerTaskState::kMemory) ++count;
-  }
+  });
   return count;
 }
 

@@ -4,6 +4,13 @@
 // locality-aware decide_worker, queueing under saturation, retries on task
 // failure, and periodic work stealing — each a distinct source of the
 // run-to-run variability the paper characterizes.
+//
+// Throughput design (DESIGN.md §11): worker reports drain through a batched
+// intake queue and are applied as journaled groups; task state is sharded
+// by task-group hash (ShardedTaskMap); an optional hierarchical foreman
+// tier fronts worker pools so the root sees F foremen instead of W workers.
+// With foreman_window == 0 every mode is provenance byte-identical to the
+// legacy single-record path (enforced by the equivalence oracle).
 #pragma once
 
 #include <cstdint>
@@ -21,8 +28,10 @@
 #include "datastore/store.hpp"
 #include "common/rng.hpp"
 #include "common/wal.hpp"
+#include "dtr/intake.hpp"
 #include "dtr/plugins.hpp"
 #include "dtr/records.hpp"
+#include "dtr/shard.hpp"
 #include "json/json.hpp"
 #include "dtr/task.hpp"
 #include "dtr/worker.hpp"
@@ -30,6 +39,8 @@
 #include "sim/engine.hpp"
 
 namespace recup::dtr {
+
+class Foreman;
 
 struct SchedulerConfig {
   Duration control_latency = 1e-4;
@@ -59,15 +70,49 @@ struct SchedulerConfig {
   /// profile's wms.heartbeat_interval_s so the lease layer and the workers
   /// agree on one cadence.
   Duration heartbeat_interval = 0.5;
-  /// A worker's lease expires after missing this many heartbeat intervals;
-  /// its in-flight tasks are then reclaimed exactly as on a death
-  /// notification. Deliberately slower than SSG suspicion (so explicit death
-  /// detection wins when available) — the lease is the backstop for hung or
-  /// partitioned workers that never emit a death notification.
+  /// Lease budget as a *multiplier* of heartbeat_interval — not an integral
+  /// missed-beat count. Fractional values are meaningful: 2.5 means a lease
+  /// survives two full beats plus half an interval of silence. See
+  /// lease_expiry() for the boundary semantics. Deliberately slower than
+  /// SSG suspicion (so explicit death detection wins when available) — the
+  /// lease is the backstop for hung or partitioned workers that never emit
+  /// a death notification.
   double lease_misses = 12.0;
   /// Master switch for lease-based liveness (the loop still has to be
   /// started with start_lease_loop()).
   bool lease_liveness = true;
+
+  // --- Throughput topology (DESIGN.md §11) ---------------------------------
+  /// Task-state shard count (>= 1). Pure data-structure partitioning:
+  /// ordered sweeps iterate in global key order, so shard count never
+  /// changes decisions or provenance.
+  std::uint32_t shards = 1;
+  /// Hierarchical tier: number of foremen fronting worker pools (0 = flat
+  /// topology, every worker reports directly to the root).
+  std::uint32_t foremen = 0;
+  /// Max intake events applied per batch (one journaled group per batch).
+  std::size_t intake_batch_max = 256;
+  /// Foreman aggregation window: 0 forwards every report synchronously
+  /// (provenance byte-identical to flat); > 0 coalesces a pool's reports
+  /// for up to this long per flush (throughput mode — timing shifts, so
+  /// provenance is conformance-checked, not byte-compared).
+  Duration foreman_window = 0.0;
+  /// Pool-local work stealing: each foreman's pool balances internally
+  /// (O(pool²) per round instead of O(W²) globally). Changes steal victims,
+  /// so it is excluded from the byte-identity oracle.
+  bool foreman_autonomy = false;
+  /// Pre-batching compatibility path: worker callbacks invoke handlers
+  /// directly and every journal record gets its own WAL frame. Kept for the
+  /// conformance/equivalence suites; implies a flat topology (foremen
+  /// ignored).
+  bool legacy_intake = false;
+
+  /// A worker's lease expires after strictly more than
+  /// heartbeat_interval * lease_misses seconds of silence — at *exactly*
+  /// lease_misses intervals the lease is still valid (boundary-tested).
+  [[nodiscard]] Duration lease_expiry() const {
+    return heartbeat_interval * lease_misses;
+  }
 };
 
 /// Durable-state configuration for the scheduler. `dir` receives a
@@ -96,11 +141,19 @@ class Scheduler {
 
   Scheduler(sim::Engine& engine, platform::Network& network,
             SchedulerConfig config, RngStream rng, LogCollector& logs);
+  ~Scheduler();
 
   // --- Cluster membership ----------------------------------------------------
   void add_worker(Worker* worker);
   [[nodiscard]] const std::vector<Worker*>& workers() const {
     return workers_;
+  }
+  /// Builds the foreman tier over the registered workers (no-op in the flat
+  /// topology). Called lazily by submit_graph / the loops; call explicitly
+  /// once all workers are registered when you need the tier earlier.
+  void finalize_topology();
+  [[nodiscard]] const std::vector<std::unique_ptr<Foreman>>& foremen() const {
+    return foremen_;
   }
 
   // --- Graph lifecycle ---------------------------------------------------------
@@ -130,18 +183,33 @@ class Scheduler {
     return warnings_;
   }
   [[nodiscard]] std::uint64_t erred_tasks() const { return erred_; }
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
 
   void add_plugin(SchedulerPlugin* plugin) { plugins_.push_back(plugin); }
   void start_stealing_loop();
   /// Records a worker heartbeat (lease renewal).
   void heartbeat(WorkerId worker);
   /// Starts the periodic lease check; workers whose lease expired are
-  /// treated as failed (on_worker_failed). Opt-in, like the stealing loop.
+  /// treated as failed (on_worker_failed). With a foreman tier, pool leases
+  /// are delegated to the foremen and the root monitors foreman liveness.
   void start_lease_loop();
   [[nodiscard]] std::uint64_t lease_expirations() const {
     return lease_expirations_;
   }
   void stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  // --- Batched intake ----------------------------------------------------------
+  /// Enqueues a worker/foreman report for the next intake batch. Producers
+  /// may call from any thread; application happens on the scheduler's.
+  void enqueue_event(IntakeEvent event);
+  /// Drains the intake queue, applying events in arrival order in batches
+  /// of at most intake_batch_max, each journaled as one group. Reentrant
+  /// calls fold into the running pump.
+  void pump_intake();
+  [[nodiscard]] SchedulerIntake::Stats intake_stats() const {
+    return intake_.stats();
+  }
 
   // --- Durability --------------------------------------------------------------
   /// Opens (or resumes) the journal WAL under durability.dir. Call before
@@ -151,7 +219,8 @@ class Scheduler {
   [[nodiscard]] bool durable() const { return journal_ != nullptr; }
   /// Atomically snapshots the control state to checkpoint.json. Also runs
   /// automatically at every graph completion and (optionally) every
-  /// checkpoint_every journal records.
+  /// checkpoint_every journal records. Always lands on a batch-group
+  /// boundary (an open group is flushed first).
   void checkpoint();
   /// Rebuilds state from checkpoint + journal, then reconciles with live
   /// workers: tasks still executing on a surviving worker are re-adopted,
@@ -170,6 +239,12 @@ class Scheduler {
     injector_ = injector;
   }
   [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  /// Logical journal records (batch groups expanded), full-log count.
+  [[nodiscard]] std::size_t journal_records() const {
+    return journal_records_;
+  }
+  /// Physical WAL frames written (a batch group is one frame).
+  [[nodiscard]] std::size_t journal_frames() const { return journal_frames_; }
 
   // --- Out-of-band data plane ---------------------------------------------
   /// Attaches the datastore (recup::datastore): send_to_worker resolves
@@ -189,25 +264,18 @@ class Scheduler {
   /// tasks, and recomputes results whose only copy died with it — Dask's
   /// lost-key recovery.
   void on_worker_failed(WorkerId worker);
+  /// Foreman death: re-homes its pool onto the next surviving foreman (or
+  /// direct-to-root), replays the workers' unacked completion reports, and
+  /// re-dispatches assignments that died in the foreman's inbox.
+  void on_foreman_failed(std::uint32_t foreman);
+  [[nodiscard]] std::uint64_t foreman_failures() const {
+    return foreman_failures_;
+  }
   [[nodiscard]] bool worker_alive(WorkerId worker) const {
     return worker_alive_.at(worker);
   }
 
  private:
-  struct TaskInfo {
-    TaskSpec spec;
-    std::string graph;
-    SchedulerTaskState state = SchedulerTaskState::kReleased;
-    std::size_t waiting_on = 0;             ///< unmet dependency count
-    std::vector<TaskKey> dependents;
-    std::size_t remaining_dependents = 0;   ///< release refcount
-    std::set<WorkerId> who_has;             ///< replicas in worker memory
-    Worker* assigned = nullptr;
-    std::uint32_t retries = 0;
-    std::uint32_t resubmissions = 0;  ///< re-dispatches after worker deaths
-    bool stolen = false;
-  };
-
   struct GraphInfo {
     std::string name;
     std::size_t remaining = 0;
@@ -220,7 +288,8 @@ class Scheduler {
   /// Moves a runnable task to a worker or the scheduler queue.
   void dispatch(TaskInfo& info, const std::string& stimulus);
   /// Dask's decide_worker: minimize expected dep-transfer cost, tie-break
-  /// on occupancy.
+  /// on occupancy. Dependency lookups are hoisted out of the per-worker
+  /// scan; tasks with no remote-replica deps take a pure occupancy scan.
   Worker* decide_worker(const TaskInfo& info);
   void send_to_worker(TaskInfo& info, Worker* worker,
                       const std::string& stimulus, bool stolen);
@@ -242,6 +311,11 @@ class Scheduler {
   /// dependencies) when a queued task can no longer be dispatched because a
   /// dependency's replicas all died while it sat in the queue.
   bool requeue_if_deps_lost(TaskInfo& info);
+  /// Ground-truth count of dependencies not yet in memory with a surviving
+  /// replica. The incremental waiting_on counter can drift low when
+  /// recompute_lost pulls a dependency back out of memory; dispatch
+  /// decisions recount through this instead of trusting the counter.
+  [[nodiscard]] std::size_t unmet_dependencies(const TaskInfo& info) const;
   void drain_queue();
   /// Builds a DepLocation for `key` held by `holder` (attaching a proxy
   /// when the result lives in the datastore) and, after control_latency,
@@ -249,13 +323,29 @@ class Scheduler {
   void schedule_refetch(const TaskKey& key, WorkerId holder,
                         Worker* requester);
   void stealing_round();
+  /// One stealing sweep scoped to `pool` (the whole cluster in the flat
+  /// topology; one foreman's pool under foreman_autonomy).
+  void pool_stealing_round(const std::vector<Worker*>& pool);
   void lease_round();
+  /// Applies one intake event through the legacy handlers.
+  void apply_event(const IntakeEvent& event);
+  /// Wires a worker's report callbacks straight to the root (legacy mode
+  /// calls handlers directly; batched mode routes through the intake).
+  void wire_worker_direct(Worker* worker);
   /// Completion bookkeeping shared by on_task_finished and dead_letter:
   /// fires on_done once, checkpoints, and consults the process-crash fault
   /// site.
   void graph_completed(GraphInfo& graph);
-  /// Appends one journal record (and maybe auto-checkpoints).
+  /// Appends one logical journal record — directly as its own WAL frame,
+  /// or into the open batch group (and maybe auto-checkpoints).
   void journal_append(const json::Value& record);
+  /// Scopes a journal batch group; nested scopes fold into the outermost.
+  void begin_journal_group();
+  void end_journal_group();
+  /// Writes the buffered group as one {"t":"batch","base":N,"recs":[...]}
+  /// WAL frame. Checkpoints call this so snapshots always sit on a group
+  /// boundary.
+  void flush_journal_group();
   [[nodiscard]] Duration transfer_cost_estimate(const TaskInfo& info,
                                                 const Worker& worker) const;
   [[nodiscard]] Duration compute_estimate(const TaskInfo& info) const;
@@ -273,7 +363,7 @@ class Scheduler {
   /// asking workers, because assignments are still in flight on the wire
   /// when the next decision is made.
   std::vector<std::size_t> in_flight_;
-  std::map<TaskKey, TaskInfo> tasks_;
+  ShardedTaskMap tasks_;
   std::map<std::string, GraphInfo> graphs_;
   std::deque<TaskKey> queued_;  ///< runnable tasks waiting for capacity
 
@@ -289,6 +379,20 @@ class Scheduler {
   bool stopped_ = false;
   std::size_t rr_counter_ = 0;  ///< round-robin seed for cost ties
 
+  // Batched intake.
+  SchedulerIntake intake_;
+  bool pumping_ = false;  ///< reentrant pumps fold into the running one
+
+  // Hierarchical tier.
+  bool topology_finalized_ = false;
+  std::vector<std::unique_ptr<Foreman>> foremen_;
+  /// Per-worker routing: the foreman fronting this worker, or nullptr for
+  /// direct-to-root (always nullptr in the flat topology).
+  std::vector<Foreman*> foreman_of_;
+  std::vector<TimePoint> last_foreman_beat_;
+  std::vector<bool> foreman_failed_;  ///< reclaim ran (never re-run)
+  std::uint64_t foreman_failures_ = 0;
+
   // Leases.
   std::vector<TimePoint> last_heartbeat_;
   std::uint64_t lease_expirations_ = 0;
@@ -296,10 +400,17 @@ class Scheduler {
   // Durability.
   std::optional<SchedulerDurability> durability_;
   std::unique_ptr<wal::WalWriter> journal_;
-  /// Full-log journal record count, *including* compacted-away records —
-  /// checkpoint suffix offsets index the full log and must stay stable
-  /// across compactions (the WAL's own marker reports the compacted count).
+  /// Full-log *logical* journal record count, *including* compacted-away
+  /// and batch-grouped records — checkpoint suffix offsets index the
+  /// logical log and must stay stable across compactions and batching.
   std::size_t journal_records_ = 0;
+  /// Physical WAL frames in the full log (a batch group is one frame);
+  /// compaction watermarks index frames.
+  std::size_t journal_frames_ = 0;
+  /// Open batch group: buffered records and the logical index of the first.
+  std::size_t journal_group_depth_ = 0;
+  std::size_t journal_group_base_ = 0;
+  json::Array journal_group_buffer_;
   /// Task specs in submission order — replayed into compacting checkpoints
   /// so a truncated journal still reproduces every spec.
   std::vector<TaskKey> spec_order_;

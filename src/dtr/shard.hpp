@@ -1,0 +1,208 @@
+// Sharded scheduler task state. Task control state is partitioned by
+// task-group hash so the hot per-task lookups (completions, dependency
+// walks, locality checks) touch one shard's table instead of one global
+// ordered map. Ordering guarantee: any code path whose side effects depend
+// on iteration order (checkpoints, failure sweeps, recovery) iterates via
+// for_each_ordered(), which yields global TaskKey order — identical to the
+// former std::map — so shard count never changes scheduling decisions or
+// recorded provenance.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <shared_mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dtr/records.hpp"
+#include "dtr/task.hpp"
+
+namespace recup::dtr {
+
+class Worker;
+
+/// Per-task scheduler control state (one entry in the sharded task map).
+struct TaskInfo {
+  TaskSpec spec;
+  std::string graph;
+  SchedulerTaskState state = SchedulerTaskState::kReleased;
+  std::size_t waiting_on = 0;  ///< unmet dependency count
+  std::vector<TaskKey> dependents;
+  std::size_t remaining_dependents = 0;  ///< release refcount
+  std::set<WorkerId> who_has;            ///< replicas in worker memory
+  Worker* assigned = nullptr;
+  std::uint32_t retries = 0;
+  std::uint32_t resubmissions = 0;  ///< re-dispatches after worker deaths
+  bool stolen = false;
+};
+
+struct TaskKeyHash {
+  /// FNV-1a over the group name, mixed with the index.
+  std::size_t operator()(const TaskKey& key) const noexcept {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : key.group) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= static_cast<std::uint64_t>(key.index) + 0x9e3779b97f4a7c15ull +
+         (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Task state partitioned by task-group hash: all tasks of one group land
+/// on one shard, so group-local dependency chains stay shard-local and the
+/// cross-shard path is only taken for inter-group dependencies. Structural
+/// operations (find/emplace/size/clear) are guarded per shard with a
+/// shared_mutex — safe to call from concurrent readers while one writer
+/// inserts — but entry *contents* belong to the single-threaded scheduler
+/// domain; the lock protects the table, not the TaskInfo.
+class ShardedTaskMap {
+ public:
+  explicit ShardedTaskMap(std::uint32_t shards) {
+    if (shards == 0) shards = 1;
+    shards_.reserve(shards);
+    for (std::uint32_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Task-group shard routing: the index does not participate, so one
+  /// group's tasks colocate.
+  [[nodiscard]] std::size_t shard_of(const TaskKey& key) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : key.group) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h % shards_.size());
+  }
+
+  [[nodiscard]] TaskInfo* find(const TaskKey& key) {
+    Shard& shard = *shards_[shard_of(key)];
+    std::shared_lock lock(shard.mu);
+    const auto it = shard.tasks.find(key);
+    return it == shard.tasks.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const TaskInfo* find(const TaskKey& key) const {
+    const Shard& shard = *shards_[shard_of(key)];
+    std::shared_lock lock(shard.mu);
+    const auto it = shard.tasks.find(key);
+    return it == shard.tasks.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] bool contains(const TaskKey& key) const {
+    return find(key) != nullptr;
+  }
+
+  [[nodiscard]] TaskInfo& at(const TaskKey& key) {
+    TaskInfo* info = find(key);
+    if (info == nullptr) {
+      throw std::out_of_range("ShardedTaskMap::at: " + key.to_string());
+    }
+    return *info;
+  }
+
+  [[nodiscard]] const TaskInfo& at(const TaskKey& key) const {
+    const TaskInfo* info = find(key);
+    if (info == nullptr) {
+      throw std::out_of_range("ShardedTaskMap::at: " + key.to_string());
+    }
+    return *info;
+  }
+
+  /// Inserts a default TaskInfo for `key` unless present. Returns the entry
+  /// and whether it was inserted. Entry pointers stay valid across later
+  /// inserts (node-based table).
+  std::pair<TaskInfo*, bool> try_emplace(const TaskKey& key) {
+    Shard& shard = *shards_[shard_of(key)];
+    std::unique_lock lock(shard.mu);
+    const auto [it, inserted] = shard.tasks.try_emplace(key);
+    return {&it->second, inserted};
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::shared_lock lock(shard->mu);
+      total += shard->tasks.size();
+    }
+    return total;
+  }
+
+  void clear() {
+    for (const auto& shard : shards_) {
+      std::unique_lock lock(shard->mu);
+      shard->tasks.clear();
+    }
+  }
+
+  /// Unordered sweep (shard by shard, table order) — only for callbacks
+  /// whose effect is order-independent and confined to the visited entry.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (const auto& shard : shards_) {
+      std::shared_lock lock(shard->mu);
+      for (auto& [key, info] : shard->tasks) fn(key, info);
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& shard : shards_) {
+      std::shared_lock lock(shard->mu);
+      for (const auto& [key, info] : shard->tasks) fn(key, info);
+    }
+  }
+
+  /// Global TaskKey-ordered sweep over a snapshot of the entries. The
+  /// snapshot is taken under the shard locks, then callbacks run without
+  /// them, so a callback may insert entries (they won't appear in this
+  /// sweep) or look keys up — matching how the scheduler's failure and
+  /// recovery sweeps behaved over the former std::map.
+  template <typename Fn>
+  void for_each_ordered(Fn&& fn) {
+    std::vector<std::pair<const TaskKey*, TaskInfo*>> entries;
+    snapshot(entries);
+    for (auto& [key, info] : entries) fn(*key, *info);
+  }
+
+  template <typename Fn>
+  void for_each_ordered(Fn&& fn) const {
+    std::vector<std::pair<const TaskKey*, TaskInfo*>> entries;
+    const_cast<ShardedTaskMap*>(this)->snapshot(entries);
+    for (const auto& [key, info] : entries) {
+      fn(*key, static_cast<const TaskInfo&>(*info));
+    }
+  }
+
+ private:
+  struct Shard {
+    std::unordered_map<TaskKey, TaskInfo, TaskKeyHash> tasks;
+    mutable std::shared_mutex mu;
+  };
+
+  void snapshot(std::vector<std::pair<const TaskKey*, TaskInfo*>>& out) {
+    out.reserve(size());
+    for (const auto& shard : shards_) {
+      std::shared_lock lock(shard->mu);
+      for (auto& [key, info] : shard->tasks) out.emplace_back(&key, &info);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  }
+
+  // unique_ptr: shared_mutex is neither movable nor copyable.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace recup::dtr

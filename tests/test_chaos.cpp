@@ -94,7 +94,8 @@ struct PipelineResult {
 PipelineResult run_pipeline(std::uint64_t cluster_seed,
                             const chaos::FaultPlan& plan,
                             std::size_t max_retries = 16,
-                            std::size_t batch_size = 32) {
+                            std::size_t batch_size = 32,
+                            dtr::SchedulerConfig topology = {}) {
   dtr::ClusterConfig config;
   config.job.nodes = 2;
   config.job.workers_per_node = 2;
@@ -104,6 +105,8 @@ PipelineResult run_pipeline(std::uint64_t cluster_seed,
   config.fault_plan = plan;
   config.producer.batch_size = batch_size;
   config.producer.max_retries = max_retries;
+  config.scheduler = topology;  // stealing/heartbeat knobs re-overridden
+                                // from wms by the cluster
 
   dtr::Cluster cluster(config);
   const dtr::RunData direct = cluster.run(workload(), "chaos", 0);
@@ -163,6 +166,69 @@ TEST_P(ChaosOracle, ViewsIdenticalUnderTransportFaults) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosOracle, ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------------
+// Scheduler-topology equivalence oracle (DESIGN.md §11): with
+// foreman_window == 0 the batched/sharded/hierarchical scheduler must be a
+// pure throughput refactor — every derived view and the full provenance
+// transition log stay byte-identical to the flat single-shard topology,
+// with and without transport faults in flight.
+
+dtr::SchedulerConfig sharded_hierarchical_topology() {
+  dtr::SchedulerConfig topology;
+  topology.shards = 4;
+  topology.foremen = 2;
+  // window stays 0.0: foremen relay synchronously, batching cannot reorder.
+  return topology;
+}
+
+class SchedulerEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerEquivalence, ShardedHierarchicalViewsAreByteIdentical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+
+  const PipelineResult flat = run_pipeline(seed, chaos::FaultPlan{});
+  const PipelineResult sharded =
+      run_pipeline(seed, chaos::FaultPlan{}, /*max_retries=*/16,
+                   /*batch_size=*/32, sharded_hierarchical_topology());
+
+  EXPECT_EQ(sharded.direct_tasks, flat.direct_tasks);
+  EXPECT_EQ(sharded.direct_records, flat.direct_records);
+  EXPECT_EQ(sharded.ingested_rows, flat.ingested_rows);
+  ASSERT_EQ(sharded.views.size(), flat.views.size());
+  for (const auto& [name, expected] : flat.views) {
+    const auto it = sharded.views.find(name);
+    ASSERT_NE(it, sharded.views.end()) << name;
+    EXPECT_EQ(it->second, expected)
+        << "view '" << name
+        << "' diverged between flat and sharded/hierarchical topologies";
+  }
+}
+
+TEST_P(SchedulerEquivalence, EquivalenceHoldsUnderTransportFaults) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const chaos::FaultPlan plan =
+      chaos::FaultPlan::randomized_transport(1000 + seed, 0.06);
+
+  const PipelineResult flat = run_pipeline(seed, plan);
+  const PipelineResult sharded =
+      run_pipeline(seed, plan, /*max_retries=*/16,
+                   /*batch_size=*/32, sharded_hierarchical_topology());
+
+  // Same chaos actually hit both runs...
+  EXPECT_GT(flat.faults, 0u) << plan.describe();
+  EXPECT_GT(sharded.faults, 0u) << plan.describe();
+  // ...and the topologies still agree byte-for-byte.
+  ASSERT_EQ(sharded.views.size(), flat.views.size());
+  for (const auto& [name, expected] : flat.views) {
+    const auto it = sharded.views.find(name);
+    ASSERT_NE(it, sharded.views.end()) << name;
+    EXPECT_EQ(it->second, expected)
+        << "view '" << name << "' diverged under " << plan.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerEquivalence, ::testing::Range(1, 11));
 
 // A deliberately lossy configuration (drops injected, retries disabled)
 // must fail the oracle: this proves the oracle can detect loss, i.e. the

@@ -3,8 +3,13 @@
 // records, and provenance delivery under combined worker + transport faults.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "chaos/fault.hpp"
 #include "dtr/cluster.hpp"
+#include "dtr/foreman.hpp"
+#include "dtr_fixture.hpp"
 #include "query/catalog.hpp"
 #include "query/ingest.hpp"
 #include "query/ir.hpp"
@@ -53,7 +58,9 @@ TEST(FaultTolerance, WorkflowCompletesDespiteWorkerDeath) {
   // Nothing ran on the dead worker after its death was detected (allow the
   // detection window of a few heartbeat rounds).
   for (const auto& t : run.tasks) {
-    if (t.worker == 1) EXPECT_LT(t.start_time, 20.0);
+    if (t.worker == 1) {
+      EXPECT_LT(t.start_time, 20.0);
+    }
   }
 }
 
@@ -281,6 +288,99 @@ TEST(FaultTolerance, FailureOfIdleWorkerIsHarmless) {
   const RunData run = cluster.run({g}, "idle-death", 0);
   EXPECT_EQ(run.tasks.size(), 4u);
   EXPECT_FALSE(cluster.scheduler().worker_alive(3));
+}
+
+// ---------------------------------------------------------------------------
+// Foreman-tier fault tolerance (DESIGN.md §11): the root detects a dead
+// foreman purely from missed beats, re-homes its pool onto the next
+// surviving foreman (or direct-to-root), replays the pool's unacked
+// completion reports, and re-dispatches assignments that died in the
+// foreman's inbox.
+
+testing::MiniCluster make_foreman_cluster(std::uint32_t foremen,
+                                          Duration window) {
+  SchedulerConfig scheduler_config;
+  scheduler_config.shards = 2;
+  scheduler_config.foremen = foremen;
+  scheduler_config.foreman_window = window;  // > 0: workers retain unacked
+  scheduler_config.work_stealing = false;
+  scheduler_config.heartbeat_interval = 0.05;
+  scheduler_config.lease_misses = 4.0;  // foreman silence budget: 0.2 s
+  WorkerConfig worker_config;
+  worker_config.heartbeat_interval = 0.05;
+  return testing::MiniCluster(2, 2, 2, worker_config, scheduler_config);
+}
+
+TEST(ForemanFault, DeadForemanPoolIsReHomedAndUnackedReportsReplayed) {
+  testing::MiniCluster mini = make_foreman_cluster(2, 0.05);
+  ASSERT_EQ(mini.scheduler.foremen().size(), 2u);
+
+  bool done = false;
+  mini.scheduler.submit_graph(testing::independent_graph(16, /*compute=*/0.3),
+                              [&](const std::string&) {
+                                done = true;
+                                mini.scheduler.stop();
+                                for (auto& worker : mini.workers) {
+                                  worker->stop();
+                                }
+                              });
+  for (auto& worker : mini.workers) worker->start_heartbeats();
+  mini.scheduler.start_lease_loop();
+  // Foreman 0 dies silently mid-run: its beats stop, buffered reports die
+  // with it, in-flight deliveries to its pool are dropped. Nobody tells
+  // the root — only beat silence can reveal it.
+  mini.engine.schedule_at(0.12, [&] { mini.scheduler.foremen()[0]->kill(); });
+  mini.engine.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(mini.scheduler.foreman_failures(), 1u);
+  // The orphaned pool was adopted by the survivor: its pool now holds all
+  // four workers.
+  EXPECT_EQ(mini.scheduler.foremen()[1]->pool().size(), 4u);
+  // Pool workers survived the reclaim — only their foreman died.
+  for (WorkerId w = 0; w < 4; ++w) {
+    EXPECT_TRUE(mini.scheduler.worker_alive(w)) << w;
+  }
+  // At-least-once replay of the unacked tail never double-applies: every
+  // task reached memory exactly once.
+  EXPECT_EQ(mini.scheduler.tasks_in_memory(), 16u);
+  EXPECT_EQ(mini.scheduler.erred_tasks(), 0u);
+  std::map<std::string, int> memory_entries;
+  for (const auto& tr : mini.scheduler.transitions()) {
+    if (tr.to_state == "memory") ++memory_entries[tr.key.to_string()];
+  }
+  EXPECT_EQ(memory_entries.size(), 16u);
+  for (const auto& [key, count] : memory_entries) {
+    EXPECT_EQ(count, 1) << key << " applied more than once";
+  }
+}
+
+TEST(ForemanFault, LastForemanDeathFallsBackToDirectRootWiring) {
+  testing::MiniCluster mini = make_foreman_cluster(2, 0.05);
+  bool done = false;
+  mini.scheduler.submit_graph(testing::independent_graph(16, /*compute=*/0.3),
+                              [&](const std::string&) {
+                                done = true;
+                                mini.scheduler.stop();
+                                for (auto& worker : mini.workers) {
+                                  worker->stop();
+                                }
+                              });
+  for (auto& worker : mini.workers) worker->start_heartbeats();
+  mini.scheduler.start_lease_loop();
+  // Both foremen die: no successor survives, so both pools must fall back
+  // to direct-to-root report wiring with fresh root-side leases.
+  mini.engine.schedule_at(0.12, [&] { mini.scheduler.foremen()[0]->kill(); });
+  mini.engine.schedule_at(0.15, [&] { mini.scheduler.foremen()[1]->kill(); });
+  mini.engine.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(mini.scheduler.foreman_failures(), 2u);
+  EXPECT_EQ(mini.scheduler.tasks_in_memory(), 16u);
+  EXPECT_EQ(mini.scheduler.erred_tasks(), 0u);
+  for (WorkerId w = 0; w < 4; ++w) {
+    EXPECT_TRUE(mini.scheduler.worker_alive(w)) << w;
+  }
 }
 
 }  // namespace

@@ -39,6 +39,7 @@
 #include "query/client.hpp"
 #include "query/ingest.hpp"
 #include "query/server.hpp"
+#include "wire/codec.hpp"
 
 namespace recup {
 namespace {
@@ -627,6 +628,199 @@ TEST(SchedulerDurable, MidRunCrashWithCompactionCompletesTheGraph) {
   wal::ReplayStats stats;
   replay_all(dir.str(), &stats);
   EXPECT_GT(stats.compacted_records, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Batched journal groups (DESIGN.md §11): with the batched intake every
+// WAL frame is a {"t":"batch","base":N,"recs":[...]} group carrying the
+// logical index of its first record, so checkpoint offsets (logical) and
+// compaction watermarks (physical frames) stay consistent. A torn group is
+// atomically absent — WAL truncation drops whole frames, so a crash inside
+// a group can never half-apply it.
+
+TEST(SchedulerBatchedJournal, GroupsAmortizeFramesAndCarryLogicalBases) {
+  TempDir dir("sched_batch_frames");
+  dtr::testing::MiniCluster mini;
+  mini.scheduler.enable_durability({dir.str(), 0, false, {}});
+  ASSERT_TRUE(mini.run_graph(dtr::testing::independent_graph(16)));
+
+  // Grouping amortizes: fewer physical frames than logical records
+  // (submit_graph alone batches 16 specs + 16 transitions into one frame).
+  EXPECT_LT(mini.scheduler.journal_frames(), mini.scheduler.journal_records());
+  EXPECT_GT(mini.scheduler.journal_frames(), 0u);
+
+  // On-disk format: every frame is a batch group whose "base" is the
+  // logical index of its first inner record, and the bases tile the
+  // logical log exactly (no gaps, no overlaps).
+  std::size_t next_logical = 0;
+  std::size_t frames = 0;
+  wal::WalWriter::replay(dir.str(), [&](std::string_view payload) {
+    json::Value frame = wire::decode_value(payload);
+    ASSERT_EQ(frame.get_string("t", ""), "batch");
+    ASSERT_EQ(frame.get_int("base", -1),
+              static_cast<std::int64_t>(next_logical));
+    const json::Array& recs = frame["recs"].as_array();
+    ASSERT_FALSE(recs.empty());
+    next_logical += recs.size();
+    ++frames;
+  });
+  EXPECT_EQ(frames, mini.scheduler.journal_frames());
+  EXPECT_EQ(next_logical, mini.scheduler.journal_records());
+}
+
+TEST(SchedulerBatchedJournal, LegacyModeWritesOneBareFramePerRecord) {
+  TempDir dir("sched_legacy_frames");
+  dtr::SchedulerConfig config;
+  config.legacy_intake = true;
+  dtr::testing::MiniCluster mini(2, 2, 2, dtr::WorkerConfig{}, config);
+  mini.scheduler.enable_durability({dir.str(), 0, false, {}});
+  ASSERT_TRUE(mini.run_graph(dtr::testing::independent_graph(16)));
+  EXPECT_EQ(mini.scheduler.journal_frames(), mini.scheduler.journal_records());
+  wal::WalWriter::replay(dir.str(), [&](std::string_view payload) {
+    const json::Value frame = wire::decode_value(payload);
+    EXPECT_NE(frame.get_string("t", ""), "batch");
+  });
+}
+
+TEST(SchedulerBatchedJournal, LegacyAndBatchedJournalsRecoverIdentically) {
+  // The same workload journaled through bare frames and through batch
+  // groups must rebuild byte-identical provenance on a cold restart: the
+  // group framing is pure transport.
+  TempDir legacy_dir("sched_equiv_legacy");
+  TempDir batched_dir("sched_equiv_batched");
+  {
+    dtr::SchedulerConfig config;
+    config.legacy_intake = true;
+    dtr::testing::MiniCluster mini(2, 2, 2, dtr::WorkerConfig{}, config);
+    mini.scheduler.enable_durability({legacy_dir.str(), 0, false, {}});
+    ASSERT_TRUE(mini.run_graph(dtr::testing::diamond_graph()));
+  }
+  {
+    dtr::SchedulerConfig config;
+    config.shards = 4;
+    dtr::testing::MiniCluster mini(2, 2, 2, dtr::WorkerConfig{}, config);
+    mini.scheduler.enable_durability({batched_dir.str(), 0, false, {}});
+    ASSERT_TRUE(mini.run_graph(dtr::testing::diamond_graph()));
+  }
+  dtr::testing::MiniCluster from_legacy;
+  from_legacy.scheduler.enable_durability({legacy_dir.str(), 0, false, {}});
+  from_legacy.scheduler.recover();
+  from_legacy.engine.run();
+  dtr::testing::MiniCluster from_batched;
+  from_batched.scheduler.enable_durability({batched_dir.str(), 0, false, {}});
+  from_batched.scheduler.recover();
+  from_batched.engine.run();
+  EXPECT_EQ(dump_records(from_batched.scheduler.transitions()),
+            dump_records(from_legacy.scheduler.transitions()));
+  EXPECT_EQ(dump_records(from_batched.scheduler.task_records()),
+            dump_records(from_legacy.scheduler.task_records()));
+  EXPECT_EQ(from_batched.scheduler.tasks_in_memory(),
+            from_legacy.scheduler.tasks_in_memory());
+}
+
+TEST(SchedulerBatchedJournal, TornBatchGroupIsAtomicallyAbsent) {
+  // Crash mid-write of a batch group: the WAL's torn-tail repair drops the
+  // whole frame, so recovery sees *none* of the group's records — never a
+  // prefix. The lost tail is re-derived by worker reconciliation, and no
+  // record is applied twice.
+  TempDir dir("sched_torn_batch");
+  {
+    dtr::testing::MiniCluster mini;
+    mini.scheduler.enable_durability({dir.str(), 0, false, {}});
+    ASSERT_TRUE(mini.run_graph(dtr::testing::independent_graph(8)));
+  }
+  const std::size_t intact_frames = replay_all(dir.str()).size();
+  ASSERT_GT(intact_frames, 1u);
+  {
+    // Tear the final group: chop bytes out of the last frame's payload. In
+    // a real crash the group's single write never completed, so the
+    // graph-completion checkpoint that followed it never landed either.
+    const std::string segment = last_segment_path(dir.str());
+    const auto size = std::filesystem::file_size(segment);
+    std::filesystem::resize_file(segment, size - 5);
+    std::filesystem::remove(std::filesystem::path(dir.str()) /
+                            "checkpoint.json");
+  }
+  wal::ReplayStats stats;
+  const std::vector<std::string> frames = replay_all(dir.str(), &stats);
+  EXPECT_TRUE(stats.truncated_tail);
+  EXPECT_EQ(frames.size(), intact_frames - 1);  // whole group gone, not part
+
+  // A cold restart over the torn journal: the surviving prefix replays
+  // cleanly (interior bases still line up), the work the torn group
+  // described is re-dispatched, and the graph completes.
+  dtr::testing::MiniCluster restarted;
+  restarted.scheduler.enable_durability({dir.str(), 0, false, {}});
+  restarted.scheduler.recover();
+  bool done = false;
+  // Fires immediately when the torn frame held only post-completion
+  // records; otherwise the re-dispatched tail completes it below.
+  restarted.scheduler.set_graph_done("independent", [&](const std::string&) {
+    done = true;
+    restarted.scheduler.stop();
+  });
+  restarted.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(restarted.scheduler.recoveries(), 1u);
+  EXPECT_EQ(restarted.scheduler.tasks_in_memory(), 8u);
+  // No double application: every task's transition chain is still legal
+  // (a replayed-then-reapplied record would fork the chain).
+  std::map<std::string, std::string> last_state;
+  for (const auto& t : restarted.scheduler.transitions()) {
+    const std::string key = t.key.to_string();
+    if (last_state.count(key)) {
+      EXPECT_EQ(last_state[key], t.from_state) << key << " " << t.stimulus;
+    }
+    last_state[key] = t.to_state;
+  }
+  for (const auto& [key, state] : last_state) {
+    EXPECT_EQ(state, "memory") << key;
+  }
+}
+
+TEST(SchedulerBatchedJournal, MidBatchCrashNeitherDoublesNorLosesWork) {
+  // Crash the scheduler *while groups are open mid-run* (auto-checkpoints
+  // every few records force group flushes at awkward boundaries). The
+  // buffered group dies with the process; reconciliation against surviving
+  // workers must complete the graph with every task in memory exactly once.
+  TempDir dir("sched_mid_batch");
+  dtr::SchedulerDurability durability;
+  durability.dir = dir.str();
+  durability.checkpoint_every = 8;
+  dtr::testing::MiniCluster mini;
+  mini.scheduler.enable_durability(durability);
+  bool done = false;
+  const auto finish = [&](const std::string&) {
+    done = true;
+    mini.scheduler.stop();
+  };
+  mini.scheduler.submit_graph(dtr::testing::independent_graph(12, 0.05),
+                              finish);
+  mini.engine.schedule_after(0.03, [&] {
+    mini.scheduler.crash_and_recover();
+    mini.scheduler.set_graph_done("independent", finish);
+  });
+  mini.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(mini.scheduler.recoveries(), 1u);
+  EXPECT_EQ(mini.scheduler.tasks_in_memory(), 12u);
+  std::map<std::string, int> memory_entries;
+  for (const auto& t : mini.scheduler.transitions()) {
+    if (t.to_state == "memory") ++memory_entries[t.key.to_string()];
+  }
+  EXPECT_EQ(memory_entries.size(), 12u);
+  for (const auto& [key, count] : memory_entries) {
+    EXPECT_EQ(count, 1) << key << " applied more than once";
+  }
+
+  // And the final journal is a consistent full log: a cold second restart
+  // rebuilds the exact same records.
+  const std::string live = dump_records(mini.scheduler.transitions());
+  dtr::testing::MiniCluster cold;
+  cold.scheduler.enable_durability(durability);
+  cold.scheduler.recover();
+  cold.engine.run();
+  EXPECT_EQ(dump_records(cold.scheduler.transitions()), live);
 }
 
 // ---------------------------------------------------------------------------

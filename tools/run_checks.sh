@@ -27,6 +27,19 @@ done
 # should fail that one test, not wedge the whole pipeline.
 ctest_timeout=300
 
+# Guard against silently-empty --gtest_filter runs: a renamed suite would
+# otherwise turn a filtered stage into a no-op that always "passes".
+require_filter_matches() {
+  local binary=$1 filter=$2
+  local matches
+  matches=$("$binary" --gtest_list_tests --gtest_filter="$filter" 2>/dev/null |
+    grep -c '^  ' || true)
+  if [[ "$matches" -eq 0 ]]; then
+    echo "error: --gtest_filter='$filter' matches no tests in $binary" >&2
+    exit 1
+  fi
+}
+
 echo "== tier-1 verify: build + ctest =="
 cmake -B build -S .
 cmake --build build -j
@@ -36,25 +49,41 @@ echo "== crash-recovery oracle: 10-seed byte-identity check =="
 # The durability stack end to end: WAL-backed broker, scheduler
 # checkpoint/journal restart, and durable ingest cursors under injected
 # process crashes. Every seed must reproduce the fault-free views exactly.
+require_filter_matches ./build/tests/test_recovery \
+  '*CrashRecoveryOracle*:SchedulerLease.*:SchedulerBatchedJournal.*'
 ./build/tests/test_recovery \
-  --gtest_filter='*CrashRecoveryOracle*:SchedulerLease.*' >/dev/null
+  --gtest_filter='*CrashRecoveryOracle*:SchedulerLease.*:SchedulerBatchedJournal.*' \
+  >/dev/null
 echo "crash-recovery oracle passed"
 
 echo "== datastore chaos oracle: 10-seed byte-identity under data-plane faults =="
 # The out-of-band data plane under randomized fetch-frame drops/truncations
 # and forced evictions: wire retries + fingerprint validation must keep
 # every provenance view byte-identical to the fault-free run.
+require_filter_matches ./build/tests/test_datastore \
+  '*DatastoreChaosOracle*:DataStoreCluster.*'
 ./build/tests/test_datastore \
   --gtest_filter='*DatastoreChaosOracle*:DataStoreCluster.*' >/dev/null
 echo "datastore chaos oracle passed"
 
+echo "== scheduler conformance: state-machine suite + 10-seed topology equivalence =="
+# Property-based conformance over random DAGs and worker-kill interleavings
+# (legal transition edges, dispatch causality, termination), then the
+# equivalence oracle: sharded/hierarchical topologies must reproduce the flat
+# scheduler's provenance views byte for byte, with and without chaos faults.
+./build/tests/test_scheduler_statemachine >/dev/null
+require_filter_matches ./build/tests/test_chaos '*SchedulerEquivalence*'
+./build/tests/test_chaos --gtest_filter='*SchedulerEquivalence*' >/dev/null
+echo "scheduler conformance passed"
+
 if [[ "$skip_bench" == 1 ]]; then
   echo "== perf trajectory skipped (--skip-bench) =="
 else
-  echo "== perf trajectory: bench_query headlines vs committed baseline =="
-  # Re-run the query bench and compare its headline metrics (cold query
-  # latencies, wire compression ratio, ingest rates) against the last entry
-  # in bench_out/trajectory.json. Any metric more than 15% worse —
+  echo "== perf trajectory: bench headlines vs committed baseline =="
+  # Re-run the query, datastore, and scheduler benches and compare their
+  # headline metrics (cold query latencies, wire compression ratio, ingest
+  # rates, scheduler transitions/sec) against the last entry in
+  # bench_out/trajectory.json. Any metric more than its allowed margin worse —
   # direction-aware — fails the pipeline. After an intentional perf change,
   # refresh the baseline with:
   #   build/tools/bench_trajectory record --trajectory bench_out/trajectory.json \
@@ -64,9 +93,14 @@ else
     >/dev/null 2>&1)
   (cd "$bench_dir" && "$repo_root/build/bench/bench_datastore" \
     --out "$bench_dir/out" >/dev/null 2>&1)
+  # bench_scheduler exits nonzero if the hierarchical topology drops below
+  # the 100k transitions/sec floor, independent of the trajectory delta.
+  (cd "$bench_dir" && "$repo_root/build/bench/bench_scheduler" \
+    --out "$bench_dir/out" >/dev/null 2>&1)
   ./build/tools/bench_trajectory check \
     --trajectory bench_out/trajectory.json --threshold 15 \
-    "$bench_dir/BENCH_query.json" "$bench_dir/BENCH_datastore.json"
+    "$bench_dir/BENCH_query.json" "$bench_dir/BENCH_datastore.json" \
+    "$bench_dir/BENCH_scheduler.json"
   rm -rf "$bench_dir"
 fi
 
@@ -137,6 +171,14 @@ TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_datastore \
   --gtest_filter='DataStoreConcurrency.*:WarabiCapacity.*' >/dev/null
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_mochi \
   --gtest_filter='Warabi.*' >/dev/null
+# Scheduler intake + shard hammers: real producer threads pushing into the
+# MPSC intake queue while the main thread drains batches, and concurrent
+# try_emplace/find/for_each across ShardedTaskMap shards.
+require_filter_matches ./build-tsan/tests/test_scheduler_statemachine \
+  'SchedulerIntakeConcurrency.*:ShardedTaskMapConcurrency.*'
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_scheduler_statemachine \
+  --gtest_filter='SchedulerIntakeConcurrency.*:ShardedTaskMapConcurrency.*' \
+  >/dev/null
 # Parallel-kernel smoke: force the morsel pool to multiple workers so the
 # columnar scan/aggregate fan-outs actually race under TSan.
 RECUP_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
