@@ -22,6 +22,8 @@
 #include "query/client.hpp"
 #include "query/plan.hpp"
 #include "query/server.hpp"
+#include "query/wire.hpp"
+#include "segstore/store.hpp"
 #include "workloads/registry.hpp"
 
 using namespace recup;
@@ -118,6 +120,40 @@ double event_wire_ratio(const std::vector<json::Value>& events,
              ? static_cast<double>(json_bytes) /
                    static_cast<double>(stats.bytes_wire)
              : 0.0;
+}
+
+/// Synthetic run for the segment-store benchmark. Runs carry disjoint
+/// start_time ranges (run r: [r*10000, r*10000 + tasks)) so a selective
+/// predicate can be zone-map pruned down to a single run.
+dtr::RunData synth_store_run(std::uint32_t index, int tasks) {
+  dtr::RunData run;
+  run.meta.workflow = "bench";
+  run.meta.run_index = index;
+  const double base = 10000.0 * index;
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL + index;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const char* prefixes[] = {"read_parquet", "train", "predict", "reduce"};
+  run.tasks.reserve(static_cast<std::size_t>(tasks));
+  for (int i = 0; i < tasks; ++i) {
+    dtr::TaskRecord t;
+    t.key = {"job-bench", i};
+    t.graph = "g0";
+    t.prefix = prefixes[i % 4];
+    t.worker = static_cast<dtr::WorkerId>(next() % 16);
+    t.worker_address = "tcp://10.0.0." + std::to_string(t.worker);
+    t.thread_id = 100 + next() % 8;
+    t.start_time = base + i;
+    t.end_time = base + i + 0.4 + 0.2 * static_cast<double>(next() % 2);
+    t.compute_time = 0.3;
+    t.output_bytes = next() % (1u << 20);
+    run.tasks.push_back(t);
+  }
+  return run;
 }
 
 }  // namespace
@@ -263,6 +299,115 @@ int main(int argc, char** argv) {
   bench::add_headline("ingest_wal_events_per_s", wal_rate, "events/s",
                       /*higher_is_better=*/true);
 
+  // Durable segment store: cold start from disk (manifest replay + CRC
+  // footer scan) and a zone-map pruned scan vs the same scan with a
+  // match-everything predicate. Fresh catalogs per measurement so the
+  // frame memo cache cannot hide decode cost.
+  constexpr std::uint32_t kStoreRuns = 8;
+  constexpr int kStoreTasks = 2000;
+  const std::string store_dir =
+      (std::filesystem::temp_directory_path() / "recup_bench_query_segstore")
+          .string();
+  std::filesystem::remove_all(store_dir);
+  segstore::SegmentStoreConfig store_config;
+  store_config.dir = store_dir;
+  query::StoreCatalog memory_catalog;
+  {
+    query::StoreCatalog writer(store_config);
+    for (std::uint32_t r = 0; r < kStoreRuns; ++r) {
+      writer.add_run(synth_store_run(r, kStoreTasks));
+      memory_catalog.add_run(synth_store_run(r, kStoreTasks));
+    }
+    writer.compact();
+  }
+
+  const auto cold_begin = std::chrono::steady_clock::now();
+  query::StoreCatalog cold_catalog(store_config);
+  const std::size_t cold_runs =
+      cold_catalog.snapshot().runs(std::nullopt, std::nullopt).size();
+  const double cold_open_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - cold_begin)
+          .count();
+  if (cold_runs != kStoreRuns) {
+    std::fprintf(stderr, "segstore cold open lost runs: %zu != %u\n",
+                 cold_runs, kStoreRuns);
+    return 1;
+  }
+
+  // Threshold sits strictly between run 6's max start_time and run 7's
+  // min, so the planner must prune exactly 7 of 8 runs.
+  const query::Query pruned_q = query::parse_query(std::string(
+      R"({"from": "tasks",
+          "where": [{"col": "start_time", "op": ">=", "value": 70000.0}]})"));
+  const query::Query full_q = query::parse_query(std::string(
+      R"({"from": "tasks",
+          "where": [{"col": "start_time", "op": ">=", "value": 0.0}]})"));
+  const query::Plan pruned_plan =
+      query::plan_query(pruned_q, cold_catalog.snapshot());
+  if (pruned_plan.zone_pruned != kStoreRuns - 1) {
+    std::fprintf(stderr, "segstore pruning planned %zu of %u runs away\n",
+                 pruned_plan.zone_pruned, kStoreRuns);
+    return 1;
+  }
+
+  const auto pruned_begin = std::chrono::steady_clock::now();
+  const query::ExecutionResult pruned_result =
+      query::execute_query(pruned_q, cold_catalog, nullptr);
+  const double pruned_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - pruned_begin)
+                               .count();
+
+  query::StoreCatalog full_catalog(store_config);
+  const auto full_begin = std::chrono::steady_clock::now();
+  const query::ExecutionResult full_result =
+      query::execute_query(full_q, full_catalog, nullptr);
+  const double full_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - full_begin)
+                             .count();
+  std::filesystem::remove_all(store_dir);
+
+  // Correctness guard: the disk-backed pruned result must match the
+  // in-memory catalog bit for bit, and the full scan must see every row.
+  const query::ExecutionResult memory_pruned =
+      query::execute_query(pruned_q, memory_catalog, nullptr);
+  if (query::frame_to_json(*pruned_result.frame).dump() !=
+      query::frame_to_json(*memory_pruned.frame).dump()) {
+    std::fprintf(stderr, "segstore pruned scan diverged from memory scan\n");
+    return 1;
+  }
+  if (full_result.frame->rows() !=
+      static_cast<std::size_t>(kStoreRuns) * kStoreTasks) {
+    std::fprintf(stderr, "segstore full scan dropped rows\n");
+    return 1;
+  }
+  const double prune_speedup = pruned_ms > 0.0 ? full_ms / pruned_ms : 0.0;
+  std::printf(
+      "\nsegstore,cold_open_ms,pruned_scan_ms,full_scan_ms,prune_speedup\n"
+      "disk,%.2f,%.2f,%.2f,%.1f\n",
+      cold_open_ms, pruned_ms, full_ms, prune_speedup);
+  if (prune_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "segstore zone-map pruning speedup %.1fx below the 2x "
+                 "floor\n",
+                 prune_speedup);
+    return 1;
+  }
+  bench::add_headline("segstore_cold_open_ms", cold_open_ms, "ms",
+                      /*higher_is_better=*/false, /*noise_pct=*/40.0);
+  bench::add_headline("segstore_pruned_scan_ms", pruned_ms, "ms",
+                      /*higher_is_better=*/false, /*noise_pct=*/40.0);
+  bench::add_headline("segstore_prune_speedup", prune_speedup, "x",
+                      /*higher_is_better=*/true, /*noise_pct=*/40.0);
+
+  json::Object segstore_metrics;
+  segstore_metrics["runs"] = static_cast<std::int64_t>(kStoreRuns);
+  segstore_metrics["tasks_per_run"] = static_cast<std::int64_t>(kStoreTasks);
+  segstore_metrics["cold_open_ms"] = cold_open_ms;
+  segstore_metrics["pruned_scan_ms"] = pruned_ms;
+  segstore_metrics["full_scan_ms"] = full_ms;
+  segstore_metrics["prune_speedup"] = prune_speedup;
+
   // Event wire size: binary session frames vs the JSON text of the same
   // provenance events (the ImageProcessing run's transition + task
   // records). The ISSUE target is a >= 3x reduction.
@@ -287,6 +432,7 @@ int main(int argc, char** argv) {
   extra["latency"] = std::move(latency_rows);
   extra["throughput"] = std::move(throughput_rows);
   extra["ingest"] = std::move(ingest);
+  extra["segstore"] = std::move(segstore_metrics);
   extra["event_wire"] = std::move(wire);
   bench::write_bench_json("query", std::move(extra));
   return 0;

@@ -161,6 +161,15 @@ inline constexpr const char* kIngestorProcess = "process.ingestor";
 /// spill tier exists, a real replica loss when not).
 inline constexpr const char* kDatastoreFetch = "datastore.fetch";
 inline constexpr const char* kDatastoreEvict = "datastore.evict";
+/// Durable segment store (recup::segstore). Each site is consulted twice
+/// per operation — once before the segment files are written and once
+/// after, before the manifest record commits — so a kProcessCrashRestart
+/// exercises both halves of the manifest commit protocol: crash with
+/// orphaned segment files (recovery must ignore + GC them) and crash with
+/// nothing written. Any other fault action surfaces as a TransientFault
+/// the store's bounded retry loop absorbs.
+inline constexpr const char* kSegstoreFlush = "segstore.flush";
+inline constexpr const char* kSegstoreCompact = "segstore.compact";
 }  // namespace sites
 
 /// Executes a FaultPlan. Thread-safe; per-site decision streams are

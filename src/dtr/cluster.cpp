@@ -27,13 +27,18 @@ Cluster::Cluster(ClusterConfig config)
            "suspect_after": 2, "dead_after": 5}
         ]
       })"));
-  if (config_.durability_dir.empty()) {
+  // Resolve the deprecated flat alias into the unified knob tree once;
+  // everything below keys off the resolved config.
+  if (config_.durability.dir.empty() && !config_.durability_dir.empty()) {
+    config_.durability.dir = config_.durability_dir;
+  }
+  if (config_.durability.broker_dir().empty()) {
     broker_ = std::make_unique<mofka::Broker>(
         services_->yokan("mofka-metadata"), services_->warabi("mofka-data"));
   } else {
     broker_ = std::make_unique<mofka::Broker>(
         services_->yokan("mofka-metadata"), services_->warabi("mofka-data"),
-        mofka::BrokerDurability{config_.durability_dir + "/broker", {}});
+        mofka::BrokerDurability::from(config_.durability));
   }
   if (!config_.fault_plan.empty()) {
     injector_ = std::make_shared<chaos::FaultInjector>(config_.fault_plan);
@@ -58,10 +63,9 @@ Cluster::Cluster(ClusterConfig config)
   if (mofka_scheduler_plugin_) {
     scheduler_->add_plugin(mofka_scheduler_plugin_.get());
   }
-  if (!config_.durability_dir.empty()) {
-    SchedulerDurability sched_durability;
-    sched_durability.dir = config_.durability_dir + "/scheduler";
-    scheduler_->enable_durability(std::move(sched_durability));
+  if (!config_.durability.scheduler_dir().empty()) {
+    scheduler_->enable_durability(
+        SchedulerDurability::from(config_.durability));
   }
   if (injector_) {
     scheduler_->set_fault_injector(injector_.get());

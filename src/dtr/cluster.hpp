@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/durability.hpp"
 #include "chaos/fault.hpp"
 #include "datastore/store.hpp"
 #include "dtr/client.hpp"
@@ -73,10 +74,15 @@ struct ClusterConfig {
   /// (push/pull/flush sites) and on every worker (dtr.worker site). Any
   /// failing run replays from (plan.seed, plan).
   chaos::FaultPlan fault_plan;
-  /// When non-empty, the control plane becomes durable under this
-  /// directory: the broker WALs events/offsets to `<dir>/broker` and the
-  /// scheduler journals + checkpoints to `<dir>/scheduler`. Required for
-  /// the chaos process.{broker,scheduler} crash sites to fire.
+  /// Unified durability knob tree (common/durability.hpp). When
+  /// durability.dir (or a component override) is non-empty the control
+  /// plane becomes durable: the broker WALs events/offsets under
+  /// `<dir>/broker` and the scheduler journals + checkpoints under
+  /// `<dir>/scheduler`. Required for the chaos process.{broker,scheduler}
+  /// crash sites to fire.
+  DurabilityConfig durability;
+  /// Deprecated alias for durability.dir (one release); consulted only
+  /// when durability.dir is empty.
   std::string durability_dir;
   /// Out-of-band data plane (recup::datastore): one store shard per worker;
   /// results >= datastore.inline_threshold travel the control plane as

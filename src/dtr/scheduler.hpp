@@ -27,6 +27,7 @@
 #include "common/log.hpp"
 #include "datastore/store.hpp"
 #include "common/rng.hpp"
+#include "common/durability.hpp"
 #include "common/wal.hpp"
 #include "dtr/intake.hpp"
 #include "dtr/plugins.hpp"
@@ -133,6 +134,17 @@ struct SchedulerDurability {
   /// journal a complete provenance log.
   bool compact_on_checkpoint = false;
   wal::WalOptions wal;
+
+  /// The scheduler's slice of the unified knob tree
+  /// (common/durability.hpp).
+  [[nodiscard]] static SchedulerDurability from(const DurabilityConfig& d) {
+    SchedulerDurability s;
+    s.dir = d.scheduler_dir();
+    s.checkpoint_every = d.scheduler.checkpoint_every;
+    s.compact_on_checkpoint = d.scheduler.compact_on_checkpoint;
+    s.wal = d.scheduler.wal;
+    return s;
+  }
 };
 
 class Scheduler {

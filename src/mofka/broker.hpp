@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "chaos/fault.hpp"
+#include "common/durability.hpp"
 #include "common/wal.hpp"
 #include "json/json.hpp"
 #include "mochi/warabi.hpp"
@@ -77,6 +78,13 @@ struct TopicConfig {
 struct BrokerDurability {
   std::string dir;  ///< empty => in-memory only (no WAL)
   wal::WalOptions wal;
+
+  /// The broker's slice of the unified knob tree
+  /// (common/durability.hpp). Prefer configuring a DurabilityConfig and
+  /// projecting it here over filling this struct by hand.
+  [[nodiscard]] static BrokerDurability from(const DurabilityConfig& d) {
+    return BrokerDurability{d.broker_dir(), d.broker.wal};
+  }
 };
 
 struct TopicStats {

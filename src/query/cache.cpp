@@ -40,8 +40,8 @@ ResultCache::ResultCache(Config config) {
 }
 
 std::string ResultCache::make_key(const std::string& fingerprint,
-                                  Epoch epoch) {
-  return fingerprint + "@" + std::to_string(epoch);
+                                  const StoreCatalog::Snapshot& snapshot) {
+  return fingerprint + "@" + snapshot.cache_key();
 }
 
 ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
@@ -49,8 +49,8 @@ ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
 }
 
 std::shared_ptr<const analysis::DataFrame> ResultCache::get(
-    const std::string& fingerprint, Epoch epoch) {
-  const std::string key = make_key(fingerprint, epoch);
+    const std::string& fingerprint, const StoreCatalog::Snapshot& snapshot) {
+  const std::string key = make_key(fingerprint, snapshot);
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mutex);
   const auto it = shard.index.find(key);
@@ -63,10 +63,11 @@ std::shared_ptr<const analysis::DataFrame> ResultCache::get(
   return it->second->frame;
 }
 
-void ResultCache::put(const std::string& fingerprint, Epoch epoch,
+void ResultCache::put(const std::string& fingerprint,
+                      const StoreCatalog::Snapshot& snapshot,
                       std::shared_ptr<const analysis::DataFrame> frame) {
   if (frame == nullptr) return;
-  const std::string key = make_key(fingerprint, epoch);
+  const std::string key = make_key(fingerprint, snapshot);
   const std::size_t bytes = approx_frame_bytes(*frame);
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mutex);

@@ -1,10 +1,11 @@
 // Result cache: a sharded LRU over executed query results, keyed by
-// (canonical query fingerprint, store epoch). Ingestion bumps the catalog
-// epoch, so a result computed at an older epoch can never be returned for a
-// newer store state — stale entries simply stop being referenced and age
-// out of the LRU. Each shard carries its own lock and its share of the
-// byte budget; eviction is by least-recently-used entry until the shard is
-// back under budget.
+// (canonical query fingerprint, snapshot cache key). Keys derive from the
+// Snapshot handle the query executed under — ingestion installs a new
+// catalog version with a new key, so a result computed against an older
+// snapshot can never be returned for a newer store state; stale entries
+// simply stop being referenced and age out of the LRU. Each shard carries
+// its own lock and its share of the byte budget; eviction is by
+// least-recently-used entry until the shard is back under budget.
 #pragma once
 
 #include <cstdint>
@@ -46,15 +47,16 @@ class ResultCache {
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
-  /// Cached frame for (fingerprint, epoch), or nullptr. A hit refreshes the
-  /// entry's LRU position.
+  /// Cached frame for (fingerprint, snapshot), or nullptr. A hit refreshes
+  /// the entry's LRU position.
   [[nodiscard]] std::shared_ptr<const analysis::DataFrame> get(
-      const std::string& fingerprint, Epoch epoch);
+      const std::string& fingerprint, const StoreCatalog::Snapshot& snapshot);
 
   /// Inserts (replacing any entry with the same key), then evicts LRU
   /// entries until the shard is within budget. An entry larger than the
   /// whole shard budget is not cached at all.
-  void put(const std::string& fingerprint, Epoch epoch,
+  void put(const std::string& fingerprint,
+           const StoreCatalog::Snapshot& snapshot,
            std::shared_ptr<const analysis::DataFrame> frame);
 
   [[nodiscard]] CacheStats stats() const;
@@ -75,7 +77,8 @@ class ResultCache {
   };
 
   [[nodiscard]] Shard& shard_for(const std::string& key);
-  static std::string make_key(const std::string& fingerprint, Epoch epoch);
+  static std::string make_key(const std::string& fingerprint,
+                              const StoreCatalog::Snapshot& snapshot);
 
   std::size_t shard_budget_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -209,7 +209,7 @@ Epoch LiveIngestor::publish(dtr::RunMetadata meta) {
     log_cursors_locked();
     if (added) stats_.runs_published += 1;
   }
-  return catalog_.epoch();
+  return catalog_.snapshot().epoch();
 }
 
 void LiveIngestor::start(std::chrono::milliseconds interval) {

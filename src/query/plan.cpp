@@ -245,7 +245,77 @@ std::string run_list_display(const std::vector<prov::RunId>& runs) {
   return out.empty() ? "(none)" : out;
 }
 
+template <typename T>
+bool range_may_match(T lo, T hi, T rhs, CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return !(rhs < lo) && !(hi < rhs);
+    case CmpOp::kNe:
+      // Only an all-equal chunk (lo == hi == rhs) provably has no != row.
+      return !(lo == hi && lo == rhs);
+    case CmpOp::kLt:
+      return lo < rhs;
+    case CmpOp::kLe:
+      return !(rhs < lo);
+    case CmpOp::kGt:
+      return hi > rhs;
+    case CmpOp::kGe:
+      return !(hi < rhs);
+    case CmpOp::kContains:
+      return true;  // not a range predicate
+  }
+  return true;
+}
+
+/// True when every residual predicate could match the chunk (AND
+/// semantics: one provably-unsatisfiable predicate kills the chunk).
+bool chunk_may_match(const segstore::ChunkMeta& chunk,
+                     const std::vector<Predicate>& preds) {
+  if (chunk.rows == 0) return false;
+  for (const Predicate& p : preds) {
+    const segstore::ColumnStats* stats = chunk.column(p.column);
+    if (stats == nullptr) continue;  // unknown column: validation's problem
+    if (!stats_may_match(*stats, p)) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+bool stats_may_match(const segstore::ColumnStats& s, const Predicate& p) {
+  if (s.rows == 0) return false;
+  if (s.type == ColumnType::kString) {
+    const auto* rhs = std::get_if<std::string>(&p.value);
+    if (rhs == nullptr) return true;  // type mismatch: let validation throw
+    if (!s.str_valid) return false;   // no referenced values
+    if (p.op == CmpOp::kContains) {
+      // A substring test has no range algebra; only a constant chunk
+      // (min == max) can be decided from the zone map.
+      return s.str_min != s.str_max ||
+             s.str_min.find(*rhs) != std::string::npos;
+    }
+    return range_may_match(s.str_min, s.str_max, *rhs, p.op);
+  }
+  // Numeric columns. Exact int-vs-int first; everything else goes through
+  // the widened double range (monotonic widening keeps it sound — the
+  // filter itself compares in double when the rhs is a double).
+  if (s.type == ColumnType::kInt64) {
+    if (const auto* i = std::get_if<std::int64_t>(&p.value)) {
+      return range_may_match(s.int_min, s.int_max, *i, p.op);
+    }
+  }
+  const auto range = s.numeric_range();
+  if (!range) return true;  // NaN-poisoned or non-numeric: conservative
+  double rhs = 0.0;
+  if (const auto* d = std::get_if<double>(&p.value)) {
+    rhs = *d;
+  } else if (const auto* i = std::get_if<std::int64_t>(&p.value)) {
+    rhs = static_cast<double>(*i);
+  } else {
+    return true;
+  }
+  return range_may_match(range->first, range->second, rhs, p.op);
+}
 
 std::string Plan::to_string() const {
   std::ostringstream out;
@@ -279,6 +349,26 @@ Plan plan_query(const Query& query, const StoreCatalog::Snapshot& snapshot) {
   if (!push.contradiction) {
     plan.runs = snapshot.runs(push.workflow, push.run);
   }
+
+  // Zone-map pruning (segment backend): drop runs whose manifest zone maps
+  // prove a residual predicate can never match — before any segment byte
+  // is decoded. Sound under asof_join too: right rows of a run only ever
+  // match left rows of the same run, so a run with no surviving left rows
+  // contributes nothing.
+  if (!push.residual.empty()) {
+    std::vector<prov::RunId> kept;
+    kept.reserve(plan.runs.size());
+    for (const prov::RunId& id : plan.runs) {
+      const segstore::ChunkMeta* chunk = snapshot.stats(plan.view, id);
+      if (chunk != nullptr && !chunk_may_match(*chunk, push.residual)) {
+        ++plan.zone_pruned;
+        continue;
+      }
+      kept.push_back(id);
+    }
+    plan.runs = std::move(kept);
+  }
+
   for (const prov::RunId& id : plan.runs) {
     plan.estimated_rows += snapshot.estimated_rows(plan.view, id);
   }
@@ -293,6 +383,10 @@ Plan plan_query(const Query& query, const StoreCatalog::Snapshot& snapshot) {
       detail += "; pushdown:";
       for (const std::string& note : push.notes) detail += " " + note;
       if (push.contradiction) detail += " (contradictory -> empty scan)";
+    }
+    if (plan.zone_pruned > 0) {
+      detail += "; zone-pruned " + std::to_string(plan.zone_pruned) +
+                " runs via column min/max";
     }
     plan.steps.push_back({"scan", detail});
   }
@@ -487,7 +581,7 @@ ExecutionResult execute_query(const Query& query, const StoreCatalog& catalog,
   const std::string key = fingerprint(query);
   const StoreCatalog::Snapshot snapshot = catalog.snapshot();
   if (cache != nullptr) {
-    if (auto hit = cache->get(key, snapshot.epoch())) {
+    if (auto hit = cache->get(key, snapshot)) {
       return {std::move(hit), snapshot.epoch(), true};
     }
   }
@@ -495,7 +589,7 @@ ExecutionResult execute_query(const Query& query, const StoreCatalog& catalog,
   try {
     auto frame = std::make_shared<const DataFrame>(
         run_plan(query, plan, snapshot));
-    if (cache != nullptr) cache->put(key, snapshot.epoch(), frame);
+    if (cache != nullptr) cache->put(key, snapshot, frame);
     return {std::move(frame), snapshot.epoch(), false};
   } catch (const analysis::DataFrameError& e) {
     throw QueryError(std::string("execution failed: ") + e.what());

@@ -36,9 +36,12 @@ struct PlanStep {
 
 struct Plan {
   ViewId view = ViewId::kTasks;
-  std::vector<prov::RunId> runs;   ///< after pushdown pruning
+  std::vector<prov::RunId> runs;   ///< after pushdown + zone-map pruning
   std::size_t total_runs = 0;      ///< visible runs before pruning
   std::size_t estimated_rows = 0;  ///< scan-input rows across pruned runs
+  /// Runs dropped because a residual predicate can never match their zone
+  /// maps (segment backend only; 0 when no stats are available).
+  std::size_t zone_pruned = 0;
   std::vector<PlanStep> steps;
 
   /// Deterministic multi-line rendering (the `explain` wire payload).
@@ -64,5 +67,11 @@ ExecutionResult execute_query(const Query& query, const StoreCatalog& catalog,
 /// Typed columnar predicate filter over a frame (exposed for tests).
 analysis::DataFrame apply_predicates(const analysis::DataFrame& frame,
                                      const std::vector<Predicate>& preds);
+
+/// True when `p` could match at least one row of a column with zone map
+/// `s`; false proves no row can match, so the chunk may be skipped without
+/// decoding (exposed for the pruning-soundness tests). Conservative: any
+/// uncertainty (NaN-poisoned range, type surprises) returns true.
+bool stats_may_match(const segstore::ColumnStats& s, const Predicate& p);
 
 }  // namespace recup::query

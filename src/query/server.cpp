@@ -47,7 +47,7 @@ json::Value QueryServer::error_response(const json::Value& doc,
   response["ok"] = false;
   response["error"] = what;
   if (transient) response["transient"] = true;
-  response["epoch"] = catalog_.epoch();
+  response["epoch"] = catalog_.snapshot().epoch();
   return response;
 }
 
@@ -146,7 +146,7 @@ json::Value QueryServer::handle(const json::Value& doc) {
     failed_.fetch_add(1);
     response["ok"] = false;
     response["error"] = std::string(e.what());
-    response["epoch"] = catalog_.epoch();
+    response["epoch"] = catalog_.snapshot().epoch();
   }
   const std::chrono::duration<double, std::milli> elapsed =
       std::chrono::steady_clock::now() - started;

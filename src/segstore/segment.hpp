@@ -1,0 +1,146 @@
+// Columnar segment file format for the durable provenance store.
+//
+// A *segment* is an immutable file holding one view's rows for one or more
+// runs ("chunks"). Columns are encoded per chunk:
+//   int64   — delta + zig-zag + LEB128 varint (first value absolute, then
+//             per-row deltas), which collapses sorted identifier columns
+//             (timestamps, offsets) to ~1 byte/row;
+//   double  — raw little-endian IEEE-754 bits (bit-exact round trip, so
+//             shortest-round-trip CSV output is identical after decode);
+//   string  — canonical dictionary (distinct values in first-appearance
+//             order) + varint codes, mirroring the DataFrame's own
+//             dictionary encoding.
+// Every column carries a *zone map* (min/max/null-count) the planner uses
+// to skip whole chunks before any payload byte is decoded. The file ends in
+// a fixed 16-byte footer [u32 crc][u64 body_len]["RSGF"]; recovery and fsck
+// validate a file by reading the footer and CRC-scanning the body.
+//
+// Layout:
+//   "RSG1" u8 version
+//   view name (varint len + bytes)
+//   varint chunk_count
+//   chunk*:                        <- ChunkMeta.{offset,length} span this
+//     workflow (varint len + bytes)
+//     varint run_index, varint rows, varint cols
+//     column*: name, u8 type, zone map, payload
+//   footer (16 bytes)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/dataframe.hpp"
+
+namespace recup::segstore {
+
+class SegstoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Run identity inside the segment store. Mirrors prov::RunId without
+/// depending on the provenance/recorder stack — the store is a generic
+/// (view, run)-keyed frame container.
+struct RunKey {
+  std::string workflow;
+  std::uint32_t run_index = 0;
+  auto operator<=>(const RunKey&) const = default;
+
+  [[nodiscard]] std::string display() const {
+    return workflow + "#" + std::to_string(run_index);
+  }
+};
+
+/// Zone map of one encoded column: the value range plus a null count.
+/// Today's frames carry no nulls, but the format reserves the slot so a
+/// future nullable encoding stays readable. An empty (0-row) column keeps
+/// the sentinel "min > max" ranges, which every range test treats as
+/// prunable.
+struct ColumnStats {
+  std::string name;
+  analysis::ColumnType type = analysis::ColumnType::kInt64;
+  std::uint64_t rows = 0;
+  std::uint64_t null_count = 0;
+  std::int64_t int_min = INT64_MAX;
+  std::int64_t int_max = INT64_MIN;
+  double dbl_min = 0.0;  ///< valid only when rows > 0 (kDouble)
+  double dbl_max = 0.0;
+  bool dbl_valid = false;
+  std::string str_min;
+  std::string str_max;
+  bool str_valid = false;
+
+  bool operator==(const ColumnStats&) const = default;
+
+  /// Numeric range as doubles (int widens), or nullopt when empty /
+  /// non-numeric.
+  [[nodiscard]] std::optional<std::pair<double, double>> numeric_range() const;
+};
+
+/// Computes the zone map of one column (the encoder does this; fsck redoes
+/// it against decoded data).
+ColumnStats compute_stats(const analysis::Column& column);
+
+/// Location + statistics of one run's rows inside a segment file.
+struct ChunkMeta {
+  RunKey run;
+  std::uint64_t rows = 0;
+  std::uint64_t offset = 0;  ///< chunk start, bytes from file begin
+  std::uint64_t length = 0;  ///< encoded chunk bytes
+  std::vector<ColumnStats> columns;
+
+  [[nodiscard]] const ColumnStats* column(const std::string& name) const;
+};
+
+/// One immutable segment file as the manifest describes it.
+struct SegmentInfo {
+  std::string file;  ///< path relative to the store's segment directory
+  std::string view;
+  std::uint64_t file_bytes = 0;
+  std::uint32_t body_crc = 0;  ///< CRC-32 over [0, body_len)
+  std::vector<ChunkMeta> chunks;
+
+  [[nodiscard]] const ChunkMeta* chunk_for(const RunKey& run) const;
+};
+
+inline constexpr char kSegmentMagic[4] = {'R', 'S', 'G', '1'};
+inline constexpr char kFooterMagic[4] = {'R', 'S', 'G', 'F'};
+inline constexpr std::uint8_t kSegmentVersion = 1;
+inline constexpr std::size_t kFooterBytes = 16;
+
+/// One (run, frame) pair queued for encoding.
+struct ChunkInput {
+  RunKey run;
+  const analysis::DataFrame* frame = nullptr;
+};
+
+/// Encodes a segment holding `chunks` of `view`, appending the footer.
+/// Fills `info` (file/file_bytes left for the caller) with per-chunk
+/// offsets and zone maps.
+std::string encode_segment(const std::string& view,
+                           const std::vector<ChunkInput>& chunks,
+                           SegmentInfo* info);
+
+/// Footer-only validation: magic, length, CRC over the body. Returns the
+/// body length; throws SegstoreError on any mismatch.
+std::uint64_t verify_footer(std::string_view bytes);
+
+/// Decodes every chunk of a segment (fsck / compaction path). Verifies the
+/// footer first. The returned SegmentInfo carries recomputed zone maps and
+/// offsets for cross-checking against the manifest.
+struct DecodedSegment {
+  std::string view;
+  SegmentInfo info;  ///< recomputed from the bytes (file name left empty)
+  std::vector<std::pair<RunKey, analysis::DataFrame>> chunks;
+};
+DecodedSegment decode_segment(std::string_view bytes);
+
+/// Decodes a single chunk at `offset` (the fast point-read path — no other
+/// chunk's payload is touched). `expected` (when non-null) is checked
+/// against the decoded run/rows.
+analysis::DataFrame decode_chunk(std::string_view bytes, std::uint64_t offset,
+                                 const ChunkMeta* expected);
+
+}  // namespace recup::segstore

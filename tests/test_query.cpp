@@ -214,11 +214,11 @@ TEST(QueryPlan, TypedPredicateMasks) {
 
 TEST(QueryCatalog, EpochAndVisibility) {
   StoreCatalog catalog;
-  EXPECT_EQ(catalog.epoch(), 0u);
+  EXPECT_EQ(catalog.snapshot().epoch(), 0u);
   catalog.add_run(make_run("A", 0));
   catalog.add_run(make_run("A", 1));
   catalog.add_run(make_run("B", 0));
-  EXPECT_EQ(catalog.epoch(), 3u);
+  EXPECT_EQ(catalog.snapshot().epoch(), 3u);
 
   const StoreCatalog::Snapshot snap = catalog.snapshot();
   EXPECT_EQ(snap.runs(std::nullopt, std::nullopt).size(), 3u);
@@ -378,14 +378,19 @@ TEST(QueryExec, EmptyStoreYieldsSchemaOnlyFrame) {
 // Result cache
 
 TEST(QueryCache, HitRefreshAndEpochSeparation) {
+  StoreCatalog catalog;
+  catalog.add_run(make_run("A", 0));
+  const StoreCatalog::Snapshot snap1 = catalog.snapshot();
+  catalog.add_run(make_run("A", 1));
+  const StoreCatalog::Snapshot snap2 = catalog.snapshot();
   ResultCache cache;
   auto frame = std::make_shared<const DataFrame>(
       DataFrame({{"x", ColumnType::kInt64}}));
-  cache.put("q1", 1, frame);
-  EXPECT_EQ(cache.get("q1", 1).get(), frame.get());
-  // Another epoch is another key.
-  EXPECT_EQ(cache.get("q1", 2), nullptr);
-  EXPECT_EQ(cache.get("q2", 1), nullptr);
+  cache.put("q1", snap1, frame);
+  EXPECT_EQ(cache.get("q1", snap1).get(), frame.get());
+  // Another snapshot is another key.
+  EXPECT_EQ(cache.get("q1", snap2), nullptr);
+  EXPECT_EQ(cache.get("q2", snap1), nullptr);
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 2u);
@@ -394,6 +399,9 @@ TEST(QueryCache, HitRefreshAndEpochSeparation) {
 }
 
 TEST(QueryCache, ByteBudgetEvictsLru) {
+  StoreCatalog catalog;
+  catalog.add_run(make_run("A", 0));
+  const StoreCatalog::Snapshot snap = catalog.snapshot();
   ResultCache::Config config;
   config.shards = 1;
   DataFrame big({{"x", ColumnType::kInt64}});
@@ -402,15 +410,15 @@ TEST(QueryCache, ByteBudgetEvictsLru) {
   config.byte_budget = entry * 3 + entry / 2;  // room for three entries
   ResultCache cache(config);
   for (int i = 0; i < 4; ++i) {
-    cache.put("q" + std::to_string(i), 1,
+    cache.put("q" + std::to_string(i), snap,
               std::make_shared<const DataFrame>(big));
   }
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, 3u);
   EXPECT_EQ(stats.evictions, 1u);
   // q0 was least recently used.
-  EXPECT_EQ(cache.get("q0", 1), nullptr);
-  EXPECT_NE(cache.get("q3", 1), nullptr);
+  EXPECT_EQ(cache.get("q0", snap), nullptr);
+  EXPECT_NE(cache.get("q3", snap), nullptr);
   EXPECT_LE(cache.stats().bytes, config.byte_budget);
 }
 
@@ -801,7 +809,7 @@ TEST_F(QueryIngestTest, ConcurrentClientsDuringLiveIngestion) {
 
   EXPECT_EQ(successes.load() + failures.load(),
             static_cast<std::uint64_t>(kClients * kQueriesPerClient));
-  EXPECT_EQ(catalog_.epoch(), static_cast<Epoch>(kRuns));
+  EXPECT_EQ(catalog_.snapshot().epoch(), static_cast<Epoch>(kRuns));
 
   // Settled state: a query at the final epoch is served and then cached.
   QueryClient client(server);

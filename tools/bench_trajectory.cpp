@@ -122,6 +122,14 @@ int cmd_record(const std::string& trajectory_path, const std::string& label,
 int cmd_check(const std::string& trajectory_path, double threshold_pct,
               const std::vector<std::string>& summaries) {
   const Value doc = load_trajectory(trajectory_path);
+  if (!doc.is_object() || !doc.contains("entries") ||
+      !doc.at("entries").is_array()) {
+    std::fprintf(stderr,
+                 "bench_trajectory: %s is not a trajectory file (no "
+                 "\"entries\" array); record a baseline first\n",
+                 trajectory_path.c_str());
+    return 2;
+  }
   const Array& entries = doc.at("entries").as_array();
   if (entries.empty()) {
     std::fprintf(stderr,
@@ -130,8 +138,20 @@ int cmd_check(const std::string& trajectory_path, double threshold_pct,
                  trajectory_path.c_str());
     return 2;
   }
+  const Value& last = entries.back();
+  if (!last.is_object() || !last.contains("headlines") ||
+      !last.at("headlines").is_array() ||
+      last.at("headlines").as_array().empty()) {
+    // A baseline with no headlines would make every comparison vacuously
+    // pass as "new" — that is a broken trajectory, not a green check.
+    std::fprintf(stderr,
+                 "bench_trajectory: last entry in %s has no headlines; "
+                 "re-record the baseline\n",
+                 trajectory_path.c_str());
+    return 2;
+  }
   std::map<std::string, Headline> baseline;
-  for (const Value& row : entries.back().at("headlines").as_array()) {
+  for (const Value& row : last.at("headlines").as_array()) {
     Headline h;
     h.name = row.get_string("name", "");
     h.value = row.get_double("value", 0.0);

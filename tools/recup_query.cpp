@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -25,6 +26,7 @@
 #include "query/ir.hpp"
 #include "query/plan.hpp"
 #include "query/server.hpp"
+#include "segstore/store.hpp"
 #include "workloads/registry.hpp"
 
 using namespace recup;
@@ -36,6 +38,9 @@ int usage() {
       stderr,
       "usage: recup_query [options] [QUERY_JSON | -]\n"
       "  --run-dir DIR     ingest a persisted run directory (repeatable)\n"
+      "  --store DIR       durable segment-store directory: runs ingested\n"
+      "                    now flush there, and runs committed by earlier\n"
+      "                    invocations are served without re-ingestion\n"
       "  --workload NAME   execute a workload and ingest it (repeatable)\n"
       "  --runs N          runs per --workload (default 1)\n"
       "  --synthetic N     ingest N fast synthetic runs (default store: 2)\n"
@@ -166,6 +171,7 @@ int main(int argc, char** argv) {
   int bench_queries = 0;
   std::size_t workers = 4;
   std::uint64_t seed = 42;
+  std::string store_dir;
   std::string query_text;
 
   for (int i = 1; i < argc; ++i) {
@@ -178,6 +184,8 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--run-dir") == 0) {
       run_dirs.emplace_back(need("--run-dir"));
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      store_dir = need("--store");
     } else if (std::strcmp(argv[i], "--workload") == 0) {
       workload_names.emplace_back(need("--workload"));
     } else if (std::strcmp(argv[i], "--runs") == 0) {
@@ -204,7 +212,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  query::StoreCatalog catalog;
+  std::unique_ptr<query::StoreCatalog> catalog_holder;
+  try {
+    if (store_dir.empty()) {
+      catalog_holder = std::make_unique<query::StoreCatalog>();
+    } else {
+      segstore::SegmentStoreConfig store_config;
+      store_config.dir = store_dir;
+      catalog_holder = std::make_unique<query::StoreCatalog>(store_config);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "store open failed: %s\n", e.what());
+    return 1;
+  }
+  query::StoreCatalog& catalog = *catalog_holder;
   try {
     for (const std::string& dir : run_dirs) {
       std::fprintf(stderr, "ingesting run directory %s ...\n", dir.c_str());
@@ -218,7 +239,7 @@ int main(int argc, char** argv) {
         catalog.add_run(workloads::execute(workload, r));
       }
     }
-    if (synthetic < 0 && catalog.epoch() == 0) synthetic = 2;
+    if (synthetic < 0 && catalog.snapshot().epoch() == 0) synthetic = 2;
     for (int r = 0; r < synthetic; ++r) {
       catalog.add_run(synthetic_run(static_cast<std::uint32_t>(r), seed));
     }
@@ -227,7 +248,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr, "store ready: epoch %llu\n",
-               static_cast<unsigned long long>(catalog.epoch()));
+               static_cast<unsigned long long>(catalog.snapshot().epoch()));
 
   if (query_text == "-") {
     std::ostringstream buffer;

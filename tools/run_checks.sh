@@ -76,6 +76,23 @@ require_filter_matches ./build/tests/test_chaos '*SchedulerEquivalence*'
 ./build/tests/test_chaos --gtest_filter='*SchedulerEquivalence*' >/dev/null
 echo "scheduler conformance passed"
 
+echo "== segstore: 10-seed cold-start oracle + on-disk fsck =="
+# The durable columnar segment store: crash-during-flush/compact chaos with
+# cold-open byte-identity against in-memory re-ingestion, then an actual
+# on-disk store seeded by the CLI and verified by recup_segstore fsck
+# (CRC-checked footers + zone maps recomputed from decoded data).
+require_filter_matches ./build/tests/test_segstore \
+  '*SegstoreCrashOracle*:SegstoreSnapshot.*'
+./build/tests/test_segstore \
+  --gtest_filter='*SegstoreCrashOracle*:SegstoreSnapshot.*' >/dev/null
+segstore_dir=$(mktemp -d "${TMPDIR:-/tmp}/recup_checks_segstore.XXXXXX")
+./build/tools/recup_segstore synth "$segstore_dir/store" --runs 5 >/dev/null
+./build/tools/recup_segstore fsck "$segstore_dir/store" >/dev/null
+./build/tools/recup_segstore compact "$segstore_dir/store" >/dev/null
+./build/tools/recup_segstore fsck "$segstore_dir/store" >/dev/null
+rm -rf "$segstore_dir"
+echo "segstore oracle + fsck passed"
+
 if [[ "$skip_bench" == 1 ]]; then
   echo "== perf trajectory skipped (--skip-bench) =="
 else
@@ -140,6 +157,14 @@ ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ./build-asan/tests/test_mochi --gtest_filter='Warabi.*' >/dev/null
 
+echo "== sanitized segstore: read replicas under concurrent queries =="
+# Two read-only replicas serve one segment directory while a writer keeps
+# flushing and compacting; every decode runs over mmap'ed bytes, exactly
+# where a stale pointer or short read corrupts silently.
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-asan/tests/test_segstore \
+  --gtest_filter='SegstoreReplica.*:SegstoreSnapshot.*' >/dev/null
+
 echo "== sanitized wire codec: round-trip + corrupt-frame suite =="
 # The binary codec parses untrusted bytes (truncated frames, corrupt tags,
 # lying length prefixes); run its property suite under ASan/UBSan where an
@@ -179,6 +204,10 @@ require_filter_matches ./build-tsan/tests/test_scheduler_statemachine \
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_scheduler_statemachine \
   --gtest_filter='SchedulerIntakeConcurrency.*:ShardedTaskMapConcurrency.*' \
   >/dev/null
+# Segment store under real racing threads: replica refresh + mmap reads vs
+# a live writer's flush/compact/GC, and snapshot pins across compaction.
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_segstore \
+  --gtest_filter='SegstoreReplica.*:SegstoreSnapshot.*' >/dev/null
 # Parallel-kernel smoke: force the morsel pool to multiple workers so the
 # columnar scan/aggregate fan-outs actually race under TSan.
 RECUP_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
